@@ -1,0 +1,70 @@
+// Ablation: delta-store size vs query latency.
+//
+// "The delta-store is fully scanned on every query. This means that query
+// latency can grow if the delta-store grows too large" (§3.6). This bench
+// grows the delta store and measures warm query latency, then shows
+// Maintain() restoring it.
+#include "bench/bench_util.h"
+
+using namespace micronn;
+using namespace micronn::bench;
+
+int main() {
+  const double scale = BenchScale();
+  const size_t n = std::max<size_t>(20000, static_cast<size_t>(2000000 * scale));
+  const uint32_t dim = 96;
+  const uint32_t k = 100;
+  const uint32_t nprobe = 8;
+  BenchDir dir("abl_delta");
+  std::printf("== Ablation: delta-store size vs query latency "
+              "(base n=%zu, scale %.4f) ==\n\n",
+              n, scale);
+
+  Dataset ds = GenerateDataset({"delta", dim, Metric::kL2, n, 32, 0, 0.18f,
+                                41});
+  DbOptions options = DefaultBenchOptions();
+  options.rebuild_growth_threshold = 100.0;  // keep Maintain incremental
+  auto db = LoadDataset(dir.Path("db.mnn"), ds, options,
+                        /*build_index=*/true);
+
+  // Extra vectors destined for the delta store.
+  Dataset extra = GenerateDataset({"delta_extra", dim, Metric::kL2,
+                                   n / 2 + 1, 1, 0, 0.18f, 42});
+  std::printf("%12s %16s %14s\n", "delta rows", "delta/total(%)",
+              "latency(ms)");
+  size_t added = 0;
+  const size_t steps[] = {0, n / 100, n / 20, n / 10, n / 4, n / 2};
+  for (const size_t target : steps) {
+    if (target > added) {
+      std::vector<UpsertRequest> batch;
+      for (size_t i = added; i < target; ++i) {
+        UpsertRequest req;
+        req.asset_id = "delta" + std::to_string(i);
+        req.vector.assign(extra.row(i), extra.row(i) + dim);
+        batch.push_back(std::move(req));
+        if (batch.size() == 2000) {
+          db->Upsert(batch).ok();
+          batch.clear();
+        }
+      }
+      if (!batch.empty()) db->Upsert(batch).ok();
+      added = target;
+    }
+    const double latency = MeasureWarmLatencyMs(db.get(), ds, k, nprobe, 48);
+    const auto stats = db->GetIndexStats().value();
+    std::printf("%12llu %15.1f%% %14.3f\n",
+                static_cast<unsigned long long>(stats.delta_count),
+                100.0 * static_cast<double>(stats.delta_count) /
+                    static_cast<double>(stats.total_vectors),
+                latency);
+  }
+  // Maintenance flushes the delta and restores latency.
+  auto report = db->Maintain().value();
+  const double after = MeasureWarmLatencyMs(db.get(), ds, k, nprobe, 48);
+  std::printf("\nafter Maintain() (flushed %llu rows): %.3f ms\n",
+              static_cast<unsigned long long>(report.delta_flushed), after);
+  std::printf("shape check: latency grows with delta size; maintenance "
+              "restores it\n");
+  db->Close().ok();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: SIMD dispatch tier (scalar / AVX2 / AVX-512) on the distance
+// kernels, across the dimensionalities of the Table-2 datasets. Built on
+// google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "numerics/distance.h"
+
+namespace micronn {
+namespace {
+
+std::vector<float> RandomVec(size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(d);
+  for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+  return v;
+}
+
+void BM_L2(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const SimdLevel level = static_cast<SimdLevel>(state.range(1));
+  SetSimdLevel(level);
+  const auto a = RandomVec(d, 1);
+  const auto b = RandomVec(d, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L2Squared(a.data(), b.data(), d));
+  }
+  state.SetLabel(std::string(SimdLevelName(ActiveSimdLevel())));
+  state.SetItemsProcessed(state.iterations() * d);
+  SetSimdLevel(SimdLevel::kAvx512);  // restore best
+}
+
+void BM_Dot(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const SimdLevel level = static_cast<SimdLevel>(state.range(1));
+  SetSimdLevel(level);
+  const auto a = RandomVec(d, 3);
+  const auto b = RandomVec(d, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(a.data(), b.data(), d));
+  }
+  state.SetLabel(std::string(SimdLevelName(ActiveSimdLevel())));
+  state.SetItemsProcessed(state.iterations() * d);
+  SetSimdLevel(SimdLevel::kAvx512);
+}
+
+void BM_OneToMany(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const SimdLevel level = static_cast<SimdLevel>(state.range(1));
+  SetSimdLevel(level);
+  const size_t n = 1024;
+  const auto q = RandomVec(d, 5);
+  const auto data = RandomVec(d * n, 6);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    DistanceOneToMany(Metric::kL2, q.data(), data.data(), n, d, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(std::string(SimdLevelName(ActiveSimdLevel())));
+  state.SetItemsProcessed(state.iterations() * n * d);
+  SetSimdLevel(SimdLevel::kAvx512);
+}
+
+void SimdArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t dim : {96, 128, 512, 960}) {
+    for (int64_t level : {0, 1, 2}) {
+      b->Args({dim, level});
+    }
+  }
+}
+
+BENCHMARK(BM_L2)->Apply(SimdArgs);
+BENCHMARK(BM_Dot)->Apply(SimdArgs);
+BENCHMARK(BM_OneToMany)->Apply(SimdArgs);
+
+}  // namespace
+}  // namespace micronn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+// Table 2: datasets used in the evaluation (synthetic stand-ins; see
+// DESIGN.md §2). Prints the paper's table alongside the generated sizes at
+// the current bench scale.
+#include "bench/bench_util.h"
+
+using namespace micronn;
+using namespace micronn::bench;
+
+int main() {
+  const double scale = BenchScale();
+  std::printf("== Table 2: datasets used in the evaluation ==\n");
+  std::printf("(synthetic Gaussian-mixture stand-ins at scale %.4f of paper "
+              "size; MICRONN_BENCH_SCALE overrides)\n\n",
+              scale);
+  std::printf("%-10s %5s %12s %12s %8s %10s\n", "Dataset", "Dim",
+              "PaperVectors", "BenchVectors", "Queries", "Metric");
+  const auto paper = Table2Specs(1.0);
+  const auto bench = Table2Specs(scale);
+  for (size_t i = 0; i < paper.size(); ++i) {
+    std::printf("%-10s %5u %12zu %12zu %8zu %10s\n", paper[i].name.c_str(),
+                paper[i].dim, paper[i].n, bench[i].n, bench[i].n_queries,
+                std::string(MetricName(paper[i].metric)).c_str());
+  }
+  // Sanity: generate the smallest stand-in and verify determinism.
+  Dataset a = GenerateDataset(bench[0]);
+  Dataset b = GenerateDataset(bench[0]);
+  std::printf("\ngeneration determinism: %s\n",
+              a.data == b.data ? "OK" : "FAILED");
+  return a.data == b.data ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Figure 4: query latency for 90% recall@100 — InMemory vs
+// MicroNN-WarmCache vs MicroNN-ColdStart, on the Large and Small device
+// profiles, across the Table-2 datasets.
+//
+// Expected shape (paper §4.2.1): ColdStart is an order of magnitude above
+// the others (cold centroid + page caches); WarmCache approaches InMemory.
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "ivf/in_memory_index.h"
+
+using namespace micronn;
+using namespace micronn::bench;
+
+int main() {
+  const double scale = BenchScale();
+  const uint32_t k = 100;
+  BenchDir dir("fig4");
+  std::printf("== Figure 4: query latency @ 90%% recall@100 (scale %.4f) ==\n\n",
+              scale);
+  std::printf("%-10s %-6s %7s %14s %16s %16s\n", "Dataset", "DUT", "nprobe",
+              "InMemory(ms)", "WarmCache(ms)", "ColdStart(ms)");
+
+  for (const DatasetSpec& spec : Table2Specs(scale)) {
+    Dataset ds = GenerateDataset(spec);
+    const size_t gt_queries = std::min<size_t>(ds.spec.n_queries, 64);
+    Dataset gt_ds = ds;
+    gt_ds.spec.n_queries = gt_queries;
+    const auto truth = BruteForceGroundTruth(gt_ds, k, 1);
+
+    // InMemory baseline (independent of cache profile).
+    std::vector<uint64_t> ids(ds.spec.n);
+    std::iota(ids.begin(), ids.end(), 1);
+    InMemoryIvfIndex::Options mem_options;
+    mem_options.dim = spec.dim;
+    mem_options.metric = spec.metric;
+    mem_options.target_cluster_size = 100;
+    auto mem_index =
+        InMemoryIvfIndex::Build(mem_options, ds.data.data(), ds.spec.n, ids)
+            .value();
+
+    // Build the disk index once; reopen per device profile (the profiles
+    // differ only in cache budget).
+    const std::string path = dir.Path(spec.name + ".mnn");
+    LoadDataset(path, ds, DefaultBenchOptions(), /*build_index=*/true)
+        ->Close()
+        .ok();
+    for (const DeviceProfile& profile : DeviceProfiles()) {
+      DbOptions options = DefaultBenchOptions();
+      options.pager.cache_bytes = profile.cache_bytes;
+      options.dim = 0;  // inherit from the stored database
+      auto db = DB::Open(path, options).value();
+      const uint32_t nprobe = FindNprobeForRecall(
+          db.get(), gt_ds, truth, k, 0.90, std::min<size_t>(gt_queries, 32));
+
+      const size_t warm_queries = std::min<size_t>(ds.spec.n_queries, 128);
+      const double warm =
+          MeasureWarmLatencyMs(db.get(), ds, k, nprobe, warm_queries);
+      const double cold = MeasureColdLatencyMs(db.get(), ds, k, nprobe,
+                                               std::min<size_t>(16, warm_queries));
+      // InMemory at the same nprobe.
+      double mem_ms;
+      {
+        ThreadPool pool(options.search_threads);
+        for (size_t q = 0; q < 16; ++q) {  // warm-up
+          mem_index->Search(ds.query(q % ds.spec.n_queries), k, nprobe, &pool)
+              .value();
+        }
+        const auto start = Clock::now();
+        for (size_t q = 0; q < warm_queries; ++q) {
+          mem_index->Search(ds.query(q % ds.spec.n_queries), k, nprobe, &pool)
+              .value();
+        }
+        mem_ms = MsSince(start) / static_cast<double>(warm_queries);
+      }
+      std::printf("%-10s %-6s %7u %14.3f %16.3f %16.3f\n", spec.name.c_str(),
+                  profile.name, nprobe, mem_ms, warm, cold);
+      db->Close().ok();
+    }
+  }
+  std::printf("\nshape check: ColdStart >> WarmCache ~ InMemory\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 9: impact of multi-query optimization — (a) time to process a
+// query batch relative to one-query-at-a-time execution, (b) amortized
+// single-query latency vs batch size.
+//
+// Expected shape (paper §4.3.3): batch time is consistently sub-linear
+// (below the dashed y=x line); amortized latency falls with batch size;
+// gains diminish when the query-batch x centroid matrix dominates (many
+// centroids, e.g. the DEEPImage row). At batch 512 the paper reports >30%
+// amortized latency reduction on InternalA.
+#include "bench/bench_util.h"
+
+using namespace micronn;
+using namespace micronn::bench;
+
+int main() {
+  const double scale = BenchScale();
+  const uint32_t k = 100;
+  const uint32_t nprobe = 8;
+  BenchDir dir("fig9");
+  std::printf("== Figure 9: multi-query optimization (scale %.4f) ==\n\n",
+              scale);
+
+  const size_t batch_sizes[] = {1, 16, 64, 128, 256, 512, 1024};
+
+  for (const DatasetSpec& spec : Table2Specs(scale)) {
+    Dataset ds = GenerateDataset(spec);
+    auto db = LoadDataset(dir.Path(spec.name + ".mnn"), ds,
+                          DefaultBenchOptions(), /*build_index=*/true);
+    // Sequential baseline: average warm single-query latency.
+    const double single_ms = MeasureWarmLatencyMs(
+        db.get(), ds, k, nprobe, std::min<size_t>(ds.spec.n_queries, 96));
+    std::printf("%s (single-query %.3f ms)\n", spec.name.c_str(), single_ms);
+    std::printf("  %8s %14s %20s %18s\n", "batch", "total(ms)",
+                "relative-to-seq", "amortized(ms)");
+    for (const size_t bs : batch_sizes) {
+      std::vector<SearchRequest> requests(bs);
+      for (size_t i = 0; i < bs; ++i) {
+        const size_t q = i % ds.spec.n_queries;
+        requests[i].query.assign(ds.query(q), ds.query(q) + spec.dim);
+        requests[i].k = k;
+        requests[i].nprobe = nprobe;
+      }
+      db->BatchSearch(requests).value();  // warm-up
+      const auto start = Clock::now();
+      db->BatchSearch(requests).value();
+      const double total_ms = MsSince(start);
+      const double sequential_ms = single_ms * static_cast<double>(bs);
+      std::printf("  %8zu %14.2f %19.2fx %18.3f\n", bs, total_ms,
+                  total_ms / sequential_ms, total_ms / static_cast<double>(bs));
+    }
+    db->Close().ok();
+  }
+  std::printf("shape check: relative-to-seq < 1 and falling; >=30%% "
+              "amortized cut at batch 512 (paper §3.4)\n");
+  return 0;
+}

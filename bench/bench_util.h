@@ -1,0 +1,196 @@
+// Shared machinery for the paper-reproduction benchmark harness.
+//
+// Every bench binary prints the dataset scale it ran at. Scale is
+// controlled by MICRONN_BENCH_SCALE (fraction of the paper's dataset
+// sizes; default 0.01 so the whole suite completes on laptop hardware).
+// EXPERIMENTS.md records how the shapes compare with the paper.
+#ifndef MICRONN_BENCH_BENCH_UTIL_H_
+#define MICRONN_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/db.h"
+#include "datagen/dataset.h"
+#include "ivf/search.h"
+
+namespace micronn {
+namespace bench {
+
+inline double BenchScale(double fallback = 0.01) {
+  if (const char* env = std::getenv("MICRONN_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Working directory for bench databases (cleaned per run).
+class BenchDir {
+ public:
+  explicit BenchDir(const std::string& name) {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("micronn_bench_" + name + "_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~BenchDir() { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& file) const { return dir_ / file; }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+using Clock = std::chrono::steady_clock;
+
+inline double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+inline double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / v.size();
+}
+
+inline double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0;
+  const double m = Mean(v);
+  double acc = 0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / (v.size() - 1));
+}
+
+/// Loads `ds` into a fresh database (asset ids "a<row>", vids 1..n) and
+/// optionally builds the index.
+inline std::unique_ptr<DB> LoadDataset(const std::string& path,
+                                       const Dataset& ds, DbOptions options,
+                                       bool build_index) {
+  options.dim = ds.spec.dim;
+  options.metric = ds.spec.metric;
+  auto db = DB::Open(path, options).value();
+  std::vector<UpsertRequest> batch;
+  batch.reserve(2000);
+  for (size_t i = 0; i < ds.spec.n; ++i) {
+    UpsertRequest req;
+    req.asset_id = "a" + std::to_string(i);
+    req.vector.assign(ds.row(i), ds.row(i) + ds.spec.dim);
+    batch.push_back(std::move(req));
+    if (batch.size() == 2000) {
+      db->Upsert(batch).ok();
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) db->Upsert(batch).ok();
+  if (build_index) db->BuildIndex().ok();
+  return db;
+}
+
+/// Average recall@k of ANN answers against brute-force ground truth over
+/// `n_queries` queries at the given nprobe.
+inline double MeasureRecall(DB* db, const Dataset& ds,
+                            const std::vector<std::vector<Neighbor>>& truth,
+                            uint32_t k, uint32_t nprobe, size_t n_queries) {
+  double total = 0;
+  for (size_t q = 0; q < n_queries; ++q) {
+    SearchRequest req;
+    req.query.assign(ds.query(q), ds.query(q) + ds.spec.dim);
+    req.k = k;
+    req.nprobe = nprobe;
+    auto resp = db->Search(req).value();
+    std::vector<Neighbor> got;
+    got.reserve(resp.items.size());
+    for (const auto& item : resp.items) got.push_back({item.vid, item.distance});
+    total += RecallAtK(got, truth[q]);
+  }
+  return total / static_cast<double>(n_queries);
+}
+
+/// Smallest nprobe (from a doubling sweep) reaching `target` recall@k,
+/// following the paper's methodology ("we identify n, the number of IVF
+/// index partitions to scan to reach a recall of 90% or higher").
+inline uint32_t FindNprobeForRecall(
+    DB* db, const Dataset& ds, const std::vector<std::vector<Neighbor>>& truth,
+    uint32_t k, double target, size_t probe_queries) {
+  const auto stats = db->GetIndexStats().value();
+  const uint32_t max_probe = std::max(1u, stats.n_partitions);
+  for (uint32_t nprobe = 1; nprobe < max_probe; nprobe *= 2) {
+    if (MeasureRecall(db, ds, truth, k, nprobe, probe_queries) >= target) {
+      return nprobe;
+    }
+  }
+  return max_probe;
+}
+
+/// Mean single-query latency (ms) over `n_queries` warm queries.
+inline double MeasureWarmLatencyMs(DB* db, const Dataset& ds, uint32_t k,
+                                   uint32_t nprobe, size_t n_queries) {
+  // Warm-up pass.
+  for (size_t q = 0; q < std::min<size_t>(n_queries, 32); ++q) {
+    SearchRequest req;
+    req.query.assign(ds.query(q), ds.query(q) + ds.spec.dim);
+    req.k = k;
+    req.nprobe = nprobe;
+    db->Search(req).value();
+  }
+  const auto start = Clock::now();
+  for (size_t q = 0; q < n_queries; ++q) {
+    SearchRequest req;
+    req.query.assign(ds.query(q % ds.spec.n_queries),
+                     ds.query(q % ds.spec.n_queries) + ds.spec.dim);
+    req.k = k;
+    req.nprobe = nprobe;
+    db->Search(req).value();
+  }
+  return MsSince(start) / static_cast<double>(n_queries);
+}
+
+/// Mean single-query latency with caches dropped before every query (the
+/// paper's ColdStart protocol).
+inline double MeasureColdLatencyMs(DB* db, const Dataset& ds, uint32_t k,
+                                   uint32_t nprobe, size_t n_queries) {
+  std::vector<double> times;
+  for (size_t q = 0; q < n_queries; ++q) {
+    db->DropCaches();
+    SearchRequest req;
+    req.query.assign(ds.query(q % ds.spec.n_queries),
+                     ds.query(q % ds.spec.n_queries) + ds.spec.dim);
+    req.k = k;
+    req.nprobe = nprobe;
+    const auto start = Clock::now();
+    db->Search(req).value();
+    times.push_back(MsSince(start));
+  }
+  return Mean(times);
+}
+
+/// Device memory profiles (paper §4.1.2: Small vs Large DUT). The machine
+/// is fixed; the profiles differ in page-cache budget, the memory knob of
+/// a disk-resident index.
+struct DeviceProfile {
+  const char* name;
+  size_t cache_bytes;
+};
+
+inline std::vector<DeviceProfile> DeviceProfiles() {
+  return {{"Large", 64ull << 20}, {"Small", 4ull << 20}};
+}
+
+inline DbOptions DefaultBenchOptions() {
+  DbOptions options;
+  options.target_cluster_size = 100;  // paper default
+  options.default_nprobe = 8;
+  options.rebuild_chunk_rows = 4096;
+  return options;
+}
+
+}  // namespace bench
+}  // namespace micronn
+
+#endif  // MICRONN_BENCH_BENCH_UTIL_H_

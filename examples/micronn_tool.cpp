@@ -1,0 +1,164 @@
+// micronn_tool: command-line administration utility for MicroNN databases
+// (the kind of companion binary an open-source release ships).
+//
+//   micronn_tool info <db>         index + storage statistics
+//   micronn_tool tables <db>       list tables with row counts
+//   micronn_tool check <db>        verify B+Tree integrity of every table
+//   micronn_tool checkpoint <db>   fold the WAL into the main file
+//   micronn_tool analyze <db>      rebuild optimizer statistics
+//   micronn_tool maintain <db>     flush the delta store (policy-driven)
+//   micronn_tool rebuild <db>      force a full index rebuild
+#include <cstdio>
+#include <cstring>
+
+#include "core/db.h"
+#include "ivf/schema.h"
+#include "storage/engine.h"
+
+using namespace micronn;
+
+namespace {
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+Result<std::unique_ptr<DB>> OpenExisting(const char* path) {
+  DbOptions options;
+  options.dim = 0;  // inherit everything from the stored database
+  return DB::Open(path, options);
+}
+
+int CmdInfo(const char* path) {
+  auto db = OpenExisting(path);
+  if (!db.ok()) return Fail(db.status());
+  const auto stats = (*db)->GetIndexStats();
+  if (!stats.ok()) return Fail(stats.status());
+  const DbOptions& options = (*db)->options();
+  std::printf("database          : %s\n", path);
+  std::printf("dimension         : %u\n", options.dim);
+  std::printf("metric            : %s\n",
+              std::string(MetricName(options.metric)).c_str());
+  std::printf("vectors           : %llu\n",
+              static_cast<unsigned long long>(stats->total_vectors));
+  std::printf("partitions        : %u\n", stats->n_partitions);
+  std::printf("delta store       : %llu rows\n",
+              static_cast<unsigned long long>(stats->delta_count));
+  std::printf("avg partition     : %.1f (baseline %.1f)\n",
+              stats->avg_partition_size, stats->base_avg_partition_size);
+  std::printf("size CV           : %.3f (max partition %llu)\n",
+              stats->size_cv,
+              static_cast<unsigned long long>(stats->max_partition_size));
+  std::printf("index version     : %llu\n",
+              static_cast<unsigned long long>(stats->index_version));
+  const auto io = (*db)->io_stats().Snapshot();
+  std::printf("page reads        : %llu main / %llu wal / %llu cache hits\n",
+              static_cast<unsigned long long>(io.pages_read_main),
+              static_cast<unsigned long long>(io.pages_read_wal),
+              static_cast<unsigned long long>(io.pages_cache_hit));
+  return 0;
+}
+
+int CmdTables(const char* path) {
+  auto db = OpenExisting(path);
+  if (!db.ok()) return Fail(db.status());
+  auto txn = (*db)->engine()->BeginRead();
+  if (!txn.ok()) return Fail(txn.status());
+  auto names = (*txn)->ListTables();
+  if (!names.ok()) return Fail(names.status());
+  std::printf("%-24s %12s %8s\n", "table", "rows", "root");
+  for (const std::string& name : *names) {
+    auto info = (*txn)->GetTableInfo(name);
+    if (!info.ok()) return Fail(info.status());
+    std::printf("%-24s %12llu %8u\n", name.c_str(),
+                static_cast<unsigned long long>(info->row_count),
+                info->root);
+  }
+  return 0;
+}
+
+int CmdCheck(const char* path) {
+  auto db = OpenExisting(path);
+  if (!db.ok()) return Fail(db.status());
+  auto txn = (*db)->engine()->BeginRead();
+  if (!txn.ok()) return Fail(txn.status());
+  auto names = (*txn)->ListTables();
+  if (!names.ok()) return Fail(names.status());
+  int bad = 0;
+  for (const std::string& name : *names) {
+    auto tree = (*txn)->OpenTable(name);
+    if (!tree.ok()) return Fail(tree.status());
+    const Status st = tree->CheckIntegrity();
+    std::printf("%-24s %s\n", name.c_str(),
+                st.ok() ? "ok" : st.ToString().c_str());
+    if (!st.ok()) ++bad;
+  }
+  std::printf("%zu table(s), %d corrupt\n", names->size(), bad);
+  return bad == 0 ? 0 : 2;
+}
+
+int CmdCheckpoint(const char* path) {
+  auto db = OpenExisting(path);
+  if (!db.ok()) return Fail(db.status());
+  Status st = (*db)->engine()->Checkpoint();
+  if (!st.ok()) return Fail(st);
+  std::printf("checkpoint complete\n");
+  return 0;
+}
+
+int CmdAnalyze(const char* path) {
+  auto db = OpenExisting(path);
+  if (!db.ok()) return Fail(db.status());
+  Status st = (*db)->AnalyzeStats();
+  if (!st.ok()) return Fail(st);
+  std::printf("statistics rebuilt\n");
+  return 0;
+}
+
+int CmdMaintain(const char* path) {
+  auto db = OpenExisting(path);
+  if (!db.ok()) return Fail(db.status());
+  auto report = (*db)->Maintain();
+  if (!report.ok()) return Fail(report.status());
+  std::printf("maintenance: %s, %llu delta rows flushed, %llu row changes\n",
+              report->full_rebuild ? "full rebuild" : "incremental",
+              static_cast<unsigned long long>(report->delta_flushed),
+              static_cast<unsigned long long>(report->row_changes));
+  return 0;
+}
+
+int CmdRebuild(const char* path) {
+  auto db = OpenExisting(path);
+  if (!db.ok()) return Fail(db.status());
+  Status st = (*db)->BuildIndex();
+  if (!st.ok()) return Fail(st);
+  const auto stats = (*db)->GetIndexStats().value();
+  std::printf("rebuilt: %u partitions over %llu vectors\n",
+              stats.n_partitions,
+              static_cast<unsigned long long>(stats.total_vectors));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: micronn_tool "
+                 "<info|tables|check|checkpoint|analyze|maintain|rebuild> "
+                 "<db-path>\n");
+    return 64;
+  }
+  const char* cmd = argv[1];
+  const char* path = argv[2];
+  if (std::strcmp(cmd, "info") == 0) return CmdInfo(path);
+  if (std::strcmp(cmd, "tables") == 0) return CmdTables(path);
+  if (std::strcmp(cmd, "check") == 0) return CmdCheck(path);
+  if (std::strcmp(cmd, "checkpoint") == 0) return CmdCheckpoint(path);
+  if (std::strcmp(cmd, "analyze") == 0) return CmdAnalyze(path);
+  if (std::strcmp(cmd, "maintain") == 0) return CmdMaintain(path);
+  if (std::strcmp(cmd, "rebuild") == 0) return CmdRebuild(path);
+  std::fprintf(stderr, "unknown command: %s\n", cmd);
+  return 64;
+}

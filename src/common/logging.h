@@ -1,0 +1,63 @@
+// Minimal leveled logger. MicroNN is an embeddable library: logging defaults
+// to warnings-and-above on stderr and can be silenced or redirected by the
+// host application.
+#ifndef MICRONN_COMMON_LOGGING_H_
+#define MICRONN_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace micronn {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide logging configuration.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Minimum level that is emitted. Defaults to kWarn.
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// Replaces the output sink (default writes to stderr). Passing nullptr
+  /// restores the default sink.
+  static void SetSink(Sink sink);
+
+  /// Emits `message` at `level` if `level >= GetLevel()`.
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+// Stream-style log statement builder; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace micronn
+
+#define MICRONN_LOG(level) \
+  ::micronn::internal::LogMessage(::micronn::LogLevel::level)
+
+#endif  // MICRONN_COMMON_LOGGING_H_

@@ -1,0 +1,82 @@
+#include "common/memory_tracker.h"
+
+#include <sstream>
+
+namespace micronn {
+
+std::string_view MemoryCategoryName(MemoryCategory cat) {
+  switch (cat) {
+    case MemoryCategory::kPageCache:
+      return "page_cache";
+    case MemoryCategory::kClustering:
+      return "clustering";
+    case MemoryCategory::kQueryExec:
+      return "query_exec";
+    case MemoryCategory::kIndexData:
+      return "index_data";
+    case MemoryCategory::kOther:
+      return "other";
+    case MemoryCategory::kNumCategories:
+      break;
+  }
+  return "?";
+}
+
+MemoryTracker& MemoryTracker::Global() {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+void MemoryTracker::Allocate(MemoryCategory cat, size_t bytes) {
+  current_[static_cast<int>(cat)].fetch_add(static_cast<int64_t>(bytes),
+                                            std::memory_order_relaxed);
+  const int64_t total =
+      total_.fetch_add(static_cast<int64_t>(bytes),
+                       std::memory_order_relaxed) +
+      static_cast<int64_t>(bytes);
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (total > peak &&
+         !peak_.compare_exchange_weak(peak, total, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::Release(MemoryCategory cat, size_t bytes) {
+  current_[static_cast<int>(cat)].fetch_sub(static_cast<int64_t>(bytes),
+                                            std::memory_order_relaxed);
+  total_.fetch_sub(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+}
+
+size_t MemoryTracker::Current(MemoryCategory cat) const {
+  const int64_t v =
+      current_[static_cast<int>(cat)].load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<size_t>(v) : 0;
+}
+
+size_t MemoryTracker::CurrentTotal() const {
+  const int64_t v = total_.load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<size_t>(v) : 0;
+}
+
+size_t MemoryTracker::PeakTotal() const {
+  const int64_t v = peak_.load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<size_t>(v) : 0;
+}
+
+void MemoryTracker::ResetPeak() {
+  peak_.store(total_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
+
+std::string MemoryTracker::DebugString() const {
+  std::ostringstream os;
+  os << "memory{";
+  for (int i = 0; i < kN; ++i) {
+    if (i > 0) os << ", ";
+    os << MemoryCategoryName(static_cast<MemoryCategory>(i)) << "="
+       << current_[i].load(std::memory_order_relaxed);
+  }
+  os << ", total=" << CurrentTotal() << ", peak=" << PeakTotal() << "}";
+  return os.str();
+}
+
+}  // namespace micronn

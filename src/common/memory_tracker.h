@@ -1,0 +1,95 @@
+// Memory accounting for the experiments in the paper (Figures 5, 6, 8).
+//
+// The paper reports process memory during query processing and index
+// construction. We account the dominant consumers explicitly — page cache
+// frames, clustering state, batch matrices, in-memory baselines — through a
+// global tracker with per-category counters and high-water marks. This gives
+// deterministic, platform-independent numbers that mirror what an RSS
+// measurement would capture on-device.
+#ifndef MICRONN_COMMON_MEMORY_TRACKER_H_
+#define MICRONN_COMMON_MEMORY_TRACKER_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace micronn {
+
+/// Categories of tracked allocations.
+enum class MemoryCategory : int {
+  kPageCache = 0,     // storage page cache frames
+  kClustering = 1,    // k-means centroids, batch buffers, assignments
+  kQueryExec = 2,     // heaps, distance blocks, batch matrices
+  kIndexData = 3,     // in-memory index copies (InMemory baseline)
+  kOther = 4,
+  kNumCategories = 5,
+};
+
+std::string_view MemoryCategoryName(MemoryCategory cat);
+
+/// Process-wide memory accounting. All methods are thread-safe.
+class MemoryTracker {
+ public:
+  static MemoryTracker& Global();
+
+  /// Records an allocation of `bytes` in `cat`.
+  void Allocate(MemoryCategory cat, size_t bytes);
+  /// Records a deallocation of `bytes` in `cat`.
+  void Release(MemoryCategory cat, size_t bytes);
+
+  /// Currently tracked bytes in one category.
+  size_t Current(MemoryCategory cat) const;
+  /// Currently tracked bytes across all categories.
+  size_t CurrentTotal() const;
+  /// High-water mark of the total since the last ResetPeak().
+  size_t PeakTotal() const;
+  /// Resets the peak to the current total.
+  void ResetPeak();
+
+  /// Human-readable dump of all counters.
+  std::string DebugString() const;
+
+ private:
+  MemoryTracker() = default;
+
+  static constexpr int kN = static_cast<int>(MemoryCategory::kNumCategories);
+  std::array<std::atomic<int64_t>, kN> current_{};
+  std::atomic<int64_t> total_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// RAII allocation record: tracks `bytes` in `cat` for its lifetime.
+class ScopedMemoryReservation {
+ public:
+  ScopedMemoryReservation(MemoryCategory cat, size_t bytes)
+      : cat_(cat), bytes_(bytes) {
+    MemoryTracker::Global().Allocate(cat_, bytes_);
+  }
+  ~ScopedMemoryReservation() { MemoryTracker::Global().Release(cat_, bytes_); }
+
+  ScopedMemoryReservation(const ScopedMemoryReservation&) = delete;
+  ScopedMemoryReservation& operator=(const ScopedMemoryReservation&) = delete;
+
+  /// Adjusts the reservation to `new_bytes`.
+  void Resize(size_t new_bytes) {
+    if (new_bytes > bytes_) {
+      MemoryTracker::Global().Allocate(cat_, new_bytes - bytes_);
+    } else {
+      MemoryTracker::Global().Release(cat_, bytes_ - new_bytes);
+    }
+    bytes_ = new_bytes;
+  }
+
+  size_t bytes() const { return bytes_; }
+
+ private:
+  MemoryCategory cat_;
+  size_t bytes_;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_COMMON_MEMORY_TRACKER_H_

@@ -1,0 +1,62 @@
+// Result<T>: a value-or-Status, analogous to arrow::Result / absl::StatusOr.
+#ifndef MICRONN_COMMON_RESULT_H_
+#define MICRONN_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace micronn {
+
+/// Holds either a value of type T or an error Status. Accessing value() on
+/// an error Result is a programming bug and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok());
+  }
+  /// Constructs a success result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_COMMON_RESULT_H_

@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of MicroNN (mini-batch sampling, centroid
+// initialization, synthetic data generation) take an explicit seed so that
+// index builds and experiments are reproducible.
+#ifndef MICRONN_COMMON_RNG_H_
+#define MICRONN_COMMON_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace micronn {
+
+/// xoshiro256** PRNG (Blackman & Vigna). Fast, high quality, and
+/// deterministic across platforms — unlike std::mt19937 distributions whose
+/// output is implementation-defined.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    // Lemire's nearly-divisionless bounded generation.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float NextFloat() {
+    return static_cast<float>(Next() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Standard normal variate (Box-Muller; one value per call, the pair's
+  /// second value is cached).
+  double NextGaussian();
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_COMMON_RNG_H_

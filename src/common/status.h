@@ -1,0 +1,128 @@
+// Status: error model for MicroNN.
+//
+// MicroNN follows the RocksDB/Arrow convention of returning Status (or
+// Result<T>, see result.h) from any operation that can fail, instead of
+// throwing exceptions. Library code never throws; constructors that can
+// fail are replaced by static factory functions returning Result<T>.
+#ifndef MICRONN_COMMON_STATUS_H_
+#define MICRONN_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace micronn {
+
+/// Error categories used across the library.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kIOError = 4,
+  kCorruption = 5,
+  kNotSupported = 6,
+  kBusy = 7,          // e.g. a second writer tried to start a write txn
+  kAborted = 8,       // transaction rolled back
+  kResourceExhausted = 9,
+  kInternal = 10,
+};
+
+/// Human-readable name of a StatusCode ("OK", "IOError", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. OK status carries no allocation;
+/// error statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// Error message; empty for OK.
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsBusy() const { return code() == StatusCode::kBusy; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  // shared_ptr keeps Status copyable and cheap to move; error paths are
+  // cold so the allocation is acceptable.
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace micronn
+
+/// Propagates errors to the caller: evaluates `expr`, returns from the
+/// enclosing function if it is not OK.
+#define MICRONN_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::micronn::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+// Internal helper for MICRONN_ASSIGN_OR_RETURN.
+#define MICRONN_CONCAT_IMPL_(x, y) x##y
+#define MICRONN_CONCAT_(x, y) MICRONN_CONCAT_IMPL_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>), returns its status on error, otherwise
+/// assigns the value to `lhs` (which may be a declaration).
+#define MICRONN_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto MICRONN_CONCAT_(_res_, __LINE__) = (rexpr);                  \
+  if (!MICRONN_CONCAT_(_res_, __LINE__).ok())                       \
+    return MICRONN_CONCAT_(_res_, __LINE__).status();               \
+  lhs = std::move(MICRONN_CONCAT_(_res_, __LINE__)).value()
+
+#endif  // MICRONN_COMMON_STATUS_H_

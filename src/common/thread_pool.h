@@ -1,0 +1,86 @@
+// Fixed-size thread pool used for parallel partition scans and batched
+// distance computation (paper §3.3: "data partitions are scanned in
+// parallel ... distance calculations are assigned to a number of threads").
+#ifndef MICRONN_COMMON_THREAD_POOL_H_
+#define MICRONN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace micronn {
+
+/// A simple FIFO thread pool. Tasks are void() callables; result plumbing
+/// is done by the callers (search code writes into per-thread heaps).
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  /// Work is divided into contiguous chunks, one per worker.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs `fn(begin, end)` over contiguous ranges covering [0, n).
+  void ParallelForRanges(size_t n,
+                         const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t in_flight_ = 0;  // queued + running tasks
+  bool stop_ = false;
+};
+
+/// Completion counter for a *group* of tasks submitted to a shared pool.
+/// Unlike ThreadPool::Wait (which waits for every task in the pool),
+/// WaitGroup::Wait returns as soon as this group's tasks are done — needed
+/// when concurrent queries share one pool.
+class WaitGroup {
+ public:
+  /// Registers `n` pending completions.
+  void Add(size_t n) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_ += n;
+  }
+  /// Marks one completion.
+  void Done() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--pending_ == 0) cv_.notify_all();
+  }
+  /// Blocks until every registered completion has happened.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_COMMON_THREAD_POOL_H_

@@ -1,0 +1,667 @@
+// DB facade: open/close, upserts/deletes, search and batch search.
+// Maintenance paths (BuildIndex/Maintain/AnalyzeStats) live in
+// db_maintenance.cc.
+#include "core/db.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "common/memory_tracker.h"
+#include "core/db_internal.h"
+#include "ivf/schema.h"
+#include "ivf/search.h"
+#include "numerics/aligned_buffer.h"
+#include "numerics/distance.h"
+#include "query/attr_index.h"
+#include "query/batch.h"
+#include "storage/key_encoding.h"
+
+namespace micronn {
+
+namespace {
+
+std::string EncodeAssetValue(uint64_t vid) {
+  std::string v;
+  PutFixed64(&v, vid);
+  return v;
+}
+
+Result<uint64_t> DecodeAssetValue(std::string_view v) {
+  if (v.size() != 8) return Status::Corruption("bad asset row");
+  return DecodeFixed64(v.data());
+}
+
+// Holder for cached centroid sets so that cache memory is accounted for
+// the lifetime of the cached object.
+struct CentroidHolder {
+  CentroidHolder(CentroidSet s)
+      : set(std::move(s)),
+        mem(MemoryCategory::kQueryExec,
+            set.centroids.data.size() * sizeof(float) +
+                set.partitions.size() * (sizeof(uint32_t) + sizeof(uint64_t))) {}
+  CentroidSet set;
+  ScopedMemoryReservation mem;
+};
+
+}  // namespace
+
+TableResolver MakeReadResolver(ReadTransaction* txn) {
+  return [txn](const std::string& name) { return txn->OpenTable(name); };
+}
+
+TableResolver MakeWriteResolver(WriteTransaction* txn) {
+  return [txn](const std::string& name) {
+    return txn->OpenOrCreateTable(name);
+  };
+}
+
+Result<std::unique_ptr<DB>> DB::Open(const std::string& path,
+                                     const DbOptions& options) {
+  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<StorageEngine> engine,
+                           StorageEngine::Open(path, options.pager));
+  std::unique_ptr<DB> db(new DB(options, std::move(engine)));
+  MICRONN_RETURN_IF_ERROR(db->InitializeSchema());
+  MICRONN_RETURN_IF_ERROR(db->RecoverInterruptedRebuild());
+  return db;
+}
+
+DB::~DB() {
+  if (engine_ != nullptr) {
+    Close().ok();  // best effort
+  }
+}
+
+Status DB::Close() {
+  if (engine_ == nullptr) return Status::OK();
+  Status st = engine_->Close();
+  engine_.reset();
+  return st;
+}
+
+Status DB::InitializeSchema() {
+  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                           engine_->BeginWrite());
+  Status st = [&]() -> Status {
+    MICRONN_ASSIGN_OR_RETURN(BTree meta,
+                             txn->OpenOrCreateTable(kMetaTable));
+    MICRONN_ASSIGN_OR_RETURN(uint64_t stored_dim,
+                             MetaGetU64(&meta, kMetaDim, 0));
+    if (stored_dim == 0) {
+      if (options_.dim == 0) {
+        return Status::InvalidArgument(
+            "DbOptions::dim is required when creating a database");
+      }
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaDim, options_.dim));
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(
+          &meta, kMetaMetric, static_cast<uint64_t>(options_.metric)));
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaTargetClusterSize,
+                                         options_.target_cluster_size));
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaNextVid, 1));
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaDeltaCount, 0));
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaNumPartitions, 0));
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaIndexVersion, 0));
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaStatsVersion, 0));
+      for (const char* table :
+           {kVectorsTable, kVidMapTable, kAssetsTable, kCentroidsTable,
+            kAttributesTable, kStatsTable}) {
+        MICRONN_RETURN_IF_ERROR(txn->OpenOrCreateTable(table).status());
+      }
+    } else {
+      if (options_.dim != 0 && options_.dim != stored_dim) {
+        return Status::InvalidArgument(
+            "dimension mismatch: database has dim " +
+            std::to_string(stored_dim));
+      }
+      options_.dim = static_cast<uint32_t>(stored_dim);
+      MICRONN_ASSIGN_OR_RETURN(
+          uint64_t metric,
+          MetaGetU64(&meta, kMetaMetric,
+                     static_cast<uint64_t>(Metric::kL2)));
+      options_.metric = static_cast<Metric>(metric);
+      // target_cluster_size is a tuning knob: a changed option wins and is
+      // persisted for the next rebuild.
+      MICRONN_ASSIGN_OR_RETURN(
+          uint64_t stored_target,
+          MetaGetU64(&meta, kMetaTargetClusterSize, 100));
+      if (options_.target_cluster_size != 0 &&
+          options_.target_cluster_size != stored_target) {
+        MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaTargetClusterSize,
+                                           options_.target_cluster_size));
+      } else {
+        options_.target_cluster_size = static_cast<uint32_t>(stored_target);
+      }
+    }
+    return Status::OK();
+  }();
+  if (!st.ok()) {
+    engine_->Rollback(std::move(txn));
+    return st;
+  }
+  return engine_->Commit(std::move(txn));
+}
+
+Status DB::PrepareQuery(std::vector<float>* query) const {
+  if (query->size() != options_.dim) {
+    return Status::InvalidArgument(
+        "query dimension " + std::to_string(query->size()) +
+        " != database dimension " + std::to_string(options_.dim));
+  }
+  if (options_.metric == Metric::kCosine) {
+    const float n = Norm(query->data(), query->size());
+    if (n > 0.f) {
+      const float inv = 1.0f / n;
+      for (float& x : *query) x *= inv;
+    }
+  }
+  return Status::OK();
+}
+
+Status DB::Upsert(const std::vector<UpsertRequest>& batch) {
+  if (batch.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                           engine_->BeginWrite());
+  IoStats& io = engine_->io_stats();
+  Status st = [&]() -> Status {
+    MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
+    MICRONN_ASSIGN_OR_RETURN(BTree vectors, txn->OpenTable(kVectorsTable));
+    MICRONN_ASSIGN_OR_RETURN(BTree vidmap, txn->OpenTable(kVidMapTable));
+    MICRONN_ASSIGN_OR_RETURN(BTree assets, txn->OpenTable(kAssetsTable));
+    MICRONN_ASSIGN_OR_RETURN(BTree attributes,
+                             txn->OpenTable(kAttributesTable));
+    MICRONN_ASSIGN_OR_RETURN(uint64_t next_vid,
+                             MetaGetU64(&meta, kMetaNextVid, 1));
+    MICRONN_ASSIGN_OR_RETURN(uint64_t delta_count,
+                             MetaGetU64(&meta, kMetaDeltaCount, 0));
+    const TableResolver resolver = MakeWriteResolver(txn.get());
+    std::map<uint32_t, int64_t> partition_deltas;
+
+    for (const UpsertRequest& req : batch) {
+      if (req.vector.size() != options_.dim) {
+        return Status::InvalidArgument("vector dimension mismatch for asset " +
+                                       req.asset_id);
+      }
+      if (req.asset_id.empty()) {
+        return Status::InvalidArgument("empty asset id");
+      }
+      std::vector<float> vec = req.vector;
+      if (options_.metric == Metric::kCosine) {
+        const float n = Norm(vec.data(), vec.size());
+        if (n > 0.f) {
+          for (float& x : vec) x *= 1.0f / n;
+        }
+      }
+      MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> existing,
+                               assets.Get(key::Str(req.asset_id)));
+      uint64_t vid;
+      if (existing.has_value()) {
+        MICRONN_ASSIGN_OR_RETURN(vid, DecodeAssetValue(*existing));
+        MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> loc,
+                                 vidmap.Get(key::U64(vid)));
+        if (!loc.has_value()) {
+          return Status::Corruption("asset with no vidmap entry: " +
+                                    req.asset_id);
+        }
+        uint32_t old_partition;
+        MICRONN_RETURN_IF_ERROR(DecodeVidMapValue(*loc, &old_partition));
+        MICRONN_ASSIGN_OR_RETURN(
+            bool erased, vectors.Delete(VectorKey(old_partition, vid)));
+        if (!erased) {
+          return Status::Corruption("vector row missing for asset " +
+                                    req.asset_id);
+        }
+        if (old_partition == kDeltaPartition) {
+          --delta_count;
+        } else {
+          --partition_deltas[old_partition];
+        }
+        // Replace attributes: unindex the old record first.
+        MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> old_attrs,
+                                 attributes.Get(key::U64(vid)));
+        if (old_attrs.has_value()) {
+          MICRONN_ASSIGN_OR_RETURN(AttributeRecord old_record,
+                                   DecodeAttributeRecord(*old_attrs));
+          MICRONN_RETURN_IF_ERROR(UnindexAttributes(
+              resolver, vid, old_record, options_.fts_columns));
+          MICRONN_ASSIGN_OR_RETURN(bool attr_erased,
+                                   attributes.Delete(key::U64(vid)));
+          (void)attr_erased;
+          txn->AddRowDelta(kAttributesTable, -1);
+        }
+        io.rows_updated.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        vid = next_vid++;
+        MICRONN_RETURN_IF_ERROR(
+            assets.Put(key::Str(req.asset_id), EncodeAssetValue(vid)));
+        txn->AddRowDelta(kAssetsTable, 1);
+        txn->AddRowDelta(kVectorsTable, 1);
+        txn->AddRowDelta(kVidMapTable, 1);
+        io.rows_inserted.fetch_add(1, std::memory_order_relaxed);
+      }
+      // New/updated vectors land in the delta store (§3.6).
+      MICRONN_RETURN_IF_ERROR(vectors.Put(
+          VectorKey(kDeltaPartition, vid),
+          EncodeVectorRow(req.asset_id, vec.data(), vec.size())));
+      MICRONN_RETURN_IF_ERROR(vidmap.Put(
+          key::U64(vid), EncodeVidMapValue(kDeltaPartition)));
+      ++delta_count;
+      if (!req.attributes.empty()) {
+        MICRONN_RETURN_IF_ERROR(attributes.Put(
+            key::U64(vid), EncodeAttributeRecord(req.attributes)));
+        txn->AddRowDelta(kAttributesTable, 1);
+        MICRONN_RETURN_IF_ERROR(IndexAttributes(resolver, vid, req.attributes,
+                                                options_.fts_columns));
+      }
+    }
+    MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaNextVid, next_vid));
+    MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaDeltaCount, delta_count));
+    // Adjust counts of partitions that lost vectors to upsert-replaces.
+    if (!partition_deltas.empty()) {
+      MICRONN_ASSIGN_OR_RETURN(BTree centroids,
+                               txn->OpenTable(kCentroidsTable));
+      for (const auto& [partition, delta] : partition_deltas) {
+        if (delta == 0) continue;
+        MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> row,
+                                 centroids.Get(key::U32(partition)));
+        if (!row.has_value()) continue;  // partition vanished in a rebuild
+        CentroidRow cr;
+        MICRONN_RETURN_IF_ERROR(DecodeCentroidRow(*row, options_.dim, &cr));
+        const int64_t count = static_cast<int64_t>(cr.count) + delta;
+        cr.count = count > 0 ? static_cast<uint64_t>(count) : 0;
+        MICRONN_RETURN_IF_ERROR(centroids.Put(
+            key::U32(partition),
+            EncodeCentroidRow(cr.count, cr.centroid.data(), options_.dim)));
+      }
+    }
+    return Status::OK();
+  }();
+  if (!st.ok()) {
+    engine_->Rollback(std::move(txn));
+    return st;
+  }
+  return engine_->Commit(std::move(txn));
+}
+
+Status DB::Delete(const std::vector<std::string>& asset_ids) {
+  if (asset_ids.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                           engine_->BeginWrite());
+  IoStats& io = engine_->io_stats();
+  Status st = [&]() -> Status {
+    MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
+    MICRONN_ASSIGN_OR_RETURN(BTree vectors, txn->OpenTable(kVectorsTable));
+    MICRONN_ASSIGN_OR_RETURN(BTree vidmap, txn->OpenTable(kVidMapTable));
+    MICRONN_ASSIGN_OR_RETURN(BTree assets, txn->OpenTable(kAssetsTable));
+    MICRONN_ASSIGN_OR_RETURN(BTree attributes,
+                             txn->OpenTable(kAttributesTable));
+    MICRONN_ASSIGN_OR_RETURN(uint64_t delta_count,
+                             MetaGetU64(&meta, kMetaDeltaCount, 0));
+    const TableResolver resolver = MakeWriteResolver(txn.get());
+    std::map<uint32_t, int64_t> partition_deltas;
+
+    for (const std::string& asset_id : asset_ids) {
+      MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> existing,
+                               assets.Get(key::Str(asset_id)));
+      if (!existing.has_value()) continue;  // missing ids are ignored
+      MICRONN_ASSIGN_OR_RETURN(uint64_t vid, DecodeAssetValue(*existing));
+      MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> loc,
+                               vidmap.Get(key::U64(vid)));
+      if (loc.has_value()) {
+        uint32_t partition;
+        MICRONN_RETURN_IF_ERROR(DecodeVidMapValue(*loc, &partition));
+        MICRONN_ASSIGN_OR_RETURN(bool erased,
+                                 vectors.Delete(VectorKey(partition, vid)));
+        if (erased) {
+          txn->AddRowDelta(kVectorsTable, -1);
+          if (partition == kDeltaPartition) {
+            --delta_count;
+          } else {
+            --partition_deltas[partition];
+          }
+        }
+        MICRONN_ASSIGN_OR_RETURN(bool vm_erased,
+                                 vidmap.Delete(key::U64(vid)));
+        if (vm_erased) txn->AddRowDelta(kVidMapTable, -1);
+      }
+      MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> attrs,
+                               attributes.Get(key::U64(vid)));
+      if (attrs.has_value()) {
+        MICRONN_ASSIGN_OR_RETURN(AttributeRecord record,
+                                 DecodeAttributeRecord(*attrs));
+        MICRONN_RETURN_IF_ERROR(
+            UnindexAttributes(resolver, vid, record, options_.fts_columns));
+        MICRONN_ASSIGN_OR_RETURN(bool attr_erased,
+                                 attributes.Delete(key::U64(vid)));
+        if (attr_erased) txn->AddRowDelta(kAttributesTable, -1);
+      }
+      MICRONN_ASSIGN_OR_RETURN(bool asset_erased,
+                               assets.Delete(key::Str(asset_id)));
+      if (asset_erased) txn->AddRowDelta(kAssetsTable, -1);
+      io.rows_deleted.fetch_add(1, std::memory_order_relaxed);
+    }
+    MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaDeltaCount, delta_count));
+    if (!partition_deltas.empty()) {
+      MICRONN_ASSIGN_OR_RETURN(BTree centroids,
+                               txn->OpenTable(kCentroidsTable));
+      for (const auto& [partition, delta] : partition_deltas) {
+        MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> row,
+                                 centroids.Get(key::U32(partition)));
+        if (!row.has_value()) continue;
+        CentroidRow cr;
+        MICRONN_RETURN_IF_ERROR(DecodeCentroidRow(*row, options_.dim, &cr));
+        const int64_t count = static_cast<int64_t>(cr.count) + delta;
+        cr.count = count > 0 ? static_cast<uint64_t>(count) : 0;
+        MICRONN_RETURN_IF_ERROR(centroids.Put(
+            key::U32(partition),
+            EncodeCentroidRow(cr.count, cr.centroid.data(), options_.dim)));
+      }
+    }
+    return Status::OK();
+  }();
+  if (!st.ok()) {
+    engine_->Rollback(std::move(txn));
+    return st;
+  }
+  return engine_->Commit(std::move(txn));
+}
+
+Result<std::shared_ptr<const CentroidSet>> DB::GetCentroids(
+    ReadTransaction* txn) {
+  MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
+  MICRONN_ASSIGN_OR_RETURN(uint64_t version,
+                           MetaGetU64(&meta, kMetaIndexVersion, 0));
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (centroid_cache_ != nullptr &&
+        centroid_cache_->index_version == version) {
+      return centroid_cache_;
+    }
+  }
+  MICRONN_ASSIGN_OR_RETURN(BTree centroids_table,
+                           txn->OpenTable(kCentroidsTable));
+  MICRONN_ASSIGN_OR_RETURN(
+      CentroidSet set,
+      LoadCentroidSet(txn->view(), centroids_table, meta, options_.dim,
+                      options_.metric));
+  if (options_.centroid_index_threshold > 0 &&
+      set.size() >= options_.centroid_index_threshold) {
+    MICRONN_ASSIGN_OR_RETURN(
+        CentroidIndex accel,
+        CentroidIndex::Build(set.centroids, 0, options_.seed));
+    set.accel = std::make_shared<CentroidIndex>(std::move(accel));
+    set.accel_super_probe = options_.centroid_super_probe;
+  }
+  auto holder = std::make_shared<CentroidHolder>(std::move(set));
+  std::shared_ptr<const CentroidSet> result(holder, &holder->set);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (centroid_cache_ == nullptr ||
+        centroid_cache_->index_version < result->index_version) {
+      centroid_cache_ = result;
+    }
+  }
+  return result;
+}
+
+Result<std::shared_ptr<const std::map<std::string, ColumnStats>>>
+DB::GetStats(ReadTransaction* txn) {
+  MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
+  MICRONN_ASSIGN_OR_RETURN(uint64_t version,
+                           MetaGetU64(&meta, kMetaStatsVersion, 0));
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (stats_cache_ != nullptr && stats_cache_version_ == version) {
+      return stats_cache_;
+    }
+  }
+  auto stats = std::make_shared<std::map<std::string, ColumnStats>>();
+  Result<BTree> table = txn->OpenTable(kStatsTable);
+  if (table.ok()) {
+    BTreeCursor c = table->NewCursor();
+    MICRONN_RETURN_IF_ERROR(c.SeekToFirst());
+    while (c.Valid()) {
+      std::string_view k = c.key();
+      std::string column;
+      if (!key::ConsumeString(&k, &column)) {
+        return Status::Corruption("bad stats key");
+      }
+      MICRONN_ASSIGN_OR_RETURN(std::string value, c.value());
+      MICRONN_ASSIGN_OR_RETURN(ColumnStats cs,
+                               ColumnStats::Deserialize(value));
+      stats->emplace(std::move(column), std::move(cs));
+      MICRONN_RETURN_IF_ERROR(c.Next());
+    }
+  } else if (!table.status().IsNotFound()) {
+    return table.status();
+  }
+  std::shared_ptr<const std::map<std::string, ColumnStats>> result = stats;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    stats_cache_ = result;
+    stats_cache_version_ = version;
+  }
+  return result;
+}
+
+Result<std::vector<ResultItem>> DB::ResolveItems(
+    ReadTransaction* txn, const std::vector<Neighbor>& neighbors) {
+  std::vector<ResultItem> items;
+  items.reserve(neighbors.size());
+  if (neighbors.empty()) return items;
+  MICRONN_ASSIGN_OR_RETURN(BTree vectors, txn->OpenTable(kVectorsTable));
+  MICRONN_ASSIGN_OR_RETURN(BTree vidmap, txn->OpenTable(kVidMapTable));
+  for (const Neighbor& n : neighbors) {
+    MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> loc,
+                             vidmap.Get(key::U64(n.id)));
+    if (!loc.has_value()) continue;  // deleted between scan and resolve
+    uint32_t partition;
+    MICRONN_RETURN_IF_ERROR(DecodeVidMapValue(*loc, &partition));
+    MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> row,
+                             vectors.Get(VectorKey(partition, n.id)));
+    if (!row.has_value()) {
+      return Status::Corruption("vid " + std::to_string(n.id) +
+                                " has vidmap entry but no vector row");
+    }
+    VectorRow vr;
+    MICRONN_RETURN_IF_ERROR(DecodeVectorRow(*row, options_.dim, &vr));
+    items.push_back(ResultItem{std::move(vr.asset_id), n.id, n.distance});
+  }
+  return items;
+}
+
+Result<SearchResponse> DB::Search(const SearchRequest& request) {
+  return SearchLocked(request);
+}
+
+Result<SearchResponse> DB::SearchLocked(const SearchRequest& request) {
+  SearchRequest req = request;  // local copy: query gets normalized
+  MICRONN_RETURN_IF_ERROR(PrepareQuery(&req.query));
+  if (req.k == 0) return Status::InvalidArgument("k must be > 0");
+  const uint32_t nprobe =
+      req.nprobe != 0 ? req.nprobe : options_.default_nprobe;
+
+  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<ReadTransaction> txn,
+                           engine_->BeginRead());
+  MICRONN_ASSIGN_OR_RETURN(BTree vectors, txn->OpenTable(kVectorsTable));
+  SearchResponse response;
+  SearchCounters counters;
+
+  // Build the row filter for hybrid queries: the per-row join against the
+  // Attributes table (§3.5 post-filtering pushdown).
+  RowFilter filter;
+  if (req.filter.has_value()) {
+    MICRONN_ASSIGN_OR_RETURN(BTree attributes,
+                             txn->OpenTable(kAttributesTable));
+    const Predicate* pred = &*req.filter;
+    filter = [attributes, pred](uint64_t vid) mutable -> Result<bool> {
+      MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> blob,
+                               attributes.Get(key::U64(vid)));
+      if (!blob.has_value()) return false;
+      MICRONN_ASSIGN_OR_RETURN(AttributeRecord record,
+                               DecodeAttributeRecord(*blob));
+      return EvalPredicate(*pred, record);
+    };
+  }
+
+  std::vector<Neighbor> neighbors;
+  if (req.exact) {
+    MICRONN_ASSIGN_OR_RETURN(
+        neighbors, ExactSearch(vectors, options_.metric, options_.dim,
+                               req.query.data(), req.k, filter, &counters));
+    response.plan = QueryPlan::kPostFilter;
+  } else if (!req.filter.has_value()) {
+    MICRONN_ASSIGN_OR_RETURN(std::shared_ptr<const CentroidSet> cset,
+                             GetCentroids(txn.get()));
+    AnnSearchParams params{req.k, nprobe};
+    MICRONN_ASSIGN_OR_RETURN(
+        neighbors, AnnSearch(vectors, *cset, options_.dim, req.query.data(),
+                             params, &pool_, /*filter=*/nullptr, &counters));
+    response.plan = QueryPlan::kPostFilter;
+  } else {
+    // Hybrid query: choose pre- vs post-filtering (§3.5.1).
+    QueryPlan plan;
+    if (req.plan == PlanOverride::kForcePreFilter) {
+      plan = QueryPlan::kPreFilter;
+    } else if (req.plan == PlanOverride::kForcePostFilter) {
+      plan = QueryPlan::kPostFilter;
+    } else {
+      MICRONN_ASSIGN_OR_RETURN(auto stats, GetStats(txn.get()));
+      MICRONN_ASSIGN_OR_RETURN(TableInfo vinfo,
+                               txn->GetTableInfo(kVectorsTable));
+      TableResolver resolver = MakeReadResolver(txn.get());
+      TokenDfFn token_df = [resolver](const std::string& column,
+                                      const std::string& token)
+          -> Result<uint64_t> {
+        Result<BTree> freqs = resolver(FtsFreqsTableName(column));
+        if (!freqs.ok()) {
+          if (freqs.status().IsNotFound()) return 0;
+          return freqs.status();
+        }
+        Result<BTree> postings = resolver(FtsPostingsTableName(column));
+        if (!postings.ok()) return postings.status();
+        FtsIndex fts(*postings, *freqs);
+        return fts.DocumentFrequency(token);
+      };
+      SelectivityEstimator estimator(*stats, vinfo.row_count,
+                                     std::move(token_df));
+      MICRONN_ASSIGN_OR_RETURN(
+          response.decision,
+          ChoosePlan(estimator, *req.filter, nprobe,
+                     options_.target_cluster_size));
+      plan = response.decision.plan;
+    }
+    response.plan = plan;
+    if (plan == QueryPlan::kPreFilter) {
+      MICRONN_ASSIGN_OR_RETURN(BTree vidmap, txn->OpenTable(kVidMapTable));
+      MICRONN_ASSIGN_OR_RETURN(
+          std::vector<uint64_t> vids,
+          CollectMatchingVids(MakeReadResolver(txn.get()), *req.filter));
+      MICRONN_ASSIGN_OR_RETURN(
+          neighbors,
+          SearchByVids(vectors, vidmap, options_.metric, options_.dim,
+                       req.query.data(), req.k, vids, &counters));
+    } else {
+      MICRONN_ASSIGN_OR_RETURN(std::shared_ptr<const CentroidSet> cset,
+                               GetCentroids(txn.get()));
+      AnnSearchParams params{req.k, nprobe};
+      MICRONN_ASSIGN_OR_RETURN(
+          neighbors, AnnSearch(vectors, *cset, options_.dim,
+                               req.query.data(), params, &pool_, filter,
+                               &counters));
+    }
+  }
+  MICRONN_ASSIGN_OR_RETURN(response.items,
+                           ResolveItems(txn.get(), neighbors));
+  response.partitions_scanned = counters.partitions_scanned;
+  response.rows_scanned = counters.rows_scanned;
+  response.rows_filtered = counters.rows_filtered;
+  return response;
+}
+
+Result<std::vector<SearchResponse>> DB::BatchSearch(
+    const std::vector<SearchRequest>& requests) {
+  if (requests.empty()) return std::vector<SearchResponse>{};
+  // MQO requires a homogeneous, unfiltered batch; anything else falls back
+  // to per-query execution.
+  bool homogeneous = true;
+  for (const SearchRequest& r : requests) {
+    if (r.filter.has_value() || r.exact || r.k != requests[0].k ||
+        r.nprobe != requests[0].nprobe) {
+      homogeneous = false;
+      break;
+    }
+  }
+  if (!homogeneous) {
+    std::vector<SearchResponse> out;
+    out.reserve(requests.size());
+    for (const SearchRequest& r : requests) {
+      MICRONN_ASSIGN_OR_RETURN(SearchResponse resp, SearchLocked(r));
+      out.push_back(std::move(resp));
+    }
+    return out;
+  }
+
+  const size_t q = requests.size();
+  const uint32_t dim = options_.dim;
+  AlignedFloatBuffer queries(q * dim);
+  for (size_t i = 0; i < q; ++i) {
+    std::vector<float> query = requests[i].query;
+    MICRONN_RETURN_IF_ERROR(PrepareQuery(&query));
+    std::memcpy(queries.data() + i * dim, query.data(), dim * sizeof(float));
+  }
+  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<ReadTransaction> txn,
+                           engine_->BeginRead());
+  MICRONN_ASSIGN_OR_RETURN(BTree vectors, txn->OpenTable(kVectorsTable));
+  MICRONN_ASSIGN_OR_RETURN(std::shared_ptr<const CentroidSet> cset,
+                           GetCentroids(txn.get()));
+  BatchSearchOptions options;
+  options.k = requests[0].k;
+  options.nprobe =
+      requests[0].nprobe != 0 ? requests[0].nprobe : options_.default_nprobe;
+  BatchCounters counters;
+  MICRONN_ASSIGN_OR_RETURN(
+      std::vector<std::vector<Neighbor>> results,
+      BatchAnnSearch(vectors, *cset, dim, queries.data(), q, options, &pool_,
+                     &counters));
+  std::vector<SearchResponse> out(q);
+  for (size_t i = 0; i < q; ++i) {
+    MICRONN_ASSIGN_OR_RETURN(out[i].items,
+                             ResolveItems(txn.get(), results[i]));
+    out[i].plan = QueryPlan::kPostFilter;
+    out[i].partitions_scanned = counters.partitions_scanned;
+    out[i].rows_scanned = counters.rows_scanned;
+  }
+  return out;
+}
+
+Result<IndexStats> DB::GetIndexStats() {
+  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<ReadTransaction> txn,
+                           engine_->BeginRead());
+  MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
+  MICRONN_ASSIGN_OR_RETURN(BTree centroids, txn->OpenTable(kCentroidsTable));
+  MICRONN_ASSIGN_OR_RETURN(
+      CentroidSet set, LoadCentroidSet(txn->view(), centroids, meta,
+                                       options_.dim, options_.metric));
+  return ComputeIndexStats(set, meta);
+}
+
+Result<uint64_t> DB::VectorCount() {
+  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<ReadTransaction> txn,
+                           engine_->BeginRead());
+  MICRONN_ASSIGN_OR_RETURN(TableInfo info, txn->GetTableInfo(kVectorsTable));
+  return info.row_count;
+}
+
+void DB::DropCaches() {
+  engine_->DropCaches();
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  centroid_cache_.reset();
+  stats_cache_.reset();
+  stats_cache_version_ = ~0ull;
+}
+
+}  // namespace micronn

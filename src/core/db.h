@@ -1,0 +1,139 @@
+// MicroNN public API.
+//
+//   auto db = micronn::DB::Open("photos.mnn", options).value();
+//   db->Upsert({{"img1", vec, {{"location", AttributeValue::String("Seattle")}}}});
+//   db->BuildIndex();
+//   auto res = db->Search({.query = q, .k = 100, .nprobe = 8});
+//
+// Concurrency contract (paper §3.6): any number of threads may call
+// Search/BatchSearch/GetIndexStats concurrently; writes (Upsert, Delete,
+// BuildIndex, Maintain, AnalyzeStats) are serialized internally. Readers
+// always see a consistent snapshot, including while an index rebuild runs.
+#ifndef MICRONN_CORE_DB_H_
+#define MICRONN_CORE_DB_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/options.h"
+#include "ivf/centroid_set.h"
+#include "ivf/maintenance.h"
+#include "numerics/topk.h"
+#include "query/stats.h"
+#include "storage/engine.h"
+
+namespace micronn {
+
+class DB {
+ public:
+  /// Opens or creates a MicroNN database at `path`. A crash during a past
+  /// rebuild is repaired here (staging tables are discarded; the last
+  /// committed index stays live).
+  static Result<std::unique_ptr<DB>> Open(const std::string& path,
+                                          const DbOptions& options);
+
+  ~DB();
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  /// Checkpoints and closes. Idempotent.
+  Status Close();
+
+  // --- Writes (serialized; each batch is one atomic transaction) ---
+
+  /// Inserts or replaces assets. New/updated vectors land in the delta
+  /// store and are visible to every subsequent search immediately.
+  Status Upsert(const std::vector<UpsertRequest>& batch);
+
+  /// Removes assets (missing ids are ignored).
+  Status Delete(const std::vector<std::string>& asset_ids);
+
+  // --- Queries (concurrent) ---
+
+  Result<SearchResponse> Search(const SearchRequest& request);
+
+  /// Multi-query optimized batch execution (§3.4). Requests must share k
+  /// and nprobe; requests carrying filters fall back to per-query Search.
+  Result<std::vector<SearchResponse>> BatchSearch(
+      const std::vector<SearchRequest>& requests);
+
+  // --- Index lifecycle ---
+
+  /// Full index (re)build: Algorithm 1 clustering + clustered rewrite of
+  /// the vectors table + fresh attribute statistics. Runs in bounded
+  /// memory via chunked transactions; concurrent readers keep serving from
+  /// the previous index until the atomic swap.
+  Status BuildIndex();
+
+  /// Incremental maintenance (§3.6): flushes the delta store into the
+  /// nearest partitions and nudges centroids; escalates to BuildIndex when
+  /// the partition-growth threshold is exceeded.
+  Result<MaintenanceReport> Maintain();
+
+  /// Rebuilds per-column histograms for the hybrid optimizer.
+  Status AnalyzeStats();
+
+  // --- Introspection ---
+
+  Result<IndexStats> GetIndexStats();
+  /// Total vectors currently stored (incl. delta).
+  Result<uint64_t> VectorCount();
+  /// Drops every in-memory cache (page cache, centroid cache, statistics)
+  /// — the cold-start scenario of Figure 4.
+  void DropCaches();
+
+  StorageEngine* engine() { return engine_.get(); }
+  const DbOptions& options() const { return options_; }
+  IoStats& io_stats() { return engine_->io_stats(); }
+
+ private:
+  DB(DbOptions options, std::unique_ptr<StorageEngine> engine)
+      : options_(std::move(options)),
+        engine_(std::move(engine)),
+        pool_(options_.search_threads) {}
+
+  // Bootstrap/validation at open.
+  Status InitializeSchema();
+  Status RecoverInterruptedRebuild();
+
+  // Centroid-set cache (warm search path). Loads through `txn` when the
+  // cached version does not match the snapshot's index version.
+  Result<std::shared_ptr<const CentroidSet>> GetCentroids(
+      ReadTransaction* txn);
+  // Statistics cache for the optimizer, keyed by the stats version.
+  Result<std::shared_ptr<const std::map<std::string, ColumnStats>>> GetStats(
+      ReadTransaction* txn);
+
+  // Search internals.
+  Result<SearchResponse> SearchLocked(const SearchRequest& request);
+  Result<std::vector<ResultItem>> ResolveItems(
+      ReadTransaction* txn, const std::vector<Neighbor>& neighbors);
+  // Normalizes a query in place for cosine; validates dimension.
+  Status PrepareQuery(std::vector<float>* query) const;
+
+  // Maintenance internals (db_maintenance.cc).
+  Status BuildIndexLocked();
+  Result<MaintenanceReport> MaintainLocked();
+  Status AnalyzeStatsLocked();
+  Status DropTableChunked(const std::string& name);
+
+  DbOptions options_;
+  std::unique_ptr<StorageEngine> engine_;
+  ThreadPool pool_;
+
+  // Serializes all writes, including multi-transaction maintenance.
+  std::mutex write_mutex_;
+
+  std::mutex cache_mutex_;
+  std::shared_ptr<const CentroidSet> centroid_cache_;
+  std::shared_ptr<const std::map<std::string, ColumnStats>> stats_cache_;
+  uint64_t stats_cache_version_ = ~0ull;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_CORE_DB_H_

@@ -1,0 +1,17 @@
+// Internal helpers shared between db.cc and db_maintenance.cc.
+#ifndef MICRONN_CORE_DB_INTERNAL_H_
+#define MICRONN_CORE_DB_INTERNAL_H_
+
+#include "query/attr_index.h"
+#include "storage/engine.h"
+
+namespace micronn {
+
+/// Table resolvers binding transactions to the query layer's
+/// TableResolver interface.
+TableResolver MakeReadResolver(ReadTransaction* txn);
+TableResolver MakeWriteResolver(WriteTransaction* txn);
+
+}  // namespace micronn
+
+#endif  // MICRONN_CORE_DB_INTERNAL_H_

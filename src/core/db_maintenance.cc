@@ -1,0 +1,661 @@
+// Index lifecycle: full rebuild (Algorithm 1 + clustered rewrite),
+// incremental maintenance (delta flush with centroid nudging, §3.6),
+// statistics analysis, and crash repair.
+//
+// Memory discipline: every phase runs in bounded memory. Training uses the
+// mini-batch sampler; the rewrite streams the old table through fixed-size
+// chunks, each committed as its own transaction; dropping the previous
+// generation is likewise chunked. Readers keep serving from the old index
+// until one small "swap" transaction atomically renames the staging tables
+// into place.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/memory_tracker.h"
+#include "common/rng.h"
+#include "core/db.h"
+#include "core/db_internal.h"
+#include "ivf/kmeans.h"
+#include "ivf/schema.h"
+#include "numerics/aligned_buffer.h"
+#include "numerics/distance.h"
+#include "query/stats.h"
+#include "storage/key_encoding.h"
+
+namespace micronn {
+
+namespace {
+
+// Uniform sampler over the on-disk collection: draws vids uniformly from
+// [1, next_vid) and resolves them through vidmap; falls back to a
+// sequential scan when the vid space is too sparse (heavy deletion).
+class DiskVectorSampler : public VectorSampler {
+ public:
+  DiskVectorSampler(BTree vectors, BTree vidmap, uint64_t next_vid,
+                    uint32_t dim, uint64_t seed)
+      : vectors_(vectors),
+        vidmap_(vidmap),
+        next_vid_(next_vid),
+        dim_(dim),
+        rng_(seed) {}
+
+  Status SampleBatch(size_t n, float* out, size_t* got) override {
+    size_t filled = 0;
+    if (next_vid_ > 1) {
+      size_t attempts = 0;
+      const size_t max_attempts = 8 * n + 64;
+      while (filled < n && attempts < max_attempts) {
+        ++attempts;
+        const uint64_t vid = 1 + rng_.Uniform(next_vid_ - 1);
+        MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> loc,
+                                 vidmap_.Get(key::U64(vid)));
+        if (!loc.has_value()) continue;  // deleted vid
+        uint32_t partition;
+        MICRONN_RETURN_IF_ERROR(DecodeVidMapValue(*loc, &partition));
+        MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> row,
+                                 vectors_.Get(VectorKey(partition, vid)));
+        if (!row.has_value()) {
+          return Status::Corruption("vidmap points at missing row");
+        }
+        VectorRow vr;
+        MICRONN_RETURN_IF_ERROR(DecodeVectorRow(*row, dim_, &vr));
+        std::memcpy(out + filled * dim_, vr.vector_blob.data(),
+                    dim_ * sizeof(float));
+        ++filled;
+      }
+    }
+    if (filled < n) {
+      // Sparse vid space: top up with a sequential sweep (still bounded
+      // memory; slight bias is acceptable for k-means init/training).
+      BTreeCursor c = vectors_.NewCursor();
+      MICRONN_RETURN_IF_ERROR(c.SeekToFirst());
+      while (filled < n && c.Valid()) {
+        MICRONN_ASSIGN_OR_RETURN(std::string value, c.value());
+        VectorRow vr;
+        MICRONN_RETURN_IF_ERROR(DecodeVectorRow(value, dim_, &vr));
+        std::memcpy(out + filled * dim_, vr.vector_blob.data(),
+                    dim_ * sizeof(float));
+        ++filled;
+        MICRONN_RETURN_IF_ERROR(c.Next());
+      }
+    }
+    *got = filled;
+    return Status::OK();
+  }
+
+ private:
+  BTree vectors_;
+  BTree vidmap_;
+  uint64_t next_vid_;
+  uint32_t dim_;
+  Rng rng_;
+};
+
+// One decoded chunk of the vectors table (rebuild / delta-flush unit).
+struct RowChunk {
+  std::vector<uint64_t> vids;
+  std::vector<std::string> assets;
+  std::vector<float> block;  // rows * dim
+
+  size_t size() const { return vids.size(); }
+  void clear() {
+    vids.clear();
+    assets.clear();
+    block.clear();
+  }
+};
+
+}  // namespace
+
+Status DB::RecoverInterruptedRebuild() {
+  bool staging = false;
+  bool cleanup = false;
+  {
+    MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                             engine_->BeginWrite());
+    Result<bool> has_new = txn->TableExists(kVectorsNewTable);
+    Result<bool> has_old = txn->TableExists(kVectorsOldTable);
+    engine_->Rollback(std::move(txn));
+    MICRONN_RETURN_IF_ERROR(has_new.status());
+    MICRONN_RETURN_IF_ERROR(has_old.status());
+    staging = *has_new;
+    cleanup = *has_old;
+  }
+  if (staging) {
+    MICRONN_LOG(kWarn) << "discarding staging tables from an interrupted "
+                          "index rebuild";
+    MICRONN_RETURN_IF_ERROR(DropTableChunked(kVectorsNewTable));
+    MICRONN_RETURN_IF_ERROR(DropTableChunked(kVidMapNewTable));
+  }
+  if (cleanup) {
+    MICRONN_RETURN_IF_ERROR(DropTableChunked(kVectorsOldTable));
+    MICRONN_RETURN_IF_ERROR(DropTableChunked(kVidMapOldTable));
+  }
+  if (staging || cleanup) {
+    MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                             engine_->BeginWrite());
+    Status st = [&]() -> Status {
+      MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaRebuildInProgress, 0));
+      return MetaPutU64(&meta, kMetaCleanupPending, 0);
+    }();
+    if (!st.ok()) {
+      engine_->Rollback(std::move(txn));
+      return st;
+    }
+    MICRONN_RETURN_IF_ERROR(engine_->Commit(std::move(txn)));
+  }
+  return Status::OK();
+}
+
+Status DB::DropTableChunked(const std::string& name) {
+  for (;;) {
+    MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                             engine_->BeginWrite());
+    Result<BTree> table = txn->OpenTable(name);
+    if (!table.ok()) {
+      engine_->Rollback(std::move(txn));
+      if (table.status().IsNotFound()) return Status::OK();
+      return table.status();
+    }
+    std::vector<std::string> keys;
+    Status st = [&]() -> Status {
+      BTreeCursor c = table->NewCursor();
+      MICRONN_RETURN_IF_ERROR(c.SeekToFirst());
+      while (c.Valid() && keys.size() < options_.rebuild_chunk_rows) {
+        keys.emplace_back(c.key());
+        MICRONN_RETURN_IF_ERROR(c.Next());
+      }
+      if (keys.empty()) {
+        return txn->DropTable(name);
+      }
+      for (const std::string& k : keys) {
+        MICRONN_ASSIGN_OR_RETURN(bool erased, table->Delete(k));
+        (void)erased;
+      }
+      txn->AddRowDelta(name, -static_cast<int64_t>(keys.size()));
+      return Status::OK();
+    }();
+    if (!st.ok()) {
+      engine_->Rollback(std::move(txn));
+      return st;
+    }
+    MICRONN_RETURN_IF_ERROR(engine_->Commit(std::move(txn)));
+    if (keys.empty()) return Status::OK();  // table dropped
+  }
+}
+
+Status DB::BuildIndex() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return BuildIndexLocked();
+}
+
+Status DB::BuildIndexLocked() {
+  const uint32_t dim = options_.dim;
+  IoStats& io = engine_->io_stats();
+
+  // Phase 0: clear leftovers and mark the rebuild.
+  MICRONN_RETURN_IF_ERROR(DropTableChunked(kVectorsNewTable));
+  MICRONN_RETURN_IF_ERROR(DropTableChunked(kVidMapNewTable));
+  {
+    MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                             engine_->BeginWrite());
+    Status st = [&]() -> Status {
+      MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaRebuildInProgress, 1));
+      MICRONN_RETURN_IF_ERROR(
+          txn->OpenOrCreateTable(kVectorsNewTable).status());
+      return txn->OpenOrCreateTable(kVidMapNewTable).status();
+    }();
+    if (!st.ok()) {
+      engine_->Rollback(std::move(txn));
+      return st;
+    }
+    MICRONN_RETURN_IF_ERROR(engine_->Commit(std::move(txn)));
+  }
+
+  // Phase 1: snapshot. This read transaction pins the entire rebuild's
+  // view of the collection; concurrent readers are unaffected.
+  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<ReadTransaction> snapshot,
+                           engine_->BeginRead());
+  MICRONN_ASSIGN_OR_RETURN(TableInfo vinfo,
+                           snapshot->GetTableInfo(kVectorsTable));
+  const uint64_t n_rows = vinfo.row_count;
+  MICRONN_ASSIGN_OR_RETURN(BTree snap_meta, snapshot->OpenTable(kMetaTable));
+  MICRONN_ASSIGN_OR_RETURN(uint64_t next_vid,
+                           MetaGetU64(&snap_meta, kMetaNextVid, 1));
+  MICRONN_ASSIGN_OR_RETURN(BTree snap_vectors,
+                           snapshot->OpenTable(kVectorsTable));
+  MICRONN_ASSIGN_OR_RETURN(BTree snap_vidmap,
+                           snapshot->OpenTable(kVidMapTable));
+
+  if (n_rows == 0) {
+    snapshot.reset();
+    MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                             engine_->BeginWrite());
+    Status st = [&]() -> Status {
+      MICRONN_ASSIGN_OR_RETURN(BTree centroids,
+                               txn->OpenTable(kCentroidsTable));
+      MICRONN_RETURN_IF_ERROR(centroids.Clear());
+      MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaNumPartitions, 0));
+      MICRONN_RETURN_IF_ERROR(MetaPutF64(&meta, kMetaBaseAvgPartition, 0.0));
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaDeltaCount, 0));
+      MICRONN_ASSIGN_OR_RETURN(uint64_t version,
+                               MetaGetU64(&meta, kMetaIndexVersion, 0));
+      MICRONN_RETURN_IF_ERROR(
+          MetaPutU64(&meta, kMetaIndexVersion, version + 1));
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaRebuildInProgress, 0));
+      MICRONN_RETURN_IF_ERROR(txn->DropTable(kVectorsNewTable));
+      return txn->DropTable(kVidMapNewTable);
+    }();
+    if (!st.ok()) {
+      engine_->Rollback(std::move(txn));
+      return st;
+    }
+    return engine_->Commit(std::move(txn));
+  }
+
+  // Phase 2: train the quantizer with mini-batch k-means (Algorithm 1).
+  const uint32_t target = std::max<uint32_t>(1, options_.target_cluster_size);
+  const uint32_t k = static_cast<uint32_t>(
+      std::max<uint64_t>(1, (n_rows + target / 2) / target));
+  ClusteringConfig config;
+  config.k = k;
+  config.dim = dim;
+  config.metric = options_.metric;
+  config.minibatch_size = options_.minibatch_size;
+  config.iterations = options_.train_iterations;
+  config.balance_lambda = options_.balance_lambda;
+  config.seed = options_.seed;
+  DiskVectorSampler sampler(snap_vectors, snap_vidmap, next_vid, dim,
+                            options_.seed ^ 0x9e3779b97f4a7c15ULL);
+  MICRONN_ASSIGN_OR_RETURN(Centroids centroids,
+                           TrainMiniBatchKMeans(config, &sampler));
+
+  // Phase 3: stream the snapshot through chunks: assign -> write staging.
+  std::vector<uint64_t> counts(k, 0);
+  {
+    // Bound the chunk by bytes as well as rows: at high dimensionality a
+    // row-count cap alone would let the writer's working set balloon.
+    const size_t row_bytes = size_t{dim} * sizeof(float) + 64;
+    const size_t chunk_rows = std::clamp<size_t>(
+        options_.rebuild_chunk_rows, 64,
+        std::max<size_t>(64, (2ull << 20) / row_bytes));
+    ScopedMemoryReservation mem(
+        MemoryCategory::kClustering,
+        chunk_rows * (dim * sizeof(float) + 64) + k * sizeof(uint64_t));
+    RowChunk chunk;
+    std::vector<uint32_t> assign;
+    BTreeCursor cursor = snap_vectors.NewCursor();
+    MICRONN_RETURN_IF_ERROR(cursor.SeekToFirst());
+    bool more = cursor.Valid();
+    while (more) {
+      chunk.clear();
+      while (cursor.Valid() && chunk.size() < chunk_rows) {
+        uint32_t partition;
+        uint64_t vid;
+        MICRONN_RETURN_IF_ERROR(
+            ParseVectorKey(cursor.key(), &partition, &vid));
+        MICRONN_ASSIGN_OR_RETURN(std::string value, cursor.value());
+        VectorRow vr;
+        MICRONN_RETURN_IF_ERROR(DecodeVectorRow(value, dim, &vr));
+        chunk.vids.push_back(vid);
+        chunk.assets.push_back(std::move(vr.asset_id));
+        const size_t off = chunk.block.size();
+        chunk.block.resize(off + dim);
+        std::memcpy(chunk.block.data() + off, vr.vector_blob.data(),
+                    dim * sizeof(float));
+        MICRONN_RETURN_IF_ERROR(cursor.Next());
+      }
+      more = cursor.Valid();
+      if (chunk.size() == 0) break;
+      AssignBlock(centroids, chunk.block.data(), chunk.size(), &assign);
+
+      MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                               engine_->BeginWrite());
+      Status st = [&]() -> Status {
+        MICRONN_ASSIGN_OR_RETURN(BTree vnew,
+                                 txn->OpenTable(kVectorsNewTable));
+        MICRONN_ASSIGN_OR_RETURN(BTree mnew, txn->OpenTable(kVidMapNewTable));
+        for (size_t i = 0; i < chunk.size(); ++i) {
+          const uint32_t partition = assign[i] + kFirstPartition;
+          ++counts[assign[i]];
+          MICRONN_RETURN_IF_ERROR(
+              vnew.Put(VectorKey(partition, chunk.vids[i]),
+                       EncodeVectorRow(chunk.assets[i],
+                                       chunk.block.data() + i * dim, dim)));
+          MICRONN_RETURN_IF_ERROR(mnew.Put(key::U64(chunk.vids[i]),
+                                           EncodeVidMapValue(partition)));
+        }
+        txn->AddRowDelta(kVectorsNewTable,
+                         static_cast<int64_t>(chunk.size()));
+        txn->AddRowDelta(kVidMapNewTable,
+                         static_cast<int64_t>(chunk.size()));
+        io.rows_inserted.fetch_add(2 * chunk.size(),
+                                   std::memory_order_relaxed);
+        return Status::OK();
+      }();
+      if (!st.ok()) {
+        engine_->Rollback(std::move(txn));
+        return st;
+      }
+      MICRONN_RETURN_IF_ERROR(engine_->Commit(std::move(txn)));
+    }
+  }
+  snapshot.reset();  // release the rebuild snapshot
+
+  // Phase 4: the atomic swap — one small transaction flips readers to the
+  // new generation.
+  {
+    MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                             engine_->BeginWrite());
+    Status st = [&]() -> Status {
+      MICRONN_ASSIGN_OR_RETURN(BTree ctable, txn->OpenTable(kCentroidsTable));
+      MICRONN_RETURN_IF_ERROR(ctable.Clear());
+      for (uint32_t j = 0; j < k; ++j) {
+        MICRONN_RETURN_IF_ERROR(
+            ctable.Put(key::U32(j + kFirstPartition),
+                       EncodeCentroidRow(counts[j], centroids.row(j), dim)));
+      }
+      io.rows_updated.fetch_add(k, std::memory_order_relaxed);
+      MICRONN_RETURN_IF_ERROR(txn->RenameTable(kVectorsTable,
+                                               kVectorsOldTable));
+      MICRONN_RETURN_IF_ERROR(txn->RenameTable(kVidMapTable,
+                                               kVidMapOldTable));
+      MICRONN_RETURN_IF_ERROR(txn->RenameTable(kVectorsNewTable,
+                                               kVectorsTable));
+      MICRONN_RETURN_IF_ERROR(txn->RenameTable(kVidMapNewTable,
+                                               kVidMapTable));
+      MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaNumPartitions, k));
+      MICRONN_RETURN_IF_ERROR(MetaPutF64(
+          &meta, kMetaBaseAvgPartition,
+          static_cast<double>(n_rows) / static_cast<double>(k)));
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaDeltaCount, 0));
+      MICRONN_ASSIGN_OR_RETURN(uint64_t version,
+                               MetaGetU64(&meta, kMetaIndexVersion, 0));
+      MICRONN_RETURN_IF_ERROR(
+          MetaPutU64(&meta, kMetaIndexVersion, version + 1));
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaRebuildInProgress, 0));
+      return MetaPutU64(&meta, kMetaCleanupPending, 1);
+    }();
+    if (!st.ok()) {
+      engine_->Rollback(std::move(txn));
+      return st;
+    }
+    MICRONN_RETURN_IF_ERROR(engine_->Commit(std::move(txn)));
+  }
+
+  // Phase 5: chunked cleanup of the previous generation.
+  MICRONN_RETURN_IF_ERROR(DropTableChunked(kVectorsOldTable));
+  MICRONN_RETURN_IF_ERROR(DropTableChunked(kVidMapOldTable));
+  {
+    MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                             engine_->BeginWrite());
+    Status st = [&]() -> Status {
+      MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
+      return MetaPutU64(&meta, kMetaCleanupPending, 0);
+    }();
+    if (!st.ok()) {
+      engine_->Rollback(std::move(txn));
+      return st;
+    }
+    MICRONN_RETURN_IF_ERROR(engine_->Commit(std::move(txn)));
+  }
+
+  // Phase 6: refresh optimizer statistics; fold the WAL if possible.
+  MICRONN_RETURN_IF_ERROR(AnalyzeStatsLocked());
+  Status cp = engine_->Checkpoint();
+  if (!cp.ok() && !cp.IsBusy()) return cp;
+  return Status::OK();
+}
+
+Result<MaintenanceReport> DB::Maintain() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return MaintainLocked();
+}
+
+Result<MaintenanceReport> DB::MaintainLocked() {
+  MaintenanceReport report;
+  const uint32_t dim = options_.dim;
+  const IoStats::View before = engine_->io_stats().Snapshot();
+
+  // Load the current centroid image and decide between incremental flush
+  // and full rebuild.
+  CentroidSet cset;
+  {
+    MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<ReadTransaction> txn,
+                             engine_->BeginRead());
+    MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
+    MICRONN_ASSIGN_OR_RETURN(BTree centroids,
+                             txn->OpenTable(kCentroidsTable));
+    MICRONN_ASSIGN_OR_RETURN(
+        cset, LoadCentroidSet(txn->view(), centroids, meta, dim,
+                              options_.metric));
+    MICRONN_ASSIGN_OR_RETURN(IndexStats stats, ComputeIndexStats(cset, meta));
+    RebuildPolicy policy;
+    policy.growth_threshold = options_.rebuild_growth_threshold;
+    // Project the delta into the average: flushing moves delta rows into
+    // partitions, so the post-flush average is (total / n_partitions).
+    IndexStats projected = stats;
+    if (stats.n_partitions > 0) {
+      projected.avg_partition_size =
+          static_cast<double>(stats.total_vectors) /
+          static_cast<double>(stats.n_partitions);
+    }
+    if (ShouldFullRebuild(projected, policy)) {
+      MICRONN_RETURN_IF_ERROR(BuildIndexLocked());
+      report.full_rebuild = true;
+      const IoStats::View after = engine_->io_stats().Snapshot();
+      report.row_changes = (after - before).RowChanges();
+      return report;
+    }
+    if (stats.delta_count == 0 || stats.n_partitions == 0) {
+      return report;  // nothing to flush
+    }
+  }
+
+  // Incremental flush: move delta rows to their nearest partitions in
+  // chunks, accumulating per-partition sums for the centroid update.
+  IoStats& io = engine_->io_stats();
+  std::map<uint32_t, std::pair<std::vector<double>, uint64_t>> updates;
+  const size_t row_bytes = size_t{dim} * sizeof(float) + 64;
+  const size_t chunk_rows = std::clamp<size_t>(
+      options_.rebuild_chunk_rows, 64,
+      std::max<size_t>(64, (2ull << 20) / row_bytes));
+  RowChunk chunk;
+  std::vector<uint32_t> assign_rows;
+  for (;;) {
+    // Fresh snapshot per chunk: moved rows have left the delta partition.
+    chunk.clear();
+    {
+      MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<ReadTransaction> txn,
+                               engine_->BeginRead());
+      MICRONN_ASSIGN_OR_RETURN(BTree vectors, txn->OpenTable(kVectorsTable));
+      BTreeCursor c = vectors.NewCursor();
+      const std::string prefix = PartitionPrefix(kDeltaPartition);
+      MICRONN_RETURN_IF_ERROR(c.Seek(prefix));
+      while (c.Valid() && chunk.size() < chunk_rows &&
+             c.key().substr(0, prefix.size()) == prefix) {
+        uint32_t partition;
+        uint64_t vid;
+        MICRONN_RETURN_IF_ERROR(ParseVectorKey(c.key(), &partition, &vid));
+        MICRONN_ASSIGN_OR_RETURN(std::string value, c.value());
+        VectorRow vr;
+        MICRONN_RETURN_IF_ERROR(DecodeVectorRow(value, dim, &vr));
+        chunk.vids.push_back(vid);
+        chunk.assets.push_back(std::move(vr.asset_id));
+        const size_t off = chunk.block.size();
+        chunk.block.resize(off + dim);
+        std::memcpy(chunk.block.data() + off, vr.vector_blob.data(),
+                    dim * sizeof(float));
+        MICRONN_RETURN_IF_ERROR(c.Next());
+      }
+    }
+    if (chunk.size() == 0) break;
+    // Assign each delta vector to the nearest centroid row.
+    AssignBlock(cset.centroids, chunk.block.data(), chunk.size(),
+                &assign_rows);
+
+    MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                             engine_->BeginWrite());
+    Status st = [&]() -> Status {
+      MICRONN_ASSIGN_OR_RETURN(BTree vectors, txn->OpenTable(kVectorsTable));
+      MICRONN_ASSIGN_OR_RETURN(BTree vidmap, txn->OpenTable(kVidMapTable));
+      MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        const uint32_t row = assign_rows[i];
+        const uint32_t partition = cset.partitions[row];
+        const uint64_t vid = chunk.vids[i];
+        MICRONN_ASSIGN_OR_RETURN(
+            bool erased, vectors.Delete(VectorKey(kDeltaPartition, vid)));
+        if (!erased) continue;  // raced with a concurrent delete? (serialized, defensive)
+        MICRONN_RETURN_IF_ERROR(
+            vectors.Put(VectorKey(partition, vid),
+                        EncodeVectorRow(chunk.assets[i],
+                                        chunk.block.data() + i * dim, dim)));
+        MICRONN_RETURN_IF_ERROR(
+            vidmap.Put(key::U64(vid), EncodeVidMapValue(partition)));
+        auto& [sum, cnt] = updates[row];
+        if (sum.empty()) sum.assign(dim, 0.0);
+        const float* v = chunk.block.data() + i * dim;
+        for (uint32_t d = 0; d < dim; ++d) sum[d] += v[d];
+        ++cnt;
+      }
+      MICRONN_ASSIGN_OR_RETURN(uint64_t delta_count,
+                               MetaGetU64(&meta, kMetaDeltaCount, 0));
+      const uint64_t moved = chunk.size();
+      MICRONN_RETURN_IF_ERROR(MetaPutU64(
+          &meta, kMetaDeltaCount,
+          delta_count > moved ? delta_count - moved : 0));
+      io.rows_updated.fetch_add(2 * moved, std::memory_order_relaxed);
+      return Status::OK();
+    }();
+    if (!st.ok()) {
+      engine_->Rollback(std::move(txn));
+      return st;
+    }
+    MICRONN_RETURN_IF_ERROR(engine_->Commit(std::move(txn)));
+    report.delta_flushed += chunk.size();
+  }
+
+  // Centroid update: VLAD-style running mean over the new members, then
+  // bump the index version so centroid caches refresh.
+  {
+    MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                             engine_->BeginWrite());
+    Status st = [&]() -> Status {
+      MICRONN_ASSIGN_OR_RETURN(BTree ctable, txn->OpenTable(kCentroidsTable));
+      for (const auto& [row, upd] : updates) {
+        const auto& [sum, added] = upd;
+        const uint32_t partition = cset.partitions[row];
+        MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> blob,
+                                 ctable.Get(key::U32(partition)));
+        if (!blob.has_value()) continue;
+        CentroidRow cr;
+        MICRONN_RETURN_IF_ERROR(DecodeCentroidRow(*blob, dim, &cr));
+        const uint64_t new_count = cr.count + added;
+        if (new_count > 0) {
+          for (uint32_t d = 0; d < dim; ++d) {
+            cr.centroid[d] = static_cast<float>(
+                (static_cast<double>(cr.centroid[d]) *
+                     static_cast<double>(cr.count) +
+                 sum[d]) /
+                static_cast<double>(new_count));
+          }
+          if (options_.metric == Metric::kCosine) {
+            const float norm = Norm(cr.centroid.data(), dim);
+            if (norm > 0.f) {
+              for (uint32_t d = 0; d < dim; ++d) cr.centroid[d] /= norm;
+            }
+          }
+        }
+        MICRONN_RETURN_IF_ERROR(
+            ctable.Put(key::U32(partition),
+                       EncodeCentroidRow(new_count, cr.centroid.data(), dim)));
+        io.rows_updated.fetch_add(1, std::memory_order_relaxed);
+      }
+      MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
+      MICRONN_ASSIGN_OR_RETURN(uint64_t version,
+                               MetaGetU64(&meta, kMetaIndexVersion, 0));
+      return MetaPutU64(&meta, kMetaIndexVersion, version + 1);
+    }();
+    if (!st.ok()) {
+      engine_->Rollback(std::move(txn));
+      return st;
+    }
+    MICRONN_RETURN_IF_ERROR(engine_->Commit(std::move(txn)));
+  }
+  const IoStats::View after = engine_->io_stats().Snapshot();
+  report.row_changes = (after - before).RowChanges();
+  return report;
+}
+
+Status DB::AnalyzeStats() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return AnalyzeStatsLocked();
+}
+
+Status DB::AnalyzeStatsLocked() {
+  struct ColumnSample {
+    ValueType type;
+    uint64_t count = 0;
+    std::vector<AttributeValue> reservoir;
+  };
+  std::map<std::string, ColumnSample> samples;
+  Rng rng(options_.seed ^ 0xa11a5ULL);
+  {
+    MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<ReadTransaction> txn,
+                             engine_->BeginRead());
+    MICRONN_ASSIGN_OR_RETURN(BTree attributes,
+                             txn->OpenTable(kAttributesTable));
+    BTreeCursor c = attributes.NewCursor();
+    MICRONN_RETURN_IF_ERROR(c.SeekToFirst());
+    while (c.Valid()) {
+      MICRONN_ASSIGN_OR_RETURN(std::string blob, c.value());
+      MICRONN_ASSIGN_OR_RETURN(AttributeRecord record,
+                               DecodeAttributeRecord(blob));
+      for (const auto& [column, value] : record) {
+        auto [it, inserted] =
+            samples.try_emplace(column, ColumnSample{value.type, 0, {}});
+        ColumnSample& cs = it->second;
+        if (value.type != cs.type) continue;  // mixed types: keep first
+        ++cs.count;
+        // Reservoir sampling (Vitter's R).
+        if (cs.reservoir.size() < kStatsSampleSize) {
+          cs.reservoir.push_back(value);
+        } else {
+          const uint64_t j = rng.Uniform(cs.count);
+          if (j < kStatsSampleSize) cs.reservoir[j] = value;
+        }
+      }
+      MICRONN_RETURN_IF_ERROR(c.Next());
+    }
+  }
+  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                           engine_->BeginWrite());
+  Status st = [&]() -> Status {
+    MICRONN_ASSIGN_OR_RETURN(BTree stats, txn->OpenOrCreateTable(kStatsTable));
+    MICRONN_RETURN_IF_ERROR(stats.Clear());
+    for (auto& [column, cs] : samples) {
+      const ColumnStats built =
+          BuildColumnStats(cs.type, cs.count, std::move(cs.reservoir));
+      MICRONN_RETURN_IF_ERROR(
+          stats.Put(key::Str(column), built.Serialize()));
+    }
+    MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
+    MICRONN_ASSIGN_OR_RETURN(uint64_t version,
+                             MetaGetU64(&meta, kMetaStatsVersion, 0));
+    return MetaPutU64(&meta, kMetaStatsVersion, version + 1);
+  }();
+  if (!st.ok()) {
+    engine_->Rollback(std::move(txn));
+    return st;
+  }
+  return engine_->Commit(std::move(txn));
+}
+
+}  // namespace micronn

@@ -1,0 +1,63 @@
+#include "core/maintainer.h"
+
+#include "common/logging.h"
+
+namespace micronn {
+
+BackgroundMaintainer::BackgroundMaintainer(DB* db, const Options& options)
+    : db_(db), options_(options), thread_([this] { Loop(); }) {}
+
+BackgroundMaintainer::~BackgroundMaintainer() { Stop(); }
+
+void BackgroundMaintainer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void BackgroundMaintainer::TriggerNow() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    poke_ = true;
+  }
+  cv_.notify_all();
+}
+
+void BackgroundMaintainer::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_for(lock, options_.interval,
+                   [this] { return stop_ || poke_; });
+      if (stop_) return;
+      poke_ = false;
+    }
+    Result<IndexStats> stats = db_->GetIndexStats();
+    if (!stats.ok()) {
+      MICRONN_LOG(kWarn) << "maintainer: stats failed: "
+                         << stats.status().ToString();
+      continue;
+    }
+    const bool delta_due = stats->delta_count >= options_.delta_trigger;
+    const bool never_built =
+        stats->n_partitions == 0 && stats->total_vectors > 0;
+    if (!delta_due && !never_built) continue;
+    Result<MaintenanceReport> report = db_->Maintain();
+    if (!report.ok()) {
+      MICRONN_LOG(kWarn) << "maintainer: maintain failed: "
+                         << report.status().ToString();
+      continue;
+    }
+    runs_.fetch_add(1, std::memory_order_relaxed);
+    flushed_.fetch_add(report->delta_flushed, std::memory_order_relaxed);
+    if (report->full_rebuild) {
+      full_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace micronn

@@ -1,0 +1,75 @@
+// Background index maintenance (paper Figure 1's "Index Monitor": tracks
+// index quality upon updates and triggers re-indexing when necessary).
+//
+// A small service thread that periodically inspects the index and runs
+// DB::Maintain() when the delta store passes a trigger size (or on the
+// growth threshold, which Maintain escalates to a full rebuild on its
+// own). Host applications that prefer explicit control simply never start
+// one and call Maintain() themselves.
+#ifndef MICRONN_CORE_MAINTAINER_H_
+#define MICRONN_CORE_MAINTAINER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/db.h"
+
+namespace micronn {
+
+class BackgroundMaintainer {
+ public:
+  struct Options {
+    /// How often to inspect the index.
+    std::chrono::milliseconds interval{1000};
+    /// Run maintenance once the delta store holds at least this many
+    /// vectors.
+    uint64_t delta_trigger = 1000;
+  };
+
+  /// Starts the service thread immediately. `db` must outlive this object.
+  BackgroundMaintainer(DB* db, const Options& options);
+  ~BackgroundMaintainer();
+
+  BackgroundMaintainer(const BackgroundMaintainer&) = delete;
+  BackgroundMaintainer& operator=(const BackgroundMaintainer&) = delete;
+
+  /// Stops the thread (idempotent; also run by the destructor).
+  void Stop();
+
+  /// Wakes the thread for an immediate inspection.
+  void TriggerNow();
+
+  /// Number of maintenance passes executed.
+  uint64_t maintenance_runs() const {
+    return runs_.load(std::memory_order_relaxed);
+  }
+  /// Total delta rows flushed by this maintainer.
+  uint64_t total_flushed() const {
+    return flushed_.load(std::memory_order_relaxed);
+  }
+  /// Full rebuilds the policy escalated to.
+  uint64_t full_rebuilds() const {
+    return full_rebuilds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  DB* db_;
+  Options options_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool poke_ = false;
+  std::atomic<uint64_t> runs_{0};
+  std::atomic<uint64_t> flushed_{0};
+  std::atomic<uint64_t> full_rebuilds_{0};
+  std::thread thread_;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_CORE_MAINTAINER_H_

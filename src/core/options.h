@@ -1,0 +1,120 @@
+// Public option and request/response types of the MicroNN API.
+#ifndef MICRONN_CORE_OPTIONS_H_
+#define MICRONN_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "numerics/metric.h"
+#include "query/optimizer.h"
+#include "query/predicate.h"
+#include "query/value.h"
+#include "storage/pager.h"
+
+namespace micronn {
+
+/// Configuration of a MicroNN database. `dim` is mandatory when creating;
+/// on reopen, persisted values win and a non-zero mismatch is an error.
+struct DbOptions {
+  /// Vector dimensionality (e.g. 128 for SIFT, 512 for CLIP-style).
+  uint32_t dim = 0;
+  /// Similarity metric. For kCosine, vectors and queries are L2-normalized
+  /// on the way in, so stored blobs are unit vectors.
+  Metric metric = Metric::kL2;
+
+  // --- Indexing (paper §3.1) ---
+  /// Target vectors per IVF partition; the paper defaults to 100.
+  uint32_t target_cluster_size = 100;
+  /// Mini-batch size s of Algorithm 1.
+  uint32_t minibatch_size = 1024;
+  /// Training iterations n of Algorithm 1.
+  uint32_t train_iterations = 30;
+  /// Balance-penalty weight (0 disables balancing).
+  float balance_lambda = 0.5f;
+  /// Seed for clustering and sampling (reproducible builds).
+  uint64_t seed = 42;
+
+  // --- Query (paper §3.3/§3.5) ---
+  /// Default number of partitions to probe when a request leaves nprobe 0.
+  uint32_t default_nprobe = 8;
+  /// Worker threads for parallel partition scans.
+  size_t search_threads = 2;
+  /// Build a two-level centroid index once the partition count reaches
+  /// this threshold (0 disables). Implements §3.2's "the centroid table
+  /// itself could also be indexed" — removes the centroid-scan bottleneck
+  /// the paper observes at ~100k centroids (§4.3.3).
+  uint32_t centroid_index_threshold = 4096;
+  /// Super-clusters examined per query when the centroid index is active
+  /// (recall/latency knob of the two-level lookup).
+  uint32_t centroid_super_probe = 8;
+
+  // --- Maintenance (paper §3.6) ---
+  /// Full rebuild when avg partition size grows by this fraction over the
+  /// post-build baseline (0.5 = +50%, the paper's setting).
+  double rebuild_growth_threshold = 0.5;
+  /// Rows per transaction during chunked rebuild/cleanup (bounds writer
+  /// memory).
+  size_t rebuild_chunk_rows = 2048;
+
+  // --- Hybrid search ---
+  /// String columns that also get a full-text (MATCH) index.
+  std::vector<std::string> fts_columns;
+
+  // --- Storage ---
+  PagerOptions pager;
+};
+
+/// One upsert: insert, or replace if `asset_id` already exists (§3.6
+/// "inserts (with 'upsert' semantics in case the asset ID already exists)").
+struct UpsertRequest {
+  std::string asset_id;
+  std::vector<float> vector;
+  AttributeRecord attributes;
+};
+
+/// Plan override for hybrid queries (benchmarks compare forced plans
+/// against the optimizer, Fig. 7).
+enum class PlanOverride { kAuto, kForcePreFilter, kForcePostFilter };
+
+struct SearchRequest {
+  std::vector<float> query;
+  uint32_t k = 10;
+  /// Partitions to probe; 0 means DbOptions::default_nprobe.
+  uint32_t nprobe = 0;
+  /// Optional attribute filter (hybrid query).
+  std::optional<Predicate> filter;
+  PlanOverride plan = PlanOverride::kAuto;
+  /// Exhaustive exact KNN instead of ANN.
+  bool exact = false;
+};
+
+struct ResultItem {
+  std::string asset_id;
+  uint64_t vid = 0;
+  float distance = 0.f;
+};
+
+struct SearchResponse {
+  std::vector<ResultItem> items;
+  /// Plan actually executed (meaningful for hybrid queries).
+  QueryPlan plan = QueryPlan::kPostFilter;
+  /// The optimizer's estimates (hybrid queries with plan == kAuto).
+  PlanDecision decision;
+  /// Execution counters.
+  uint64_t partitions_scanned = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_filtered = 0;
+};
+
+/// What Maintain() did.
+struct MaintenanceReport {
+  bool full_rebuild = false;
+  uint64_t delta_flushed = 0;   // rows moved out of the delta store
+  uint64_t row_changes = 0;     // logical row writes performed
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_CORE_OPTIONS_H_

@@ -1,0 +1,113 @@
+#include "datagen/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "numerics/distance.h"
+
+namespace micronn {
+
+namespace {
+
+void NormalizeRows(std::vector<float>* rows, uint32_t dim) {
+  for (size_t off = 0; off + dim <= rows->size(); off += dim) {
+    float* v = rows->data() + off;
+    const float n = Norm(v, dim);
+    if (n > 0.f) {
+      for (uint32_t d = 0; d < dim; ++d) v[d] /= n;
+    }
+  }
+}
+
+}  // namespace
+
+Dataset GenerateDataset(const DatasetSpec& spec) {
+  Dataset ds;
+  ds.spec = spec;
+  const uint32_t dim = spec.dim;
+  const size_t n_clusters =
+      spec.natural_clusters > 0
+          ? spec.natural_clusters
+          : std::max<size_t>(8, spec.n / 250);
+  Rng rng(spec.seed);
+
+  // Mixture centers uniform in [-1, 1]^dim.
+  std::vector<float> centers(n_clusters * dim);
+  for (float& c : centers) {
+    c = 2.f * rng.NextFloat() - 1.f;
+  }
+
+  auto emit = [&](std::vector<float>* out, size_t count) {
+    out->resize(count * dim);
+    for (size_t i = 0; i < count; ++i) {
+      const size_t c = rng.Uniform(n_clusters);
+      const float* center = centers.data() + c * dim;
+      float* v = out->data() + i * dim;
+      for (uint32_t d = 0; d < dim; ++d) {
+        v[d] = center[d] +
+               spec.cluster_std * static_cast<float>(rng.NextGaussian());
+      }
+    }
+  };
+  emit(&ds.data, spec.n);
+  emit(&ds.queries, spec.n_queries);
+  if (spec.metric == Metric::kCosine) {
+    NormalizeRows(&ds.data, dim);
+    NormalizeRows(&ds.queries, dim);
+  }
+  return ds;
+}
+
+std::vector<DatasetSpec> Table2Specs(double scale) {
+  auto scaled = [scale](size_t n) {
+    return std::max<size_t>(1000, static_cast<size_t>(n * scale));
+  };
+  auto scaled_q = [scale](size_t q) {
+    return std::max<size_t>(
+        20, std::min<size_t>(q, static_cast<size_t>(q * scale * 10)));
+  };
+  std::vector<DatasetSpec> specs;
+  specs.push_back({"MNIST", 784, Metric::kL2, scaled(60000),
+                   scaled_q(10000), 0, 0.18f, 101});
+  specs.push_back({"NYTimes", 256, Metric::kCosine, scaled(290000),
+                   scaled_q(10000), 0, 0.18f, 102});
+  specs.push_back({"SIFT", 128, Metric::kL2, scaled(1000000),
+                   scaled_q(10000), 0, 0.18f, 103});
+  specs.push_back({"GLOVE", 200, Metric::kL2, scaled(1183514),
+                   scaled_q(10000), 0, 0.18f, 104});
+  specs.push_back({"GIST", 960, Metric::kL2, scaled(1000000),
+                   scaled_q(1000), 0, 0.18f, 105});
+  specs.push_back({"DEEPImage", 96, Metric::kCosine, scaled(10000000),
+                   scaled_q(10000), 0, 0.18f, 106});
+  specs.push_back({"InternalA", 512, Metric::kCosine, scaled(150000),
+                   scaled_q(1000), 0, 0.18f, 107});
+  return specs;
+}
+
+std::vector<std::vector<Neighbor>> BruteForceGroundTruth(
+    const Dataset& dataset, uint32_t k, uint64_t id_base) {
+  const uint32_t dim = dataset.spec.dim;
+  const size_t n = dataset.spec.n;
+  const size_t nq = dataset.spec.n_queries;
+  std::vector<std::vector<Neighbor>> truth(nq);
+  constexpr size_t kBlock = 4096;
+  std::vector<float> dist(kBlock);
+  for (size_t q = 0; q < nq; ++q) {
+    TopKHeap heap(k);
+    const float* query = dataset.query(q);
+    for (size_t base = 0; base < n; base += kBlock) {
+      const size_t cnt = std::min(kBlock, n - base);
+      DistanceOneToMany(dataset.spec.metric, query,
+                        dataset.data.data() + base * dim, cnt, dim,
+                        dist.data());
+      for (size_t i = 0; i < cnt; ++i) {
+        heap.Push(id_base + base + i, dist[i]);
+      }
+    }
+    truth[q] = heap.TakeSorted();
+  }
+  return truth;
+}
+
+}  // namespace micronn

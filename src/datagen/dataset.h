@@ -1,0 +1,60 @@
+// Synthetic dataset generation: seeded stand-ins for the paper's Table 2
+// benchmark datasets (see DESIGN.md §2 for the substitution rationale).
+//
+// Vectors are drawn from a Gaussian mixture — cluster centers uniform in a
+// box, points = center + sigma * N(0, I) — which reproduces the property
+// IVF depends on (clusterable structure) while matching each dataset's
+// dimension and metric. Cosine datasets are L2-normalized. Queries are
+// drawn from the same mixture (held out).
+#ifndef MICRONN_DATAGEN_DATASET_H_
+#define MICRONN_DATAGEN_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numerics/metric.h"
+#include "numerics/topk.h"
+
+namespace micronn {
+
+struct DatasetSpec {
+  std::string name;
+  uint32_t dim = 0;
+  Metric metric = Metric::kL2;
+  size_t n = 0;          // base vectors
+  size_t n_queries = 0;  // query vectors
+  /// Mixture components; 0 = auto (~ n / 250, at least 8).
+  size_t natural_clusters = 0;
+  /// Within-cluster std-dev relative to the unit box.
+  float cluster_std = 0.18f;
+  uint64_t seed = 42;
+};
+
+struct Dataset {
+  DatasetSpec spec;
+  std::vector<float> data;     // row-major n x dim
+  std::vector<float> queries;  // row-major n_queries x dim
+
+  const float* row(size_t i) const { return data.data() + i * spec.dim; }
+  const float* query(size_t i) const {
+    return queries.data() + i * spec.dim;
+  }
+};
+
+/// Generates a dataset per the spec (deterministic for a given seed).
+Dataset GenerateDataset(const DatasetSpec& spec);
+
+/// The paper's Table 2 datasets, scaled by `scale` (1.0 = paper size).
+/// Benchmarks default to a reduced scale so they run on laptop hardware;
+/// the scale used is printed with every result.
+std::vector<DatasetSpec> Table2Specs(double scale);
+
+/// Exact k-nearest-neighbour ground truth: ids are row indices offset by
+/// `id_base` (MicroNN assigns vids from 1, so benchmarks pass 1).
+std::vector<std::vector<Neighbor>> BruteForceGroundTruth(
+    const Dataset& dataset, uint32_t k, uint64_t id_base);
+
+}  // namespace micronn
+
+#endif  // MICRONN_DATAGEN_DATASET_H_

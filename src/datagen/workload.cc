@@ -1,0 +1,78 @@
+#include "datagen/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+
+namespace micronn {
+
+TagGenerator::TagGenerator(size_t vocab, double zipf_s, uint64_t seed)
+    : rng_state_(seed) {
+  cumulative_.resize(vocab);
+  double total = 0;
+  for (size_t r = 0; r < vocab; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), zipf_s);
+    cumulative_[r] = total;
+  }
+  for (double& c : cumulative_) c /= total;
+}
+
+size_t TagGenerator::SampleRank() {
+  Rng rng(rng_state_);
+  rng_state_ = rng.Next();
+  const double u = rng.NextDouble();
+  return std::lower_bound(cumulative_.begin(), cumulative_.end(), u) -
+         cumulative_.begin();
+}
+
+std::string TagGenerator::NextDocumentTags(size_t tags_per_doc) {
+  std::set<size_t> ranks;
+  // Distinct tags; bail out of the rejection loop on small vocabularies.
+  size_t guard = 0;
+  while (ranks.size() < tags_per_doc && guard < 50 * tags_per_doc + 100) {
+    ranks.insert(SampleRank());
+    ++guard;
+  }
+  std::string out;
+  for (const size_t r : ranks) {
+    if (!out.empty()) out.push_back(' ');
+    out += TagName(r);
+  }
+  return out;
+}
+
+std::vector<SelectivityBin> BinTagsBySelectivity(
+    const std::vector<std::pair<std::string, uint64_t>>& tag_dfs,
+    uint64_t n_docs) {
+  std::vector<SelectivityBin> bins;
+  if (n_docs == 0) return bins;
+  // Decades from 1e-7..1e0.
+  for (int exp = -7; exp < 0; ++exp) {
+    SelectivityBin bin;
+    bin.low = std::pow(10.0, exp);
+    bin.high = std::pow(10.0, exp + 1);
+    bins.push_back(bin);
+  }
+  for (const auto& [tag, df] : tag_dfs) {
+    if (df == 0) continue;
+    const double f =
+        static_cast<double>(df) / static_cast<double>(n_docs);
+    for (SelectivityBin& bin : bins) {
+      if (f >= bin.low && f < bin.high) {
+        bin.tags.push_back(tag);
+        break;
+      }
+    }
+  }
+  // Drop empty decades.
+  bins.erase(std::remove_if(bins.begin(), bins.end(),
+                            [](const SelectivityBin& b) {
+                              return b.tags.empty();
+                            }),
+             bins.end());
+  return bins;
+}
+
+}  // namespace micronn

@@ -1,0 +1,56 @@
+// Workload generators for the evaluation harness:
+//   - Zipfian tag bags standing in for the Big-ANN Filtered Search
+//     dataset's Flickr tags (§4.3.1 / Fig. 7),
+//   - attribute workloads for hybrid-search tests,
+//   - insertion streams for the update experiments (Fig. 10).
+#ifndef MICRONN_DATAGEN_WORKLOAD_H_
+#define MICRONN_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace micronn {
+
+/// Zipf-distributed tag bags: tag ids follow P(rank r) ~ 1/r^s over a
+/// vocabulary of `vocab` tags named "tag0".."tag<vocab-1>"; each document
+/// gets `tags_per_doc` distinct tags. Tag 0 is the most frequent.
+class TagGenerator {
+ public:
+  TagGenerator(size_t vocab, double zipf_s, uint64_t seed);
+
+  /// Tags of one document, whitespace-joined (the paper's storage format:
+  /// "We encode the tags as a whitespace separated string").
+  std::string NextDocumentTags(size_t tags_per_doc);
+
+  /// Tag name by popularity rank (rank 0 = most common).
+  static std::string TagName(size_t rank) {
+    return "tag" + std::to_string(rank);
+  }
+
+  /// Draws a single tag rank from the Zipf distribution.
+  size_t SampleRank();
+
+ private:
+  std::vector<double> cumulative_;
+  uint64_t rng_state_;
+};
+
+/// Selectivity-binned query tags for the Fig. 7 methodology: for each
+/// order-of-magnitude selectivity bin, tags whose true document frequency
+/// falls in that decade.
+struct SelectivityBin {
+  double low = 0;   // selectivity factor lower bound (inclusive)
+  double high = 0;  // upper bound (exclusive)
+  std::vector<std::string> tags;
+};
+
+/// Groups tags by the decade of their observed selectivity factor
+/// (df/n_docs), given per-tag document frequencies.
+std::vector<SelectivityBin> BinTagsBySelectivity(
+    const std::vector<std::pair<std::string, uint64_t>>& tag_dfs,
+    uint64_t n_docs);
+
+}  // namespace micronn
+
+#endif  // MICRONN_DATAGEN_WORKLOAD_H_

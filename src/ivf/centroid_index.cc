@@ -1,0 +1,76 @@
+#include "ivf/centroid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/distance.h"
+#include "numerics/topk.h"
+
+namespace micronn {
+
+Result<CentroidIndex> CentroidIndex::Build(const Centroids& centroids,
+                                           uint32_t branches, uint64_t seed) {
+  if (centroids.k == 0) {
+    return Status::InvalidArgument("no centroids to index");
+  }
+  CentroidIndex index;
+  if (branches == 0) {
+    branches = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::lround(std::sqrt(centroids.k))));
+  }
+  branches = std::min(branches, centroids.k);
+  ClusteringConfig config;
+  config.k = branches;
+  config.dim = centroids.dim;
+  config.metric = centroids.metric;
+  config.iterations = 10;
+  config.seed = seed;
+  MICRONN_ASSIGN_OR_RETURN(
+      index.super_,
+      TrainFullKMeans(config, centroids.data.data(), centroids.k));
+  std::vector<uint32_t> assign;
+  AssignBlock(index.super_, centroids.data.data(), centroids.k, &assign);
+  index.members_.resize(branches);
+  for (uint32_t row = 0; row < centroids.k; ++row) {
+    index.members_[assign[row]].push_back(row);
+  }
+  return index;
+}
+
+std::vector<uint32_t> CentroidIndex::FindNearestRows(
+    const Centroids& centroids, const float* query, uint32_t n,
+    uint32_t super_probe) const {
+  const uint32_t dim = centroids.dim;
+  super_probe = std::min<uint32_t>(std::max<uint32_t>(1, super_probe),
+                                   super_.k);
+  // Stage 1: nearest super-clusters.
+  std::vector<float> super_dist(super_.k);
+  DistanceOneToMany(centroids.metric, query, super_.data.data(), super_.k,
+                    dim, super_dist.data());
+  TopKHeap super_heap(super_probe);
+  for (uint32_t s = 0; s < super_.k; ++s) {
+    super_heap.Push(s, super_dist[s]);
+  }
+  // Stage 2: exact distances to the candidate centroids only.
+  TopKHeap heap(n);
+  std::vector<float> dist;
+  for (const Neighbor& super : super_heap.TakeSorted()) {
+    const auto& rows = members_[super.id];
+    if (rows.empty()) continue;
+    dist.resize(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      dist[i] = Distance(centroids.metric, query, centroids.row(rows[i]),
+                         dim);
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+      heap.Push(rows[i], dist[i]);
+    }
+  }
+  std::vector<uint32_t> out;
+  for (const Neighbor& nb : heap.TakeSorted()) {
+    out.push_back(static_cast<uint32_t>(nb.id));
+  }
+  return out;
+}
+
+}  // namespace micronn

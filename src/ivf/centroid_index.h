@@ -1,0 +1,50 @@
+// Two-level centroid index (paper §3.2: "To scale to even larger
+// collections, the centroid table itself could also be indexed"; §4.3.3
+// observes the centroid scan becoming the bottleneck for DEEPImage's ~100k
+// centroids).
+//
+// The centroids are clustered into ~sqrt(k) super-clusters; finding the n
+// nearest partitions then examines only the centroids of the nearest
+// super-clusters instead of all k. This turns the per-query centroid cost
+// from O(k·dim) into O((sqrt(k) + candidates)·dim) at a small recall cost
+// controlled by `super_probe`.
+#ifndef MICRONN_IVF_CENTROID_INDEX_H_
+#define MICRONN_IVF_CENTROID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "ivf/kmeans.h"
+
+namespace micronn {
+
+struct CentroidSet;
+
+class CentroidIndex {
+ public:
+  /// Clusters `set`'s centroids into `branches` super-clusters (0 = auto,
+  /// ~sqrt(k)). Deterministic for a seed.
+  static Result<CentroidIndex> Build(const Centroids& centroids,
+                                     uint32_t branches, uint64_t seed);
+
+  /// Rows (indices into the centroid matrix) of the n nearest centroids,
+  /// examining only the `super_probe` nearest super-clusters.
+  std::vector<uint32_t> FindNearestRows(const Centroids& centroids,
+                                        const float* query, uint32_t n,
+                                        uint32_t super_probe) const;
+
+  uint32_t branches() const { return super_.k; }
+  /// Centroid rows owned by one super-cluster (test introspection).
+  const std::vector<uint32_t>& members(uint32_t branch) const {
+    return members_[branch];
+  }
+
+ private:
+  Centroids super_;                            // branches x dim
+  std::vector<std::vector<uint32_t>> members_; // branch -> centroid rows
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_IVF_CENTROID_INDEX_H_

@@ -1,0 +1,118 @@
+#include "ivf/in_memory_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <numeric>
+
+#include "common/memory_tracker.h"
+#include "numerics/distance.h"
+
+namespace micronn {
+
+Result<std::unique_ptr<InMemoryIvfIndex>> InMemoryIvfIndex::Build(
+    const Options& options, const float* data, size_t n,
+    const std::vector<uint64_t>& ids) {
+  if (n == 0 || options.dim == 0) {
+    return Status::InvalidArgument("empty dataset or zero dim");
+  }
+  if (ids.size() != n) {
+    return Status::InvalidArgument("ids/data size mismatch");
+  }
+  ClusteringConfig config;
+  config.k = std::max<uint32_t>(
+      1, static_cast<uint32_t>(n / std::max<uint32_t>(
+                                       1, options.target_cluster_size)));
+  config.dim = options.dim;
+  config.metric = options.metric;
+  config.iterations = options.iterations;
+  config.seed = options.seed;
+  MICRONN_ASSIGN_OR_RETURN(Centroids centroids,
+                           TrainFullKMeans(config, data, n));
+
+  std::unique_ptr<InMemoryIvfIndex> index(new InMemoryIvfIndex());
+  index->options_ = options;
+  index->centroids_ = std::move(centroids);
+
+  // Assign and lay the data out partition-contiguously (counting sort).
+  std::vector<uint32_t> assign;
+  AssignBlock(index->centroids_, data, n, &assign);
+  const uint32_t k = index->centroids_.k;
+  std::vector<size_t> counts(k, 0);
+  for (const uint32_t a : assign) ++counts[a];
+  index->offsets_.assign(k + 1, 0);
+  for (uint32_t p = 0; p < k; ++p) {
+    index->offsets_[p + 1] = index->offsets_[p] + counts[p];
+  }
+  index->data_.resize(n * options.dim);
+  index->ids_.resize(n);
+  std::vector<size_t> cursor(index->offsets_.begin(),
+                             index->offsets_.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t slot = cursor[assign[i]]++;
+    std::memcpy(index->data_.data() + slot * options.dim,
+                data + i * options.dim, options.dim * sizeof(float));
+    index->ids_[slot] = ids[i];
+  }
+  index->memory_bytes_ = index->data_.size() * sizeof(float) +
+                         index->ids_.size() * sizeof(uint64_t) +
+                         index->centroids_.data.size() * sizeof(float) +
+                         index->offsets_.size() * sizeof(size_t);
+  MemoryTracker::Global().Allocate(MemoryCategory::kIndexData,
+                                   index->memory_bytes_);
+  return index;
+}
+
+InMemoryIvfIndex::~InMemoryIvfIndex() {
+  MemoryTracker::Global().Release(MemoryCategory::kIndexData, memory_bytes_);
+}
+
+Result<std::vector<Neighbor>> InMemoryIvfIndex::Search(const float* query,
+                                                       uint32_t k,
+                                                       uint32_t nprobe,
+                                                       ThreadPool* pool) const {
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  const uint32_t dim = options_.dim;
+  // Nearest nprobe centroid rows.
+  std::vector<float> cdist(centroids_.k);
+  DistanceOneToMany(options_.metric, query, centroids_.data.data(),
+                    centroids_.k, dim, cdist.data());
+  TopKHeap cheap(std::min<size_t>(nprobe, centroids_.k));
+  for (uint32_t j = 0; j < centroids_.k; ++j) cheap.Push(j, cdist[j]);
+  std::vector<Neighbor> probe_rows = cheap.TakeSorted();
+
+  std::vector<TopKHeap> heaps(probe_rows.size(), TopKHeap(k));
+  auto scan_one = [&](size_t i) {
+    const uint32_t p = static_cast<uint32_t>(probe_rows[i].id);
+    const size_t begin = offsets_[p];
+    const size_t end = offsets_[p + 1];
+    std::vector<float> dist(end - begin);
+    DistanceOneToMany(options_.metric, query, data_.data() + begin * dim,
+                      end - begin, dim, dist.data());
+    for (size_t r = 0; r < end - begin; ++r) {
+      heaps[i].Push(ids_[begin + r], dist[r]);
+    }
+  };
+  if (pool != nullptr && probe_rows.size() > 1) {
+    std::atomic<size_t> next{0};
+    WaitGroup wg;
+    const size_t workers = std::min(pool->num_threads(), probe_rows.size());
+    wg.Add(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool->Submit([&] {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= probe_rows.size()) break;
+          scan_one(i);
+        }
+        wg.Done();
+      });
+    }
+    wg.Wait();
+  } else {
+    for (size_t i = 0; i < probe_rows.size(); ++i) scan_one(i);
+  }
+  return MergeHeapsSorted(heaps, k);
+}
+
+}  // namespace micronn

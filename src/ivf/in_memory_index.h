@@ -1,0 +1,69 @@
+// InMemory baseline (paper §4.1.4): "A completely memory resident
+// variation of the MicroNN IVF index. This baseline gives a lower-bound on
+// latency for our IVF implementation, while illustrating the memory
+// requirements to achieve this latency."
+//
+// Identical search algorithm and kernels as the disk index, but vectors
+// live in RAM, partition-contiguous, and the index is built with full
+// (Lloyd) k-means over the fully buffered dataset — the memory-hungry
+// configuration of Figures 4/5/6.
+#ifndef MICRONN_IVF_IN_MEMORY_INDEX_H_
+#define MICRONN_IVF_IN_MEMORY_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "ivf/kmeans.h"
+#include "numerics/topk.h"
+
+namespace micronn {
+
+class InMemoryIvfIndex {
+ public:
+  struct Options {
+    uint32_t dim = 0;
+    Metric metric = Metric::kL2;
+    uint32_t target_cluster_size = 100;
+    uint32_t iterations = 15;
+    uint64_t seed = 42;
+  };
+
+  /// Builds from `n` row-major vectors with external ids. Buffers the
+  /// whole dataset (tracked under MemoryCategory::kIndexData).
+  static Result<std::unique_ptr<InMemoryIvfIndex>> Build(
+      const Options& options, const float* data, size_t n,
+      const std::vector<uint64_t>& ids);
+
+  ~InMemoryIvfIndex();
+  InMemoryIvfIndex(const InMemoryIvfIndex&) = delete;
+  InMemoryIvfIndex& operator=(const InMemoryIvfIndex&) = delete;
+
+  /// Same Algorithm-2 shape as the disk index: scan the nprobe nearest
+  /// partitions with per-task heaps and merge.
+  Result<std::vector<Neighbor>> Search(const float* query, uint32_t k,
+                                       uint32_t nprobe,
+                                       ThreadPool* pool) const;
+
+  /// Resident bytes of the index (vectors + ids + centroids).
+  size_t MemoryBytes() const { return memory_bytes_; }
+  uint32_t num_partitions() const { return centroids_.k; }
+
+ private:
+  InMemoryIvfIndex() = default;
+
+  Options options_;
+  Centroids centroids_;
+  // Partition-contiguous storage: partition p occupies rows
+  // [offsets_[p], offsets_[p+1]) of data_/ids_.
+  std::vector<float> data_;
+  std::vector<uint64_t> ids_;
+  std::vector<size_t> offsets_;
+  size_t memory_bytes_ = 0;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_IVF_IN_MEMORY_INDEX_H_

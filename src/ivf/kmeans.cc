@@ -1,0 +1,302 @@
+#include "ivf/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/memory_tracker.h"
+#include "common/rng.h"
+#include "numerics/distance.h"
+
+namespace micronn {
+
+namespace {
+
+// L2-normalizes a vector in place (spherical k-means for cosine).
+void NormalizeRow(float* v, size_t dim) {
+  const float n = Norm(v, dim);
+  if (n > 0.f) {
+    const float inv = 1.0f / n;
+    for (size_t i = 0; i < dim; ++i) v[i] *= inv;
+  }
+}
+
+Status ValidateConfig(const ClusteringConfig& config) {
+  if (config.k == 0) return Status::InvalidArgument("k must be > 0");
+  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  if (config.minibatch_size == 0) {
+    return Status::InvalidArgument("minibatch_size must be > 0");
+  }
+  return Status::OK();
+}
+
+// NEAREST with balance penalty (Alg 1 line 8): the assignment cost is
+// distance + lambda * scale * (size_of_cluster / expected_size). `scale`
+// tracks the running mean assignment distance so lambda is dimensionless.
+uint32_t NearestPenalized(const Centroids& c,
+                          const std::vector<uint64_t>& sizes,
+                          uint64_t total_assigned, float lambda, float scale,
+                          const std::vector<float>& dist_buf) {
+  const double expected =
+      std::max<double>(1.0, static_cast<double>(total_assigned) / c.k);
+  uint32_t best = 0;
+  float best_cost = std::numeric_limits<float>::max();
+  for (uint32_t j = 0; j < c.k; ++j) {
+    float cost = dist_buf[j];
+    if (lambda > 0.f) {
+      cost += lambda * scale *
+              static_cast<float>(static_cast<double>(sizes[j]) / expected);
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MemoryVectorSampler::MemoryVectorSampler(const float* data, size_t n,
+                                         size_t dim, uint64_t seed)
+    : data_(data), n_(n), dim_(dim), state_(seed) {}
+
+Status MemoryVectorSampler::SampleBatch(size_t n, float* out, size_t* got) {
+  Rng rng(state_);
+  state_ = rng.Next();  // advance the stream across calls
+  const size_t produce = std::min(n, n_);
+  for (size_t i = 0; i < produce; ++i) {
+    const size_t row = rng.Uniform(n_);
+    std::memcpy(out + i * dim_, data_ + row * dim_, dim_ * sizeof(float));
+  }
+  *got = produce;
+  return Status::OK();
+}
+
+Result<Centroids> TrainMiniBatchKMeans(const ClusteringConfig& config,
+                                       VectorSampler* sampler) {
+  MICRONN_RETURN_IF_ERROR(ValidateConfig(config));
+  const uint32_t k = config.k;
+  const uint32_t dim = config.dim;
+  const size_t s = config.minibatch_size;
+
+  // Working-set accounting: centroids + one mini-batch + per-vector
+  // distance buffer. This is everything the trainer keeps in memory.
+  const size_t working_bytes =
+      (size_t{k} * dim + s * dim + k) * sizeof(float) + k * sizeof(uint64_t);
+  ScopedMemoryReservation mem(MemoryCategory::kClustering, working_bytes);
+
+  Centroids centroids;
+  centroids.k = k;
+  centroids.dim = dim;
+  centroids.metric = config.metric;
+  centroids.data.assign(size_t{k} * dim, 0.f);
+
+  std::vector<float> batch(s * dim);
+  std::vector<float> dist_buf(k);
+  std::vector<uint64_t> sizes(k, 0);
+  std::vector<uint32_t> assign(s, 0);
+
+  // Init: each centroid starts at a random sample (Alg 1 line 2). Sample
+  // in chunks until k rows are gathered.
+  {
+    size_t have = 0;
+    int attempts = 0;
+    while (have < k && attempts < 64) {
+      size_t got = 0;
+      const size_t want = std::min(s, size_t{k} - have);
+      MICRONN_RETURN_IF_ERROR(sampler->SampleBatch(want, batch.data(), &got));
+      if (got == 0) {
+        ++attempts;
+        continue;
+      }
+      std::memcpy(centroids.row(static_cast<uint32_t>(have)), batch.data(),
+                  got * dim * sizeof(float));
+      have += got;
+    }
+    if (have == 0) {
+      return Status::InvalidArgument("sampler produced no vectors");
+    }
+    // Under-filled tail (collection smaller than k): replicate with jitter
+    // so every centroid is initialized.
+    Rng rng(config.seed ^ 0x5eedULL);
+    for (size_t i = have; i < k; ++i) {
+      const size_t src = rng.Uniform(have);
+      float* dst = centroids.row(static_cast<uint32_t>(i));
+      std::memcpy(dst, centroids.row(static_cast<uint32_t>(src)),
+                  dim * sizeof(float));
+      for (uint32_t d = 0; d < dim; ++d) {
+        dst[d] += 1e-3f * static_cast<float>(rng.NextGaussian());
+      }
+    }
+    if (config.metric == Metric::kCosine) {
+      for (uint32_t j = 0; j < k; ++j) NormalizeRow(centroids.row(j), dim);
+    }
+  }
+
+  float dist_scale = 1.0f;  // running mean of assignment distances
+  uint64_t total_assigned = 0;
+  for (uint32_t iter = 0; iter < config.iterations; ++iter) {
+    size_t got = 0;
+    MICRONN_RETURN_IF_ERROR(sampler->SampleBatch(s, batch.data(), &got));
+    if (got == 0) break;
+    // Assignment pass (lines 7-8), cached in `assign` (the d map).
+    double batch_dist_sum = 0;
+    for (size_t i = 0; i < got; ++i) {
+      const float* x = batch.data() + i * dim;
+      DistanceOneToMany(config.metric, x, centroids.data.data(), k, dim,
+                        dist_buf.data());
+      const uint32_t c =
+          NearestPenalized(centroids, sizes, total_assigned,
+                           config.balance_lambda, dist_scale, dist_buf);
+      assign[i] = c;
+      batch_dist_sum += dist_buf[c];
+    }
+    dist_scale = 0.5f * dist_scale +
+                 0.5f * static_cast<float>(batch_dist_sum /
+                                           static_cast<double>(got));
+    // Update pass (lines 9-13): per-center learning rate 1/v[c].
+    for (size_t i = 0; i < got; ++i) {
+      const uint32_t c = assign[i];
+      sizes[c] += 1;
+      ++total_assigned;
+      const float eta = 1.0f / static_cast<float>(sizes[c]);
+      float* centroid = centroids.row(c);
+      const float* x = batch.data() + i * dim;
+      for (uint32_t d = 0; d < dim; ++d) {
+        centroid[d] = (1.0f - eta) * centroid[d] + eta * x[d];
+      }
+    }
+    if (config.metric == Metric::kCosine) {
+      for (uint32_t j = 0; j < k; ++j) NormalizeRow(centroids.row(j), dim);
+    }
+  }
+  return centroids;
+}
+
+Result<Centroids> TrainFullKMeans(const ClusteringConfig& config,
+                                  const float* data, size_t n) {
+  MICRONN_RETURN_IF_ERROR(ValidateConfig(config));
+  if (n == 0) return Status::InvalidArgument("empty dataset");
+  const uint32_t k = config.k;
+  const uint32_t dim = config.dim;
+
+  // Lloyd's algorithm buffers the whole dataset (the caller already holds
+  // `data`; account for the trainer's own state: centroids, sums, counts,
+  // assignments).
+  const size_t working_bytes = (2 * size_t{k} * dim + k) * sizeof(float) +
+                               n * sizeof(uint32_t) + k * sizeof(uint64_t);
+  ScopedMemoryReservation mem(MemoryCategory::kClustering, working_bytes);
+
+  Centroids centroids;
+  centroids.k = k;
+  centroids.dim = dim;
+  centroids.metric = config.metric;
+  centroids.data.resize(size_t{k} * dim);
+
+  // k-means++-lite init: distinct random rows.
+  Rng rng(config.seed);
+  for (uint32_t j = 0; j < k; ++j) {
+    const size_t row = rng.Uniform(n);
+    std::memcpy(centroids.row(j), data + row * dim, dim * sizeof(float));
+  }
+  if (config.metric == Metric::kCosine) {
+    for (uint32_t j = 0; j < k; ++j) NormalizeRow(centroids.row(j), dim);
+  }
+
+  std::vector<uint32_t> assign(n, 0);
+  std::vector<double> sums(size_t{k} * dim);
+  std::vector<uint64_t> counts(k);
+  std::vector<float> dist_buf(k);
+  for (uint32_t iter = 0; iter < config.iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      DistanceOneToMany(config.metric, data + i * dim,
+                        centroids.data.data(), k, dim, dist_buf.data());
+      uint32_t best = 0;
+      float best_d = dist_buf[0];
+      for (uint32_t j = 1; j < k; ++j) {
+        if (dist_buf[j] < best_d) {
+          best_d = dist_buf[j];
+          best = j;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t c = assign[i];
+      ++counts[c];
+      double* sum = sums.data() + size_t{c} * dim;
+      const float* x = data + i * dim;
+      for (uint32_t d = 0; d < dim; ++d) sum[d] += x[d];
+    }
+    for (uint32_t j = 0; j < k; ++j) {
+      if (counts[j] == 0) {
+        // Re-seed an empty cluster with a random row.
+        const size_t row = rng.Uniform(n);
+        std::memcpy(centroids.row(j), data + row * dim, dim * sizeof(float));
+        continue;
+      }
+      float* centroid = centroids.row(j);
+      for (uint32_t d = 0; d < dim; ++d) {
+        centroid[d] = static_cast<float>(sums[size_t{j} * dim + d] /
+                                         static_cast<double>(counts[j]));
+      }
+    }
+    if (config.metric == Metric::kCosine) {
+      for (uint32_t j = 0; j < k; ++j) NormalizeRow(centroids.row(j), dim);
+    }
+    if (!changed && iter > 0) break;
+  }
+  return centroids;
+}
+
+uint32_t NearestCentroid(const Centroids& centroids, const float* x) {
+  uint32_t best = 0;
+  float best_d = std::numeric_limits<float>::max();
+  std::vector<float> dist(centroids.k);
+  DistanceOneToMany(centroids.metric, x, centroids.data.data(), centroids.k,
+                    centroids.dim, dist.data());
+  for (uint32_t j = 0; j < centroids.k; ++j) {
+    if (dist[j] < best_d) {
+      best_d = dist[j];
+      best = j;
+    }
+  }
+  return best;
+}
+
+void AssignBlock(const Centroids& centroids, const float* block, size_t n,
+                 std::vector<uint32_t>* out) {
+  out->resize(n);
+  if (n == 0) return;
+  // Process in sub-blocks to bound the n x k distance matrix.
+  constexpr size_t kSub = 64;
+  std::vector<float> dist(kSub * centroids.k);
+  for (size_t i0 = 0; i0 < n; i0 += kSub) {
+    const size_t cnt = std::min(kSub, n - i0);
+    DistanceManyToMany(centroids.metric, block + i0 * centroids.dim, cnt,
+                       centroids.data.data(), centroids.k, centroids.dim,
+                       dist.data());
+    for (size_t i = 0; i < cnt; ++i) {
+      const float* row = dist.data() + i * centroids.k;
+      uint32_t best = 0;
+      float best_d = row[0];
+      for (uint32_t j = 1; j < centroids.k; ++j) {
+        if (row[j] < best_d) {
+          best_d = row[j];
+          best = j;
+        }
+      }
+      (*out)[i0 + i] = best;
+    }
+  }
+}
+
+}  // namespace micronn

@@ -1,0 +1,91 @@
+// Clustering for IVF index construction.
+//
+// Two trainers share one config:
+//   - TrainMiniBatchKMeans: paper Algorithm 1 — mini-batch k-means
+//     (Sculley 2010) with a size penalty in the NEAREST step for flexible
+//     balance constraints (Liu et al. 2018). Memory is O(k*dim + s*dim),
+//     independent of the collection size; batches are pulled through a
+//     VectorSampler so the data never has to fit in RAM.
+//   - TrainFullKMeans: classic Lloyd iterations over a fully materialized
+//     dataset; the InMemory baseline of the paper's Figures 6 and 8
+//     (equivalently, mini-batch with batch size = 100%).
+#ifndef MICRONN_IVF_KMEANS_H_
+#define MICRONN_IVF_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "numerics/metric.h"
+
+namespace micronn {
+
+/// Source of uniformly sampled training vectors. Implementations pull rows
+/// from disk (DiskVectorSampler in the core module) or from memory (tests).
+class VectorSampler {
+ public:
+  virtual ~VectorSampler() = default;
+  /// Fills `out` (capacity n*dim floats, row-major) with up to `n` sampled
+  /// vectors; stores the number produced in *got. Fewer than n (even 0) is
+  /// allowed when the collection is small.
+  virtual Status SampleBatch(size_t n, float* out, size_t* got) = 0;
+};
+
+/// In-memory sampler over a row-major matrix (used by tests and the
+/// InMemory baseline).
+class MemoryVectorSampler : public VectorSampler {
+ public:
+  MemoryVectorSampler(const float* data, size_t n, size_t dim, uint64_t seed);
+  Status SampleBatch(size_t n, float* out, size_t* got) override;
+
+ private:
+  const float* data_;
+  size_t n_;
+  size_t dim_;
+  uint64_t state_;
+};
+
+struct ClusteringConfig {
+  uint32_t k = 0;          // number of clusters (|X| / target size, Alg 1 l.1)
+  uint32_t dim = 0;
+  Metric metric = Metric::kL2;
+  uint32_t minibatch_size = 1024;  // s in Algorithm 1
+  uint32_t iterations = 30;        // n in Algorithm 1
+  /// Weight of the cluster-size penalty in the NEAREST step; 0 disables
+  /// balancing (the ablation knob for bench_ablation_balance).
+  float balance_lambda = 0.5f;
+  uint64_t seed = 42;
+};
+
+/// Trained quantizer: k centroids, row-major k x dim.
+struct Centroids {
+  uint32_t k = 0;
+  uint32_t dim = 0;
+  Metric metric = Metric::kL2;
+  std::vector<float> data;  // k * dim
+
+  const float* row(uint32_t i) const { return data.data() + size_t{i} * dim; }
+  float* row(uint32_t i) { return data.data() + size_t{i} * dim; }
+};
+
+/// Algorithm 1: memory-bounded mini-batch k-means with balance penalty.
+Result<Centroids> TrainMiniBatchKMeans(const ClusteringConfig& config,
+                                       VectorSampler* sampler);
+
+/// Lloyd's algorithm over fully buffered data (n rows, row-major). The
+/// memory-hungry baseline.
+Result<Centroids> TrainFullKMeans(const ClusteringConfig& config,
+                                  const float* data, size_t n);
+
+/// Index of the nearest centroid to `x` (plain NEAREST; Alg 1 line 16's g).
+uint32_t NearestCentroid(const Centroids& centroids, const float* x);
+
+/// Nearest centroid for a block of vectors (row-major n x dim); writes one
+/// centroid index per row into `out`. Uses blocked batch distances.
+void AssignBlock(const Centroids& centroids, const float* block, size_t n,
+                 std::vector<uint32_t>* out);
+
+}  // namespace micronn
+
+#endif  // MICRONN_IVF_KMEANS_H_

@@ -1,0 +1,47 @@
+#include "ivf/maintenance.h"
+
+#include <cmath>
+
+namespace micronn {
+
+Result<IndexStats> ComputeIndexStats(const CentroidSet& centroids,
+                                     BTree meta) {
+  IndexStats stats;
+  stats.n_partitions = static_cast<uint32_t>(centroids.size());
+  stats.index_version = centroids.index_version;
+  MICRONN_ASSIGN_OR_RETURN(stats.delta_count,
+                           MetaGetU64(&meta, kMetaDeltaCount, 0));
+  MICRONN_ASSIGN_OR_RETURN(stats.base_avg_partition_size,
+                           MetaGetF64(&meta, kMetaBaseAvgPartition, 0.0));
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  double sum_sq = 0;
+  for (const uint64_t c : centroids.counts) {
+    sum += c;
+    max = std::max(max, c);
+    sum_sq += static_cast<double>(c) * static_cast<double>(c);
+  }
+  stats.total_vectors = sum + stats.delta_count;
+  stats.max_partition_size = max;
+  if (stats.n_partitions > 0) {
+    const double mean =
+        static_cast<double>(sum) / static_cast<double>(stats.n_partitions);
+    stats.avg_partition_size = mean;
+    const double var =
+        sum_sq / static_cast<double>(stats.n_partitions) - mean * mean;
+    stats.size_cv = mean > 0 ? std::sqrt(std::max(0.0, var)) / mean : 0.0;
+  }
+  return stats;
+}
+
+bool ShouldFullRebuild(const IndexStats& stats, const RebuildPolicy& policy) {
+  if (stats.n_partitions == 0) {
+    // Never built: any content at all warrants a first build.
+    return stats.total_vectors > 0;
+  }
+  if (stats.base_avg_partition_size <= 0) return false;
+  return stats.avg_partition_size >=
+         stats.base_avg_partition_size * (1.0 + policy.growth_threshold);
+}
+
+}  // namespace micronn

@@ -1,0 +1,49 @@
+// Index monitoring and maintenance policy (paper §3.6 and Figure 1's
+// "Index Monitor").
+//
+// The monitor tracks partition-size growth relative to the last full
+// build. Incremental maintenance (delta flush with centroid nudging) is
+// cheap but lets partitions grow; when the average partition size exceeds
+// the configured growth threshold over its post-build baseline, a full
+// rebuild is triggered ("we prevent unbounded growth of query latency by
+// allowing clients to put a threshold on average partition size growth").
+#ifndef MICRONN_IVF_MAINTENANCE_H_
+#define MICRONN_IVF_MAINTENANCE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "ivf/centroid_set.h"
+#include "ivf/schema.h"
+
+namespace micronn {
+
+/// A point-in-time view of index health.
+struct IndexStats {
+  uint32_t n_partitions = 0;        // real partitions (delta excluded)
+  uint64_t total_vectors = 0;       // rows incl. delta
+  uint64_t delta_count = 0;         // rows in the delta store
+  double avg_partition_size = 0;    // mean over real partitions
+  double base_avg_partition_size = 0;  // at the last full build
+  double size_cv = 0;               // coefficient of variation of sizes
+  uint64_t max_partition_size = 0;
+  uint64_t index_version = 0;       // bumped on every full build
+};
+
+/// Thresholds for maintenance decisions.
+struct RebuildPolicy {
+  /// Full rebuild when avg partition size >= base * (1 + growth_threshold).
+  /// Paper's experiment (Fig. 10) uses 0.5.
+  double growth_threshold = 0.5;
+};
+
+/// Derives stats from a loaded centroid set + meta values.
+Result<IndexStats> ComputeIndexStats(const CentroidSet& centroids,
+                                     BTree meta);
+
+/// True when the growth criterion mandates a full rebuild.
+bool ShouldFullRebuild(const IndexStats& stats, const RebuildPolicy& policy);
+
+}  // namespace micronn
+
+#endif  // MICRONN_IVF_MAINTENANCE_H_

@@ -1,0 +1,84 @@
+#include "ivf/scan.h"
+
+#include <cstring>
+
+#include "storage/key_encoding.h"
+
+namespace micronn {
+
+namespace {
+
+// Shared scan core: iterates the cursor while keys satisfy `in_range`,
+// assembling blocks.
+Status ScanRange(BTree* vectors, BTreeCursor* cursor, uint32_t dim,
+                 const RowFilter& filter, const BlockCallback& cb,
+                 ScanCounters* counters,
+                 const std::function<bool(std::string_view)>& in_range) {
+  (void)vectors;
+  std::vector<uint64_t> vids(kScanBlockRows);
+  AlignedFloatBuffer block(kScanBlockRows * dim);
+  size_t fill = 0;
+
+  auto flush = [&]() -> Status {
+    if (fill == 0) return Status::OK();
+    ScanBlock sb;
+    sb.vids = vids.data();
+    sb.data = block.data();
+    sb.count = fill;
+    MICRONN_RETURN_IF_ERROR(cb(sb));
+    fill = 0;
+    return Status::OK();
+  };
+
+  while (cursor->Valid() && in_range(cursor->key())) {
+    uint32_t partition;
+    uint64_t vid;
+    MICRONN_RETURN_IF_ERROR(ParseVectorKey(cursor->key(), &partition, &vid));
+    if (filter) {
+      MICRONN_ASSIGN_OR_RETURN(bool keep, filter(vid));
+      if (!keep) {
+        if (counters != nullptr) ++counters->rows_filtered;
+        MICRONN_RETURN_IF_ERROR(cursor->Next());
+        continue;
+      }
+    }
+    MICRONN_ASSIGN_OR_RETURN(std::string value, cursor->value());
+    VectorRow row;
+    MICRONN_RETURN_IF_ERROR(DecodeVectorRow(value, dim, &row));
+    vids[fill] = vid;
+    std::memcpy(block.data() + fill * dim, row.vector_blob.data(),
+                dim * sizeof(float));
+    ++fill;
+    if (counters != nullptr) ++counters->rows_scanned;
+    if (fill == kScanBlockRows) {
+      MICRONN_RETURN_IF_ERROR(flush());
+    }
+    MICRONN_RETURN_IF_ERROR(cursor->Next());
+  }
+  return flush();
+}
+
+}  // namespace
+
+Status ScanPartition(BTree vectors, uint32_t partition, uint32_t dim,
+                     const RowFilter& filter, const BlockCallback& cb,
+                     ScanCounters* counters) {
+  const std::string prefix = PartitionPrefix(partition);
+  BTreeCursor cursor = vectors.NewCursor();
+  MICRONN_RETURN_IF_ERROR(cursor.Seek(prefix));
+  return ScanRange(&vectors, &cursor, dim, filter, cb, counters,
+                   [&prefix](std::string_view key) {
+                     return key.size() >= prefix.size() &&
+                            key.substr(0, prefix.size()) == prefix;
+                   });
+}
+
+Status ScanAllPartitions(BTree vectors, uint32_t dim, const RowFilter& filter,
+                         const BlockCallback& cb, ScanCounters* counters) {
+  BTreeCursor cursor = vectors.NewCursor();
+  MICRONN_RETURN_IF_ERROR(cursor.SeekToFirst());
+  return ScanRange(&vectors, &cursor, dim, filter, cb, counters,
+                   [](std::string_view) { return true; });
+}
+
+}  // namespace micronn

@@ -1,0 +1,62 @@
+// Partition scanning: the inner loop of ANN search, batch search, and
+// exact search.
+//
+// Rows of one partition are physically contiguous in the vectors table
+// (clustered key), so a partition scan is a short range scan. Rows are
+// decoded into fixed-size blocks whose layout matches the SIMD kernels
+// ("the format expected by the matrix multiplication library", §3.3) —
+// no per-row marshalling.
+#ifndef MICRONN_IVF_SCAN_H_
+#define MICRONN_IVF_SCAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "ivf/schema.h"
+#include "numerics/aligned_buffer.h"
+
+namespace micronn {
+
+/// Predicate applied to each row before it enters a distance block;
+/// returning false drops the row (the paper's post-filter pushdown: rows
+/// failing the attribute constraint are "filtered before being considered
+/// in the top-K computation"). May fail (it reads the attributes table).
+using RowFilter = std::function<Result<bool>(uint64_t vid)>;
+
+/// One decoded block of partition rows.
+struct ScanBlock {
+  const uint64_t* vids = nullptr;   // row ids
+  const float* data = nullptr;      // row-major count x dim
+  size_t count = 0;
+};
+
+/// Receives blocks during a scan; returning an error aborts the scan.
+using BlockCallback = std::function<Status(const ScanBlock&)>;
+
+/// Scan statistics (observability + the paper's I/O accounting).
+struct ScanCounters {
+  uint64_t rows_scanned = 0;    // rows decoded (after filtering)
+  uint64_t rows_filtered = 0;   // rows dropped by the filter
+};
+
+/// Number of rows per decoded block.
+inline constexpr size_t kScanBlockRows = 256;
+
+/// Scans partition `partition` of `vectors` (dim-float rows), assembling
+/// blocks of up to kScanBlockRows rows and invoking `cb` per block. The
+/// filter (optional) is applied before block assembly.
+Status ScanPartition(BTree vectors, uint32_t partition, uint32_t dim,
+                     const RowFilter& filter, const BlockCallback& cb,
+                     ScanCounters* counters);
+
+/// Scans the entire vectors table (every partition, delta included) — the
+/// exact-KNN path.
+Status ScanAllPartitions(BTree vectors, uint32_t dim, const RowFilter& filter,
+                         const BlockCallback& cb, ScanCounters* counters);
+
+}  // namespace micronn
+
+#endif  // MICRONN_IVF_SCAN_H_

@@ -1,0 +1,114 @@
+// Relational schema of a MicroNN database (paper Figure 2).
+//
+// Tables (all are storage-engine B+Trees; key encodings from
+// storage/key_encoding.h):
+//   vectors    key (u32 partition, u64 vid) -> row {asset_id, vector blob}
+//              The clustered primary key: one IVF partition is a contiguous
+//              key range, hence physically contiguous leaf pages.
+//   vidmap     key u64 vid -> u32 partition. Location index used by
+//              upsert/delete and the pre-filter executor. Swapped together
+//              with `vectors` on rebuild.
+//   assets     key string asset_id -> u64 vid. Stable across rebuilds
+//              (vids are assigned once per asset).
+//   centroids  key u32 partition -> {u64 count, centroid blob}
+//   attributes key u64 vid -> serialized attribute record (query module)
+//   meta       key string -> value (dim, metric, counters, versions)
+//
+// Partition 0 is the delta store (§3.6): "the delta-store is represented by
+// assigning a reserved partition identifier".
+#ifndef MICRONN_IVF_SCHEMA_H_
+#define MICRONN_IVF_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "numerics/metric.h"
+#include "storage/btree.h"
+#include "storage/engine.h"
+
+namespace micronn {
+
+/// The reserved delta-store partition (always scanned by ANN search).
+inline constexpr uint32_t kDeltaPartition = 0;
+/// Real IVF partitions are numbered from 1.
+inline constexpr uint32_t kFirstPartition = 1;
+
+/// Table names.
+inline constexpr const char* kVectorsTable = "vectors";
+inline constexpr const char* kVidMapTable = "vidmap";
+inline constexpr const char* kAssetsTable = "assets";
+inline constexpr const char* kCentroidsTable = "centroids";
+inline constexpr const char* kAttributesTable = "attributes";
+inline constexpr const char* kMetaTable = "meta";
+/// Staging tables used during a chunked full rebuild.
+inline constexpr const char* kVectorsNewTable = "vectors#new";
+inline constexpr const char* kVidMapNewTable = "vidmap#new";
+/// Previous-generation tables awaiting chunked cleanup after a swap.
+inline constexpr const char* kVectorsOldTable = "vectors#old";
+inline constexpr const char* kVidMapOldTable = "vidmap#old";
+
+/// Meta keys.
+inline constexpr const char* kMetaDim = "dim";
+inline constexpr const char* kMetaMetric = "metric";
+inline constexpr const char* kMetaNextVid = "next_vid";
+inline constexpr const char* kMetaNumPartitions = "n_partitions";
+inline constexpr const char* kMetaDeltaCount = "delta_count";
+inline constexpr const char* kMetaBaseAvgPartition = "base_avg_partition";
+inline constexpr const char* kMetaIndexVersion = "index_version";
+inline constexpr const char* kMetaRebuildInProgress = "rebuild_in_progress";
+inline constexpr const char* kMetaCleanupPending = "cleanup_pending";
+inline constexpr const char* kMetaTargetClusterSize = "target_cluster_size";
+inline constexpr const char* kMetaStatsVersion = "stats_version";
+
+// --- Key builders ---
+
+/// (partition, vid) clustered key of the vectors table.
+std::string VectorKey(uint32_t partition, uint64_t vid);
+/// Prefix covering one partition of the vectors table.
+std::string PartitionPrefix(uint32_t partition);
+Status ParseVectorKey(std::string_view key, uint32_t* partition,
+                      uint64_t* vid);
+
+// --- Row codecs ---
+
+/// Vectors-table row payload.
+struct VectorRow {
+  std::string asset_id;
+  std::string_view vector_blob;  // raw little-endian floats (dim * 4 bytes)
+};
+
+std::string EncodeVectorRow(std::string_view asset_id,
+                            const float* vec, size_t dim);
+Status DecodeVectorRow(std::string_view value, size_t dim, VectorRow* out);
+
+/// Centroids-table row payload.
+struct CentroidRow {
+  uint64_t count = 0;
+  std::vector<float> centroid;
+};
+
+std::string EncodeCentroidRow(uint64_t count, const float* centroid,
+                              size_t dim);
+Status DecodeCentroidRow(std::string_view value, size_t dim,
+                         CentroidRow* out);
+
+/// vidmap row payload: the partition currently holding a vid.
+std::string EncodeVidMapValue(uint32_t partition);
+Status DecodeVidMapValue(std::string_view value, uint32_t* partition);
+
+// --- Meta accessors (operate on the meta table through any view) ---
+
+Result<uint64_t> MetaGetU64(BTree* meta, std::string_view key,
+                            uint64_t default_value);
+Status MetaPutU64(BTree* meta, std::string_view key, uint64_t value);
+Result<double> MetaGetF64(BTree* meta, std::string_view key,
+                          double default_value);
+Status MetaPutF64(BTree* meta, std::string_view key, double value);
+
+}  // namespace micronn
+
+#endif  // MICRONN_IVF_SCHEMA_H_

@@ -1,0 +1,161 @@
+#include "ivf/search.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <unordered_set>
+
+#include "numerics/distance.h"
+#include "storage/key_encoding.h"
+
+namespace micronn {
+
+namespace {
+
+// Scans one partition into a heap: the per-worker body of Algorithm 2's
+// parallel loop (lines 4-10).
+Status ScanPartitionIntoHeap(BTree vectors, uint32_t partition, Metric metric,
+                             uint32_t dim, const float* query,
+                             const RowFilter& filter, TopKHeap* heap,
+                             ScanCounters* scan_counters) {
+  std::vector<float> dist(kScanBlockRows);
+  return ScanPartition(
+      vectors, partition, dim, filter,
+      [&](const ScanBlock& block) -> Status {
+        DistanceOneToMany(metric, query, block.data, block.count, dim,
+                          dist.data());
+        for (size_t i = 0; i < block.count; ++i) {
+          heap->Push(block.vids[i], dist[i]);
+        }
+        return Status::OK();
+      },
+      scan_counters);
+}
+
+}  // namespace
+
+Result<std::vector<Neighbor>> AnnSearch(BTree vectors,
+                                        const CentroidSet& centroids,
+                                        uint32_t dim, const float* query,
+                                        const AnnSearchParams& params,
+                                        ThreadPool* pool,
+                                        const RowFilter& filter,
+                                        SearchCounters* counters) {
+  if (params.k == 0) {
+    return Status::InvalidArgument("k must be > 0");
+  }
+  const Metric metric = centroids.centroids.metric;
+  // Line 3: n nearest partitions, plus the delta partition (always).
+  std::vector<uint32_t> probe =
+      centroids.FindNearestPartitions(query, params.nprobe);
+  probe.push_back(kDeltaPartition);
+
+  std::vector<TopKHeap> heaps(probe.size(), TopKHeap(params.k));
+  std::vector<ScanCounters> scan_counters(probe.size());
+  std::vector<Status> statuses(probe.size());
+
+  if (pool != nullptr && probe.size() > 1) {
+    std::atomic<size_t> next{0};
+    const size_t workers = std::min(pool->num_threads(), probe.size());
+    WaitGroup wg;
+    wg.Add(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool->Submit([&]() {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= probe.size()) break;
+          statuses[i] = ScanPartitionIntoHeap(vectors, probe[i], metric, dim,
+                                              query, filter, &heaps[i],
+                                              &scan_counters[i]);
+        }
+        wg.Done();
+      });
+    }
+    wg.Wait();
+  } else {
+    for (size_t i = 0; i < probe.size(); ++i) {
+      statuses[i] = ScanPartitionIntoHeap(vectors, probe[i], metric, dim,
+                                          query, filter, &heaps[i],
+                                          &scan_counters[i]);
+    }
+  }
+  for (const Status& st : statuses) {
+    MICRONN_RETURN_IF_ERROR(st);
+  }
+  if (counters != nullptr) {
+    counters->partitions_scanned += probe.size();
+    for (const ScanCounters& sc : scan_counters) {
+      counters->rows_scanned += sc.rows_scanned;
+      counters->rows_filtered += sc.rows_filtered;
+    }
+  }
+  // Line 11: merge per-worker heaps and sort.
+  return MergeHeapsSorted(heaps, params.k);
+}
+
+Result<std::vector<Neighbor>> ExactSearch(BTree vectors, Metric metric,
+                                          uint32_t dim, const float* query,
+                                          uint32_t k, const RowFilter& filter,
+                                          SearchCounters* counters) {
+  TopKHeap heap(k);
+  std::vector<float> dist(kScanBlockRows);
+  ScanCounters sc;
+  MICRONN_RETURN_IF_ERROR(ScanAllPartitions(
+      vectors, dim, filter,
+      [&](const ScanBlock& block) -> Status {
+        DistanceOneToMany(metric, query, block.data, block.count, dim,
+                          dist.data());
+        for (size_t i = 0; i < block.count; ++i) {
+          heap.Push(block.vids[i], dist[i]);
+        }
+        return Status::OK();
+      },
+      &sc));
+  if (counters != nullptr) {
+    counters->rows_scanned += sc.rows_scanned;
+    counters->rows_filtered += sc.rows_filtered;
+  }
+  return heap.TakeSorted();
+}
+
+Result<std::vector<Neighbor>> SearchByVids(BTree vectors, BTree vidmap,
+                                           Metric metric, uint32_t dim,
+                                           const float* query, uint32_t k,
+                                           const std::vector<uint64_t>& vids,
+                                           SearchCounters* counters) {
+  TopKHeap heap(k);
+  std::vector<float> vec(dim);
+  for (const uint64_t vid : vids) {
+    MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> loc,
+                             vidmap.Get(key::U64(vid)));
+    if (!loc.has_value()) continue;  // row vanished (deleted)
+    uint32_t partition;
+    MICRONN_RETURN_IF_ERROR(DecodeVidMapValue(*loc, &partition));
+    MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> row,
+                             vectors.Get(VectorKey(partition, vid)));
+    if (!row.has_value()) {
+      return Status::Corruption("vidmap points at missing vector row");
+    }
+    VectorRow vr;
+    MICRONN_RETURN_IF_ERROR(DecodeVectorRow(*row, dim, &vr));
+    const float* v = reinterpret_cast<const float*>(vr.vector_blob.data());
+    heap.Push(vid, Distance(metric, query, v, dim));
+    if (counters != nullptr) ++counters->rows_scanned;
+  }
+  return heap.TakeSorted();
+}
+
+double RecallAtK(const std::vector<Neighbor>& got,
+                 const std::vector<Neighbor>& expected) {
+  if (expected.empty()) return 1.0;
+  std::unordered_set<uint64_t> truth;
+  truth.reserve(expected.size());
+  for (const Neighbor& n : expected) truth.insert(n.id);
+  size_t hits = 0;
+  for (const Neighbor& n : got) {
+    hits += truth.count(n.id);
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace micronn

@@ -1,0 +1,67 @@
+// ANN and exact KNN search (paper Algorithm 2 and §3.3).
+//
+// AnnSearch scans the n nearest partitions *plus the delta partition*
+// (always), in parallel across a thread pool, keeping one bounded top-k
+// heap per scan task and merging at the end. Distances are computed over
+// decoded row blocks with the SIMD kernels.
+#ifndef MICRONN_IVF_SEARCH_H_
+#define MICRONN_IVF_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "ivf/centroid_set.h"
+#include "ivf/scan.h"
+#include "ivf/schema.h"
+#include "numerics/topk.h"
+
+namespace micronn {
+
+struct AnnSearchParams {
+  uint32_t k = 10;       // result size (paper's K)
+  uint32_t nprobe = 8;   // partitions to scan (paper's n)
+};
+
+/// Per-query execution counters, surfaced for benchmarks and tests.
+struct SearchCounters {
+  uint64_t partitions_scanned = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_filtered = 0;
+};
+
+/// Algorithm 2. `query` must already be normalized when metric == kCosine.
+/// `pool` may be null (serial scan). `filter` may be empty.
+Result<std::vector<Neighbor>> AnnSearch(BTree vectors,
+                                        const CentroidSet& centroids,
+                                        uint32_t dim, const float* query,
+                                        const AnnSearchParams& params,
+                                        ThreadPool* pool,
+                                        const RowFilter& filter,
+                                        SearchCounters* counters);
+
+/// Exhaustive exact KNN over the whole vectors table (the paper's exact
+/// search mode; also the ground-truth generator for recall).
+Result<std::vector<Neighbor>> ExactSearch(BTree vectors, Metric metric,
+                                          uint32_t dim, const float* query,
+                                          uint32_t k, const RowFilter& filter,
+                                          SearchCounters* counters);
+
+/// Brute-force top-k over an explicit list of row ids (the pre-filtering
+/// executor's second stage): fetches each vid via vidmap -> vectors and
+/// scores it. 100% recall over the candidate set by construction.
+Result<std::vector<Neighbor>> SearchByVids(BTree vectors, BTree vidmap,
+                                           Metric metric, uint32_t dim,
+                                           const float* query, uint32_t k,
+                                           const std::vector<uint64_t>& vids,
+                                           SearchCounters* counters);
+
+/// Recall@k of `got` against ground truth `expected` (both ascending by
+/// distance): |got ∩ expected| / |expected|.
+double RecallAtK(const std::vector<Neighbor>& got,
+                 const std::vector<Neighbor>& expected);
+
+}  // namespace micronn
+
+#endif  // MICRONN_IVF_SEARCH_H_

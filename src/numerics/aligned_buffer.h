@@ -1,0 +1,72 @@
+// 64-byte-aligned float storage for SIMD kernels.
+#ifndef MICRONN_NUMERICS_ALIGNED_BUFFER_H_
+#define MICRONN_NUMERICS_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace micronn {
+
+/// A fixed-capacity, 64-byte aligned float array. Move-only.
+class AlignedFloatBuffer {
+ public:
+  AlignedFloatBuffer() = default;
+
+  explicit AlignedFloatBuffer(size_t count) { Reset(count); }
+
+  AlignedFloatBuffer(AlignedFloatBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        count_(std::exchange(other.count_, 0)) {}
+
+  AlignedFloatBuffer& operator=(AlignedFloatBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      count_ = std::exchange(other.count_, 0);
+    }
+    return *this;
+  }
+
+  AlignedFloatBuffer(const AlignedFloatBuffer&) = delete;
+  AlignedFloatBuffer& operator=(const AlignedFloatBuffer&) = delete;
+
+  ~AlignedFloatBuffer() { Free(); }
+
+  /// Reallocates to hold `count` floats; contents are zeroed.
+  void Reset(size_t count) {
+    Free();
+    count_ = count;
+    if (count == 0) return;
+    // Round the byte size up to the 64-byte alignment required by
+    // std::aligned_alloc.
+    size_t bytes = (count * sizeof(float) + 63) / 64 * 64;
+    data_ = static_cast<float*>(std::aligned_alloc(64, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    std::memset(data_, 0, bytes);
+  }
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+ private:
+  void Free() {
+    std::free(data_);
+    data_ = nullptr;
+    count_ = 0;
+  }
+
+  float* data_ = nullptr;
+  size_t count_ = 0;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_NUMERICS_ALIGNED_BUFFER_H_

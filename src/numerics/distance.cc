@@ -1,0 +1,153 @@
+#include "numerics/distance.h"
+
+#include <atomic>
+#include <cmath>
+
+namespace micronn {
+
+namespace internal {
+
+float L2SquaredScalar(const float* a, const float* b, size_t d) {
+  float acc = 0.f;
+  for (size_t i = 0; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+float DotScalar(const float* a, const float* b, size_t d) {
+  float acc = 0.f;
+  for (size_t i = 0; i < d; ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+// Implemented in distance_simd.cc with GCC target attributes.
+float L2SquaredAvx2(const float* a, const float* b, size_t d);
+float DotAvx2(const float* a, const float* b, size_t d);
+float L2SquaredAvx512(const float* a, const float* b, size_t d);
+float DotAvx512(const float* a, const float* b, size_t d);
+bool CpuHasAvx2();
+bool CpuHasAvx512();
+
+}  // namespace internal
+
+namespace {
+
+using KernelFn = float (*)(const float*, const float*, size_t);
+
+struct Dispatch {
+  KernelFn l2;
+  KernelFn dot;
+  SimdLevel level;
+};
+
+Dispatch MakeDispatch(SimdLevel want) {
+  if (want == SimdLevel::kAvx512 && internal::CpuHasAvx512()) {
+    return {internal::L2SquaredAvx512, internal::DotAvx512,
+            SimdLevel::kAvx512};
+  }
+  if (want >= SimdLevel::kAvx2 && internal::CpuHasAvx2()) {
+    return {internal::L2SquaredAvx2, internal::DotAvx2, SimdLevel::kAvx2};
+  }
+  return {internal::L2SquaredScalar, internal::DotScalar, SimdLevel::kScalar};
+}
+
+std::atomic<const Dispatch*> g_dispatch{nullptr};
+
+const Dispatch* GetDispatch() {
+  const Dispatch* d = g_dispatch.load(std::memory_order_acquire);
+  if (d == nullptr) {
+    // First call: detect the best level. Leaked singleton by design.
+    static const Dispatch* best = new Dispatch(MakeDispatch(SimdLevel::kAvx512));
+    g_dispatch.store(best, std::memory_order_release);
+    d = best;
+  }
+  return d;
+}
+
+}  // namespace
+
+std::string_view SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+SimdLevel ActiveSimdLevel() { return GetDispatch()->level; }
+
+void SetSimdLevel(SimdLevel level) {
+  // Intentionally leaked; kernels may be running concurrently with the old
+  // table and a Dispatch is immutable once published.
+  g_dispatch.store(new Dispatch(MakeDispatch(level)),
+                   std::memory_order_release);
+}
+
+float L2Squared(const float* a, const float* b, size_t d) {
+  return GetDispatch()->l2(a, b, d);
+}
+
+float Dot(const float* a, const float* b, size_t d) {
+  return GetDispatch()->dot(a, b, d);
+}
+
+float Norm(const float* a, size_t d) { return std::sqrt(Dot(a, a, d)); }
+
+float Distance(Metric metric, const float* a, const float* b, size_t d) {
+  switch (metric) {
+    case Metric::kL2:
+      return L2Squared(a, b, d);
+    case Metric::kInnerProduct:
+      return -Dot(a, b, d);
+    case Metric::kCosine:
+      // Ingest normalizes vectors, so 1 - dot == 1 - cos(a, b).
+      return 1.0f - Dot(a, b, d);
+  }
+  return 0.f;
+}
+
+void DistanceOneToMany(Metric metric, const float* query, const float* data,
+                       size_t n, size_t d, float* out) {
+  const Dispatch* disp = GetDispatch();
+  switch (metric) {
+    case Metric::kL2:
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = disp->l2(query, data + i * d, d);
+      }
+      break;
+    case Metric::kInnerProduct:
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = -disp->dot(query, data + i * d, d);
+      }
+      break;
+    case Metric::kCosine:
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = 1.0f - disp->dot(query, data + i * d, d);
+      }
+      break;
+  }
+}
+
+void DistanceManyToMany(Metric metric, const float* queries, size_t q,
+                        const float* data, size_t n, size_t d, float* out) {
+  // Block over data rows so a block stays hot in cache while all q queries
+  // stream over it. Block size tuned for ~256 KiB of data rows at d=128.
+  constexpr size_t kRowBlock = 512;
+  for (size_t j0 = 0; j0 < n; j0 += kRowBlock) {
+    const size_t j1 = (j0 + kRowBlock < n) ? j0 + kRowBlock : n;
+    for (size_t i = 0; i < q; ++i) {
+      DistanceOneToMany(metric, queries + i * d, data + j0 * d, j1 - j0, d,
+                        out + i * n + j0);
+    }
+  }
+}
+
+}  // namespace micronn

@@ -1,0 +1,66 @@
+// Distance kernels (paper §3.1, §3.3: "SIMD accelerated floating point
+// operations during query processing").
+//
+// Three implementation tiers — scalar, AVX2+FMA, AVX-512 — selected once at
+// process start via CPUID. The scalar tier is the reference implementation;
+// tests assert bit-level-tolerant parity between tiers.
+#ifndef MICRONN_NUMERICS_DISTANCE_H_
+#define MICRONN_NUMERICS_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "numerics/metric.h"
+
+namespace micronn {
+
+/// Which SIMD tier the dispatcher selected.
+enum class SimdLevel : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+std::string_view SimdLevelName(SimdLevel level);
+
+/// The SIMD tier in use for this process (CPUID-detected, overridable).
+SimdLevel ActiveSimdLevel();
+
+/// Forces a specific tier; used by tests and the SIMD ablation benchmark.
+/// Requesting a tier the CPU does not support falls back to the best
+/// supported tier.
+void SetSimdLevel(SimdLevel level);
+
+/// Squared Euclidean distance between two d-dimensional vectors.
+float L2Squared(const float* a, const float* b, size_t d);
+
+/// Dot product of two d-dimensional vectors.
+float Dot(const float* a, const float* b, size_t d);
+
+/// Euclidean norm of a d-dimensional vector.
+float Norm(const float* a, size_t d);
+
+/// Distance under `metric` (smaller = more similar; see metric.h).
+float Distance(Metric metric, const float* a, const float* b, size_t d);
+
+/// Computes distances between one query and `n` vectors stored as
+/// contiguous rows (row i at data + i*d). Writes n distances to `out`.
+void DistanceOneToMany(Metric metric, const float* query, const float* data,
+                       size_t n, size_t d, float* out);
+
+/// Computes the q x n distance block between `q` queries (rows of
+/// `queries`) and `n` data vectors (rows of `data`). out is row-major
+/// q x n: out[i*n + j] = dist(queries_i, data_j).
+///
+/// This is the "batch of vectors as a matrix" path the paper uses both in
+/// clustering (§3.1) and multi-query execution (§3.4): the inner loops are
+/// blocked so that a block of data rows stays in cache while every query
+/// visits it.
+void DistanceManyToMany(Metric metric, const float* queries, size_t q,
+                        const float* data, size_t n, size_t d, float* out);
+
+namespace internal {
+// Scalar reference kernels (always available; used in SIMD parity tests).
+float L2SquaredScalar(const float* a, const float* b, size_t d);
+float DotScalar(const float* a, const float* b, size_t d);
+}  // namespace internal
+
+}  // namespace micronn
+
+#endif  // MICRONN_NUMERICS_DISTANCE_H_

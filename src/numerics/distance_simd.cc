@@ -1,0 +1,113 @@
+// SIMD kernel implementations. Each function carries a GCC `target`
+// attribute so this translation unit compiles without global -mavx flags;
+// the dispatcher in distance.cc only calls a kernel after verifying CPU
+// support, so no illegal instruction can be reached.
+#include <cstddef>
+
+#include <immintrin.h>
+
+namespace micronn {
+namespace internal {
+
+bool CpuHasAvx2() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+bool CpuHasAvx512() { return __builtin_cpu_supports("avx512f"); }
+
+__attribute__((target("avx2,fma"))) float L2SquaredAvx2(const float* a,
+                                                        const float* b,
+                                                        size_t d) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                    _mm256_loadu_ps(b + i));
+    const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8),
+                                    _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= d; i += 8) {
+    const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                    _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+  }
+  acc0 = _mm256_add_ps(acc0, acc1);
+  __m128 lo = _mm256_castps256_ps128(acc0);
+  __m128 hi = _mm256_extractf128_ps(acc0, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  float sum = _mm_cvtss_f32(lo);
+  for (; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) float DotAvx2(const float* a,
+                                                  const float* b, size_t d) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= d; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  acc0 = _mm256_add_ps(acc0, acc1);
+  __m128 lo = _mm256_castps256_ps128(acc0);
+  __m128 hi = _mm256_extractf128_ps(acc0, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  float sum = _mm_cvtss_f32(lo);
+  for (; i < d; ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+__attribute__((target("avx512f"))) float L2SquaredAvx512(const float* a,
+                                                         const float* b,
+                                                         size_t d) {
+  __m512 acc = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    const __m512 diff = _mm512_sub_ps(_mm512_loadu_ps(a + i),
+                                      _mm512_loadu_ps(b + i));
+    acc = _mm512_fmadd_ps(diff, diff, acc);
+  }
+  float sum = _mm512_reduce_add_ps(acc);
+  for (; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+__attribute__((target("avx512f"))) float DotAvx512(const float* a,
+                                                   const float* b, size_t d) {
+  __m512 acc = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    acc = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                          acc);
+  }
+  float sum = _mm512_reduce_add_ps(acc);
+  for (; i < d; ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+}  // namespace internal
+}  // namespace micronn

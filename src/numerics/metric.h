@@ -1,0 +1,36 @@
+// Distance metrics supported by MicroNN (paper Table 2 uses L2 and cosine).
+#ifndef MICRONN_NUMERICS_METRIC_H_
+#define MICRONN_NUMERICS_METRIC_H_
+
+#include <string_view>
+
+namespace micronn {
+
+/// Similarity metric for a vector collection.
+///
+/// All kernels return a *distance* where smaller means more similar:
+///   kL2           -> squared Euclidean distance
+///   kInnerProduct -> negated dot product
+///   kCosine       -> 1 - cosine similarity. Vectors are L2-normalized at
+///                    ingest (see DB::Upsert), so this reduces to 1 - dot.
+enum class Metric : int {
+  kL2 = 0,
+  kInnerProduct = 1,
+  kCosine = 2,
+};
+
+inline std::string_view MetricName(Metric m) {
+  switch (m) {
+    case Metric::kL2:
+      return "l2";
+    case Metric::kInnerProduct:
+      return "ip";
+    case Metric::kCosine:
+      return "cosine";
+  }
+  return "?";
+}
+
+}  // namespace micronn
+
+#endif  // MICRONN_NUMERICS_METRIC_H_

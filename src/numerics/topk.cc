@@ -1,0 +1,15 @@
+#include "numerics/topk.h"
+
+namespace micronn {
+
+std::vector<Neighbor> MergeHeapsSorted(std::vector<TopKHeap>& heaps,
+                                       size_t k) {
+  if (heaps.empty()) return {};
+  TopKHeap merged(k);
+  for (TopKHeap& h : heaps) {
+    merged.Merge(h);
+  }
+  return merged.TakeSorted();
+}
+
+}  // namespace micronn

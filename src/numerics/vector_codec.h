@@ -1,0 +1,43 @@
+// Serialization of float vectors to/from storage blobs.
+//
+// Paper §3.3: "By storing the vector blobs in the database using the format
+// expected by the matrix multiplication library, we eliminate expensive
+// data marshalling operations". We store raw little-endian IEEE-754 floats,
+// so a scanned blob can be memcpy'd straight into an aligned matrix row.
+#ifndef MICRONN_NUMERICS_VECTOR_CODEC_H_
+#define MICRONN_NUMERICS_VECTOR_CODEC_H_
+
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace micronn {
+
+/// Encodes `d` floats as a blob.
+inline std::string EncodeVector(const float* v, size_t d) {
+  return std::string(reinterpret_cast<const char*>(v), d * sizeof(float));
+}
+
+inline std::string EncodeVector(const std::vector<float>& v) {
+  return EncodeVector(v.data(), v.size());
+}
+
+/// Decodes a blob into `out` (must have room for d floats). Returns false
+/// if the blob size does not match d.
+inline bool DecodeVector(std::string_view blob, size_t d, float* out) {
+  if (blob.size() != d * sizeof(float)) return false;
+  std::memcpy(out, blob.data(), blob.size());
+  return true;
+}
+
+inline bool DecodeVector(std::string_view blob, std::vector<float>* out) {
+  if (blob.size() % sizeof(float) != 0) return false;
+  out->resize(blob.size() / sizeof(float));
+  std::memcpy(out->data(), blob.data(), blob.size());
+  return true;
+}
+
+}  // namespace micronn
+
+#endif  // MICRONN_NUMERICS_VECTOR_CODEC_H_

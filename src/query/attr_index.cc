@@ -1,0 +1,212 @@
+#include "query/attr_index.h"
+
+#include <algorithm>
+
+#include "storage/key_encoding.h"
+
+namespace micronn {
+
+namespace {
+
+// The vid occupies the trailing 8 bytes of every index key.
+bool SplitIndexKey(std::string_view key, std::string_view* value_part,
+                   uint64_t* vid) {
+  if (key.size() < 9) return false;
+  *value_part = key.substr(0, key.size() - 8);
+  std::string_view tail = key.substr(key.size() - 8);
+  return key::ConsumeU64(&tail, vid);
+}
+
+std::vector<uint64_t> SortedUnique(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+// Scans the index of `pred.column` for rows matching a comparison.
+Result<std::vector<uint64_t>> ScanCompare(const TableResolver& tables,
+                                          const Predicate& pred) {
+  Result<BTree> index = tables(AttrIndexTableName(pred.column));
+  if (!index.ok()) {
+    if (index.status().IsNotFound()) return std::vector<uint64_t>{};
+    return index.status();
+  }
+  const std::string enc = EncodeValueForIndex(pred.value);
+  const char tag = enc[0];
+  const std::string tag_prefix(1, tag);
+
+  // Seek position: equality-like scans start at the encoded value; lower
+  // scans start at the beginning of the type's key range.
+  std::string start;
+  switch (pred.op) {
+    case CompareOp::kEq:
+    case CompareOp::kGe:
+    case CompareOp::kGt:
+      start = enc;
+      break;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kNe:
+      start = tag_prefix;
+      break;
+  }
+
+  std::vector<uint64_t> out;
+  BTreeCursor c = index->NewCursor();
+  MICRONN_RETURN_IF_ERROR(c.Seek(start));
+  while (c.Valid()) {
+    const std::string_view key = c.key();
+    if (key.empty() || key[0] != tag) break;  // left the type's range
+    std::string_view value_part;
+    uint64_t vid;
+    if (!SplitIndexKey(key, &value_part, &vid)) {
+      return Status::Corruption("malformed attribute index key");
+    }
+    const int cmp = value_part.compare(enc);
+    bool take = false;
+    bool done = false;
+    switch (pred.op) {
+      case CompareOp::kEq:
+        take = cmp == 0;
+        done = cmp > 0;
+        break;
+      case CompareOp::kNe:
+        take = cmp != 0;
+        break;
+      case CompareOp::kLt:
+        take = cmp < 0;
+        done = cmp >= 0;
+        break;
+      case CompareOp::kLe:
+        take = cmp <= 0;
+        done = cmp > 0;
+        break;
+      case CompareOp::kGt:
+        take = cmp > 0;
+        break;
+      case CompareOp::kGe:
+        take = cmp >= 0;
+        break;
+    }
+    if (done) break;
+    if (take) out.push_back(vid);
+    MICRONN_RETURN_IF_ERROR(c.Next());
+  }
+  return SortedUnique(std::move(out));
+}
+
+Result<std::vector<uint64_t>> ScanMatch(const TableResolver& tables,
+                                        const Predicate& pred) {
+  Result<BTree> postings = tables(FtsPostingsTableName(pred.column));
+  if (!postings.ok()) {
+    if (postings.status().IsNotFound()) return std::vector<uint64_t>{};
+    return postings.status();
+  }
+  MICRONN_ASSIGN_OR_RETURN(BTree freqs,
+                           tables(FtsFreqsTableName(pred.column)));
+  FtsIndex fts(*postings, freqs);
+  return fts.MatchConjunction(pred.tokens);
+}
+
+}  // namespace
+
+std::string AttrIndexTableName(std::string_view column) {
+  return "attr_idx:" + std::string(column);
+}
+
+std::string AttrIndexKey(const AttributeValue& value, uint64_t vid) {
+  std::string k = EncodeValueForIndex(value);
+  key::AppendU64(&k, vid);
+  return k;
+}
+
+Status IndexAttributes(const TableResolver& tables, uint64_t vid,
+                       const AttributeRecord& record,
+                       const std::vector<std::string>& fts_columns) {
+  for (const auto& [column, value] : record) {
+    MICRONN_ASSIGN_OR_RETURN(BTree index, tables(AttrIndexTableName(column)));
+    MICRONN_RETURN_IF_ERROR(index.Put(AttrIndexKey(value, vid), ""));
+    if (value.type == ValueType::kString &&
+        std::find(fts_columns.begin(), fts_columns.end(), column) !=
+            fts_columns.end()) {
+      MICRONN_ASSIGN_OR_RETURN(BTree postings,
+                               tables(FtsPostingsTableName(column)));
+      MICRONN_ASSIGN_OR_RETURN(BTree freqs,
+                               tables(FtsFreqsTableName(column)));
+      FtsIndex fts(postings, freqs);
+      MICRONN_RETURN_IF_ERROR(fts.AddDocument(vid, value.s));
+    }
+  }
+  return Status::OK();
+}
+
+Status UnindexAttributes(const TableResolver& tables, uint64_t vid,
+                         const AttributeRecord& record,
+                         const std::vector<std::string>& fts_columns) {
+  for (const auto& [column, value] : record) {
+    MICRONN_ASSIGN_OR_RETURN(BTree index, tables(AttrIndexTableName(column)));
+    MICRONN_ASSIGN_OR_RETURN(bool erased,
+                             index.Delete(AttrIndexKey(value, vid)));
+    (void)erased;
+    if (value.type == ValueType::kString &&
+        std::find(fts_columns.begin(), fts_columns.end(), column) !=
+            fts_columns.end()) {
+      MICRONN_ASSIGN_OR_RETURN(BTree postings,
+                               tables(FtsPostingsTableName(column)));
+      MICRONN_ASSIGN_OR_RETURN(BTree freqs,
+                               tables(FtsFreqsTableName(column)));
+      FtsIndex fts(postings, freqs);
+      MICRONN_RETURN_IF_ERROR(fts.RemoveDocument(vid, value.s));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint64_t>> CollectMatchingVids(const TableResolver& tables,
+                                                  const Predicate& pred) {
+  switch (pred.kind) {
+    case Predicate::Kind::kCompare:
+      return ScanCompare(tables, pred);
+    case Predicate::Kind::kMatch:
+      return ScanMatch(tables, pred);
+    case Predicate::Kind::kAnd: {
+      if (pred.children.empty()) return std::vector<uint64_t>{};
+      std::vector<std::vector<uint64_t>> sets;
+      sets.reserve(pred.children.size());
+      for (const Predicate& child : pred.children) {
+        MICRONN_ASSIGN_OR_RETURN(std::vector<uint64_t> s,
+                                 CollectMatchingVids(tables, child));
+        if (s.empty()) return std::vector<uint64_t>{};  // short-circuit
+        sets.push_back(std::move(s));
+      }
+      // Intersect smallest-first to keep intermediates small.
+      std::sort(sets.begin(), sets.end(),
+                [](const auto& a, const auto& b) { return a.size() < b.size(); });
+      std::vector<uint64_t> acc = std::move(sets[0]);
+      for (size_t i = 1; i < sets.size() && !acc.empty(); ++i) {
+        std::vector<uint64_t> next;
+        next.reserve(std::min(acc.size(), sets[i].size()));
+        std::set_intersection(acc.begin(), acc.end(), sets[i].begin(),
+                              sets[i].end(), std::back_inserter(next));
+        acc = std::move(next);
+      }
+      return acc;
+    }
+    case Predicate::Kind::kOr: {
+      std::vector<uint64_t> acc;
+      for (const Predicate& child : pred.children) {
+        MICRONN_ASSIGN_OR_RETURN(std::vector<uint64_t> s,
+                                 CollectMatchingVids(tables, child));
+        std::vector<uint64_t> merged;
+        merged.reserve(acc.size() + s.size());
+        std::set_union(acc.begin(), acc.end(), s.begin(), s.end(),
+                       std::back_inserter(merged));
+        acc = std::move(merged);
+      }
+      return acc;
+    }
+  }
+  return Status::Internal("bad predicate kind");
+}
+
+}  // namespace micronn

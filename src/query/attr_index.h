@@ -1,0 +1,57 @@
+// Secondary indexes over attributes and index-driven predicate evaluation
+// (the pre-filtering executor's first stage).
+//
+// Every filterable column gets a B+Tree index keyed
+//   (type tag + order-preserving value encoding, vid) -> ""
+// mirroring the paper's "Client defined attributes are indexed using
+// sqlite's b-tree implementation". String columns may additionally carry a
+// full-text index (text/fts_index.h).
+#ifndef MICRONN_QUERY_ATTR_INDEX_H_
+#define MICRONN_QUERY_ATTR_INDEX_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/predicate.h"
+#include "query/value.h"
+#include "storage/btree.h"
+#include "text/fts_index.h"
+
+namespace micronn {
+
+/// Name of the secondary index table of `column`.
+std::string AttrIndexTableName(std::string_view column);
+
+/// Secondary index key for (value, vid).
+std::string AttrIndexKey(const AttributeValue& value, uint64_t vid);
+
+/// Resolves table names to trees within the current transaction. For write
+/// transactions bind &WriteTransaction::OpenOrCreateTable; for reads bind
+/// &ReadTransaction::OpenTable.
+using TableResolver = std::function<Result<BTree>(const std::string&)>;
+
+/// Adds `vid`'s attribute values to every per-column index (and the FTS
+/// index for columns in `fts_columns`).
+Status IndexAttributes(const TableResolver& tables, uint64_t vid,
+                       const AttributeRecord& record,
+                       const std::vector<std::string>& fts_columns);
+
+/// Removes `vid`'s entries (inverse of IndexAttributes; `record` must be
+/// the previously indexed record).
+Status UnindexAttributes(const TableResolver& tables, uint64_t vid,
+                         const AttributeRecord& record,
+                         const std::vector<std::string>& fts_columns);
+
+/// Evaluates `pred` purely through indexes and returns the sorted vids of
+/// qualifying rows — the paper's pre-filter step ("From the Attributes
+/// table, we evaluate the attribute filter and produce a set of matching
+/// asset ids"). A missing index table yields an empty result for that leaf
+/// (no rows were ever indexed for the column).
+Result<std::vector<uint64_t>> CollectMatchingVids(const TableResolver& tables,
+                                                  const Predicate& pred);
+
+}  // namespace micronn
+
+#endif  // MICRONN_QUERY_ATTR_INDEX_H_

@@ -1,0 +1,50 @@
+// Multi-query optimized batch execution (paper §3.4, after HQI).
+//
+// Given a batch of queries, MicroNN "first identifies the set of clusters
+// that each query needs to access, and groups queries per partition. Then,
+// instead of scanning a partition multiple times for each query, distances
+// between queries and the vectors in the partition is calculated via a
+// single matrix multiplication."
+//
+// Implementation: one pass computes every query's probe set from the
+// in-memory centroid matrix (a blocked Q x k distance computation); the
+// inverted (partition -> queries) map becomes a parallel work list; each
+// partition is scanned exactly once, producing Qp x B distance blocks for
+// the Qp queries that probe it; per-(worker, query) heaps are merged at
+// the end.
+#ifndef MICRONN_QUERY_BATCH_H_
+#define MICRONN_QUERY_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "ivf/centroid_set.h"
+#include "ivf/search.h"
+
+namespace micronn {
+
+struct BatchSearchOptions {
+  uint32_t k = 10;
+  uint32_t nprobe = 8;
+};
+
+/// Aggregate counters for one batch execution.
+struct BatchCounters {
+  uint64_t partitions_scanned = 0;  // unique partitions touched
+  uint64_t rows_scanned = 0;        // rows decoded across all partitions
+  uint64_t probe_pairs = 0;         // sum over queries of probe set sizes
+};
+
+/// Executes `q` queries (row-major q x dim; pre-normalized for cosine)
+/// with multi-query optimization. Results are per query, ascending by
+/// distance. `pool` may be null (serial).
+Result<std::vector<std::vector<Neighbor>>> BatchAnnSearch(
+    BTree vectors, const CentroidSet& centroids, uint32_t dim,
+    const float* queries, size_t q, const BatchSearchOptions& options,
+    ThreadPool* pool, BatchCounters* counters);
+
+}  // namespace micronn
+
+#endif  // MICRONN_QUERY_BATCH_H_

@@ -1,0 +1,39 @@
+#include "query/optimizer.h"
+
+#include <algorithm>
+
+namespace micronn {
+
+std::string_view QueryPlanName(QueryPlan plan) {
+  switch (plan) {
+    case QueryPlan::kPreFilter:
+      return "pre-filter";
+    case QueryPlan::kPostFilter:
+      return "post-filter";
+  }
+  return "?";
+}
+
+double EstimateIvfSelectivity(uint32_t nprobe, double target_partition_size,
+                              uint64_t total_rows) {
+  if (total_rows == 0) return 1.0;
+  const double f = static_cast<double>(nprobe) * target_partition_size /
+                   static_cast<double>(total_rows);
+  return std::clamp(f, 0.0, 1.0);
+}
+
+Result<PlanDecision> ChoosePlan(const SelectivityEstimator& estimator,
+                                const Predicate& filter, uint32_t nprobe,
+                                double target_partition_size) {
+  PlanDecision decision;
+  MICRONN_ASSIGN_OR_RETURN(decision.filter_selectivity,
+                           estimator.Estimate(filter));
+  decision.ivf_selectivity = EstimateIvfSelectivity(
+      nprobe, target_partition_size, estimator.total_rows());
+  decision.plan = decision.filter_selectivity < decision.ivf_selectivity
+                      ? QueryPlan::kPreFilter
+                      : QueryPlan::kPostFilter;
+  return decision;
+}
+
+}  // namespace micronn

@@ -1,0 +1,49 @@
+// Hybrid query optimizer (paper §3.5.1).
+//
+// Two physical plans exist for "ANN search + attribute filter":
+//   kPreFilter  — evaluate the filter via attribute/FTS indexes, then
+//                 brute-force the qualifying vectors. 100% recall; latency
+//                 proportional to the filter's result size.
+//   kPostFilter — ANN partition scan with the filter applied inline.
+//                 Fast, but recall degrades for highly selective filters.
+// The optimizer compares the estimated filter selectivity F̂_filters with
+// the IVF scan's own selectivity F̂_IVF = n·p / |R| (Eq. 2) and picks
+// pre-filtering iff F̂_filters < F̂_IVF.
+#ifndef MICRONN_QUERY_OPTIMIZER_H_
+#define MICRONN_QUERY_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "query/stats.h"
+
+namespace micronn {
+
+enum class QueryPlan {
+  kPreFilter,
+  kPostFilter,
+};
+
+std::string_view QueryPlanName(QueryPlan plan);
+
+/// The optimizer's verdict plus the estimates that produced it (surfaced
+/// for tests, EXPLAIN-style output, and the Fig. 7 benchmark).
+struct PlanDecision {
+  QueryPlan plan = QueryPlan::kPostFilter;
+  double filter_selectivity = 1.0;  // F̂_filters (Eq. 3)
+  double ivf_selectivity = 1.0;     // F̂_IVF (Eq. 2)
+};
+
+/// Eq. 2: F̂_IVF = nprobe * target_partition_size / |R|.
+double EstimateIvfSelectivity(uint32_t nprobe, double target_partition_size,
+                              uint64_t total_rows);
+
+/// Chooses the plan per §3.5.1.
+Result<PlanDecision> ChoosePlan(const SelectivityEstimator& estimator,
+                                const Predicate& filter, uint32_t nprobe,
+                                double target_partition_size);
+
+}  // namespace micronn
+
+#endif  // MICRONN_QUERY_OPTIMIZER_H_

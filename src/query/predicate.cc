@@ -1,0 +1,146 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "text/tokenizer.h"
+
+namespace micronn {
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Predicate Predicate::Compare(std::string column, CompareOp op,
+                             AttributeValue value) {
+  Predicate p;
+  p.kind = Kind::kCompare;
+  p.column = std::move(column);
+  p.op = op;
+  p.value = std::move(value);
+  return p;
+}
+
+Predicate Predicate::Match(std::string column, std::string_view text) {
+  Predicate p;
+  p.kind = Kind::kMatch;
+  p.column = std::move(column);
+  p.tokens = TokenSet(text);
+  return p;
+}
+
+Predicate Predicate::And(std::vector<Predicate> children) {
+  Predicate p;
+  p.kind = Kind::kAnd;
+  p.children = std::move(children);
+  return p;
+}
+
+Predicate Predicate::Or(std::vector<Predicate> children) {
+  Predicate p;
+  p.kind = Kind::kOr;
+  p.children = std::move(children);
+  return p;
+}
+
+std::string Predicate::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kCompare:
+      os << column << " " << CompareOpName(op) << " " << value.ToString();
+      break;
+    case Kind::kMatch: {
+      os << column << " MATCH \"";
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        if (i > 0) os << ' ';
+        os << tokens[i];
+      }
+      os << '"';
+      break;
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = kind == Kind::kAnd ? " AND " : " OR ";
+      os << '(';
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) os << sep;
+        os << children[i].ToString();
+      }
+      os << ')';
+      break;
+    }
+  }
+  return os.str();
+}
+
+Result<bool> EvalPredicate(const Predicate& pred,
+                           const AttributeRecord& record) {
+  switch (pred.kind) {
+    case Predicate::Kind::kCompare: {
+      auto it = record.find(pred.column);
+      if (it == record.end()) return false;
+      MICRONN_ASSIGN_OR_RETURN(int cmp, it->second.Compare(pred.value));
+      switch (pred.op) {
+        case CompareOp::kEq:
+          return cmp == 0;
+        case CompareOp::kNe:
+          return cmp != 0;
+        case CompareOp::kLt:
+          return cmp < 0;
+        case CompareOp::kLe:
+          return cmp <= 0;
+        case CompareOp::kGt:
+          return cmp > 0;
+        case CompareOp::kGe:
+          return cmp >= 0;
+      }
+      return Status::Internal("bad compare op");
+    }
+    case Predicate::Kind::kMatch: {
+      auto it = record.find(pred.column);
+      if (it == record.end()) return false;
+      if (it->second.type != ValueType::kString) {
+        return Status::InvalidArgument("MATCH on non-string column " +
+                                       pred.column);
+      }
+      const std::vector<std::string> doc = TokenSet(it->second.s);
+      for (const std::string& token : pred.tokens) {
+        if (!std::binary_search(doc.begin(), doc.end(), token)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case Predicate::Kind::kAnd: {
+      for (const Predicate& child : pred.children) {
+        MICRONN_ASSIGN_OR_RETURN(bool ok, EvalPredicate(child, record));
+        if (!ok) return false;
+      }
+      return true;
+    }
+    case Predicate::Kind::kOr: {
+      for (const Predicate& child : pred.children) {
+        MICRONN_ASSIGN_OR_RETURN(bool ok, EvalPredicate(child, record));
+        if (ok) return true;
+      }
+      return false;
+    }
+  }
+  return Status::Internal("bad predicate kind");
+}
+
+}  // namespace micronn

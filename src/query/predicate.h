@@ -1,0 +1,51 @@
+// Attribute filter predicates (paper §3.5): relational operators over
+// user-defined attributes (>, <, =, !=, plus <= / >=) combined with
+// AND/OR, and full-text MATCH over tokenized string columns.
+#ifndef MICRONN_QUERY_PREDICATE_H_
+#define MICRONN_QUERY_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/value.h"
+
+namespace micronn {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpName(CompareOp op);
+
+/// A filter expression tree.
+struct Predicate {
+  enum class Kind { kCompare, kMatch, kAnd, kOr };
+
+  Kind kind = Kind::kCompare;
+  // kCompare:
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  AttributeValue value;
+  // kMatch: `column` above + the query tokens (all must be present).
+  std::vector<std::string> tokens;
+  // kAnd/kOr:
+  std::vector<Predicate> children;
+
+  static Predicate Compare(std::string column, CompareOp op,
+                           AttributeValue value);
+  /// MATCH over an FTS-enabled string column; `text` is tokenized.
+  static Predicate Match(std::string column, std::string_view text);
+  static Predicate And(std::vector<Predicate> children);
+  static Predicate Or(std::vector<Predicate> children);
+
+  std::string ToString() const;
+};
+
+/// Evaluates `pred` against one row's attributes. A missing column makes a
+/// comparison/match false (SQL-NULL-like semantics without ternary logic).
+Result<bool> EvalPredicate(const Predicate& pred,
+                           const AttributeRecord& record);
+
+}  // namespace micronn
+
+#endif  // MICRONN_QUERY_PREDICATE_H_

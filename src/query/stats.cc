@@ -1,0 +1,329 @@
+#include "query/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bytes.h"
+
+namespace micronn {
+
+namespace {
+
+constexpr double kDefaultUnknownSelectivity = 0.1;  // Selinger's catch-all
+
+// Fraction of values strictly below `v` according to ascending bounds with
+// equal mass between consecutive bounds.
+template <typename T, typename Less>
+double FractionBelow(const std::vector<T>& bounds, const T& v, Less less) {
+  if (bounds.size() < 2) return 0.5;
+  const size_t buckets = bounds.size() - 1;
+  if (!less(bounds.front(), v) && !less(v, bounds.front())) return 0.0;
+  if (less(v, bounds.front())) return 0.0;
+  if (!less(v, bounds.back())) return 1.0;
+  // Find the bucket containing v.
+  size_t lo = 0, hi = buckets;
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (less(v, bounds[mid])) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  // Linear interpolation inside the bucket for numeric types is handled by
+  // the caller; here use midpoint for the generic path.
+  return (static_cast<double>(lo) + 0.5) / static_cast<double>(buckets);
+}
+
+double FractionBelowNumeric(const std::vector<double>& bounds, double v) {
+  if (bounds.size() < 2) return 0.5;
+  const size_t buckets = bounds.size() - 1;
+  if (v <= bounds.front()) return 0.0;
+  if (v >= bounds.back()) return 1.0;
+  size_t lo = 0, hi = buckets;
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (v < bounds[mid]) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  const double width = bounds[lo + 1] - bounds[lo];
+  const double inside = width > 0 ? (v - bounds[lo]) / width : 0.5;
+  return (static_cast<double>(lo) + inside) / static_cast<double>(buckets);
+}
+
+}  // namespace
+
+double ColumnStats::EstimateCompare(CompareOp op,
+                                    const AttributeValue& value) const {
+  if (value.type != type) return 0.0;  // type mismatch matches nothing
+  // Equality estimate: the MCV list captures skew; values outside it share
+  // the residual mass uniformly.
+  double eq;
+  {
+    const std::string encoded = EncodeValueForIndex(value);
+    double mcv_mass = 0;
+    bool found = false;
+    double found_freq = 0;
+    for (const auto& [v, freq] : mcv) {
+      mcv_mass += freq;
+      if (!found && v == encoded) {
+        found = true;
+        found_freq = freq;
+      }
+    }
+    if (found) {
+      eq = found_freq;
+    } else if (distinct_count > mcv.size()) {
+      eq = std::max(0.0, 1.0 - mcv_mass) /
+           static_cast<double>(distinct_count - mcv.size());
+    } else if (distinct_count > 0) {
+      eq = 1.0 / static_cast<double>(distinct_count);
+    } else {
+      eq = kDefaultUnknownSelectivity;
+    }
+  }
+  double below;  // F(x < value)
+  if (type == ValueType::kString) {
+    below = FractionBelow(string_bounds, value.s,
+                          [](const std::string& a, const std::string& b) {
+                            return a < b;
+                          });
+  } else {
+    below = FractionBelowNumeric(numeric_bounds, value.AsDouble());
+  }
+  double f;
+  switch (op) {
+    case CompareOp::kEq:
+      f = eq;
+      break;
+    case CompareOp::kNe:
+      f = 1.0 - eq;
+      break;
+    case CompareOp::kLt:
+      f = below;
+      break;
+    case CompareOp::kLe:
+      f = below + eq;
+      break;
+    case CompareOp::kGt:
+      f = 1.0 - below - eq;
+      break;
+    case CompareOp::kGe:
+      f = 1.0 - below;
+      break;
+    default:
+      f = kDefaultUnknownSelectivity;
+  }
+  return std::clamp(f, 0.0, 1.0);
+}
+
+std::string ColumnStats::Serialize() const {
+  std::string out;
+  out.push_back(static_cast<char>(type));
+  PutFixed64(&out, row_count);
+  PutFixed64(&out, distinct_count);
+  PutVarint64(&out, numeric_bounds.size());
+  for (const double b : numeric_bounds) {
+    uint64_t bits;
+    std::memcpy(&bits, &b, 8);
+    PutFixed64(&out, bits);
+  }
+  PutVarint64(&out, string_bounds.size());
+  for (const std::string& s : string_bounds) {
+    PutLengthPrefixed(&out, s);
+  }
+  PutVarint64(&out, mcv.size());
+  for (const auto& [v, freq] : mcv) {
+    PutLengthPrefixed(&out, v);
+    uint64_t bits;
+    std::memcpy(&bits, &freq, 8);
+    PutFixed64(&out, bits);
+  }
+  return out;
+}
+
+Result<ColumnStats> ColumnStats::Deserialize(std::string_view blob) {
+  ColumnStats stats;
+  const char* p = blob.data();
+  const char* limit = blob.data() + blob.size();
+  if (limit - p < 17) return Status::Corruption("short column stats");
+  stats.type = static_cast<ValueType>(*p++);
+  stats.row_count = DecodeFixed64(p);
+  p += 8;
+  stats.distinct_count = DecodeFixed64(p);
+  p += 8;
+  uint64_t n = 0;
+  if (!GetVarint64(&p, limit, &n)) return Status::Corruption("bad stats");
+  for (uint64_t i = 0; i < n; ++i) {
+    if (limit - p < 8) return Status::Corruption("bad stats bounds");
+    const uint64_t bits = DecodeFixed64(p);
+    p += 8;
+    double d;
+    std::memcpy(&d, &bits, 8);
+    stats.numeric_bounds.push_back(d);
+  }
+  if (!GetVarint64(&p, limit, &n)) return Status::Corruption("bad stats");
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string_view sv;
+    if (!GetLengthPrefixed(&p, limit, &sv)) {
+      return Status::Corruption("bad stats strings");
+    }
+    stats.string_bounds.emplace_back(sv);
+  }
+  if (!GetVarint64(&p, limit, &n)) return Status::Corruption("bad stats");
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string_view sv;
+    if (!GetLengthPrefixed(&p, limit, &sv) || limit - p < 8) {
+      return Status::Corruption("bad stats mcv");
+    }
+    const uint64_t bits = DecodeFixed64(p);
+    p += 8;
+    double freq;
+    std::memcpy(&freq, &bits, 8);
+    stats.mcv.emplace_back(std::string(sv), freq);
+  }
+  return stats;
+}
+
+ColumnStats BuildColumnStats(ValueType type, uint64_t row_count,
+                             std::vector<AttributeValue> sample) {
+  ColumnStats stats;
+  stats.type = type;
+  stats.row_count = row_count;
+  if (sample.empty()) {
+    stats.distinct_count = 0;
+    return stats;
+  }
+  // MCV list: frequency of the most common sampled values (type-agnostic,
+  // over the order-preserving index encoding).
+  {
+    std::vector<std::string> encoded;
+    encoded.reserve(sample.size());
+    for (const auto& v : sample) encoded.push_back(EncodeValueForIndex(v));
+    std::sort(encoded.begin(), encoded.end());
+    std::vector<std::pair<std::string, size_t>> runs;
+    for (size_t i = 0; i < encoded.size();) {
+      size_t j = i;
+      while (j < encoded.size() && encoded[j] == encoded[i]) ++j;
+      runs.emplace_back(encoded[i], j - i);
+      i = j;
+    }
+    std::sort(runs.begin(), runs.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    const size_t keep = std::min(kMaxMcvEntries, runs.size());
+    for (size_t i = 0; i < keep; ++i) {
+      stats.mcv.emplace_back(std::move(runs[i].first),
+                             static_cast<double>(runs[i].second) /
+                                 static_cast<double>(sample.size()));
+    }
+  }
+  if (type == ValueType::kString) {
+    std::vector<std::string> values;
+    values.reserve(sample.size());
+    for (auto& v : sample) values.push_back(std::move(v.s));
+    std::sort(values.begin(), values.end());
+    const size_t distinct_in_sample =
+        std::unique(values.begin(), values.end()) - values.begin();
+    values.resize(distinct_in_sample);
+    // Scale sample distinct count to the population (capped at row_count).
+    stats.distinct_count = std::min<uint64_t>(
+        row_count,
+        static_cast<uint64_t>(
+            std::llround(static_cast<double>(distinct_in_sample) *
+                         std::max(1.0, static_cast<double>(row_count) /
+                                           static_cast<double>(sample.size())))));
+    if (distinct_in_sample == sample.size()) {
+      // Likely unique column: assume distinct == rows.
+      stats.distinct_count = row_count;
+    } else if (distinct_in_sample <
+               sample.size() / 4) {
+      // Low-cardinality column: the sample saw (almost) all values.
+      stats.distinct_count = distinct_in_sample;
+    }
+    const size_t buckets =
+        std::min(kHistogramBuckets, std::max<size_t>(1, values.size() - 1));
+    for (size_t b = 0; b <= buckets; ++b) {
+      const size_t idx = b * (values.size() - 1) / buckets;
+      stats.string_bounds.push_back(values[idx]);
+    }
+  } else {
+    std::vector<double> values;
+    values.reserve(sample.size());
+    for (const auto& v : sample) values.push_back(v.AsDouble());
+    std::sort(values.begin(), values.end());
+    const size_t distinct_in_sample =
+        std::unique(values.begin(), values.end()) - values.begin();
+    stats.distinct_count = std::min<uint64_t>(
+        row_count,
+        static_cast<uint64_t>(
+            std::llround(static_cast<double>(distinct_in_sample) *
+                         std::max(1.0, static_cast<double>(row_count) /
+                                           static_cast<double>(sample.size())))));
+    if (distinct_in_sample == sample.size()) {
+      stats.distinct_count = row_count;
+    } else if (distinct_in_sample < sample.size() / 4) {
+      stats.distinct_count = distinct_in_sample;
+    }
+    std::sort(values.begin(), values.end());
+    const size_t buckets =
+        std::min(kHistogramBuckets, std::max<size_t>(1, values.size() - 1));
+    for (size_t b = 0; b <= buckets; ++b) {
+      const size_t idx = b * (values.size() - 1) / buckets;
+      stats.numeric_bounds.push_back(values[idx]);
+    }
+  }
+  return stats;
+}
+
+Result<double> SelectivityEstimator::Estimate(const Predicate& pred) const {
+  switch (pred.kind) {
+    case Predicate::Kind::kCompare: {
+      auto it = stats_.find(pred.column);
+      if (it == stats_.end()) return kDefaultUnknownSelectivity;
+      // Scale from "fraction of rows having the column" to |R|.
+      const double have =
+          total_rows_ > 0 ? static_cast<double>(it->second.row_count) /
+                                static_cast<double>(total_rows_)
+                          : 1.0;
+      return std::clamp(
+          it->second.EstimateCompare(pred.op, pred.value) * have, 0.0, 1.0);
+    }
+    case Predicate::Kind::kMatch: {
+      if (!token_df_) return kDefaultUnknownSelectivity;
+      if (total_rows_ == 0) return 0.0;
+      // §3.5.1 string estimation: a MATCH is a conjunction of token
+      // membership predicates; take the min of their df/N.
+      double f = 1.0;
+      for (const std::string& token : pred.tokens) {
+        MICRONN_ASSIGN_OR_RETURN(uint64_t df, token_df_(pred.column, token));
+        f = std::min(f, static_cast<double>(df) /
+                            static_cast<double>(total_rows_));
+      }
+      return std::clamp(f, 0.0, 1.0);
+    }
+    case Predicate::Kind::kAnd: {
+      // "take the minimum over conjunctions".
+      double f = 1.0;
+      for (const Predicate& child : pred.children) {
+        MICRONN_ASSIGN_OR_RETURN(double cf, Estimate(child));
+        f = std::min(f, cf);
+      }
+      return f;
+    }
+    case Predicate::Kind::kOr: {
+      // "a sum over disjunctions", clamped by Eq. 3's min(.., |R|).
+      double f = 0.0;
+      for (const Predicate& child : pred.children) {
+        MICRONN_ASSIGN_OR_RETURN(double cf, Estimate(child));
+        f += cf;
+      }
+      return std::min(f, 1.0);
+    }
+  }
+  return Status::Internal("bad predicate kind");
+}
+
+}  // namespace micronn

@@ -1,0 +1,89 @@
+// Per-column statistics and selectivity estimation (paper §3.5.1 and the
+// Selinger-style Eq. 1-3).
+//
+// Each filterable column gets an equi-depth histogram (numeric columns) or
+// a quantile sketch over sampled values (string columns) plus a distinct
+// count; MATCH predicates are estimated from token document frequencies in
+// the FTS side table. Composition follows the paper exactly: independence
+// assumed, minimum over conjunctions, sum over disjunctions, clamped by
+// |R| (Eq. 3).
+#ifndef MICRONN_QUERY_STATS_H_
+#define MICRONN_QUERY_STATS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/predicate.h"
+#include "query/value.h"
+
+namespace micronn {
+
+/// Number of histogram buckets.
+inline constexpr size_t kHistogramBuckets = 64;
+/// Reservoir size per column when building stats.
+inline constexpr size_t kStatsSampleSize = 2048;
+/// Name of the table holding serialized per-column stats.
+inline constexpr const char* kStatsTable = "stats";
+
+/// Most-common-value entries kept per column (captures frequency skew
+/// that an equi-depth histogram cannot).
+inline constexpr size_t kMaxMcvEntries = 32;
+
+/// Equi-depth histogram + MCV list over one column.
+struct ColumnStats {
+  ValueType type = ValueType::kInt;
+  uint64_t row_count = 0;      // rows with this column present
+  uint64_t distinct_count = 0; // estimated distinct values
+  // Numeric: b+1 ascending bucket boundaries over the sampled values.
+  std::vector<double> numeric_bounds;
+  // String: ascending quantile values (same equi-depth idea).
+  std::vector<std::string> string_bounds;
+  // Most common values: (EncodeValueForIndex(value), sample frequency),
+  // descending by frequency. Equality estimates prefer these.
+  std::vector<std::pair<std::string, double>> mcv;
+
+  /// Fraction of this column's rows matching (op, value); in [0, 1].
+  double EstimateCompare(CompareOp op, const AttributeValue& value) const;
+
+  std::string Serialize() const;
+  static Result<ColumnStats> Deserialize(std::string_view blob);
+};
+
+/// Builds stats from a sample of values (already collected by the caller).
+ColumnStats BuildColumnStats(ValueType type, uint64_t row_count,
+                             std::vector<AttributeValue> sample);
+
+/// Resolves token -> document frequency (bound to an FtsIndex per column).
+using TokenDfFn =
+    std::function<Result<uint64_t>(const std::string& column,
+                                   const std::string& token)>;
+
+/// Estimates the selectivity factor F of a predicate tree (Eq. 1/3).
+class SelectivityEstimator {
+ public:
+  /// `total_rows` is |R|; `stats` maps column name to its histogram;
+  /// `token_df` may be empty if no MATCH predicates occur.
+  SelectivityEstimator(std::map<std::string, ColumnStats> stats,
+                       uint64_t total_rows, TokenDfFn token_df)
+      : stats_(std::move(stats)),
+        total_rows_(total_rows),
+        token_df_(std::move(token_df)) {}
+
+  /// F̂ in [0, 1]. Unknown columns fall back to a conservative default.
+  Result<double> Estimate(const Predicate& pred) const;
+
+  uint64_t total_rows() const { return total_rows_; }
+
+ private:
+  std::map<std::string, ColumnStats> stats_;
+  uint64_t total_rows_;
+  TokenDfFn token_df_;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_QUERY_STATS_H_

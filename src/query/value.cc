@@ -1,0 +1,141 @@
+#include "query/value.h"
+
+#include <sstream>
+
+#include "common/bytes.h"
+#include "storage/key_encoding.h"
+
+namespace micronn {
+
+std::string_view ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+Result<int> AttributeValue::Compare(const AttributeValue& other) const {
+  if (type != other.type) {
+    return Status::InvalidArgument(
+        std::string("type mismatch: ") + std::string(ValueTypeName(type)) +
+        " vs " + std::string(ValueTypeName(other.type)));
+  }
+  switch (type) {
+    case ValueType::kInt:
+      return i < other.i ? -1 : (i > other.i ? 1 : 0);
+    case ValueType::kDouble:
+      return d < other.d ? -1 : (d > other.d ? 1 : 0);
+    case ValueType::kString:
+      return s < other.s ? -1 : (s > other.s ? 1 : 0);
+  }
+  return Status::Internal("bad value type");
+}
+
+std::string AttributeValue::ToString() const {
+  std::ostringstream os;
+  switch (type) {
+    case ValueType::kInt:
+      os << i;
+      break;
+    case ValueType::kDouble:
+      os << d;
+      break;
+    case ValueType::kString:
+      os << '"' << s << '"';
+      break;
+  }
+  return os.str();
+}
+
+std::string EncodeAttributeRecord(const AttributeRecord& record) {
+  std::string out;
+  PutVarint64(&out, record.size());
+  for (const auto& [name, value] : record) {
+    PutLengthPrefixed(&out, name);
+    out.push_back(static_cast<char>(value.type));
+    switch (value.type) {
+      case ValueType::kInt:
+        PutFixed64(&out, static_cast<uint64_t>(value.i));
+        break;
+      case ValueType::kDouble: {
+        uint64_t bits;
+        std::memcpy(&bits, &value.d, 8);
+        PutFixed64(&out, bits);
+        break;
+      }
+      case ValueType::kString:
+        PutLengthPrefixed(&out, value.s);
+        break;
+    }
+  }
+  return out;
+}
+
+Result<AttributeRecord> DecodeAttributeRecord(std::string_view blob) {
+  AttributeRecord record;
+  const char* p = blob.data();
+  const char* limit = blob.data() + blob.size();
+  uint64_t count = 0;
+  if (!GetVarint64(&p, limit, &count)) {
+    return Status::Corruption("bad attribute record header");
+  }
+  for (uint64_t n = 0; n < count; ++n) {
+    std::string_view name;
+    if (!GetLengthPrefixed(&p, limit, &name) || p >= limit) {
+      return Status::Corruption("bad attribute name");
+    }
+    const ValueType type = static_cast<ValueType>(*p++);
+    AttributeValue value;
+    value.type = type;
+    switch (type) {
+      case ValueType::kInt:
+        if (limit - p < 8) return Status::Corruption("short int attr");
+        value.i = static_cast<int64_t>(DecodeFixed64(p));
+        p += 8;
+        break;
+      case ValueType::kDouble: {
+        if (limit - p < 8) return Status::Corruption("short double attr");
+        const uint64_t bits = DecodeFixed64(p);
+        std::memcpy(&value.d, &bits, 8);
+        p += 8;
+        break;
+      }
+      case ValueType::kString: {
+        std::string_view sv;
+        if (!GetLengthPrefixed(&p, limit, &sv)) {
+          return Status::Corruption("short string attr");
+        }
+        value.s.assign(sv);
+        break;
+      }
+      default:
+        return Status::Corruption("unknown attribute type tag");
+    }
+    record.emplace(std::string(name), std::move(value));
+  }
+  return record;
+}
+
+std::string EncodeValueForIndex(const AttributeValue& value) {
+  std::string out;
+  out.push_back(static_cast<char>(value.type));
+  switch (value.type) {
+    case ValueType::kInt:
+      key::AppendI64(&out, value.i);
+      break;
+    case ValueType::kDouble:
+      key::AppendF64(&out, value.d);
+      break;
+    case ValueType::kString:
+      key::AppendString(&out, value.s);
+      break;
+  }
+  return out;
+}
+
+}  // namespace micronn

@@ -1,0 +1,87 @@
+// Typed attribute values and per-row attribute records (paper Figure 2's
+// Attributes table; §3.5's "user defined attributes stored along side the
+// vector data").
+#ifndef MICRONN_QUERY_VALUE_H_
+#define MICRONN_QUERY_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace micronn {
+
+enum class ValueType : uint8_t {
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+std::string_view ValueTypeName(ValueType t);
+
+/// One attribute value. Comparable only within the same type.
+struct AttributeValue {
+  ValueType type = ValueType::kInt;
+  int64_t i = 0;
+  double d = 0;
+  std::string s;
+
+  static AttributeValue Int(int64_t v) {
+    AttributeValue a;
+    a.type = ValueType::kInt;
+    a.i = v;
+    return a;
+  }
+  static AttributeValue Double(double v) {
+    AttributeValue a;
+    a.type = ValueType::kDouble;
+    a.d = v;
+    return a;
+  }
+  static AttributeValue String(std::string v) {
+    AttributeValue a;
+    a.type = ValueType::kString;
+    a.s = std::move(v);
+    return a;
+  }
+
+  /// Three-way comparison; InvalidArgument on type mismatch.
+  Result<int> Compare(const AttributeValue& other) const;
+
+  /// Numeric view (int or double); used by histograms.
+  double AsDouble() const { return type == ValueType::kInt ? static_cast<double>(i) : d; }
+
+  bool operator==(const AttributeValue& o) const {
+    if (type != o.type) return false;
+    switch (type) {
+      case ValueType::kInt:
+        return i == o.i;
+      case ValueType::kDouble:
+        return d == o.d;
+      case ValueType::kString:
+        return s == o.s;
+    }
+    return false;
+  }
+
+  std::string ToString() const;
+};
+
+/// The attributes of one vector: column name -> value.
+using AttributeRecord = std::map<std::string, AttributeValue>;
+
+/// Serializes a record for the attributes table.
+std::string EncodeAttributeRecord(const AttributeRecord& record);
+Result<AttributeRecord> DecodeAttributeRecord(std::string_view blob);
+
+/// Order-preserving index encoding of a value: a type tag byte followed by
+/// the key-encoded payload. Within one type, memcmp order == value order
+/// (the attr_idx:<col> secondary index key prefix).
+std::string EncodeValueForIndex(const AttributeValue& value);
+
+}  // namespace micronn
+
+#endif  // MICRONN_QUERY_VALUE_H_

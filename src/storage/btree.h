@@ -1,0 +1,151 @@
+// Disk-resident B+Tree.
+//
+// The storage engine's only ordered container: tables and secondary
+// indexes are B+Trees over memcmp-ordered keys (see key_encoding.h).
+// Design notes:
+//   - The root page id is immutable for the lifetime of the tree (root
+//     splits grow *downward* by moving the root's content into two fresh
+//     children), so catalog entries never need updating.
+//   - Interior cells use the max-key convention: cell (K, C) covers keys
+//     <= K; the per-node right_child covers keys greater than every cell
+//     key. Separators may become stale upper bounds after deletions, which
+//     is harmless.
+//   - Values larger than kMaxInlineValue spill to an overflow page chain
+//     (vector blobs for dimensions > 256 floats take this path).
+//   - Deletion frees empty nodes but tolerates under-full ones; the index
+//     rebuild path rewrites tables wholesale, which re-compacts them.
+//
+// A BTree instance is bound to one transaction's PageView and is not
+// thread-safe. Concurrency comes from the pager: many read snapshots, one
+// writer.
+#ifndef MICRONN_STORAGE_BTREE_H_
+#define MICRONN_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace micronn {
+
+/// Maximum key length accepted by Put (keeps interior fanout sane).
+inline constexpr size_t kMaxKeySize = 512;
+/// Values longer than this are stored in an overflow chain.
+inline constexpr size_t kMaxInlineValue = 1024;
+
+class BTreeCursor;
+
+/// A B+Tree rooted at a fixed page. Cheap to construct (a handle).
+class BTree {
+ public:
+  /// Allocates and initializes an empty tree; returns its root page.
+  static Result<PageId> Create(PageView* view);
+
+  BTree(PageView* view, PageId root) : view_(view), root_(root) {}
+
+  /// Inserts or replaces `key` -> `value`.
+  Status Put(std::string_view key, std::string_view value);
+
+  /// Removes `key`. Returns true if it was present.
+  Result<bool> Delete(std::string_view key);
+
+  /// Point lookup.
+  Result<std::optional<std::string>> Get(std::string_view key);
+
+  /// Creates a cursor positioned before the first entry; call Seek* next.
+  BTreeCursor NewCursor();
+
+  /// Frees every page of the tree except the root, which is reset to an
+  /// empty leaf.
+  Status Clear();
+
+  /// Walks the whole tree verifying structural invariants (ordering,
+  /// separator bounds, reachability). Test / debugging aid.
+  Status CheckIntegrity();
+
+  PageId root() const { return root_; }
+
+ private:
+  friend class BTreeCursor;
+
+  struct PathEntry {
+    PageId page;
+    int child_idx;  // which child was taken: 0..ncells (ncells = right)
+  };
+
+  // Descends to the leaf that owns `key`; fills `path` with interior steps.
+  Result<PageId> DescendToLeaf(std::string_view key,
+                               std::vector<PathEntry>* path) const;
+
+  // Inserts `cell` at `pos` in node `page` (leaf or interior cell blob),
+  // splitting up the `path` as needed.
+  Status InsertWithSplit(const std::vector<PathEntry>& path, size_t level,
+                         PageId page, int pos, std::string cell);
+
+  // Removes the reference to empty child at path[level]'s child_idx,
+  // recursing upward if the parent empties too.
+  Status RemoveChildRef(const std::vector<PathEntry>& path, size_t level);
+
+  Status FreeSubtree(PageId page);
+
+  Status CheckNode(PageId page, std::string_view upper_bound, bool has_bound,
+                   std::string* max_key_out);
+
+  PageView* view_;
+  PageId root_;
+};
+
+/// Forward iterator over a BTree. Holds page references; valid as long as
+/// the underlying transaction is open and (for write transactions) the
+/// tree is not mutated while iterating.
+class BTreeCursor {
+ public:
+  /// Positions at the smallest key. After this, Valid() reflects whether
+  /// the tree is non-empty.
+  Status SeekToFirst();
+
+  /// Positions at the first key >= `target`.
+  Status Seek(std::string_view target);
+
+  bool Valid() const { return valid_; }
+
+  /// Advances to the next key. Requires Valid().
+  Status Next();
+
+  /// Current key. Requires Valid(). The view is stable until the cursor
+  /// moves.
+  std::string_view key() const { return key_; }
+
+  /// Current value (inline or overflow). Requires Valid().
+  Result<std::string> value() const;
+
+ private:
+  friend class BTree;
+  BTreeCursor(PageView* view, PageId root) : view_(view), root_(root) {}
+
+  // Descends from `page` to the leftmost leaf, pushing interior steps.
+  Status DescendLeftmost(PageId page);
+  // Pops exhausted levels and descends into the next sibling subtree.
+  Status AdvanceUpward();
+  // Loads key_ (and value metadata) from the current leaf cell.
+  Status LoadCurrentCell();
+
+  PageView* view_;
+  PageId root_;
+  std::vector<BTree::PathEntry> stack_;  // interior levels
+  PageId leaf_ = kInvalidPage;
+  PagePtr leaf_page_;
+  int leaf_idx_ = 0;
+  bool valid_ = false;
+  std::string key_;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_STORAGE_BTREE_H_

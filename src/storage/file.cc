@@ -1,0 +1,102 @@
+#include "storage/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace micronn {
+
+namespace {
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " failed for " + path + ": " + std::strerror(errno);
+}
+}  // namespace
+
+Result<std::unique_ptr<File>> File::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("open", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("fstat", path));
+  }
+  return std::unique_ptr<File>(
+      new File(fd, path, static_cast<uint64_t>(st.st_size)));
+}
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status File::ReadAt(uint64_t offset, void* buf, size_t n) const {
+  uint8_t* dst = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pread(fd_, dst + done, n - done,
+                              static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("pread", path_));
+    }
+    if (r == 0) {
+      return Status::IOError("short read at offset " + std::to_string(offset) +
+                             " in " + path_);
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status File::WriteAt(uint64_t offset, const void* buf, size_t n) {
+  const uint8_t* src = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::pwrite(fd_, src + done, n - done,
+                               static_cast<off_t>(offset + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("pwrite", path_));
+    }
+    done += static_cast<size_t>(w);
+  }
+  if (offset + n > size_) size_ = offset + n;
+  return Status::OK();
+}
+
+Status File::Append(const void* buf, size_t n) {
+  return WriteAt(size_, buf, n);
+}
+
+Status File::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fdatasync", path_));
+  }
+  return Status::OK();
+}
+
+Status File::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IOError(ErrnoMessage("ftruncate", path_));
+  }
+  size_ = size;
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(ErrnoMessage("unlink", path));
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace micronn

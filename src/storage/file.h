@@ -1,0 +1,63 @@
+// Thin POSIX file wrapper with positional reads/writes.
+#ifndef MICRONN_STORAGE_FILE_H_
+#define MICRONN_STORAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace micronn {
+
+/// A random-access file handle. pread/pwrite based, safe for concurrent
+/// reads from multiple threads; writes are serialized by callers (the
+/// storage engine has a single writer).
+class File {
+ public:
+  /// Opens (creating if needed) `path` for read/write.
+  static Result<std::unique_ptr<File>> Open(const std::string& path);
+
+  ~File();
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Reads exactly `n` bytes at `offset`. Fails with IOError on short read.
+  Status ReadAt(uint64_t offset, void* buf, size_t n) const;
+
+  /// Writes exactly `n` bytes at `offset`.
+  Status WriteAt(uint64_t offset, const void* buf, size_t n);
+
+  /// Appends `n` bytes at the current logical end (tracked size).
+  Status Append(const void* buf, size_t n);
+
+  /// Flushes file data (and metadata) to stable storage.
+  Status Sync();
+
+  /// Truncates the file to `size` bytes.
+  Status Truncate(uint64_t size);
+
+  /// Current size in bytes (as tracked; matches the OS size).
+  uint64_t size() const { return size_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  File(int fd, std::string path, uint64_t size)
+      : fd_(fd), path_(std::move(path)), size_(size) {}
+
+  int fd_;
+  std::string path_;
+  uint64_t size_;
+};
+
+/// Deletes a file if it exists; OK if missing.
+Status RemoveFileIfExists(const std::string& path);
+
+/// True if the path exists.
+bool FileExists(const std::string& path);
+
+}  // namespace micronn
+
+#endif  // MICRONN_STORAGE_FILE_H_

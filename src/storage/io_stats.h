@@ -1,0 +1,78 @@
+// I/O and row-change counters.
+//
+// Disk I/O is a first-class metric in the paper (requirement 3 in §2.1;
+// Figure 10d counts database row changes of full vs incremental rebuilds).
+// The pager and table layer maintain these counters so benchmarks can
+// report exactly what the paper reports.
+#ifndef MICRONN_STORAGE_IO_STATS_H_
+#define MICRONN_STORAGE_IO_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace micronn {
+
+/// Monotonic counters; snapshot with Snapshot() and subtract to measure an
+/// operation. All fields are thread-safe.
+class IoStats {
+ public:
+  std::atomic<uint64_t> pages_read_main{0};   // pread from the main file
+  std::atomic<uint64_t> pages_read_wal{0};    // frame reads from the WAL
+  std::atomic<uint64_t> pages_cache_hit{0};   // served from page cache
+  std::atomic<uint64_t> frames_written{0};    // WAL frames appended
+  std::atomic<uint64_t> checkpoint_pages{0};  // pages copied at checkpoint
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> rows_inserted{0};
+  std::atomic<uint64_t> rows_updated{0};
+  std::atomic<uint64_t> rows_deleted{0};
+
+  /// Plain-value copy of the counters.
+  struct View {
+    uint64_t pages_read_main = 0;
+    uint64_t pages_read_wal = 0;
+    uint64_t pages_cache_hit = 0;
+    uint64_t frames_written = 0;
+    uint64_t checkpoint_pages = 0;
+    uint64_t commits = 0;
+    uint64_t rows_inserted = 0;
+    uint64_t rows_updated = 0;
+    uint64_t rows_deleted = 0;
+
+    /// Total logical row changes (the Fig. 10d metric).
+    uint64_t RowChanges() const {
+      return rows_inserted + rows_updated + rows_deleted;
+    }
+    View operator-(const View& rhs) const {
+      View out;
+      out.pages_read_main = pages_read_main - rhs.pages_read_main;
+      out.pages_read_wal = pages_read_wal - rhs.pages_read_wal;
+      out.pages_cache_hit = pages_cache_hit - rhs.pages_cache_hit;
+      out.frames_written = frames_written - rhs.frames_written;
+      out.checkpoint_pages = checkpoint_pages - rhs.checkpoint_pages;
+      out.commits = commits - rhs.commits;
+      out.rows_inserted = rows_inserted - rhs.rows_inserted;
+      out.rows_updated = rows_updated - rhs.rows_updated;
+      out.rows_deleted = rows_deleted - rhs.rows_deleted;
+      return out;
+    }
+  };
+
+  View Snapshot() const {
+    View v;
+    v.pages_read_main = pages_read_main.load(std::memory_order_relaxed);
+    v.pages_read_wal = pages_read_wal.load(std::memory_order_relaxed);
+    v.pages_cache_hit = pages_cache_hit.load(std::memory_order_relaxed);
+    v.frames_written = frames_written.load(std::memory_order_relaxed);
+    v.checkpoint_pages = checkpoint_pages.load(std::memory_order_relaxed);
+    v.commits = commits.load(std::memory_order_relaxed);
+    v.rows_inserted = rows_inserted.load(std::memory_order_relaxed);
+    v.rows_updated = rows_updated.load(std::memory_order_relaxed);
+    v.rows_deleted = rows_deleted.load(std::memory_order_relaxed);
+    return v;
+  }
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_STORAGE_IO_STATS_H_

@@ -1,0 +1,157 @@
+// Order-preserving key encodings.
+//
+// B+Tree keys are byte strings compared with memcmp. These encoders map
+// typed tuples — e.g. the Vectors table's (partition id, vector id)
+// clustering key from paper Figure 2 — to byte strings whose memcmp order
+// equals the tuple order, which is what makes "cluster the table on
+// partition id" give physical partition locality.
+#ifndef MICRONN_STORAGE_KEY_ENCODING_H_
+#define MICRONN_STORAGE_KEY_ENCODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace micronn {
+namespace key {
+
+/// Appends a big-endian u32 (unsigned order == memcmp order).
+inline void AppendU32(std::string* dst, uint32_t v) {
+  char buf[4] = {static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                 static_cast<char>(v >> 8), static_cast<char>(v)};
+  dst->append(buf, 4);
+}
+
+/// Appends a big-endian u64.
+inline void AppendU64(std::string* dst, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    dst->push_back(static_cast<char>(v >> shift));
+  }
+}
+
+/// Appends an i64 with the sign bit flipped, so negative < positive.
+inline void AppendI64(std::string* dst, int64_t v) {
+  AppendU64(dst, static_cast<uint64_t>(v) ^ (1ULL << 63));
+}
+
+/// Appends an IEEE-754 double with the standard total-order trick: positive
+/// values get the sign bit flipped; negative values get all bits flipped.
+inline void AppendF64(std::string* dst, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  if (bits & (1ULL << 63)) {
+    bits = ~bits;
+  } else {
+    bits ^= (1ULL << 63);
+  }
+  AppendU64(dst, bits);
+}
+
+/// Appends a string component: 0x00 bytes are escaped as 0x00 0xFF and the
+/// component is terminated with 0x00 0x00, so that (a) tuple order matches
+/// component-wise order and (b) a shorter string sorts before its
+/// extensions.
+inline void AppendString(std::string* dst, std::string_view s) {
+  for (char c : s) {
+    if (c == '\0') {
+      dst->push_back('\0');
+      dst->push_back('\xff');
+    } else {
+      dst->push_back(c);
+    }
+  }
+  dst->push_back('\0');
+  dst->push_back('\0');
+}
+
+// --- Decoders. Each consumes its component from the front of *src and
+// returns true on success. ---
+
+inline bool ConsumeU32(std::string_view* src, uint32_t* out) {
+  if (src->size() < 4) return false;
+  const auto* p = reinterpret_cast<const uint8_t*>(src->data());
+  *out = (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+  src->remove_prefix(4);
+  return true;
+}
+
+inline bool ConsumeU64(std::string_view* src, uint64_t* out) {
+  if (src->size() < 8) return false;
+  const auto* p = reinterpret_cast<const uint8_t*>(src->data());
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  *out = v;
+  src->remove_prefix(8);
+  return true;
+}
+
+inline bool ConsumeI64(std::string_view* src, int64_t* out) {
+  uint64_t raw;
+  if (!ConsumeU64(src, &raw)) return false;
+  *out = static_cast<int64_t>(raw ^ (1ULL << 63));
+  return true;
+}
+
+inline bool ConsumeF64(std::string_view* src, double* out) {
+  uint64_t bits;
+  if (!ConsumeU64(src, &bits)) return false;
+  if (bits & (1ULL << 63)) {
+    bits ^= (1ULL << 63);
+  } else {
+    bits = ~bits;
+  }
+  std::memcpy(out, &bits, 8);
+  return true;
+}
+
+inline bool ConsumeString(std::string_view* src, std::string* out) {
+  out->clear();
+  size_t i = 0;
+  while (i + 1 < src->size() + 1) {
+    if (i >= src->size()) return false;
+    const char c = (*src)[i];
+    if (c != '\0') {
+      out->push_back(c);
+      ++i;
+      continue;
+    }
+    if (i + 1 >= src->size()) return false;
+    const char next = (*src)[i + 1];
+    if (next == '\0') {
+      src->remove_prefix(i + 2);
+      return true;
+    }
+    if (next == '\xff') {
+      out->push_back('\0');
+      i += 2;
+      continue;
+    }
+    return false;
+  }
+  return false;
+}
+
+/// Convenience single-component encoders.
+inline std::string U32(uint32_t v) {
+  std::string s;
+  AppendU32(&s, v);
+  return s;
+}
+inline std::string U64(uint64_t v) {
+  std::string s;
+  AppendU64(&s, v);
+  return s;
+}
+inline std::string Str(std::string_view v) {
+  std::string s;
+  AppendString(&s, v);
+  return s;
+}
+
+}  // namespace key
+}  // namespace micronn
+
+#endif  // MICRONN_STORAGE_KEY_ENCODING_H_

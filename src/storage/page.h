@@ -1,0 +1,67 @@
+// Page constants and the raw page buffer type.
+//
+// The storage engine is a paged, WAL-protected file (our stand-in for
+// SQLite, see DESIGN.md §2). Every structure — B+Tree nodes, overflow
+// chains, the freelist, the header — lives in fixed-size pages.
+#ifndef MICRONN_STORAGE_PAGE_H_
+#define MICRONN_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+namespace micronn {
+
+/// 1-based-from-zero page number within the database file. Page 0 is the
+/// database header. kInvalidPage (0) doubles as "null pointer" in page
+/// links, which is safe because no structure ever links to the header.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = 0;
+
+inline constexpr size_t kPageSize = 4096;
+
+/// Page type tags (first byte of every page except the header).
+enum class PageType : uint8_t {
+  kHeader = 1,
+  kBTreeLeaf = 2,
+  kBTreeInterior = 3,
+  kOverflow = 4,
+  kFree = 5,
+};
+
+/// A raw page image. Shared immutably between cache and readers; write
+/// transactions operate on private copies until commit.
+struct Page {
+  std::array<uint8_t, kPageSize> data;
+
+  uint8_t* bytes() { return data.data(); }
+  const uint8_t* bytes() const { return data.data(); }
+
+  void Zero() { data.fill(0); }
+
+  uint16_t ReadU16(size_t off) const {
+    uint16_t v;
+    std::memcpy(&v, data.data() + off, 2);
+    return v;
+  }
+  uint32_t ReadU32(size_t off) const {
+    uint32_t v;
+    std::memcpy(&v, data.data() + off, 4);
+    return v;
+  }
+  uint64_t ReadU64(size_t off) const {
+    uint64_t v;
+    std::memcpy(&v, data.data() + off, 8);
+    return v;
+  }
+  void WriteU16(size_t off, uint16_t v) { std::memcpy(data.data() + off, &v, 2); }
+  void WriteU32(size_t off, uint32_t v) { std::memcpy(data.data() + off, &v, 4); }
+  void WriteU64(size_t off, uint64_t v) { std::memcpy(data.data() + off, &v, 8); }
+};
+
+using PagePtr = std::shared_ptr<const Page>;
+
+}  // namespace micronn
+
+#endif  // MICRONN_STORAGE_PAGE_H_

@@ -1,0 +1,102 @@
+#include "storage/page_cache.h"
+
+namespace micronn {
+
+namespace {
+constexpr size_t kEntryBytes = kPageSize + 64;  // payload + bookkeeping
+}
+
+PageCache::PageCache(size_t budget_bytes) : budget_(budget_bytes) {}
+
+PageCache::~PageCache() { Clear(); }
+
+PagePtr PageCache::Get(PageId page, uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(Key{page, version});
+  if (it == map_.end()) return nullptr;
+  // Move to front (most recently used).
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->data;
+}
+
+PagePtr PageCache::Put(PageId page, uint64_t version, PagePtr data) {
+  if (budget_ == 0) return data;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{page, version};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->data;
+  }
+  PagePtr result = data;  // survives even if eviction removes the entry
+  lru_.push_front(Entry{key, std::move(data)});
+  map_[key] = lru_.begin();
+  bytes_ += kEntryBytes;
+  MemoryTracker::Global().Allocate(MemoryCategory::kPageCache, kEntryBytes);
+  EvictIfNeededLocked();
+  return result;
+}
+
+void PageCache::InvalidatePage(PageId page) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.page == page) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+      bytes_ -= kEntryBytes;
+      MemoryTracker::Global().Release(MemoryCategory::kPageCache, kEntryBytes);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PageCache::DropVersioned() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.version != 0) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+      bytes_ -= kEntryBytes;
+      MemoryTracker::Global().Release(MemoryCategory::kPageCache, kEntryBytes);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PageCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MemoryTracker::Global().Release(MemoryCategory::kPageCache, bytes_);
+  bytes_ = 0;
+  lru_.clear();
+  map_.clear();
+}
+
+void PageCache::set_budget_bytes(size_t budget) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  budget_ = budget;
+  EvictIfNeededLocked();
+}
+
+size_t PageCache::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+size_t PageCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+void PageCache::EvictIfNeededLocked() {
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    map_.erase(victim.key);
+    lru_.pop_back();
+    bytes_ -= kEntryBytes;
+    MemoryTracker::Global().Release(MemoryCategory::kPageCache, kEntryBytes);
+  }
+}
+
+}  // namespace micronn

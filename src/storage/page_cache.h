@@ -1,0 +1,84 @@
+// LRU page cache with a byte budget.
+//
+// The cache is *the* memory knob of MicroNN's disk-resident design (paper
+// §2.2.1, Figures 5/8: the Small/Large device profiles differ in cache
+// budget). Entries are keyed by (page id, version) where version is the WAL
+// frame that produced the page image (0 = main file), so readers at
+// different snapshots never see each other's versions.
+#ifndef MICRONN_STORAGE_PAGE_CACHE_H_
+#define MICRONN_STORAGE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/memory_tracker.h"
+#include "storage/page.h"
+
+namespace micronn {
+
+/// Thread-safe LRU cache of immutable page images.
+class PageCache {
+ public:
+  /// `budget_bytes` bounds the sum of cached page payloads. A budget of 0
+  /// disables caching entirely (every read goes to disk).
+  explicit PageCache(size_t budget_bytes);
+  ~PageCache();
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Looks up (page, version); returns nullptr on miss.
+  PagePtr Get(PageId page, uint64_t version);
+
+  /// Inserts a page image; evicts LRU entries beyond the budget. Returns
+  /// the cached pointer (callers keep using the returned value, which may
+  /// be an existing entry on double-insert races).
+  PagePtr Put(PageId page, uint64_t version, PagePtr data);
+
+  /// Drops every cached version of `page`.
+  void InvalidatePage(PageId page);
+
+  /// Drops all entries with version != 0 (used after WAL checkpoint, when
+  /// frame numbers are recycled).
+  void DropVersioned();
+
+  /// Drops everything (cold-start simulation).
+  void Clear();
+
+  size_t budget_bytes() const { return budget_; }
+  void set_budget_bytes(size_t budget);
+  size_t size_bytes() const;
+  size_t entry_count() const;
+
+ private:
+  struct Key {
+    PageId page;
+    uint64_t version;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(k.page) << 32) ^
+                                   (k.version * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct Entry {
+    Key key;
+    PagePtr data;
+  };
+  using LruList = std::list<Entry>;
+
+  void EvictIfNeededLocked();
+
+  mutable std::mutex mutex_;
+  size_t budget_;
+  size_t bytes_ = 0;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<Key, LruList::iterator, KeyHash> map_;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_STORAGE_PAGE_CACHE_H_

@@ -1,0 +1,353 @@
+#include "storage/pager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace micronn {
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
+                                           const PagerOptions& options) {
+  std::unique_ptr<Pager> pager(new Pager(path, options));
+  MICRONN_RETURN_IF_ERROR(pager->Initialize());
+  return pager;
+}
+
+Pager::~Pager() {
+  if (db_file_ != nullptr) {
+    Close().ok();  // best effort; Close is idempotent
+  }
+}
+
+Status Pager::Initialize() {
+  MICRONN_ASSIGN_OR_RETURN(db_file_, File::Open(path_));
+  MICRONN_ASSIGN_OR_RETURN(wal_, Wal::Open(path_ + "-wal", &stats_));
+
+  if (db_file_->size() == 0 && wal_->frame_count() == 0) {
+    // Fresh database: write the header page directly (no WAL needed; there
+    // is nothing to be atomic against).
+    Page header;
+    header.Zero();
+    header.WriteU64(DbHeader::kOffMagic, DbHeader::kMagic);
+    header.WriteU32(DbHeader::kOffVersion, 1);
+    header.WriteU32(DbHeader::kOffPageSize, kPageSize);
+    header.WriteU32(DbHeader::kOffPageCount, 1);
+    header.WriteU32(DbHeader::kOffFreelistHead, kInvalidPage);
+    header.WriteU32(DbHeader::kOffFreelistCount, 0);
+    header.WriteU32(DbHeader::kOffCatalogRoot, kInvalidPage);
+    header.WriteU64(DbHeader::kOffCommitSeq, 0);
+    MICRONN_RETURN_IF_ERROR(db_file_->WriteAt(0, header.bytes(), kPageSize));
+    MICRONN_RETURN_IF_ERROR(db_file_->Sync());
+  }
+
+  // Establish the current commit horizon from the recovered WAL, then read
+  // the newest committed header to learn the page count.
+  last_committed_seq_ = wal_->last_committed_seq();
+  MICRONN_ASSIGN_OR_RETURN(PagePtr header,
+                           ReadCommitted(0, last_committed_seq_));
+  if (header->ReadU64(DbHeader::kOffMagic) != DbHeader::kMagic) {
+    return Status::Corruption("bad database magic in " + path_);
+  }
+  if (header->ReadU32(DbHeader::kOffPageSize) != kPageSize) {
+    return Status::Corruption("page size mismatch in " + path_);
+  }
+  page_count_ = header->ReadU32(DbHeader::kOffPageCount);
+  return Status::OK();
+}
+
+Status Pager::Close() {
+  if (db_file_ == nullptr) return Status::OK();
+  // Best-effort checkpoint so the main file is self-contained; Busy (live
+  // readers) is not an error on close.
+  Status st = Checkpoint();
+  if (!st.ok() && !st.IsBusy()) {
+    return st;
+  }
+  MICRONN_RETURN_IF_ERROR(db_file_->Sync());
+  db_file_.reset();
+  wal_.reset();
+  cache_.Clear();
+  return Status::OK();
+}
+
+uint64_t Pager::BeginSnapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_readers_.insert(last_committed_seq_);
+  return last_committed_seq_;
+}
+
+void Pager::EndSnapshot(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = active_readers_.find(seq);
+  if (it != active_readers_.end()) {
+    active_readers_.erase(it);
+  }
+}
+
+Result<PagePtr> Pager::ReadPage(PageId id, uint64_t snapshot_seq) {
+  return ReadCommitted(id, snapshot_seq);
+}
+
+Result<PagePtr> Pager::ReadCommitted(PageId id, uint64_t seq) {
+  // Resolve the version: newest WAL frame at-or-before `seq`, else main file.
+  uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto frame = wal_->FindFrame(id, seq)) {
+      version = *frame;
+    }
+  }
+  if (PagePtr cached = cache_.Get(id, version)) {
+    stats_.pages_cache_hit.fetch_add(1, std::memory_order_relaxed);
+    return cached;
+  }
+  auto page = std::make_shared<Page>();
+  if (version != 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MICRONN_RETURN_IF_ERROR(wal_->ReadFrame(version, page.get()));
+  } else {
+    const uint64_t off = static_cast<uint64_t>(id) * kPageSize;
+    if (off + kPageSize > db_file_->size()) {
+      return Status::Corruption("page " + std::to_string(id) +
+                                " beyond end of main file");
+    }
+    MICRONN_RETURN_IF_ERROR(db_file_->ReadAt(off, page->bytes(), kPageSize));
+    stats_.pages_read_main.fetch_add(1, std::memory_order_relaxed);
+  }
+  return cache_.Put(id, version, std::move(page));
+}
+
+Result<std::unique_ptr<WriteTxnState>> Pager::BeginWrite() {
+  std::unique_lock<std::mutex> lock(writer_mutex_);
+  writer_cv_.wait(lock, [this] { return !writer_active_; });
+  writer_active_ = true;
+  lock.unlock();
+
+  auto txn = std::make_unique<WriteTxnState>();
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    txn->base_seq_ = last_committed_seq_;
+    txn->page_count_ = page_count_;
+  }
+  return txn;
+}
+
+Result<std::unique_ptr<WriteTxnState>> Pager::TryBeginWrite() {
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    if (writer_active_) {
+      return Status::Busy("another write transaction is active");
+    }
+    writer_active_ = true;
+  }
+  auto txn = std::make_unique<WriteTxnState>();
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    txn->base_seq_ = last_committed_seq_;
+    txn->page_count_ = page_count_;
+  }
+  return txn;
+}
+
+Result<PagePtr> Pager::ReadForWrite(WriteTxnState* txn, PageId id) {
+  auto it = txn->dirty_.find(id);
+  if (it != txn->dirty_.end()) {
+    // Alias the dirty page; valid for the life of the transaction, which
+    // is the only scope B+Tree code holds these across.
+    return PagePtr(it->second.get(), [](const Page*) {});
+  }
+  return ReadCommitted(id, txn->base_seq_);
+}
+
+Result<Page*> Pager::GetMutablePage(WriteTxnState* txn, PageId id) {
+  auto it = txn->dirty_.find(id);
+  if (it != txn->dirty_.end()) {
+    return it->second.get();
+  }
+  MICRONN_ASSIGN_OR_RETURN(PagePtr committed, ReadCommitted(id, txn->base_seq_));
+  auto copy = std::make_unique<Page>(*committed);
+  Page* raw = copy.get();
+  txn->dirty_.emplace(id, std::move(copy));
+  return raw;
+}
+
+Result<PageId> Pager::AllocatePage(WriteTxnState* txn) {
+  MICRONN_ASSIGN_OR_RETURN(Page * header, GetMutablePage(txn, 0));
+  const PageId head = header->ReadU32(DbHeader::kOffFreelistHead);
+  PageId id;
+  if (head != kInvalidPage) {
+    // Pop the freelist: each free page stores the next free page id in its
+    // first four bytes after the type tag.
+    MICRONN_ASSIGN_OR_RETURN(PagePtr free_page, ReadForWrite(txn, head));
+    const PageId next = free_page->ReadU32(4);
+    header->WriteU32(DbHeader::kOffFreelistHead, next);
+    header->WriteU32(DbHeader::kOffFreelistCount,
+                     header->ReadU32(DbHeader::kOffFreelistCount) - 1);
+    id = head;
+  } else {
+    id = txn->page_count_;
+    ++txn->page_count_;
+    header->WriteU32(DbHeader::kOffPageCount, txn->page_count_);
+  }
+  // Zero the new page in the dirty set.
+  auto fresh = std::make_unique<Page>();
+  fresh->Zero();
+  txn->dirty_[id] = std::move(fresh);
+  return id;
+}
+
+Status Pager::FreePage(WriteTxnState* txn, PageId id) {
+  if (id == 0 || id >= txn->page_count_) {
+    return Status::InvalidArgument("cannot free page " + std::to_string(id));
+  }
+  MICRONN_ASSIGN_OR_RETURN(Page * header, GetMutablePage(txn, 0));
+  MICRONN_ASSIGN_OR_RETURN(Page * page, GetMutablePage(txn, id));
+  page->Zero();
+  page->bytes()[0] = static_cast<uint8_t>(PageType::kFree);
+  page->WriteU32(4, header->ReadU32(DbHeader::kOffFreelistHead));
+  header->WriteU32(DbHeader::kOffFreelistHead, id);
+  header->WriteU32(DbHeader::kOffFreelistCount,
+                   header->ReadU32(DbHeader::kOffFreelistCount) + 1);
+  return Status::OK();
+}
+
+Status Pager::CommitWrite(std::unique_ptr<WriteTxnState> txn) {
+  if (txn->finished_) {
+    return Status::InvalidArgument("transaction already finished");
+  }
+  txn->finished_ = true;
+  Status result = Status::OK();
+  if (!txn->dirty_.empty()) {
+    const uint64_t commit_seq = txn->base_seq_ + 1;
+    // Stamp the commit sequence into the header page (for observability;
+    // recovery derives state from WAL scan + header fields).
+    {
+      auto it = txn->dirty_.find(0);
+      if (it == txn->dirty_.end()) {
+        Result<Page*> header = GetMutablePage(txn.get(), 0);
+        if (!header.ok()) {
+          result = header.status();
+        } else {
+          header.value()->WriteU64(DbHeader::kOffCommitSeq, commit_seq);
+        }
+      } else {
+        it->second->WriteU64(DbHeader::kOffCommitSeq, commit_seq);
+      }
+    }
+    if (result.ok()) {
+      std::vector<std::pair<PageId, const Page*>> frames;
+      frames.reserve(txn->dirty_.size());
+      for (const auto& [pid, page] : txn->dirty_) {
+        frames.emplace_back(pid, page.get());
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      result = wal_->AppendCommit(frames, commit_seq, options_.sync_on_commit);
+      if (result.ok()) {
+        // Publish: new snapshot horizon + warm the cache with new frames.
+        last_committed_seq_ = commit_seq;
+        page_count_ = txn->page_count_;
+        uint64_t frame_no = wal_->frame_count() - txn->dirty_.size() + 1;
+        for (auto& [pid, page] : txn->dirty_) {
+          cache_.Put(pid, frame_no, PagePtr(std::move(page)));
+          ++frame_no;
+        }
+        stats_.commits.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    writer_active_ = false;
+  }
+  writer_cv_.notify_one();
+
+  if (result.ok() && options_.auto_checkpoint_frames > 0) {
+    bool should_checkpoint = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      should_checkpoint = wal_->frame_count() > options_.auto_checkpoint_frames &&
+                          active_readers_.empty();
+    }
+    if (should_checkpoint) {
+      Status st = Checkpoint();
+      if (!st.ok() && !st.IsBusy()) {
+        MICRONN_LOG(kWarn) << "auto-checkpoint failed: " << st.ToString();
+      }
+    }
+  }
+  return result;
+}
+
+void Pager::RollbackWrite(std::unique_ptr<WriteTxnState> txn) {
+  txn->finished_ = true;
+  txn->dirty_.clear();
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    writer_active_ = false;
+  }
+  writer_cv_.notify_one();
+}
+
+Status Pager::Checkpoint() {
+  // Exclude writers for the duration.
+  std::unique_lock<std::mutex> wlock(writer_mutex_);
+  if (writer_active_) {
+    return Status::Busy("writer active during checkpoint");
+  }
+  writer_active_ = true;
+  wlock.unlock();
+  Status st = CheckpointLocked();
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    writer_active_ = false;
+  }
+  writer_cv_.notify_one();
+  return st;
+}
+
+Status Pager::CheckpointLocked() {
+  // Hold mutex_ throughout: this blocks BeginSnapshot (new readers) and
+  // WAL-frame reads for the duration, which closes the race where a reader
+  // resolves a frame number just before the WAL is reset under it.
+  // Checkpoints only run when the system is idle, so the stall is benign.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_readers_.empty()) {
+    return Status::Busy("readers active during checkpoint");
+  }
+  if (wal_->frame_count() == 0) {
+    return Status::OK();
+  }
+  const std::map<PageId, uint64_t> latest =
+      wal_->LatestFrames(last_committed_seq_);
+  Page buf;
+  for (const auto& [pid, frame_no] : latest) {
+    MICRONN_RETURN_IF_ERROR(wal_->ReadFrame(frame_no, &buf));
+    MICRONN_RETURN_IF_ERROR(db_file_->WriteAt(
+        static_cast<uint64_t>(pid) * kPageSize, buf.bytes(), kPageSize));
+    stats_.checkpoint_pages.fetch_add(1, std::memory_order_relaxed);
+  }
+  MICRONN_RETURN_IF_ERROR(db_file_->Sync());
+  MICRONN_RETURN_IF_ERROR(wal_->Reset());
+  // Frame-versioned cache entries refer to recycled frame numbers; drop
+  // them, and drop stale version-0 images of pages the checkpoint rewrote.
+  cache_.DropVersioned();
+  for (const auto& [pid, frame_no] : latest) {
+    (void)frame_no;
+    cache_.InvalidatePage(pid);
+  }
+  return Status::OK();
+}
+
+void Pager::DropCaches() { cache_.Clear(); }
+
+uint64_t Pager::last_committed_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_committed_seq_;
+}
+
+uint32_t Pager::page_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return page_count_;
+}
+
+}  // namespace micronn

@@ -1,0 +1,235 @@
+// Pager: the transactional page manager.
+//
+// Composes the main database file, the WAL, and the page cache into the
+// concurrency model the paper inherits from SQLite (§3.2, §3.6):
+//   - many concurrent snapshot readers (each pinned to a commit sequence),
+//   - one writer at a time, buffering private page copies until commit,
+//   - commit = append page images to the WAL (+ optional fsync),
+//   - checkpoint = fold WAL frames back into the main file when idle.
+//
+// Page 0 is the database header and carries the freelist and catalog root;
+// it is read and written through the same transactional machinery as any
+// other page, which is what makes crash recovery uniform.
+#ifndef MICRONN_STORAGE_PAGER_H_
+#define MICRONN_STORAGE_PAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/file.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/page_cache.h"
+#include "storage/wal.h"
+
+namespace micronn {
+
+/// Tuning knobs for the storage layer.
+struct PagerOptions {
+  /// Page cache budget in bytes. This is the main memory knob for the
+  /// "constrained memory" experiments (Small vs Large device profiles).
+  size_t cache_bytes = 8ull << 20;
+
+  /// fdatasync the WAL on every commit (full durability). When false,
+  /// durability is deferred to checkpoints — SQLite's
+  /// `synchronous=NORMAL`-in-WAL-mode behaviour; atomicity and isolation
+  /// are unaffected.
+  bool sync_on_commit = false;
+
+  /// Auto-checkpoint when the WAL exceeds this many frames and no reader
+  /// is active. 0 disables auto-checkpointing.
+  uint64_t auto_checkpoint_frames = 16384;
+};
+
+/// Header page field offsets (page 0).
+struct DbHeader {
+  static constexpr uint64_t kMagic = 0x314E4E4F5243494DULL;  // "MICRONN1"
+  static constexpr size_t kOffMagic = 0;
+  static constexpr size_t kOffVersion = 8;
+  static constexpr size_t kOffPageSize = 12;
+  static constexpr size_t kOffPageCount = 16;
+  static constexpr size_t kOffFreelistHead = 20;
+  static constexpr size_t kOffFreelistCount = 24;
+  static constexpr size_t kOffCatalogRoot = 28;
+  static constexpr size_t kOffCommitSeq = 32;
+};
+
+class Pager;
+
+/// Private state of an open write transaction. Created by
+/// Pager::BeginWrite, finished by CommitWrite/RollbackWrite. Not
+/// thread-safe; a write transaction belongs to one thread.
+class WriteTxnState {
+ public:
+  uint64_t base_seq() const { return base_seq_; }
+  size_t dirty_page_count() const { return dirty_.size(); }
+
+ private:
+  friend class Pager;
+  uint64_t base_seq_ = 0;     // snapshot the writer reads through
+  uint32_t page_count_ = 0;   // file page count including txn allocations
+  std::map<PageId, std::unique_ptr<Page>> dirty_;
+  bool finished_ = false;
+};
+
+/// Abstract page access for B+Tree code: implemented by read snapshots and
+/// write transactions.
+class PageView {
+ public:
+  virtual ~PageView() = default;
+  /// Reads a page image (immutable).
+  virtual Result<PagePtr> Read(PageId id) = 0;
+  /// Returns a mutable page (write transactions only).
+  virtual Result<Page*> Mutable(PageId id) {
+    (void)id;
+    return Status::NotSupported("read-only transaction");
+  }
+  /// Allocates a fresh page (write transactions only).
+  virtual Result<PageId> Allocate() {
+    return Status::NotSupported("read-only transaction");
+  }
+  /// Returns a page to the freelist (write transactions only).
+  virtual Status Free(PageId id) {
+    (void)id;
+    return Status::NotSupported("read-only transaction");
+  }
+  virtual bool writable() const = 0;
+};
+
+/// The page manager. Thread-safe for concurrent readers plus one writer.
+class Pager {
+ public:
+  /// Opens (creating if needed) the database at `path` with its WAL at
+  /// `path + "-wal"`, running crash recovery if the WAL is non-empty.
+  static Result<std::unique_ptr<Pager>> Open(const std::string& path,
+                                             const PagerOptions& options);
+
+  ~Pager();
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Checkpoints (best effort) and closes.
+  Status Close();
+
+  // --- Snapshots (readers) ---
+
+  /// Registers a reader and returns its snapshot sequence.
+  uint64_t BeginSnapshot();
+  /// Deregisters a reader.
+  void EndSnapshot(uint64_t seq);
+  /// Reads `id` as of `snapshot_seq`.
+  Result<PagePtr> ReadPage(PageId id, uint64_t snapshot_seq);
+
+  // --- Writer ---
+
+  /// Starts the (single) write transaction; blocks until the writer slot
+  /// is free.
+  Result<std::unique_ptr<WriteTxnState>> BeginWrite();
+  /// Non-blocking variant; returns Busy if a writer is active.
+  Result<std::unique_ptr<WriteTxnState>> TryBeginWrite();
+
+  /// Read within the write transaction (sees own writes).
+  Result<PagePtr> ReadForWrite(WriteTxnState* txn, PageId id);
+  /// Returns a mutable copy of `id` owned by the transaction.
+  Result<Page*> GetMutablePage(WriteTxnState* txn, PageId id);
+  /// Allocates a page (freelist pop or file growth); the returned page is
+  /// zeroed and already in the dirty set.
+  Result<PageId> AllocatePage(WriteTxnState* txn);
+  /// Pushes `id` onto the freelist.
+  Status FreePage(WriteTxnState* txn, PageId id);
+
+  /// Commits: appends dirty pages to the WAL, publishes the new snapshot,
+  /// releases the writer slot. The state object is consumed.
+  Status CommitWrite(std::unique_ptr<WriteTxnState> txn);
+  /// Discards the transaction and releases the writer slot.
+  void RollbackWrite(std::unique_ptr<WriteTxnState> txn);
+
+  // --- Maintenance ---
+
+  /// Folds WAL frames into the main file. Returns Busy if readers are
+  /// active or a writer is running (unless called internally post-commit).
+  Status Checkpoint();
+
+  /// Drops the page cache (cold-start simulation for benchmarks).
+  void DropCaches();
+
+  uint64_t last_committed_seq() const;
+  uint32_t page_count() const;
+  size_t cache_bytes_in_use() const { return cache_.size_bytes(); }
+  IoStats& io_stats() { return stats_; }
+  const PagerOptions& options() const { return options_; }
+
+ private:
+  Pager(std::string path, const PagerOptions& options)
+      : options_(options), path_(std::move(path)), cache_(options.cache_bytes) {}
+
+  Status Initialize();
+  // Reads a committed page image as of `seq`, bypassing txn dirty state.
+  Result<PagePtr> ReadCommitted(PageId id, uint64_t seq);
+  // Checkpoint body; caller holds writer_mutex_ and verified no readers.
+  Status CheckpointLocked();
+
+  PagerOptions options_;
+  std::string path_;
+  std::unique_ptr<File> db_file_;
+  std::unique_ptr<Wal> wal_;
+  PageCache cache_;
+  IoStats stats_;
+
+  // Guards wal_ index mutation vs. lookup, reader registry, page_count.
+  mutable std::mutex mutex_;
+  std::multiset<uint64_t> active_readers_;
+  uint64_t last_committed_seq_ = 0;
+  uint32_t page_count_ = 0;
+
+  // Writer exclusion.
+  std::mutex writer_mutex_;
+  std::condition_variable writer_cv_;
+  bool writer_active_ = false;
+};
+
+/// PageView over a read snapshot. The caller owns snapshot lifetime.
+class ReadView : public PageView {
+ public:
+  ReadView(Pager* pager, uint64_t seq) : pager_(pager), seq_(seq) {}
+  Result<PagePtr> Read(PageId id) override {
+    return pager_->ReadPage(id, seq_);
+  }
+  bool writable() const override { return false; }
+  uint64_t seq() const { return seq_; }
+
+ private:
+  Pager* pager_;
+  uint64_t seq_;
+};
+
+/// PageView over a write transaction.
+class WriteView : public PageView {
+ public:
+  WriteView(Pager* pager, WriteTxnState* txn) : pager_(pager), txn_(txn) {}
+  Result<PagePtr> Read(PageId id) override {
+    return pager_->ReadForWrite(txn_, id);
+  }
+  Result<Page*> Mutable(PageId id) override {
+    return pager_->GetMutablePage(txn_, id);
+  }
+  Result<PageId> Allocate() override { return pager_->AllocatePage(txn_); }
+  Status Free(PageId id) override { return pager_->FreePage(txn_, id); }
+  bool writable() const override { return true; }
+
+ private:
+  Pager* pager_;
+  WriteTxnState* txn_;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_STORAGE_PAGER_H_

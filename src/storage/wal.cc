@@ -1,0 +1,173 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace micronn {
+
+namespace {
+
+struct FrameHeader {
+  uint32_t magic;
+  PageId page_id;
+  uint64_t commit_seq;
+  uint32_t commit_marker;
+  uint32_t reserved;
+  uint64_t checksum;
+};
+static_assert(sizeof(FrameHeader) == Wal::kFrameHeaderSize);
+
+uint64_t FrameChecksum(const FrameHeader& h, const Page& page) {
+  uint64_t seed = Hash64(&h, offsetof(FrameHeader, checksum));
+  return Hash64(page.bytes(), kPageSize, seed);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       IoStats* stats) {
+  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<File> file, File::Open(path));
+  std::unique_ptr<Wal> wal(new Wal(std::move(file), stats));
+  MICRONN_RETURN_IF_ERROR(wal->Recover());
+  return wal;
+}
+
+Status Wal::Recover() {
+  const uint64_t total_frames = file_->size() / kFrameSize;
+  uint64_t valid_frames = 0;     // frames belonging to complete commits
+  uint64_t scanned = 0;
+  std::vector<std::pair<PageId, uint64_t>> pending;  // frames of current txn
+  uint64_t pending_seq = 0;
+  FrameHeader header;
+  Page page;
+  for (uint64_t f = 0; f < total_frames; ++f) {
+    const uint64_t off = f * kFrameSize;
+    Status st = file_->ReadAt(off, &header, kFrameHeaderSize);
+    if (!st.ok()) break;
+    st = file_->ReadAt(off + kFrameHeaderSize, page.bytes(), kPageSize);
+    if (!st.ok()) break;
+    if (header.magic != kFrameMagic ||
+        header.checksum != FrameChecksum(header, page)) {
+      break;  // torn tail: discard this frame and everything after it
+    }
+    if (!pending.empty() && header.commit_seq != pending_seq) {
+      break;  // commit-boundary violation: treat as torn tail
+    }
+    pending_seq = header.commit_seq;
+    pending.emplace_back(header.page_id, f + 1);  // frame numbers 1-based
+    ++scanned;
+    if (header.commit_marker != 0) {
+      // Complete commit: publish pending frames.
+      for (const auto& [pid, frame_no] : pending) {
+        index_[pid].emplace_back(pending_seq, frame_no);
+      }
+      last_committed_seq_ = std::max(last_committed_seq_, pending_seq);
+      valid_frames = scanned;
+      pending.clear();
+    }
+  }
+  if (!pending.empty()) {
+    MICRONN_LOG(kWarn) << "WAL recovery discarded "
+                       << (scanned - valid_frames)
+                       << " frame(s) of an incomplete commit";
+  }
+  frame_count_ = valid_frames;
+  const uint64_t valid_bytes = valid_frames * kFrameSize;
+  if (file_->size() != valid_bytes) {
+    MICRONN_RETURN_IF_ERROR(file_->Truncate(valid_bytes));
+  }
+  return Status::OK();
+}
+
+Status Wal::AppendCommit(
+    const std::vector<std::pair<PageId, const Page*>>& pages,
+    uint64_t commit_seq, bool sync) {
+  if (pages.empty()) return Status::OK();
+  // Build the full commit image in one buffer to issue a single append.
+  std::string buf;
+  buf.reserve(pages.size() * kFrameSize);
+  for (size_t i = 0; i < pages.size(); ++i) {
+    FrameHeader h;
+    h.magic = kFrameMagic;
+    h.page_id = pages[i].first;
+    h.commit_seq = commit_seq;
+    h.commit_marker = (i + 1 == pages.size()) ? 1 : 0;
+    h.reserved = 0;
+    h.checksum = FrameChecksum(h, *pages[i].second);
+    buf.append(reinterpret_cast<const char*>(&h), kFrameHeaderSize);
+    buf.append(reinterpret_cast<const char*>(pages[i].second->bytes()),
+               kPageSize);
+  }
+  MICRONN_RETURN_IF_ERROR(file_->Append(buf.data(), buf.size()));
+  if (sync) {
+    MICRONN_RETURN_IF_ERROR(file_->Sync());
+  }
+  for (size_t i = 0; i < pages.size(); ++i) {
+    index_[pages[i].first].emplace_back(commit_seq, frame_count_ + i + 1);
+  }
+  frame_count_ += pages.size();
+  last_committed_seq_ = commit_seq;
+  if (stats_ != nullptr) {
+    stats_->frames_written.fetch_add(pages.size(), std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+std::optional<uint64_t> Wal::FindFrame(PageId page,
+                                       uint64_t snapshot_seq) const {
+  auto it = index_.find(page);
+  if (it == index_.end()) return std::nullopt;
+  const auto& versions = it->second;  // ascending commit_seq
+  // Last entry with commit_seq <= snapshot_seq.
+  auto pos = std::upper_bound(
+      versions.begin(), versions.end(), snapshot_seq,
+      [](uint64_t seq, const std::pair<uint64_t, uint64_t>& v) {
+        return seq < v.first;
+      });
+  if (pos == versions.begin()) return std::nullopt;
+  return (pos - 1)->second;
+}
+
+Status Wal::ReadFrame(uint64_t frame_no, Page* out) const {
+  if (frame_no == 0 || frame_no > frame_count_) {
+    return Status::Corruption("WAL frame " + std::to_string(frame_no) +
+                              " out of range");
+  }
+  const uint64_t off = (frame_no - 1) * kFrameSize + kFrameHeaderSize;
+  MICRONN_RETURN_IF_ERROR(file_->ReadAt(off, out->bytes(), kPageSize));
+  if (stats_ != nullptr) {
+    stats_->pages_read_wal.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+std::map<PageId, uint64_t> Wal::LatestFrames(uint64_t seq) const {
+  std::map<PageId, uint64_t> out;
+  for (const auto& [pid, versions] : index_) {
+    auto pos = std::upper_bound(
+        versions.begin(), versions.end(), seq,
+        [](uint64_t s, const std::pair<uint64_t, uint64_t>& v) {
+          return s < v.first;
+        });
+    if (pos != versions.begin()) {
+      out[pid] = (pos - 1)->second;
+    }
+  }
+  return out;
+}
+
+Status Wal::Reset() {
+  MICRONN_RETURN_IF_ERROR(file_->Truncate(0));
+  index_.clear();
+  frame_count_ = 0;
+  // last_committed_seq_ survives the reset: sequence numbers are global to
+  // the database, not to one WAL generation.
+  return Status::OK();
+}
+
+Status Wal::Sync() { return file_->Sync(); }
+
+}  // namespace micronn

@@ -1,0 +1,89 @@
+// Write-ahead log.
+//
+// Mirrors SQLite's WAL design, which the paper relies on for ACID updates
+// and single-writer/multi-reader snapshot isolation (§3.6): committed
+// transactions append page images ("frames") to a side log; readers resolve
+// a page to the newest frame at-or-before their snapshot; a checkpoint
+// copies the newest frames back into the main file when no reader needs
+// the history.
+#ifndef MICRONN_STORAGE_WAL_H_
+#define MICRONN_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/file.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace micronn {
+
+/// Append-only WAL file plus its in-memory index. Not internally
+/// synchronized: the single writer appends; the pager serializes index
+/// mutation against concurrent lookups with its own lock.
+class Wal {
+ public:
+  /// Frame layout: 32-byte header + page image.
+  static constexpr size_t kFrameHeaderSize = 32;
+  static constexpr size_t kFrameSize = kFrameHeaderSize + kPageSize;
+  static constexpr uint32_t kFrameMagic = 0x4D4E4E57;  // "WNNM"
+
+  /// Opens (creating if missing) the WAL at `path` and recovers its index:
+  /// frames of incomplete or corrupt trailing commits are discarded and the
+  /// file is truncated to the last durable commit.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           IoStats* stats);
+
+  /// Appends one committed transaction: every (page, image) pair in
+  /// `pages`, the last frame carrying the commit marker for `commit_seq`.
+  /// If `sync` is true the file is fdatasync'd before returning. On success
+  /// the index reflects the new frames.
+  Status AppendCommit(
+      const std::vector<std::pair<PageId, const Page*>>& pages,
+      uint64_t commit_seq, bool sync);
+
+  /// Newest frame for `page` with commit sequence <= `snapshot_seq`.
+  /// Frame numbers returned are 1-based (0 is reserved for "main file").
+  std::optional<uint64_t> FindFrame(PageId page, uint64_t snapshot_seq) const;
+
+  /// Reads the page image of 1-based frame `frame_no`.
+  Status ReadFrame(uint64_t frame_no, Page* out) const;
+
+  /// Page -> newest frame (1-based) among commits <= `seq`; the checkpoint
+  /// working set.
+  std::map<PageId, uint64_t> LatestFrames(uint64_t seq) const;
+
+  /// Discards all frames and truncates the file (after checkpoint).
+  Status Reset();
+
+  /// fdatasync the WAL file.
+  Status Sync();
+
+  uint64_t frame_count() const { return frame_count_; }
+  uint64_t last_committed_seq() const { return last_committed_seq_; }
+
+ private:
+  Wal(std::unique_ptr<File> file, IoStats* stats)
+      : file_(std::move(file)), stats_(stats) {}
+
+  Status Recover();
+
+  std::unique_ptr<File> file_;
+  IoStats* stats_;
+  uint64_t frame_count_ = 0;           // valid frames in the file
+  uint64_t last_committed_seq_ = 0;    // 0 = empty WAL
+  // page -> [(commit_seq, frame_no)] in append (= ascending seq) order.
+  std::unordered_map<PageId, std::vector<std::pair<uint64_t, uint64_t>>>
+      index_;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_STORAGE_WAL_H_

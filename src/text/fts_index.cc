@@ -1,0 +1,127 @@
+#include "text/fts_index.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "storage/key_encoding.h"
+#include "text/tokenizer.h"
+
+namespace micronn {
+
+namespace {
+
+std::string PostingKey(std::string_view token, uint64_t doc_id) {
+  std::string k;
+  key::AppendString(&k, token);
+  key::AppendU64(&k, doc_id);
+  return k;
+}
+
+}  // namespace
+
+std::string FtsPostingsTableName(std::string_view column) {
+  return "fts:" + std::string(column);
+}
+
+std::string FtsFreqsTableName(std::string_view column) {
+  return "fts_df:" + std::string(column);
+}
+
+Status FtsIndex::AddDocument(uint64_t doc_id, std::string_view text) {
+  for (const std::string& token : TokenSet(text)) {
+    const std::string pk = PostingKey(token, doc_id);
+    MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> existing,
+                             postings_.Get(pk));
+    if (existing.has_value()) continue;  // already indexed
+    MICRONN_RETURN_IF_ERROR(postings_.Put(pk, ""));
+    const std::string fk = key::Str(token);
+    MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> df, freqs_.Get(fk));
+    uint64_t count = df.has_value() ? DecodeFixed64(df->data()) : 0;
+    std::string v;
+    PutFixed64(&v, count + 1);
+    MICRONN_RETURN_IF_ERROR(freqs_.Put(fk, v));
+  }
+  return Status::OK();
+}
+
+Status FtsIndex::RemoveDocument(uint64_t doc_id, std::string_view text) {
+  for (const std::string& token : TokenSet(text)) {
+    MICRONN_ASSIGN_OR_RETURN(bool removed,
+                             postings_.Delete(PostingKey(token, doc_id)));
+    if (!removed) continue;
+    const std::string fk = key::Str(token);
+    MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> df, freqs_.Get(fk));
+    const uint64_t count = df.has_value() ? DecodeFixed64(df->data()) : 0;
+    if (count <= 1) {
+      MICRONN_ASSIGN_OR_RETURN(bool erased, freqs_.Delete(fk));
+      (void)erased;
+    } else {
+      std::string v;
+      PutFixed64(&v, count - 1);
+      MICRONN_RETURN_IF_ERROR(freqs_.Put(fk, v));
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FtsIndex::DocumentFrequency(std::string_view token) {
+  MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> df,
+                           freqs_.Get(key::Str(token)));
+  return df.has_value() ? DecodeFixed64(df->data()) : 0;
+}
+
+Result<std::vector<uint64_t>> FtsIndex::PostingsOf(std::string_view token) {
+  std::vector<uint64_t> out;
+  const std::string prefix = key::Str(token);
+  BTreeCursor c = postings_.NewCursor();
+  MICRONN_RETURN_IF_ERROR(c.Seek(prefix));
+  while (c.Valid() && c.key().size() == prefix.size() + 8 &&
+         c.key().substr(0, prefix.size()) == prefix) {
+    std::string_view rest = c.key().substr(prefix.size());
+    uint64_t doc_id;
+    if (!key::ConsumeU64(&rest, &doc_id)) {
+      return Status::Corruption("bad posting key");
+    }
+    out.push_back(doc_id);
+    MICRONN_RETURN_IF_ERROR(c.Next());
+  }
+  return out;
+}
+
+Result<bool> FtsIndex::Contains(uint64_t doc_id, std::string_view token) {
+  MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> hit,
+                           postings_.Get(PostingKey(token, doc_id)));
+  return hit.has_value();
+}
+
+Result<std::vector<uint64_t>> FtsIndex::MatchConjunction(
+    const std::vector<std::string>& tokens) {
+  if (tokens.empty()) {
+    return Status::InvalidArgument("MATCH requires at least one token");
+  }
+  // Rarest token first: its postings bound the result size; the remaining
+  // tokens are point probes.
+  std::vector<std::pair<uint64_t, std::string>> by_df;
+  by_df.reserve(tokens.size());
+  for (const std::string& t : tokens) {
+    MICRONN_ASSIGN_OR_RETURN(uint64_t df, DocumentFrequency(t));
+    if (df == 0) return std::vector<uint64_t>{};
+    by_df.emplace_back(df, t);
+  }
+  std::sort(by_df.begin(), by_df.end());
+  MICRONN_ASSIGN_OR_RETURN(std::vector<uint64_t> candidates,
+                           PostingsOf(by_df[0].second));
+  std::vector<uint64_t> out;
+  out.reserve(candidates.size());
+  for (const uint64_t doc : candidates) {
+    bool all = true;
+    for (size_t i = 1; i < by_df.size() && all; ++i) {
+      MICRONN_ASSIGN_OR_RETURN(bool has, Contains(doc, by_df[i].second));
+      all = has;
+    }
+    if (all) out.push_back(doc);
+  }
+  return out;
+}
+
+}  // namespace micronn

@@ -1,0 +1,65 @@
+// Inverted text index over a string attribute column.
+//
+// Stand-in for SQLite FTS5 as used in the paper's hybrid-search evaluation
+// (§4.3.1): tags are tokenized; each (token, document) pair is a postings
+// row; a side table keeps per-token document frequencies, which drive the
+// optimizer's string selectivity estimate.
+//
+// Storage layout (both are ordinary engine tables):
+//   postings:  key = Str(token) + U64(doc_id)   -> ""
+//   freqs:     key = Str(token)                 -> fixed64 document count
+#ifndef MICRONN_TEXT_FTS_INDEX_H_
+#define MICRONN_TEXT_FTS_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/btree.h"
+
+namespace micronn {
+
+/// Names of the backing tables for the FTS index of `column`.
+std::string FtsPostingsTableName(std::string_view column);
+std::string FtsFreqsTableName(std::string_view column);
+
+/// A handle over the two FTS tables, bound to one transaction. Writable
+/// operations require a write transaction's trees.
+class FtsIndex {
+ public:
+  FtsIndex(BTree postings, BTree freqs)
+      : postings_(postings), freqs_(freqs) {}
+
+  /// Indexes `text` for `doc_id` (tokenized, deduplicated).
+  Status AddDocument(uint64_t doc_id, std::string_view text);
+
+  /// Removes `doc_id`'s postings. `text` must be the originally indexed
+  /// text (the caller stores attribute values and can supply it).
+  Status RemoveDocument(uint64_t doc_id, std::string_view text);
+
+  /// Document frequency of one token (0 if unseen).
+  Result<uint64_t> DocumentFrequency(std::string_view token);
+
+  /// Sorted ids of documents containing `token`.
+  Result<std::vector<uint64_t>> PostingsOf(std::string_view token);
+
+  /// Sorted ids of documents containing *all* of `tokens` (the MATCH
+  /// conjunction of §4.3.1). Evaluated rarest-token-first with membership
+  /// probes, so cost scales with the smallest postings list.
+  Result<std::vector<uint64_t>> MatchConjunction(
+      const std::vector<std::string>& tokens);
+
+  /// True if `doc_id` contains `token`.
+  Result<bool> Contains(uint64_t doc_id, std::string_view token);
+
+ private:
+  BTree postings_;
+  BTree freqs_;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_TEXT_FTS_INDEX_H_

@@ -1,0 +1,26 @@
+// Tokenizer for the full-text attribute index (paper §3.5: tags are stored
+// as a whitespace-separated string with an inverted index where "each tag
+// is represented as a token").
+#ifndef MICRONN_TEXT_TOKENIZER_H_
+#define MICRONN_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace micronn {
+
+/// Maximum token length kept by the tokenizer; longer tokens are truncated
+/// (keeps index keys bounded).
+inline constexpr size_t kMaxTokenLength = 64;
+
+/// Splits `text` into lowercase tokens on any non-alphanumeric byte.
+/// Duplicates are preserved (callers dedupe if needed).
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Tokenize + sort + dedupe: the canonical token set of a document.
+std::vector<std::string> TokenSet(std::string_view text);
+
+}  // namespace micronn
+
+#endif  // MICRONN_TEXT_TOKENIZER_H_

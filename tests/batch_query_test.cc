@@ -1,0 +1,174 @@
+// Batch (MQO) engine tests: equivalence with sequential execution across
+// randomized workloads, delta-store coverage, heterogeneous-batch
+// fallback, and scan-sharing accounting.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/db.h"
+#include "datagen/dataset.h"
+#include "query/batch.h"
+
+namespace micronn {
+namespace {
+
+class BatchTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kDim = 24;
+  static constexpr size_t kN = 5000;
+
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("micronn_batch_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    ds_ = GenerateDataset({"b", kDim, Metric::kL2, kN, 128, 32, 0.2f, 66});
+    DbOptions options;
+    options.dim = kDim;
+    options.target_cluster_size = 50;
+    db_ = DB::Open(dir_ / "db.mnn", options).value();
+    std::vector<UpsertRequest> batch;
+    for (size_t i = 0; i < kN; ++i) {
+      UpsertRequest req;
+      req.asset_id = "a" + std::to_string(i);
+      req.vector.assign(ds_.row(i), ds_.row(i) + kDim);
+      batch.push_back(std::move(req));
+    }
+    EXPECT_TRUE(db_->Upsert(batch).ok());
+    EXPECT_TRUE(db_->BuildIndex().ok());
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path dir_;
+  Dataset ds_;
+  std::unique_ptr<DB> db_;
+};
+
+// Equivalence sweep over batch size and nprobe.
+struct BatchParam {
+  size_t batch;
+  uint32_t nprobe;
+};
+
+class BatchEquivalenceTest
+    : public BatchTest,
+      public ::testing::WithParamInterface<BatchParam> {};
+
+// gtest needs the fixture to expose the param interface; re-declare via
+// inheritance trick: BatchTest + WithParamInterface.
+TEST_P(BatchEquivalenceTest, MatchesSequential) {
+  const BatchParam param = GetParam();
+  std::vector<SearchRequest> requests(param.batch);
+  for (size_t q = 0; q < param.batch; ++q) {
+    const size_t qi = q % ds_.spec.n_queries;
+    requests[q].query.assign(ds_.query(qi), ds_.query(qi) + kDim);
+    requests[q].k = 10;
+    requests[q].nprobe = param.nprobe;
+  }
+  auto batched = db_->BatchSearch(requests).value();
+  ASSERT_EQ(batched.size(), param.batch);
+  for (size_t q = 0; q < param.batch; ++q) {
+    auto single = db_->Search(requests[q]).value();
+    ASSERT_EQ(batched[q].items.size(), single.items.size()) << q;
+    for (size_t i = 0; i < single.items.size(); ++i) {
+      EXPECT_EQ(batched[q].items[i].vid, single.items[i].vid)
+          << "batch=" << param.batch << " q=" << q << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BatchEquivalenceTest,
+    ::testing::Values(BatchParam{1, 4}, BatchParam{7, 4}, BatchParam{32, 4},
+                      BatchParam{64, 1}, BatchParam{64, 16},
+                      BatchParam{128, 8}, BatchParam{256, 2}));
+
+TEST_F(BatchTest, BatchSeesDeltaStore) {
+  // Freshly upserted vectors (delta store) must appear in batch results.
+  UpsertRequest fresh;
+  fresh.asset_id = "fresh";
+  fresh.vector.assign(ds_.query(0), ds_.query(0) + kDim);
+  ASSERT_TRUE(db_->Upsert({fresh}).ok());
+  std::vector<SearchRequest> requests(8);
+  for (size_t q = 0; q < 8; ++q) {
+    requests[q].query.assign(ds_.query(0), ds_.query(0) + kDim);
+    requests[q].k = 3;
+    requests[q].nprobe = 4;
+  }
+  auto responses = db_->BatchSearch(requests).value();
+  for (const auto& resp : responses) {
+    ASSERT_FALSE(resp.items.empty());
+    EXPECT_EQ(resp.items[0].asset_id, "fresh");
+    EXPECT_FLOAT_EQ(resp.items[0].distance, 0.f);
+  }
+}
+
+TEST_F(BatchTest, HeterogeneousBatchFallsBackCorrectly) {
+  // Mixed k / filters: results must still match per-query Search.
+  std::vector<SearchRequest> requests(3);
+  requests[0].query.assign(ds_.query(0), ds_.query(0) + kDim);
+  requests[0].k = 5;
+  requests[1].query.assign(ds_.query(1), ds_.query(1) + kDim);
+  requests[1].k = 9;  // different k forces the fallback path
+  requests[2].query.assign(ds_.query(2), ds_.query(2) + kDim);
+  requests[2].k = 5;
+  requests[2].exact = true;
+  auto batched = db_->BatchSearch(requests).value();
+  ASSERT_EQ(batched.size(), 3u);
+  for (size_t q = 0; q < 3; ++q) {
+    auto single = db_->Search(requests[q]).value();
+    ASSERT_EQ(batched[q].items.size(), single.items.size());
+    for (size_t i = 0; i < single.items.size(); ++i) {
+      EXPECT_EQ(batched[q].items[i].vid, single.items[i].vid);
+    }
+  }
+}
+
+TEST_F(BatchTest, EmptyBatch) {
+  auto responses = db_->BatchSearch({}).value();
+  EXPECT_TRUE(responses.empty());
+}
+
+TEST_F(BatchTest, SharedScanTouchesEachPartitionOnce) {
+  std::vector<SearchRequest> requests(200);
+  for (size_t q = 0; q < requests.size(); ++q) {
+    const size_t qi = q % ds_.spec.n_queries;
+    requests[q].query.assign(ds_.query(qi), ds_.query(qi) + kDim);
+    requests[q].k = 10;
+    requests[q].nprobe = 8;
+  }
+  auto responses = db_->BatchSearch(requests).value();
+  const auto stats = db_->GetIndexStats().value();
+  // MQO: unique partitions <= all partitions + delta, not 200 x 9.
+  EXPECT_LE(responses[0].partitions_scanned,
+            static_cast<uint64_t>(stats.n_partitions) + 1);
+  // And the scanned-row total is shared: strictly below the sum of what
+  // 200 independent probes of 9 partitions would touch.
+  EXPECT_LT(responses[0].rows_scanned,
+            200ull * 9ull * 50ull);
+}
+
+TEST_F(BatchTest, LargeBatchWithMoreQueriesThanVectors) {
+  std::vector<SearchRequest> requests(600);
+  for (size_t q = 0; q < requests.size(); ++q) {
+    const size_t qi = q % ds_.spec.n_queries;
+    requests[q].query.assign(ds_.query(qi), ds_.query(qi) + kDim);
+    requests[q].k = 100;
+    requests[q].nprobe = 4;
+  }
+  auto responses = db_->BatchSearch(requests).value();
+  ASSERT_EQ(responses.size(), 600u);
+  for (const auto& resp : responses) {
+    EXPECT_EQ(resp.items.size(), 100u);
+    // Results must be sorted ascending by distance.
+    for (size_t i = 1; i < resp.items.size(); ++i) {
+      EXPECT_LE(resp.items[i - 1].distance, resp.items[i].distance);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace micronn

@@ -1,0 +1,148 @@
+// Tests for the two-level centroid index (§3.2 extension).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "core/db.h"
+#include "datagen/dataset.h"
+#include "ivf/centroid_index.h"
+#include "ivf/search.h"
+
+namespace micronn {
+namespace {
+
+Centroids MakeCentroids(size_t k, uint32_t dim, uint64_t seed) {
+  Dataset ds = GenerateDataset({"c", dim, Metric::kL2, k, 1,
+                                std::max<size_t>(4, k / 16), 0.2f, seed});
+  Centroids c;
+  c.k = static_cast<uint32_t>(k);
+  c.dim = dim;
+  c.metric = Metric::kL2;
+  c.data = ds.data;
+  return c;
+}
+
+TEST(CentroidIndexTest, EveryCentroidIsMemberOfExactlyOneBranch) {
+  const Centroids c = MakeCentroids(500, 16, 1);
+  auto index = CentroidIndex::Build(c, 0, 7).value();
+  std::set<uint32_t> seen;
+  for (uint32_t b = 0; b < index.branches(); ++b) {
+    for (const uint32_t row : index.members(b)) {
+      EXPECT_TRUE(seen.insert(row).second) << "row " << row << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(CentroidIndexTest, FullSuperProbeMatchesExhaustive) {
+  const Centroids c = MakeCentroids(300, 8, 2);
+  auto index = CentroidIndex::Build(c, 0, 9).value();
+  Dataset queries = GenerateDataset({"q", 8, Metric::kL2, 1, 20, 8, 0.3f, 3});
+  for (size_t q = 0; q < 20; ++q) {
+    // Exhaustive reference.
+    CentroidSet set;
+    set.centroids = c;
+    set.partitions.resize(c.k);
+    for (uint32_t i = 0; i < c.k; ++i) set.partitions[i] = i + 1;
+    set.counts.assign(c.k, 1);
+    const auto exact = set.FindNearestPartitions(queries.query(q), 10);
+    // Accel with every super-cluster probed must agree.
+    const auto rows = index.FindNearestRows(c, queries.query(q), 10,
+                                            index.branches());
+    std::vector<uint32_t> accel;
+    for (const uint32_t r : rows) accel.push_back(r + 1);
+    EXPECT_EQ(accel, exact) << "q=" << q;
+  }
+}
+
+TEST(CentroidIndexTest, PartialProbeOverlapsHeavily) {
+  const Centroids c = MakeCentroids(1000, 16, 4);
+  auto index = CentroidIndex::Build(c, 0, 11).value();
+  Dataset queries = GenerateDataset({"q", 16, Metric::kL2, 1, 50, 16, 0.3f, 5});
+  double overlap = 0;
+  for (size_t q = 0; q < 50; ++q) {
+    CentroidSet set;
+    set.centroids = c;
+    set.partitions.resize(c.k);
+    for (uint32_t i = 0; i < c.k; ++i) set.partitions[i] = i + 1;
+    set.counts.assign(c.k, 1);
+    const auto exact = set.FindNearestPartitions(queries.query(q), 8);
+    const auto rows = index.FindNearestRows(c, queries.query(q), 8, 8);
+    std::set<uint32_t> exact_set(exact.begin(), exact.end());
+    size_t hits = 0;
+    for (const uint32_t r : rows) hits += exact_set.count(r + 1);
+    overlap += static_cast<double>(hits) /
+               static_cast<double>(exact.size());
+  }
+  EXPECT_GE(overlap / 50, 0.8);  // 8 of ~32 branches probed: high overlap
+}
+
+TEST(CentroidIndexTest, SingleCentroidAndEmptyEdgeCases) {
+  const Centroids one = MakeCentroids(1, 4, 6);
+  auto index = CentroidIndex::Build(one, 0, 13).value();
+  const auto rows = index.FindNearestRows(one, one.row(0), 5, 3);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 0u);
+  Centroids empty;
+  empty.dim = 4;
+  EXPECT_FALSE(CentroidIndex::Build(empty, 0, 1).ok());
+}
+
+TEST(CentroidIndexTest, DbUsesAccelAboveThreshold) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("micronn_cidx_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  Dataset ds = GenerateDataset({"t", 16, Metric::kL2, 6000, 30, 48, 0.15f,
+                                77});
+  DbOptions options;
+  options.dim = 16;
+  options.target_cluster_size = 20;       // 300 partitions
+  options.centroid_index_threshold = 100; // force the accel path
+  options.centroid_super_probe = 6;
+  auto db = DB::Open(dir / "db.mnn", options).value();
+  std::vector<UpsertRequest> batch;
+  for (size_t i = 0; i < ds.spec.n; ++i) {
+    UpsertRequest req;
+    req.asset_id = "a" + std::to_string(i);
+    req.vector.assign(ds.row(i), ds.row(i) + 16);
+    batch.push_back(std::move(req));
+  }
+  ASSERT_TRUE(db->Upsert(batch).ok());
+  ASSERT_TRUE(db->BuildIndex().ok());
+  // Searches still reach >= 90% recall with the pruned centroid lookup.
+  auto truth = BruteForceGroundTruth(ds, 10, 1);
+  double recall = 0;
+  for (size_t q = 0; q < 30; ++q) {
+    SearchRequest req;
+    req.query.assign(ds.query(q), ds.query(q) + 16);
+    req.k = 10;
+    req.nprobe = 16;
+    auto resp = db->Search(req).value();
+    std::vector<Neighbor> got;
+    for (const auto& item : resp.items) got.push_back({item.vid, item.distance});
+    recall += RecallAtK(got, truth[q]);
+  }
+  EXPECT_GE(recall / 30, 0.9);
+  // Batch path exercises the accel probe loop too.
+  std::vector<SearchRequest> requests(16);
+  for (size_t q = 0; q < 16; ++q) {
+    requests[q].query.assign(ds.query(q), ds.query(q) + 16);
+    requests[q].k = 10;
+    requests[q].nprobe = 16;
+  }
+  auto responses = db->BatchSearch(requests).value();
+  for (size_t q = 0; q < 16; ++q) {
+    auto single = db->Search(requests[q]).value();
+    ASSERT_EQ(responses[q].items.size(), single.items.size());
+    for (size_t i = 0; i < single.items.size(); ++i) {
+      EXPECT_EQ(responses[q].items[i].vid, single.items[i].vid);
+    }
+  }
+  db.reset();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace micronn

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/memory_tracker.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace micronn {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, CopyableAndCheap) {
+  Status s = Status::IOError("disk gone");
+  Status t = s;
+  EXPECT_TRUE(t.IsIOError());
+  EXPECT_EQ(t.message(), s.message());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 10; ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  MICRONN_ASSIGN_OR_RETURN(int h, Half(x));
+  MICRONN_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> q = Quarter(8);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true;
+  bool any_diff_seed_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next(), vb = b.Next(), vc = c.Next();
+    all_equal = all_equal && (va == vb);
+    any_diff_seed_diff = any_diff_seed_diff || (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed_diff);
+}
+
+TEST(RngTest, UniformWithinBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(BytesTest, FixedRoundTrip) {
+  std::string s;
+  PutFixed32(&s, 0xdeadbeef);
+  PutFixed64(&s, 0x0123456789abcdefULL);
+  EXPECT_EQ(DecodeFixed32(s.data()), 0xdeadbeefu);
+  EXPECT_EQ(DecodeFixed64(s.data() + 4), 0x0123456789abcdefULL);
+}
+
+TEST(BytesTest, VarintRoundTrip) {
+  const uint64_t values[] = {0, 1, 127, 128, 300, 1u << 20, 0xffffffffULL,
+                             0xffffffffffffffffULL};
+  std::string s;
+  for (uint64_t v : values) PutVarint64(&s, v);
+  const char* p = s.data();
+  const char* limit = s.data() + s.size();
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(&p, limit, &got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_EQ(p, limit);
+}
+
+TEST(BytesTest, VarintTruncatedFails) {
+  std::string s;
+  PutVarint64(&s, 0xffffffffffffffffULL);
+  s.pop_back();
+  const char* p = s.data();
+  uint64_t got;
+  EXPECT_FALSE(GetVarint64(&p, s.data() + s.size(), &got));
+}
+
+TEST(BytesTest, LengthPrefixedRoundTrip) {
+  std::string s;
+  PutLengthPrefixed(&s, "hello");
+  PutLengthPrefixed(&s, "");
+  PutLengthPrefixed(&s, std::string(1000, 'x'));
+  const char* p = s.data();
+  const char* limit = s.data() + s.size();
+  std::string_view a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&p, limit, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&p, limit, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&p, limit, &c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST(BytesTest, HashDiffersOnContent) {
+  EXPECT_NE(Hash64("abc", 3), Hash64("abd", 3));
+  EXPECT_EQ(Hash64("abc", 3), Hash64("abc", 3));
+  EXPECT_NE(Hash64("abc", 3, 1), Hash64("abc", 3, 2));
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRangesPartition) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  pool.ParallelForRanges(1000, [&total](size_t b, size_t e) {
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(MemoryTrackerTest, TracksAllocationsAndPeak) {
+  MemoryTracker& t = MemoryTracker::Global();
+  const size_t base = t.CurrentTotal();
+  t.ResetPeak();
+  t.Allocate(MemoryCategory::kOther, 1000);
+  EXPECT_GE(t.Current(MemoryCategory::kOther), 1000u);
+  EXPECT_GE(t.PeakTotal(), base + 1000);
+  t.Release(MemoryCategory::kOther, 1000);
+  EXPECT_EQ(t.CurrentTotal(), base);
+}
+
+TEST(MemoryTrackerTest, ScopedReservation) {
+  MemoryTracker& t = MemoryTracker::Global();
+  const size_t base = t.CurrentTotal();
+  {
+    ScopedMemoryReservation r(MemoryCategory::kQueryExec, 512);
+    EXPECT_EQ(t.CurrentTotal(), base + 512);
+    r.Resize(1024);
+    EXPECT_EQ(t.CurrentTotal(), base + 1024);
+    r.Resize(256);
+    EXPECT_EQ(t.CurrentTotal(), base + 256);
+  }
+  EXPECT_EQ(t.CurrentTotal(), base);
+}
+
+}  // namespace
+}  // namespace micronn

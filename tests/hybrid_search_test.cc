@@ -1,0 +1,258 @@
+// Deeper hybrid-search coverage: plan correctness and agreement across
+// complex predicate trees, typed columns, FTS combinations, and recall
+// behaviour at selectivity extremes (the Fig. 7 phenomenon in unit-test
+// form).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/db.h"
+#include "datagen/dataset.h"
+#include "ivf/search.h"
+
+namespace micronn {
+namespace {
+
+class HybridTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kDim = 16;
+  static constexpr size_t kN = 4000;
+
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("micronn_hybrid_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    ds_ = GenerateDataset({"h", kDim, Metric::kL2, kN, 16, 24, 0.2f, 55});
+    DbOptions options;
+    options.dim = kDim;
+    options.target_cluster_size = 50;
+    options.default_nprobe = 4;
+    options.fts_columns = {"tags"};
+    db_ = DB::Open(dir_ / "db.mnn", options).value();
+    std::vector<UpsertRequest> batch;
+    for (size_t i = 0; i < kN; ++i) {
+      UpsertRequest req;
+      req.asset_id = "a" + std::to_string(i);
+      req.vector.assign(ds_.row(i), ds_.row(i) + kDim);
+      req.attributes["year"] =
+          AttributeValue::Int(2000 + static_cast<int64_t>(i % 25));
+      req.attributes["score"] =
+          AttributeValue::Double(static_cast<double>(i % 100) / 100.0);
+      req.attributes["city"] = AttributeValue::String(
+          i % 500 == 0 ? "katmandu" : (i % 2 ? "seattle" : "nyc"));
+      std::string tags = i % 2 ? "cat indoor" : "dog outdoor";
+      if (i % 16 == 0) tags += " special";
+      req.attributes["tags"] = AttributeValue::String(tags);
+      batch.push_back(std::move(req));
+    }
+    EXPECT_TRUE(db_->Upsert(batch).ok());
+    EXPECT_TRUE(db_->BuildIndex().ok());
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  // Runs `filter` through exact search (truth), forced pre-filter, and
+  // forced post-filter at max nprobe; returns the three result lists.
+  struct PlanComparison {
+    std::vector<uint64_t> exact, pre, post_full_probe;
+  };
+  PlanComparison Compare(const Predicate& filter, uint32_t k) {
+    PlanComparison out;
+    SearchRequest req;
+    req.query.assign(ds_.query(0), ds_.query(0) + kDim);
+    req.k = k;
+    req.nprobe = 1000;  // every partition: post-filter becomes exact too
+    req.filter = filter;
+
+    SearchRequest exact = req;
+    exact.exact = true;
+    for (const auto& item : db_->Search(exact).value().items) {
+      out.exact.push_back(item.vid);
+    }
+    SearchRequest pre = req;
+    pre.plan = PlanOverride::kForcePreFilter;
+    for (const auto& item : db_->Search(pre).value().items) {
+      out.pre.push_back(item.vid);
+    }
+    SearchRequest post = req;
+    post.plan = PlanOverride::kForcePostFilter;
+    for (const auto& item : db_->Search(post).value().items) {
+      out.post_full_probe.push_back(item.vid);
+    }
+    return out;
+  }
+
+  std::filesystem::path dir_;
+  Dataset ds_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(HybridTest, AllPlansAgreeAtFullProbe) {
+  // With every partition probed, pre-filter, post-filter, and exact search
+  // must return identical results for any filter.
+  const Predicate filters[] = {
+      Predicate::Compare("year", CompareOp::kGe, AttributeValue::Int(2020)),
+      Predicate::Compare("score", CompareOp::kLt,
+                         AttributeValue::Double(0.25)),
+      Predicate::Match("tags", "special"),
+      Predicate::And(
+          {Predicate::Compare("city", CompareOp::kEq,
+                              AttributeValue::String("seattle")),
+           Predicate::Compare("year", CompareOp::kLt,
+                              AttributeValue::Int(2010))}),
+      Predicate::Or(
+          {Predicate::Compare("city", CompareOp::kEq,
+                              AttributeValue::String("katmandu")),
+           Predicate::Match("tags", "special")}),
+  };
+  for (const Predicate& filter : filters) {
+    const auto cmp = Compare(filter, 20);
+    EXPECT_EQ(cmp.pre, cmp.exact) << filter.ToString();
+    EXPECT_EQ(cmp.post_full_probe, cmp.exact) << filter.ToString();
+  }
+}
+
+TEST_F(HybridTest, PreFilterRecallIsAlwaysFull) {
+  // Pre-filtering is exact over the qualifying subset regardless of
+  // nprobe (the paper's "guarantees 100% recall").
+  SearchRequest req;
+  req.query.assign(ds_.query(1), ds_.query(1) + kDim);
+  req.k = 10;
+  req.nprobe = 1;  // irrelevant for pre-filter
+  req.filter = Predicate::Compare("city", CompareOp::kEq,
+                                  AttributeValue::String("katmandu"));
+  req.plan = PlanOverride::kForcePreFilter;
+  auto pre = db_->Search(req).value();
+  SearchRequest exact = req;
+  exact.exact = true;
+  exact.plan = PlanOverride::kAuto;
+  auto truth = db_->Search(exact).value();
+  ASSERT_EQ(pre.items.size(), truth.items.size());
+  for (size_t i = 0; i < pre.items.size(); ++i) {
+    EXPECT_EQ(pre.items[i].vid, truth.items[i].vid);
+  }
+}
+
+TEST_F(HybridTest, PostFilterRecallDegradesOnSelectiveFilters) {
+  // At small nprobe, a highly selective filter leaves post-filtering with
+  // few qualifying candidates — the Fig. 7 recall collapse.
+  SearchRequest req;
+  req.query.assign(ds_.query(2), ds_.query(2) + kDim);
+  req.k = 8;  // katmandu has kN/500 = 8 rows
+  req.nprobe = 1;
+  req.filter = Predicate::Compare("city", CompareOp::kEq,
+                                  AttributeValue::String("katmandu"));
+  req.plan = PlanOverride::kForcePostFilter;
+  auto post = db_->Search(req).value();
+  req.plan = PlanOverride::kForcePreFilter;
+  auto pre = db_->Search(req).value();
+  EXPECT_EQ(pre.items.size(), 8u);
+  EXPECT_LT(post.items.size(), pre.items.size());
+}
+
+TEST_F(HybridTest, DoubleColumnRangeFilter) {
+  SearchRequest req;
+  req.query.assign(ds_.query(3), ds_.query(3) + kDim);
+  req.k = 50;
+  req.nprobe = 1000;
+  req.filter = Predicate::And(
+      {Predicate::Compare("score", CompareOp::kGe,
+                          AttributeValue::Double(0.40)),
+       Predicate::Compare("score", CompareOp::kLt,
+                          AttributeValue::Double(0.45))});
+  auto resp = db_->Search(req).value();
+  EXPECT_FALSE(resp.items.empty());
+  for (const auto& item : resp.items) {
+    const uint64_t row = item.vid - 1;
+    const double score = static_cast<double>(row % 100) / 100.0;
+    EXPECT_GE(score, 0.40);
+    EXPECT_LT(score, 0.45);
+  }
+}
+
+TEST_F(HybridTest, NotEqualFilter) {
+  const auto cmp = Compare(
+      Predicate::Compare("city", CompareOp::kNe,
+                         AttributeValue::String("seattle")),
+      25);
+  EXPECT_EQ(cmp.pre, cmp.exact);
+  // != seattle should still yield plenty of rows (nyc + katmandu).
+  EXPECT_EQ(cmp.exact.size(), 25u);
+}
+
+TEST_F(HybridTest, FilterMatchingNothing) {
+  SearchRequest req;
+  req.query.assign(ds_.query(4), ds_.query(4) + kDim);
+  req.k = 5;
+  req.filter = Predicate::Compare("year", CompareOp::kGt,
+                                  AttributeValue::Int(9999));
+  for (const PlanOverride plan :
+       {PlanOverride::kForcePreFilter, PlanOverride::kForcePostFilter,
+        PlanOverride::kAuto}) {
+    req.plan = plan;
+    auto resp = db_->Search(req).value();
+    EXPECT_TRUE(resp.items.empty());
+  }
+}
+
+TEST_F(HybridTest, TypeMismatchedFilterMatchesNothing) {
+  // Comparing a string column against an int matches no rows (and is not
+  // an execution error).
+  SearchRequest req;
+  req.query.assign(ds_.query(5), ds_.query(5) + kDim);
+  req.k = 5;
+  req.filter =
+      Predicate::Compare("city", CompareOp::kEq, AttributeValue::Int(7));
+  req.plan = PlanOverride::kForcePreFilter;
+  auto resp = db_->Search(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->items.empty());
+}
+
+TEST_F(HybridTest, OptimizerReportsEstimates) {
+  SearchRequest req;
+  req.query.assign(ds_.query(6), ds_.query(6) + kDim);
+  req.k = 5;
+  req.filter = Predicate::Compare("city", CompareOp::kEq,
+                                  AttributeValue::String("katmandu"));
+  auto resp = db_->Search(req).value();
+  // katmandu qualifies 8/4000 = 0.2%; F_IVF = 4 * 50 / 4000 = 5%.
+  EXPECT_EQ(resp.plan, QueryPlan::kPreFilter);
+  EXPECT_LT(resp.decision.filter_selectivity, 0.02);
+  EXPECT_NEAR(resp.decision.ivf_selectivity, 0.05, 0.001);
+}
+
+TEST_F(HybridTest, HybridSearchAfterMaintain) {
+  // Filters keep working for vectors that moved from delta to partitions.
+  AttributeRecord attrs;
+  attrs["city"] = AttributeValue::String("katmandu");
+  attrs["year"] = AttributeValue::Int(2030);
+  std::vector<UpsertRequest> fresh;
+  for (int i = 0; i < 20; ++i) {
+    UpsertRequest req;
+    req.asset_id = "fresh" + std::to_string(i);
+    req.vector.assign(ds_.query(7), ds_.query(7) + kDim);
+    req.vector[0] += 0.001f * static_cast<float>(i);
+    req.attributes = attrs;
+    fresh.push_back(std::move(req));
+  }
+  ASSERT_TRUE(db_->Upsert(fresh).ok());
+  ASSERT_TRUE(db_->Maintain().ok());
+  SearchRequest req;
+  req.query.assign(ds_.query(7), ds_.query(7) + kDim);
+  req.k = 20;
+  req.nprobe = 8;
+  req.filter = Predicate::Compare("year", CompareOp::kGe,
+                                  AttributeValue::Int(2030));
+  auto resp = db_->Search(req).value();
+  EXPECT_EQ(resp.items.size(), 20u);
+  for (const auto& item : resp.items) {
+    EXPECT_TRUE(item.asset_id.starts_with("fresh"));
+  }
+}
+
+}  // namespace
+}  // namespace micronn

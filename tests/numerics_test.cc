@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "numerics/aligned_buffer.h"
+#include "numerics/distance.h"
+#include "numerics/metric.h"
+#include "numerics/topk.h"
+#include "numerics/vector_codec.h"
+
+namespace micronn {
+namespace {
+
+std::vector<float> RandomVec(Rng* rng, size_t d) {
+  std::vector<float> v(d);
+  for (auto& x : v) x = static_cast<float>(rng->NextGaussian());
+  return v;
+}
+
+TEST(AlignedBufferTest, AlignmentAndZeroInit) {
+  AlignedFloatBuffer buf(1000);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % 64, 0u);
+  for (size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0.f);
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedFloatBuffer a(16);
+  a[3] = 7.f;
+  AlignedFloatBuffer b(std::move(a));
+  EXPECT_EQ(b[3], 7.f);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(DistanceTest, ScalarL2Basics) {
+  const float a[] = {1.f, 2.f, 3.f};
+  const float b[] = {4.f, 6.f, 3.f};
+  EXPECT_FLOAT_EQ(internal::L2SquaredScalar(a, b, 3), 9.f + 16.f);
+  EXPECT_FLOAT_EQ(internal::DotScalar(a, b, 3), 4.f + 12.f + 9.f);
+}
+
+// Parameterized SIMD-vs-scalar parity sweep over dimensions, including
+// non-multiples of the vector width.
+class SimdParityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SimdParityTest, L2MatchesScalar) {
+  const size_t d = GetParam();
+  Rng rng(d * 31 + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = RandomVec(&rng, d);
+    const auto b = RandomVec(&rng, d);
+    const float ref = internal::L2SquaredScalar(a.data(), b.data(), d);
+    const float got = L2Squared(a.data(), b.data(), d);
+    EXPECT_NEAR(got, ref, 1e-3f * (1.f + std::fabs(ref)))
+        << "d=" << d << " level=" << SimdLevelName(ActiveSimdLevel());
+  }
+}
+
+TEST_P(SimdParityTest, DotMatchesScalar) {
+  const size_t d = GetParam();
+  Rng rng(d * 17 + 5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = RandomVec(&rng, d);
+    const auto b = RandomVec(&rng, d);
+    const float ref = internal::DotScalar(a.data(), b.data(), d);
+    const float got = Dot(a.data(), b.data(), d);
+    EXPECT_NEAR(got, ref, 1e-3f * (1.f + std::fabs(ref))) << "d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SimdParityTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 15, 16, 17, 31, 32,
+                                           63, 96, 100, 128, 200, 256, 384,
+                                           512, 784, 960));
+
+TEST(DistanceTest, AllSimdLevelsAgree) {
+  const SimdLevel original = ActiveSimdLevel();
+  Rng rng(99);
+  const size_t d = 301;
+  const auto a = RandomVec(&rng, d);
+  const auto b = RandomVec(&rng, d);
+  SetSimdLevel(SimdLevel::kScalar);
+  const float scalar = L2Squared(a.data(), b.data(), d);
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  SetSimdLevel(SimdLevel::kAvx2);
+  const float avx2 = L2Squared(a.data(), b.data(), d);
+  SetSimdLevel(SimdLevel::kAvx512);
+  const float avx512 = L2Squared(a.data(), b.data(), d);
+  SetSimdLevel(original);
+  EXPECT_NEAR(scalar, avx2, 1e-3f * (1.f + scalar));
+  EXPECT_NEAR(scalar, avx512, 1e-3f * (1.f + scalar));
+}
+
+TEST(DistanceTest, MetricConventions) {
+  // Distance must be "smaller = more similar" under every metric.
+  const float q[] = {1.f, 0.f};
+  const float near_v[] = {0.9f, 0.1f};
+  const float far_v[] = {-1.f, 0.f};
+  for (Metric m : {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+    EXPECT_LT(Distance(m, q, near_v, 2), Distance(m, q, far_v, 2))
+        << MetricName(m);
+  }
+}
+
+TEST(DistanceTest, CosineOfNormalizedSelfIsZero) {
+  std::vector<float> v = {0.6f, 0.8f};  // already unit norm
+  EXPECT_NEAR(Distance(Metric::kCosine, v.data(), v.data(), 2), 0.f, 1e-6f);
+}
+
+TEST(DistanceTest, OneToManyMatchesPointwise) {
+  Rng rng(5);
+  const size_t d = 64, n = 37;
+  const auto q = RandomVec(&rng, d);
+  std::vector<float> data;
+  for (size_t i = 0; i < n; ++i) {
+    const auto v = RandomVec(&rng, d);
+    data.insert(data.end(), v.begin(), v.end());
+  }
+  std::vector<float> out(n);
+  DistanceOneToMany(Metric::kL2, q.data(), data.data(), n, d, out.data());
+  for (size_t i = 0; i < n; ++i) {
+    const float ref = L2Squared(q.data(), data.data() + i * d, d);
+    EXPECT_FLOAT_EQ(out[i], ref) << i;
+  }
+}
+
+TEST(DistanceTest, ManyToManyMatchesPointwise) {
+  Rng rng(6);
+  const size_t d = 48, n = 600, nq = 5;  // n > row block to cross blocks
+  std::vector<float> queries, data;
+  for (size_t i = 0; i < nq; ++i) {
+    const auto v = RandomVec(&rng, d);
+    queries.insert(queries.end(), v.begin(), v.end());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const auto v = RandomVec(&rng, d);
+    data.insert(data.end(), v.begin(), v.end());
+  }
+  std::vector<float> out(nq * n);
+  DistanceManyToMany(Metric::kCosine, queries.data(), nq, data.data(), n, d,
+                     out.data());
+  for (size_t i = 0; i < nq; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const float ref = Distance(Metric::kCosine, queries.data() + i * d,
+                                 data.data() + j * d, d);
+      EXPECT_NEAR(out[i * n + j], ref, 1e-5f) << i << "," << j;
+    }
+  }
+}
+
+TEST(TopKHeapTest, KeepsKSmallest) {
+  TopKHeap heap(3);
+  for (uint64_t id = 0; id < 10; ++id) {
+    heap.Push(id, static_cast<float>(10 - id));  // distances 10..1
+  }
+  auto out = heap.TakeSorted();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 9u);  // distance 1
+  EXPECT_EQ(out[1].id, 8u);
+  EXPECT_EQ(out[2].id, 7u);
+}
+
+TEST(TopKHeapTest, WorstDistanceIsPruningBound) {
+  TopKHeap heap(2);
+  heap.Push(1, 5.f);
+  heap.Push(2, 3.f);
+  EXPECT_TRUE(heap.full());
+  EXPECT_FLOAT_EQ(heap.WorstDistance(), 5.f);
+  EXPECT_TRUE(heap.WouldAccept(4.f));
+  EXPECT_FALSE(heap.WouldAccept(6.f));
+  heap.Push(3, 1.f);
+  EXPECT_FLOAT_EQ(heap.WorstDistance(), 3.f);
+}
+
+TEST(TopKHeapTest, FewerThanKItems) {
+  TopKHeap heap(10);
+  heap.Push(4, 2.f);
+  heap.Push(5, 1.f);
+  auto out = heap.TakeSorted();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 5u);
+}
+
+TEST(TopKHeapTest, SortedOutputTiesBrokenById) {
+  TopKHeap heap(4);
+  heap.Push(9, 1.f);
+  heap.Push(3, 1.f);
+  heap.Push(7, 1.f);
+  auto out = heap.TakeSorted();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 3u);
+  EXPECT_EQ(out[1].id, 7u);
+  EXPECT_EQ(out[2].id, 9u);
+}
+
+// Property: a heap fed any stream keeps exactly the k smallest elements.
+class TopKPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TopKPropertyTest, MatchesSortReference) {
+  const size_t k = GetParam();
+  Rng rng(k * 101 + 3);
+  std::vector<Neighbor> all;
+  TopKHeap heap(k);
+  for (uint64_t id = 0; id < 500; ++id) {
+    const float dist = rng.NextFloat();
+    all.push_back({id, dist});
+    heap.Push(id, dist);
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  });
+  all.resize(std::min(k, all.size()));
+  auto got = heap.TakeSorted();
+  ASSERT_EQ(got.size(), all.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, all[i].id) << "k=" << k << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKPropertyTest,
+                         ::testing::Values(1, 2, 5, 10, 100, 499, 500, 600));
+
+TEST(TopKHeapTest, MergeHeapsEqualsGlobalTopK) {
+  Rng rng(77);
+  const size_t k = 10;
+  std::vector<TopKHeap> heaps(4, TopKHeap(k));
+  TopKHeap global(k);
+  for (uint64_t id = 0; id < 1000; ++id) {
+    const float dist = rng.NextFloat();
+    heaps[id % 4].Push(id, dist);
+    global.Push(id, dist);
+  }
+  auto merged = MergeHeapsSorted(heaps, k);
+  auto expected = global.TakeSorted();
+  ASSERT_EQ(merged.size(), expected.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].id, expected[i].id);
+  }
+}
+
+TEST(VectorCodecTest, RoundTrip) {
+  std::vector<float> v = {1.5f, -2.25f, 0.f, 1e-30f, 3e30f};
+  const std::string blob = EncodeVector(v);
+  EXPECT_EQ(blob.size(), v.size() * sizeof(float));
+  std::vector<float> out;
+  ASSERT_TRUE(DecodeVector(blob, &out));
+  EXPECT_EQ(out, v);
+  float fixed[5];
+  ASSERT_TRUE(DecodeVector(blob, 5, fixed));
+  EXPECT_EQ(fixed[1], -2.25f);
+  EXPECT_FALSE(DecodeVector(blob, 4, fixed));
+}
+
+}  // namespace
+}  // namespace micronn

@@ -1,0 +1,333 @@
+// Query module tests: attribute values, predicates, histograms and
+// selectivity estimation, the hybrid-plan optimizer, attribute indexes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "query/attr_index.h"
+#include "query/optimizer.h"
+#include "query/predicate.h"
+#include "query/stats.h"
+#include "query/value.h"
+#include "storage/engine.h"
+
+namespace micronn {
+namespace {
+
+TEST(ValueTest, CompareWithinType) {
+  EXPECT_LT(*AttributeValue::Int(1).Compare(AttributeValue::Int(2)), 0);
+  EXPECT_EQ(*AttributeValue::Double(1.5).Compare(AttributeValue::Double(1.5)),
+            0);
+  EXPECT_GT(*AttributeValue::String("b").Compare(AttributeValue::String("a")),
+            0);
+  EXPECT_FALSE(AttributeValue::Int(1).Compare(AttributeValue::Double(1)).ok());
+}
+
+TEST(ValueTest, RecordRoundTrip) {
+  AttributeRecord record;
+  record["city"] = AttributeValue::String("Seattle");
+  record["year"] = AttributeValue::Int(2024);
+  record["score"] = AttributeValue::Double(0.75);
+  const std::string blob = EncodeAttributeRecord(record);
+  auto decoded = DecodeAttributeRecord(blob).value();
+  EXPECT_EQ(decoded, record);
+  EXPECT_TRUE(DecodeAttributeRecord("").ok() == false ||
+              DecodeAttributeRecord("").value().empty());
+}
+
+TEST(ValueTest, IndexEncodingOrders) {
+  auto enc = [](const AttributeValue& v) { return EncodeValueForIndex(v); };
+  EXPECT_LT(enc(AttributeValue::Int(-5)), enc(AttributeValue::Int(3)));
+  EXPECT_LT(enc(AttributeValue::Double(-0.5)),
+            enc(AttributeValue::Double(2.5)));
+  EXPECT_LT(enc(AttributeValue::String("apple")),
+            enc(AttributeValue::String("banana")));
+  // Types segregate by tag byte.
+  EXPECT_NE(enc(AttributeValue::Int(1))[0],
+            enc(AttributeValue::String("1"))[0]);
+}
+
+TEST(PredicateTest, CompareOps) {
+  AttributeRecord rec;
+  rec["x"] = AttributeValue::Int(5);
+  auto eval = [&](CompareOp op, int64_t v) {
+    return EvalPredicate(
+               Predicate::Compare("x", op, AttributeValue::Int(v)), rec)
+        .value();
+  };
+  EXPECT_TRUE(eval(CompareOp::kEq, 5));
+  EXPECT_FALSE(eval(CompareOp::kEq, 6));
+  EXPECT_TRUE(eval(CompareOp::kNe, 6));
+  EXPECT_TRUE(eval(CompareOp::kLt, 6));
+  EXPECT_FALSE(eval(CompareOp::kLt, 5));
+  EXPECT_TRUE(eval(CompareOp::kLe, 5));
+  EXPECT_TRUE(eval(CompareOp::kGt, 4));
+  EXPECT_TRUE(eval(CompareOp::kGe, 5));
+  EXPECT_FALSE(eval(CompareOp::kGe, 6));
+}
+
+TEST(PredicateTest, MissingColumnIsFalse) {
+  AttributeRecord rec;
+  EXPECT_FALSE(EvalPredicate(Predicate::Compare("absent", CompareOp::kEq,
+                                                AttributeValue::Int(1)),
+                             rec)
+                   .value());
+  EXPECT_FALSE(EvalPredicate(Predicate::Match("absent", "tag"), rec).value());
+}
+
+TEST(PredicateTest, MatchSemantics) {
+  AttributeRecord rec;
+  rec["tags"] = AttributeValue::String("black cat yarn");
+  EXPECT_TRUE(
+      EvalPredicate(Predicate::Match("tags", "cat yarn"), rec).value());
+  EXPECT_FALSE(
+      EvalPredicate(Predicate::Match("tags", "cat dog"), rec).value());
+  // MATCH on a non-string column is an error.
+  rec["num"] = AttributeValue::Int(1);
+  EXPECT_FALSE(EvalPredicate(Predicate::Match("num", "1"), rec).ok());
+}
+
+TEST(PredicateTest, BooleanComposition) {
+  AttributeRecord rec;
+  rec["a"] = AttributeValue::Int(1);
+  rec["b"] = AttributeValue::Int(2);
+  auto a1 = Predicate::Compare("a", CompareOp::kEq, AttributeValue::Int(1));
+  auto b3 = Predicate::Compare("b", CompareOp::kEq, AttributeValue::Int(3));
+  EXPECT_FALSE(EvalPredicate(Predicate::And({a1, b3}), rec).value());
+  EXPECT_TRUE(EvalPredicate(Predicate::Or({a1, b3}), rec).value());
+  // Nested trees.
+  auto nested = Predicate::And({a1, Predicate::Or({b3, a1})});
+  EXPECT_TRUE(EvalPredicate(nested, rec).value());
+}
+
+TEST(PredicateTest, ToStringReadable) {
+  auto p = Predicate::And(
+      {Predicate::Compare("year", CompareOp::kGe, AttributeValue::Int(2020)),
+       Predicate::Match("tags", "cat")});
+  EXPECT_EQ(p.ToString(), "(year >= 2020 AND tags MATCH \"cat\")");
+}
+
+// --- Histograms & selectivity ---
+
+TEST(StatsTest, NumericHistogramEstimates) {
+  // Uniform ints 0..999, one row each.
+  std::vector<AttributeValue> sample;
+  for (int i = 0; i < 1000; ++i) sample.push_back(AttributeValue::Int(i));
+  ColumnStats stats = BuildColumnStats(ValueType::kInt, 1000, sample);
+  EXPECT_EQ(stats.distinct_count, 1000u);
+  EXPECT_NEAR(stats.EstimateCompare(CompareOp::kLt, AttributeValue::Int(500)),
+              0.5, 0.05);
+  EXPECT_NEAR(stats.EstimateCompare(CompareOp::kGe, AttributeValue::Int(900)),
+              0.1, 0.05);
+  EXPECT_NEAR(stats.EstimateCompare(CompareOp::kEq, AttributeValue::Int(5)),
+              0.001, 0.001);
+  EXPECT_NEAR(stats.EstimateCompare(CompareOp::kNe, AttributeValue::Int(5)),
+              0.999, 0.001);
+}
+
+TEST(StatsTest, LowCardinalityDistinct) {
+  std::vector<AttributeValue> sample;
+  for (int i = 0; i < 900; ++i) {
+    sample.push_back(AttributeValue::String(i % 3 == 0 ? "red"
+                                            : i % 3 == 1 ? "green"
+                                                         : "blue"));
+  }
+  ColumnStats stats = BuildColumnStats(ValueType::kString, 90000, sample);
+  EXPECT_EQ(stats.distinct_count, 3u);
+  EXPECT_NEAR(
+      stats.EstimateCompare(CompareOp::kEq, AttributeValue::String("red")),
+      1.0 / 3, 0.05);
+}
+
+TEST(StatsTest, SerializationRoundTrip) {
+  std::vector<AttributeValue> sample;
+  for (int i = 0; i < 100; ++i) sample.push_back(AttributeValue::Double(i * 0.5));
+  ColumnStats stats = BuildColumnStats(ValueType::kDouble, 100, sample);
+  auto decoded = ColumnStats::Deserialize(stats.Serialize()).value();
+  EXPECT_EQ(decoded.type, stats.type);
+  EXPECT_EQ(decoded.row_count, stats.row_count);
+  EXPECT_EQ(decoded.distinct_count, stats.distinct_count);
+  EXPECT_EQ(decoded.numeric_bounds, stats.numeric_bounds);
+}
+
+TEST(StatsTest, EstimatorComposition) {
+  std::map<std::string, ColumnStats> per_column;
+  {
+    std::vector<AttributeValue> sample;
+    for (int i = 0; i < 1000; ++i) sample.push_back(AttributeValue::Int(i));
+    per_column["u"] = BuildColumnStats(ValueType::kInt, 1000, sample);
+  }
+  SelectivityEstimator est(per_column, 1000, nullptr);
+  auto lt100 =
+      Predicate::Compare("u", CompareOp::kLt, AttributeValue::Int(100));
+  auto lt500 =
+      Predicate::Compare("u", CompareOp::kLt, AttributeValue::Int(500));
+  // AND takes the min.
+  EXPECT_NEAR(*est.Estimate(Predicate::And({lt100, lt500})), 0.1, 0.05);
+  // OR sums (capped at 1).
+  EXPECT_NEAR(*est.Estimate(Predicate::Or({lt100, lt500})), 0.6, 0.07);
+  std::vector<Predicate> many(5, lt500);
+  EXPECT_DOUBLE_EQ(*est.Estimate(Predicate::Or(std::move(many))), 1.0);
+}
+
+TEST(StatsTest, MatchUsesTokenDf) {
+  SelectivityEstimator est(
+      {}, 10000,
+      [](const std::string& column, const std::string& token)
+          -> Result<uint64_t> {
+        EXPECT_EQ(column, "tags");
+        if (token == "rare") return 10;
+        if (token == "common") return 5000;
+        return 0;
+      });
+  // Conjunction of tokens: min of df/N (paper §3.5.1).
+  EXPECT_DOUBLE_EQ(*est.Estimate(Predicate::Match("tags", "common rare")),
+                   0.001);
+  EXPECT_DOUBLE_EQ(*est.Estimate(Predicate::Match("tags", "common")), 0.5);
+}
+
+// --- Optimizer ---
+
+TEST(OptimizerTest, IvfSelectivityFormula) {
+  // Eq. 2: F_IVF = n * p / |R|.
+  EXPECT_DOUBLE_EQ(EstimateIvfSelectivity(8, 100, 100000), 8 * 100 / 100000.0);
+  EXPECT_DOUBLE_EQ(EstimateIvfSelectivity(1000, 1000, 100), 1.0);  // clamped
+}
+
+TEST(OptimizerTest, PlanFollowsSelectivityRule) {
+  std::map<std::string, ColumnStats> per_column;
+  {
+    std::vector<AttributeValue> sample;
+    for (int i = 0; i < 1000; ++i) sample.push_back(AttributeValue::Int(i));
+    per_column["x"] = BuildColumnStats(ValueType::kInt, 100000, sample);
+  }
+  SelectivityEstimator est(per_column, 100000, nullptr);
+  // F_IVF = 8 * 100 / 100000 = 0.008.
+  // Highly selective: x == const has F ~ 1/100000 < 0.008 -> pre-filter.
+  auto selective =
+      Predicate::Compare("x", CompareOp::kEq, AttributeValue::Int(7));
+  auto decision = ChoosePlan(est, selective, 8, 100).value();
+  EXPECT_EQ(decision.plan, QueryPlan::kPreFilter);
+  EXPECT_LT(decision.filter_selectivity, decision.ivf_selectivity);
+  // Unselective: x < 900 has F ~ 0.9 > 0.008 -> post-filter.
+  auto broad =
+      Predicate::Compare("x", CompareOp::kLt, AttributeValue::Int(900));
+  decision = ChoosePlan(est, broad, 8, 100).value();
+  EXPECT_EQ(decision.plan, QueryPlan::kPostFilter);
+}
+
+// --- Attribute indexes ---
+
+class AttrIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("micronn_attr_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    engine_ = StorageEngine::Open(dir_ / "db").value();
+    txn_ = engine_->BeginWrite().value();
+    resolver_ = [this](const std::string& name) {
+      return txn_->OpenOrCreateTable(name);
+    };
+  }
+  void TearDown() override {
+    if (txn_) engine_->Rollback(std::move(txn_));
+    engine_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  AttributeRecord Rec(int64_t year, const std::string& city,
+                      const std::string& tags = "") {
+    AttributeRecord r;
+    r["year"] = AttributeValue::Int(year);
+    r["city"] = AttributeValue::String(city);
+    if (!tags.empty()) r["tags"] = AttributeValue::String(tags);
+    return r;
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<StorageEngine> engine_;
+  std::unique_ptr<WriteTransaction> txn_;
+  TableResolver resolver_;
+  const std::vector<std::string> fts_ = {"tags"};
+};
+
+TEST_F(AttrIndexTest, RangeScans) {
+  for (uint64_t vid = 1; vid <= 100; ++vid) {
+    ASSERT_TRUE(IndexAttributes(resolver_, vid,
+                                Rec(2000 + vid % 10,
+                                    vid % 2 ? "seattle" : "nyc"),
+                                fts_)
+                    .ok());
+  }
+  auto eq = Predicate::Compare("year", CompareOp::kEq,
+                               AttributeValue::Int(2005));
+  EXPECT_EQ(CollectMatchingVids(resolver_, eq).value().size(), 10u);
+  auto lt = Predicate::Compare("year", CompareOp::kLt,
+                               AttributeValue::Int(2005));
+  EXPECT_EQ(CollectMatchingVids(resolver_, lt).value().size(), 50u);
+  auto ge = Predicate::Compare("year", CompareOp::kGe,
+                               AttributeValue::Int(2008));
+  EXPECT_EQ(CollectMatchingVids(resolver_, ge).value().size(), 20u);
+  auto ne = Predicate::Compare("year", CompareOp::kNe,
+                               AttributeValue::Int(2000));
+  EXPECT_EQ(CollectMatchingVids(resolver_, ne).value().size(), 90u);
+  auto city = Predicate::Compare("city", CompareOp::kEq,
+                                 AttributeValue::String("seattle"));
+  EXPECT_EQ(CollectMatchingVids(resolver_, city).value().size(), 50u);
+}
+
+TEST_F(AttrIndexTest, AndOrComposition) {
+  for (uint64_t vid = 1; vid <= 100; ++vid) {
+    ASSERT_TRUE(IndexAttributes(resolver_, vid,
+                                Rec(2000 + vid % 10,
+                                    vid % 2 ? "seattle" : "nyc"),
+                                fts_)
+                    .ok());
+  }
+  auto odd_city = Predicate::Compare("city", CompareOp::kEq,
+                                     AttributeValue::String("seattle"));
+  auto y2005 = Predicate::Compare("year", CompareOp::kEq,
+                                  AttributeValue::Int(2005));
+  // year 2005 <=> vid % 10 == 5 (odd) -> all 10 are in seattle.
+  auto both = CollectMatchingVids(resolver_, Predicate::And({odd_city, y2005}))
+                  .value();
+  EXPECT_EQ(both.size(), 10u);
+  auto either =
+      CollectMatchingVids(resolver_, Predicate::Or({odd_city, y2005})).value();
+  EXPECT_EQ(either.size(), 50u);  // 2005s are a subset of seattle
+}
+
+TEST_F(AttrIndexTest, MatchThroughFts) {
+  ASSERT_TRUE(IndexAttributes(resolver_, 1, Rec(2020, "x", "cat yarn"),
+                              fts_).ok());
+  ASSERT_TRUE(IndexAttributes(resolver_, 2, Rec(2021, "x", "cat dog"),
+                              fts_).ok());
+  auto match = Predicate::Match("tags", "cat yarn");
+  EXPECT_EQ(CollectMatchingVids(resolver_, match).value(),
+            (std::vector<uint64_t>{1}));
+}
+
+TEST_F(AttrIndexTest, UnindexRemovesEntries) {
+  const AttributeRecord rec = Rec(1999, "rome", "trip photos");
+  ASSERT_TRUE(IndexAttributes(resolver_, 5, rec, fts_).ok());
+  ASSERT_TRUE(UnindexAttributes(resolver_, 5, rec, fts_).ok());
+  auto eq = Predicate::Compare("year", CompareOp::kEq,
+                               AttributeValue::Int(1999));
+  EXPECT_TRUE(CollectMatchingVids(resolver_, eq).value().empty());
+  EXPECT_TRUE(CollectMatchingVids(resolver_,
+                                  Predicate::Match("tags", "trip"))
+                  .value()
+                  .empty());
+}
+
+TEST_F(AttrIndexTest, UnknownColumnMatchesNothing) {
+  auto pred = Predicate::Compare("ghost", CompareOp::kEq,
+                                 AttributeValue::Int(1));
+  EXPECT_TRUE(CollectMatchingVids(resolver_, pred).value().empty());
+}
+
+}  // namespace
+}  // namespace micronn

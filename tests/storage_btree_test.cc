@@ -1,0 +1,335 @@
+// B+Tree tests: basic operations, splits, overflow values, deletion,
+// cursors, and a property-based model check against std::map.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "storage/btree.h"
+#include "storage/engine.h"
+#include "storage/key_encoding.h"
+#include "storage/pager.h"
+
+namespace micronn {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("micronn_btree_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    pager_ = Pager::Open(dir_ / "db", PagerOptions{}).value();
+    txn_ = pager_->BeginWrite().value();
+    view_ = std::make_unique<WriteView>(pager_.get(), txn_.get());
+    root_ = BTree::Create(view_.get()).value();
+  }
+  void TearDown() override {
+    view_.reset();
+    if (txn_) pager_->RollbackWrite(std::move(txn_));
+    pager_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  BTree Tree() { return BTree(view_.get(), root_); }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<WriteTxnState> txn_;
+  std::unique_ptr<WriteView> view_;
+  PageId root_;
+};
+
+TEST_F(BTreeTest, EmptyTreeGetsNothing) {
+  BTree t = Tree();
+  auto r = t.Get("absent");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());
+  BTreeCursor c = t.NewCursor();
+  ASSERT_TRUE(c.SeekToFirst().ok());
+  EXPECT_FALSE(c.Valid());
+}
+
+TEST_F(BTreeTest, PutGetSingle) {
+  BTree t = Tree();
+  ASSERT_TRUE(t.Put("key", "value").ok());
+  auto r = t.Get("key");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->has_value());
+  EXPECT_EQ(**r, "value");
+}
+
+TEST_F(BTreeTest, PutReplacesExisting) {
+  BTree t = Tree();
+  ASSERT_TRUE(t.Put("key", "v1").ok());
+  ASSERT_TRUE(t.Put("key", "v2-longer-than-before").ok());
+  EXPECT_EQ(*t.Get("key").value(), "v2-longer-than-before");
+  ASSERT_TRUE(t.Put("key", "s").ok());
+  EXPECT_EQ(*t.Get("key").value(), "s");
+}
+
+TEST_F(BTreeTest, RejectsOversizeAndEmptyKeys) {
+  BTree t = Tree();
+  EXPECT_FALSE(t.Put("", "v").ok());
+  EXPECT_FALSE(t.Put(std::string(kMaxKeySize + 1, 'k'), "v").ok());
+  EXPECT_TRUE(t.Put(std::string(kMaxKeySize, 'k'), "v").ok());
+}
+
+TEST_F(BTreeTest, ManyInsertsForceSplits) {
+  BTree t = Tree();
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(t.Put(key::U64(i * 7919 % n), "value-" +
+                      std::to_string(i * 7919 % n)).ok());
+  }
+  ASSERT_TRUE(t.CheckIntegrity().ok());
+  for (int i = 0; i < n; ++i) {
+    auto r = t.Get(key::U64(i));
+    ASSERT_TRUE(r.ok()) << i;
+    ASSERT_TRUE(r->has_value()) << i;
+    EXPECT_EQ(**r, "value-" + std::to_string(i));
+  }
+}
+
+TEST_F(BTreeTest, SequentialInsertStaysCompact) {
+  // The append-optimized split should keep sorted bulk loads working and
+  // the tree structurally valid.
+  BTree t = Tree();
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(t.Put(key::U64(i), std::string(50, 'a' + i % 26)).ok());
+  }
+  ASSERT_TRUE(t.CheckIntegrity().ok());
+  BTreeCursor c = t.NewCursor();
+  ASSERT_TRUE(c.SeekToFirst().ok());
+  int count = 0;
+  while (c.Valid()) {
+    ++count;
+    ASSERT_TRUE(c.Next().ok());
+  }
+  EXPECT_EQ(count, 3000);
+}
+
+TEST_F(BTreeTest, OverflowValuesRoundTrip) {
+  BTree t = Tree();
+  // Values above kMaxInlineValue (1 KiB) spill to overflow chains; test
+  // one-page and multi-page chains, including exactly-at-boundary sizes.
+  for (size_t len : {kMaxInlineValue, kMaxInlineValue + 1, kPageSize - 10,
+                     kPageSize, 3 * kPageSize + 123, size_t{40000}}) {
+    std::string v(len, 'x');
+    for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<char>('a' + i % 26);
+    ASSERT_TRUE(t.Put("k" + std::to_string(len), v).ok());
+    auto r = t.Get("k" + std::to_string(len));
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->has_value());
+    EXPECT_EQ(**r, v) << len;
+  }
+  ASSERT_TRUE(t.CheckIntegrity().ok());
+}
+
+TEST_F(BTreeTest, OverflowChainsFreedOnDeleteAndReplace) {
+  BTree t = Tree();
+  const std::string big(10 * kPageSize, 'z');
+  ASSERT_TRUE(t.Put("big", big).ok());
+  // Replacing with an inline value must free the old chain; the pages
+  // should be reusable.
+  ASSERT_TRUE(t.Put("big", "small").ok());
+  EXPECT_EQ(*t.Get("big").value(), "small");
+  ASSERT_TRUE(t.Put("big2", big).ok());
+  ASSERT_TRUE(t.Delete("big2").value());
+  EXPECT_FALSE(t.Get("big2").value().has_value());
+  ASSERT_TRUE(t.CheckIntegrity().ok());
+}
+
+TEST_F(BTreeTest, DeleteMissingReturnsFalse) {
+  BTree t = Tree();
+  ASSERT_TRUE(t.Put("a", "1").ok());
+  EXPECT_FALSE(t.Delete("b").value());
+  EXPECT_TRUE(t.Delete("a").value());
+  EXPECT_FALSE(t.Delete("a").value());
+}
+
+TEST_F(BTreeTest, DeleteEverythingLeavesEmptyTree) {
+  BTree t = Tree();
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(t.Put(key::U64(i), "v" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(t.Delete(key::U64(i)).value()) << i;
+  }
+  ASSERT_TRUE(t.CheckIntegrity().ok());
+  BTreeCursor c = t.NewCursor();
+  ASSERT_TRUE(c.SeekToFirst().ok());
+  EXPECT_FALSE(c.Valid());
+  // The tree must be reusable after total deletion.
+  ASSERT_TRUE(t.Put("again", "yes").ok());
+  EXPECT_EQ(*t.Get("again").value(), "yes");
+}
+
+TEST_F(BTreeTest, CursorFullScanIsSorted) {
+  BTree t = Tree();
+  Rng rng(42);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 3000; ++i) {
+    const std::string k = key::U64(rng.Uniform(100000));
+    const std::string v = "v" + std::to_string(i);
+    model[k] = v;
+    ASSERT_TRUE(t.Put(k, v).ok());
+  }
+  BTreeCursor c = t.NewCursor();
+  ASSERT_TRUE(c.SeekToFirst().ok());
+  auto it = model.begin();
+  while (c.Valid()) {
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(c.key(), it->first);
+    EXPECT_EQ(c.value().value(), it->second);
+    ASSERT_TRUE(c.Next().ok());
+    ++it;
+  }
+  EXPECT_EQ(it, model.end());
+}
+
+TEST_F(BTreeTest, CursorSeekFindsLowerBound) {
+  BTree t = Tree();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.Put(key::U64(i * 10), "v").ok());
+  }
+  BTreeCursor c = t.NewCursor();
+  ASSERT_TRUE(c.Seek(key::U64(55)).ok());
+  ASSERT_TRUE(c.Valid());
+  EXPECT_EQ(c.key(), key::U64(60));
+  ASSERT_TRUE(c.Seek(key::U64(60)).ok());
+  EXPECT_EQ(c.key(), key::U64(60));
+  ASSERT_TRUE(c.Seek(key::U64(2000)).ok());
+  EXPECT_FALSE(c.Valid());
+  ASSERT_TRUE(c.Seek(key::U64(0)).ok());
+  EXPECT_EQ(c.key(), key::U64(0));
+}
+
+TEST_F(BTreeTest, PrefixRangeScan) {
+  BTree t = Tree();
+  // Emulate the (partition, vector) clustered key of the Vectors table.
+  for (uint32_t part = 1; part <= 5; ++part) {
+    for (uint64_t vid = 0; vid < 50; ++vid) {
+      std::string k;
+      key::AppendU32(&k, part);
+      key::AppendU64(&k, vid);
+      ASSERT_TRUE(t.Put(k, std::to_string(part * 1000 + vid)).ok());
+    }
+  }
+  // Scan exactly partition 3 via prefix seek.
+  const std::string prefix = key::U32(3);
+  BTreeCursor c = t.NewCursor();
+  ASSERT_TRUE(c.Seek(prefix).ok());
+  int count = 0;
+  while (c.Valid() && c.key().substr(0, 4) == prefix) {
+    std::string_view rest = c.key().substr(4);
+    uint64_t vid;
+    ASSERT_TRUE(key::ConsumeU64(&rest, &vid));
+    EXPECT_EQ(c.value().value(), std::to_string(3000 + vid));
+    ++count;
+    ASSERT_TRUE(c.Next().ok());
+  }
+  EXPECT_EQ(count, 50);
+}
+
+TEST_F(BTreeTest, ClearFreesAndResets) {
+  BTree t = Tree();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t.Put(key::U64(i), std::string(2000, 'v')).ok());
+  }
+  ASSERT_TRUE(t.Clear().ok());
+  BTreeCursor c = t.NewCursor();
+  ASSERT_TRUE(c.SeekToFirst().ok());
+  EXPECT_FALSE(c.Valid());
+  ASSERT_TRUE(t.Put("x", "y").ok());
+  EXPECT_EQ(*t.Get("x").value(), "y");
+  ASSERT_TRUE(t.CheckIntegrity().ok());
+}
+
+// Property test: random interleaved Put/Delete/Get streams must match a
+// std::map model exactly, across several seeds and value-size regimes.
+struct ModelParam {
+  uint64_t seed;
+  size_t max_value_len;
+  int ops;
+};
+
+class BTreeModelTest : public ::testing::TestWithParam<ModelParam> {};
+
+TEST_P(BTreeModelTest, MatchesStdMap) {
+  const ModelParam param = GetParam();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("micronn_btree_model_" + std::to_string(::getpid()) +
+                    "_" + std::to_string(param.seed) + "_" +
+                    std::to_string(param.max_value_len));
+  std::filesystem::create_directories(dir);
+  {
+    auto pager = Pager::Open(dir / "db", PagerOptions{}).value();
+    auto txn = pager->BeginWrite().value();
+    WriteView view(pager.get(), txn.get());
+    const PageId root = BTree::Create(&view).value();
+    BTree tree(&view, root);
+
+    Rng rng(param.seed);
+    std::map<std::string, std::string> model;
+    const uint64_t key_space = 500;
+    for (int op = 0; op < param.ops; ++op) {
+      const std::string k = key::U64(rng.Uniform(key_space));
+      const uint64_t action = rng.Uniform(10);
+      if (action < 6) {  // Put
+        const size_t len = rng.Uniform(param.max_value_len + 1);
+        std::string v(len, '\0');
+        for (auto& ch : v) ch = static_cast<char>('a' + rng.Uniform(26));
+        ASSERT_TRUE(tree.Put(k, v).ok());
+        model[k] = v;
+      } else if (action < 9) {  // Delete
+        auto erased = tree.Delete(k);
+        ASSERT_TRUE(erased.ok());
+        EXPECT_EQ(*erased, model.erase(k) > 0) << "op " << op;
+      } else {  // Get
+        auto got = tree.Get(k);
+        ASSERT_TRUE(got.ok());
+        auto it = model.find(k);
+        if (it == model.end()) {
+          EXPECT_FALSE(got->has_value()) << "op " << op;
+        } else {
+          ASSERT_TRUE(got->has_value()) << "op " << op;
+          EXPECT_EQ(**got, it->second) << "op " << op;
+        }
+      }
+    }
+    ASSERT_TRUE(tree.CheckIntegrity().ok());
+    // Final full-scan equivalence.
+    BTreeCursor c = tree.NewCursor();
+    ASSERT_TRUE(c.SeekToFirst().ok());
+    auto it = model.begin();
+    size_t scanned = 0;
+    while (c.Valid()) {
+      ASSERT_NE(it, model.end());
+      EXPECT_EQ(c.key(), it->first);
+      EXPECT_EQ(c.value().value(), it->second);
+      ASSERT_TRUE(c.Next().ok());
+      ++it;
+      ++scanned;
+    }
+    EXPECT_EQ(scanned, model.size());
+    pager->RollbackWrite(std::move(txn));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomStreams, BTreeModelTest,
+    ::testing::Values(ModelParam{1, 40, 4000},     // small inline values
+                      ModelParam{2, 40, 4000},
+                      ModelParam{3, 2000, 1500},   // mix inline + overflow
+                      ModelParam{4, 2000, 1500},
+                      ModelParam{5, 9000, 600},    // mostly overflow chains
+                      ModelParam{6, 0, 2000}));    // empty values
+
+}  // namespace
+}  // namespace micronn

@@ -1,0 +1,228 @@
+// Property-based storage tests: crash-point fuzzing of WAL recovery and
+// randomized multi-transaction engine workloads checked against an
+// in-memory model.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "common/rng.h"
+#include "storage/engine.h"
+#include "storage/key_encoding.h"
+#include "storage/wal.h"
+
+namespace micronn {
+namespace {
+
+class PropertyDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("micronn_prop_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& f) const { return dir_ / f; }
+  std::filesystem::path dir_;
+};
+
+// Crash-point fuzzing: commit a known sequence of transactions, then chop
+// the WAL at every possible frame-ish boundary and verify that recovery
+// always yields a consistent prefix of committed transactions.
+class WalCrashPointTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WalCrashPointTest, RecoversConsistentPrefix) {
+  const uint64_t seed = GetParam();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("micronn_walfuzz_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(seed));
+  std::filesystem::create_directories(dir);
+  const std::string db_path = dir / "db";
+
+  // Commit 12 transactions, each writing marker rows keyed by txn number.
+  constexpr int kTxns = 12;
+  {
+    auto engine = StorageEngine::Open(db_path).value();
+    for (int t = 0; t < kTxns; ++t) {
+      auto txn = engine->BeginWrite().value();
+      BTree tree = txn->OpenOrCreateTable("t").value();
+      Rng rng(seed * 131 + t);
+      const int rows = 1 + static_cast<int>(rng.Uniform(40));
+      for (int r = 0; r < rows; ++r) {
+        ASSERT_TRUE(tree.Put(key::U64(t * 1000 + r),
+                             "txn" + std::to_string(t)).ok());
+      }
+      // Marker row that lets recovery checking identify complete txns.
+      ASSERT_TRUE(tree.Put(key::U64(900000 + t), "committed").ok());
+      ASSERT_TRUE(engine->Commit(std::move(txn)).ok());
+    }
+    // Leave without checkpoint: everything lives in the WAL. (Close()
+    // would checkpoint, so snapshot the files by copying.)
+    std::filesystem::copy_file(db_path, std::string(dir / "frozen"));
+    std::filesystem::copy_file(db_path + "-wal",
+                               std::string(dir / "frozen-wal"));
+  }
+
+  // Chop the frozen WAL at pseudo-random byte offsets and recover.
+  const auto wal_size = std::filesystem::file_size(dir / "frozen-wal");
+  Rng rng(seed);
+  for (int trial = 0; trial < 12; ++trial) {
+    const uint64_t cut = rng.Uniform(wal_size + 1);
+    const std::string crash_db = dir / ("crash" + std::to_string(trial));
+    std::filesystem::copy_file(dir / "frozen", crash_db);
+    std::filesystem::copy_file(dir / "frozen-wal", crash_db + "-wal");
+    {
+      auto file = File::Open(crash_db + "-wal").value();
+      ASSERT_TRUE(file->Truncate(cut).ok());
+    }
+    auto engine = StorageEngine::Open(crash_db).value();
+    auto txn = engine->BeginRead().value();
+    Result<BTree> tree = txn->OpenTable("t");
+    int last_complete = -1;
+    if (tree.ok()) {
+      for (int t = 0; t < kTxns; ++t) {
+        auto marker = tree->Get(key::U64(900000 + t)).value();
+        if (marker.has_value()) {
+          last_complete = t;
+        } else {
+          break;
+        }
+      }
+      // Prefix property: if txn T's marker survived, all of T's rows and
+      // all earlier txns' markers must be present; no later markers may
+      // appear after the first missing one.
+      for (int t = 0; t <= last_complete; ++t) {
+        EXPECT_TRUE(tree->Get(key::U64(t * 1000 + 0)).value().has_value())
+            << "cut=" << cut << " txn=" << t;
+      }
+      for (int t = last_complete + 1; t < kTxns; ++t) {
+        EXPECT_FALSE(tree->Get(key::U64(900000 + t)).value().has_value())
+            << "cut=" << cut << " txn=" << t;
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalCrashPointTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+// Randomized engine workload vs model across reopen cycles: interleaves
+// puts/deletes/commits/rollbacks/checkpoints/reopens and verifies the
+// surviving state matches the model of committed operations.
+class EngineModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineModelTest, CommittedStateMatchesModel) {
+  const uint64_t seed = GetParam();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("micronn_engmodel_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(seed));
+  std::filesystem::create_directories(dir);
+  const std::string path = dir / "db";
+
+  Rng rng(seed);
+  std::map<std::string, std::string> model;  // committed state
+  auto engine = StorageEngine::Open(path).value();
+  {
+    auto txn = engine->BeginWrite().value();
+    txn->OpenOrCreateTable("t").value();
+    ASSERT_TRUE(engine->Commit(std::move(txn)).ok());
+  }
+
+  for (int round = 0; round < 40; ++round) {
+    const uint64_t action = rng.Uniform(10);
+    if (action < 6) {
+      // A write transaction with several ops; 25% chance of rollback.
+      auto txn = engine->BeginWrite().value();
+      BTree tree = txn->OpenTable("t").value();
+      std::map<std::string, std::optional<std::string>> pending;
+      const int ops = 1 + static_cast<int>(rng.Uniform(30));
+      for (int i = 0; i < ops; ++i) {
+        const std::string k = key::U64(rng.Uniform(200));
+        if (rng.Uniform(4) == 0) {
+          ASSERT_TRUE(tree.Delete(k).ok());
+          pending[k] = std::nullopt;
+        } else {
+          std::string v(rng.Uniform(300), 'a' + round % 26);
+          ASSERT_TRUE(tree.Put(k, v).ok());
+          pending[k] = v;
+        }
+      }
+      if (rng.Uniform(4) == 0) {
+        engine->Rollback(std::move(txn));
+      } else {
+        ASSERT_TRUE(engine->Commit(std::move(txn)).ok());
+        for (auto& [k, v] : pending) {
+          if (v.has_value()) {
+            model[k] = *v;
+          } else {
+            model.erase(k);
+          }
+        }
+      }
+    } else if (action < 8) {
+      Status st = engine->Checkpoint();
+      EXPECT_TRUE(st.ok() || st.IsBusy()) << st.ToString();
+    } else {
+      // Reopen the engine (clean restart path).
+      ASSERT_TRUE(engine->Close().ok());
+      engine.reset();
+      engine = StorageEngine::Open(path).value();
+    }
+    // Verify the full committed state every few rounds.
+    if (round % 5 == 4) {
+      auto txn = engine->BeginRead().value();
+      BTree tree = txn->OpenTable("t").value();
+      BTreeCursor c = tree.NewCursor();
+      ASSERT_TRUE(c.SeekToFirst().ok());
+      auto it = model.begin();
+      while (c.Valid()) {
+        ASSERT_NE(it, model.end()) << "extra key after round " << round;
+        EXPECT_EQ(c.key(), it->first);
+        EXPECT_EQ(c.value().value(), it->second);
+        ASSERT_TRUE(c.Next().ok());
+        ++it;
+      }
+      EXPECT_EQ(it, model.end()) << "missing keys after round " << round;
+    }
+  }
+  engine->Close().ok();
+  engine.reset();
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineModelTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+using FreelistTest = PropertyDir;
+
+TEST_F(FreelistTest, PagesRecycleAcrossTableLifecycles) {
+  // Creating and dropping tables repeatedly must not grow the file
+  // unboundedly: freed pages get reused.
+  auto engine = StorageEngine::Open(Path("db")).value();
+  uint32_t pages_after_first = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    {
+      auto txn = engine->BeginWrite().value();
+      BTree tree = txn->OpenOrCreateTable("cycle").value();
+      for (int i = 0; i < 500; ++i) {
+        ASSERT_TRUE(tree.Put(key::U64(i), std::string(500, 'x')).ok());
+      }
+      ASSERT_TRUE(engine->Commit(std::move(txn)).ok());
+    }
+    {
+      auto txn = engine->BeginWrite().value();
+      ASSERT_TRUE(txn->DropTable("cycle").ok());
+      ASSERT_TRUE(engine->Commit(std::move(txn)).ok());
+    }
+    if (cycle == 0) {
+      pages_after_first = engine->pager()->page_count();
+    }
+  }
+  // Allow mild slack for freelist/catalog pages, but no linear growth.
+  EXPECT_LE(engine->pager()->page_count(), pages_after_first + 8);
+}
+
+}  // namespace
+}  // namespace micronn

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/engine.h"
+#include "text/fts_index.h"
+#include "text/tokenizer.h"
+
+namespace micronn {
+namespace {
+
+TEST(TokenizerTest, SplitsAndLowercases) {
+  const auto tokens = Tokenize("Black Cat, playing-with YARN!");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "black");
+  EXPECT_EQ(tokens[1], "cat");
+  EXPECT_EQ(tokens[2], "playing");
+  EXPECT_EQ(tokens[3], "with");
+  EXPECT_EQ(tokens[4], "yarn");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! ,,, ---").empty());
+}
+
+TEST(TokenizerTest, NumbersAreTokens) {
+  const auto tokens = Tokenize("photo 2024 trip");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1], "2024");
+}
+
+TEST(TokenizerTest, TokenSetDedupes) {
+  const auto set = TokenSet("cat dog cat bird dog");
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+}
+
+TEST(TokenizerTest, LongTokensTruncated) {
+  const std::string longword(200, 'a');
+  const auto tokens = Tokenize(longword);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].size(), kMaxTokenLength);
+}
+
+class FtsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("micronn_fts_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    engine_ = StorageEngine::Open(dir_ / "db").value();
+    txn_ = engine_->BeginWrite().value();
+    postings_ = std::make_unique<BTree>(
+        txn_->OpenOrCreateTable(FtsPostingsTableName("tags")).value());
+    freqs_ = std::make_unique<BTree>(
+        txn_->OpenOrCreateTable(FtsFreqsTableName("tags")).value());
+    fts_ = std::make_unique<FtsIndex>(*postings_, *freqs_);
+  }
+  void TearDown() override {
+    fts_.reset();
+    postings_.reset();
+    freqs_.reset();
+    if (txn_) engine_->Rollback(std::move(txn_));
+    engine_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<StorageEngine> engine_;
+  std::unique_ptr<WriteTransaction> txn_;
+  std::unique_ptr<BTree> postings_, freqs_;
+  std::unique_ptr<FtsIndex> fts_;
+};
+
+TEST_F(FtsTest, AddAndLookup) {
+  ASSERT_TRUE(fts_->AddDocument(1, "cat yarn").ok());
+  ASSERT_TRUE(fts_->AddDocument(2, "cat dog").ok());
+  EXPECT_EQ(fts_->DocumentFrequency("cat").value(), 2u);
+  EXPECT_EQ(fts_->DocumentFrequency("dog").value(), 1u);
+  EXPECT_EQ(fts_->DocumentFrequency("absent").value(), 0u);
+  auto cats = fts_->PostingsOf("cat").value();
+  EXPECT_EQ(cats, (std::vector<uint64_t>{1, 2}));
+}
+
+TEST_F(FtsTest, DuplicateAddIsIdempotent) {
+  ASSERT_TRUE(fts_->AddDocument(1, "cat cat cat").ok());
+  ASSERT_TRUE(fts_->AddDocument(1, "cat").ok());
+  EXPECT_EQ(fts_->DocumentFrequency("cat").value(), 1u);
+}
+
+TEST_F(FtsTest, RemoveDocumentReversesAdd) {
+  ASSERT_TRUE(fts_->AddDocument(1, "cat yarn").ok());
+  ASSERT_TRUE(fts_->AddDocument(2, "cat").ok());
+  ASSERT_TRUE(fts_->RemoveDocument(1, "cat yarn").ok());
+  EXPECT_EQ(fts_->DocumentFrequency("cat").value(), 1u);
+  EXPECT_EQ(fts_->DocumentFrequency("yarn").value(), 0u);
+  EXPECT_TRUE(fts_->PostingsOf("yarn").value().empty());
+}
+
+TEST_F(FtsTest, MatchConjunction) {
+  ASSERT_TRUE(fts_->AddDocument(1, "cat yarn black").ok());
+  ASSERT_TRUE(fts_->AddDocument(2, "cat yarn").ok());
+  ASSERT_TRUE(fts_->AddDocument(3, "cat black").ok());
+  ASSERT_TRUE(fts_->AddDocument(4, "dog").ok());
+  EXPECT_EQ(fts_->MatchConjunction({"cat", "yarn"}).value(),
+            (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(fts_->MatchConjunction({"cat", "yarn", "black"}).value(),
+            (std::vector<uint64_t>{1}));
+  EXPECT_TRUE(fts_->MatchConjunction({"cat", "unseen"}).value().empty());
+  EXPECT_FALSE(fts_->MatchConjunction({}).ok());
+}
+
+TEST_F(FtsTest, ContainsProbe) {
+  ASSERT_TRUE(fts_->AddDocument(7, "alpha beta").ok());
+  EXPECT_TRUE(fts_->Contains(7, "alpha").value());
+  EXPECT_FALSE(fts_->Contains(7, "gamma").value());
+  EXPECT_FALSE(fts_->Contains(8, "alpha").value());
+}
+
+TEST_F(FtsTest, ManyDocumentsScale) {
+  for (uint64_t doc = 1; doc <= 500; ++doc) {
+    std::string tags = "common";
+    if (doc % 10 == 0) tags += " decile";
+    if (doc % 100 == 0) tags += " centile";
+    ASSERT_TRUE(fts_->AddDocument(doc, tags).ok());
+  }
+  EXPECT_EQ(fts_->DocumentFrequency("common").value(), 500u);
+  EXPECT_EQ(fts_->DocumentFrequency("decile").value(), 50u);
+  EXPECT_EQ(fts_->DocumentFrequency("centile").value(), 5u);
+  EXPECT_EQ(fts_->MatchConjunction({"decile", "centile"}).value().size(), 5u);
+}
+
+}  // namespace
+}  // namespace micronn

@@ -1,0 +1,163 @@
+// Property tests for update semantics: the database's contents must match
+// an in-memory model under arbitrary interleavings of upsert/delete/
+// maintain/rebuild — the §3.6 contract in executable form.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "core/db.h"
+#include "datagen/dataset.h"
+
+namespace micronn {
+namespace {
+
+struct Model {
+  // asset -> first float of its vector (enough to identify the version).
+  std::map<std::string, float> assets;
+};
+
+class UpsertModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UpsertModelTest, MatchesModelUnderRandomOps) {
+  const uint64_t seed = GetParam();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("micronn_upsmodel_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(seed));
+  std::filesystem::create_directories(dir);
+  constexpr uint32_t kDim = 4;
+
+  DbOptions options;
+  options.dim = kDim;
+  options.target_cluster_size = 20;
+  options.rebuild_growth_threshold = 1000.0;  // rebuild only when we say so
+  auto db = DB::Open(dir / "db.mnn", options).value();
+
+  Rng rng(seed);
+  Model model;
+  const size_t asset_space = 60;
+  auto asset_name = [](size_t i) { return "asset" + std::to_string(i); };
+
+  for (int round = 0; round < 120; ++round) {
+    const uint64_t action = rng.Uniform(20);
+    if (action < 12) {  // upsert (new or replace)
+      const std::string asset = asset_name(rng.Uniform(asset_space));
+      const float marker = static_cast<float>(round + 1);
+      UpsertRequest req;
+      req.asset_id = asset;
+      req.vector = {marker, 0.f, 0.f, 0.f};
+      ASSERT_TRUE(db->Upsert({req}).ok());
+      model.assets[asset] = marker;
+    } else if (action < 16) {  // delete (may be absent)
+      const std::string asset = asset_name(rng.Uniform(asset_space));
+      ASSERT_TRUE(db->Delete({asset}).ok());
+      model.assets.erase(asset);
+    } else if (action < 18) {  // incremental maintenance
+      ASSERT_TRUE(db->Maintain().ok());
+    } else {  // full rebuild
+      ASSERT_TRUE(db->BuildIndex().ok());
+    }
+
+    // Invariant 1: row count matches the model.
+    EXPECT_EQ(db->VectorCount().value(), model.assets.size())
+        << "round " << round;
+    // Invariant 2 (spot check): each live asset is findable at its latest
+    // version via exact search on its own vector, with distance 0.
+    if (round % 10 == 9 && !model.assets.empty()) {
+      auto it = model.assets.begin();
+      std::advance(it,
+                   static_cast<long>(rng.Uniform(model.assets.size())));
+      SearchRequest req;
+      req.query = {it->second, 0.f, 0.f, 0.f};
+      req.k = 1;
+      req.exact = true;
+      auto resp = db->Search(req).value();
+      ASSERT_FALSE(resp.items.empty()) << "round " << round;
+      EXPECT_EQ(resp.items[0].asset_id, it->first) << "round " << round;
+      EXPECT_FLOAT_EQ(resp.items[0].distance, 0.f) << "round " << round;
+    }
+  }
+
+  // Final exhaustive check: retrieve everything and compare asset sets.
+  SearchRequest all;
+  all.query = {0.f, 0.f, 0.f, 0.f};
+  all.k = static_cast<uint32_t>(model.assets.size() + 10);
+  all.exact = true;
+  auto resp = db->Search(all).value();
+  EXPECT_EQ(resp.items.size(), model.assets.size());
+  std::map<std::string, float> found;
+  for (const auto& item : resp.items) {
+    // Re-derive the marker from the stored distance: |marker - 0|^2.
+    found[item.asset_id] = std::sqrt(item.distance);
+  }
+  for (const auto& [asset, marker] : model.assets) {
+    auto it = found.find(asset);
+    ASSERT_NE(it, found.end()) << asset;
+    EXPECT_NEAR(it->second, marker, 1e-3) << asset;
+  }
+  db.reset();
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpsertModelTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+TEST(UpsertEdgeTest, EmptyBatchesAreNoOps) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("micronn_upsedge_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  DbOptions options;
+  options.dim = 4;
+  auto db = DB::Open(dir / "db.mnn", options).value();
+  EXPECT_TRUE(db->Upsert({}).ok());
+  EXPECT_TRUE(db->Delete({}).ok());
+  EXPECT_EQ(db->VectorCount().value(), 0u);
+  // Upserting the same asset twice in one batch: last write wins.
+  UpsertRequest a, b;
+  a.asset_id = b.asset_id = "dup";
+  a.vector = {1, 0, 0, 0};
+  b.vector = {0, 1, 0, 0};
+  EXPECT_TRUE(db->Upsert({a, b}).ok());
+  EXPECT_EQ(db->VectorCount().value(), 1u);
+  SearchRequest req;
+  req.query = {0, 1, 0, 0};
+  req.k = 1;
+  auto resp = db->Search(req).value();
+  EXPECT_FLOAT_EQ(resp.items[0].distance, 0.f);
+  // Empty asset id rejected atomically (the whole batch rolls back).
+  UpsertRequest bad;
+  bad.asset_id = "";
+  bad.vector = {0, 0, 0, 1};
+  UpsertRequest good;
+  good.asset_id = "good";
+  good.vector = {0, 0, 1, 0};
+  EXPECT_FALSE(db->Upsert({good, bad}).ok());
+  EXPECT_EQ(db->VectorCount().value(), 1u);  // "good" rolled back too
+  db.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(UpsertEdgeTest, ZeroVectorWithCosineDoesNotCrash) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("micronn_upszero_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  DbOptions options;
+  options.dim = 4;
+  options.metric = Metric::kCosine;
+  auto db = DB::Open(dir / "db.mnn", options).value();
+  UpsertRequest req;
+  req.asset_id = "zero";
+  req.vector = {0, 0, 0, 0};  // norm 0: normalization must not divide by 0
+  EXPECT_TRUE(db->Upsert({req}).ok());
+  SearchRequest s;
+  s.query = {0, 0, 0, 0};
+  s.k = 1;
+  EXPECT_TRUE(db->Search(s).ok());
+  db.reset();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace micronn
