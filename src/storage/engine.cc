@@ -152,6 +152,10 @@ Status StorageEngine::Checkpoint() { return pager_->Checkpoint(); }
 
 void StorageEngine::DropCaches() { pager_->DropCaches(); }
 
+uint64_t StorageEngine::last_committed_seq() const {
+  return pager_->last_committed_seq();
+}
+
 // --- ReadTransaction ---
 
 ReadTransaction::~ReadTransaction() {

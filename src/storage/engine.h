@@ -3,7 +3,9 @@
 // This is the MicroNN analogue of "a SQLite database handle": it owns the
 // pager, maintains a catalog (table name -> root page, row count), and
 // exposes the paper's concurrency contract — many snapshot readers, one
-// serialized writer (§3.2, §3.6).
+// serialized writer (§3.2, §3.6). Readers are genuinely concurrent: the
+// pager's read path is lock-free, so snapshot scans proceed at full speed
+// while a writer appends and fsyncs its commit.
 #ifndef MICRONN_STORAGE_ENGINE_H_
 #define MICRONN_STORAGE_ENGINE_H_
 
@@ -124,10 +126,18 @@ class StorageEngine {
   /// Discards the transaction.
   void Rollback(std::unique_ptr<WriteTransaction> txn);
 
-  /// Folds the WAL into the main file (Busy if readers are active).
+  /// Folds the WAL into the main file. Returns Busy if any reader snapshot
+  /// or writer is active — the checkpoint always yields to foreground
+  /// work; see the regression test in tests/pager_concurrency_test.cc
+  /// before relaxing this.
   Status Checkpoint();
   /// Drops page cache contents (cold-start simulation).
   void DropCaches();
+
+  /// Sequence of the newest committed transaction; each commit advances it
+  /// by one. Exposed so concurrency tests (and monitoring) can correlate
+  /// reader-observed state with writer progress.
+  uint64_t last_committed_seq() const;
 
   IoStats& io_stats() { return pager_->io_stats(); }
   Pager* pager() { return pager_.get(); }

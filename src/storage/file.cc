@@ -64,12 +64,14 @@ Status File::WriteAt(uint64_t offset, const void* buf, size_t n) {
     }
     done += static_cast<size_t>(w);
   }
-  if (offset + n > size_) size_ = offset + n;
+  if (offset + n > size()) {
+    size_.store(offset + n, std::memory_order_release);
+  }
   return Status::OK();
 }
 
 Status File::Append(const void* buf, size_t n) {
-  return WriteAt(size_, buf, n);
+  return WriteAt(size(), buf, n);
 }
 
 Status File::Sync() {
@@ -83,7 +85,7 @@ Status File::Truncate(uint64_t size) {
   if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
     return Status::IOError(ErrnoMessage("ftruncate", path_));
   }
-  size_ = size;
+  size_.store(size, std::memory_order_release);
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 #ifndef MICRONN_STORAGE_FILE_H_
 #define MICRONN_STORAGE_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -38,8 +39,9 @@ class File {
   /// Truncates the file to `size` bytes.
   Status Truncate(uint64_t size);
 
-  /// Current size in bytes (as tracked; matches the OS size).
-  uint64_t size() const { return size_; }
+  /// Current size in bytes (as tracked; matches the OS size). Safe to call
+  /// from reader threads concurrently with the single writer's appends.
+  uint64_t size() const { return size_.load(std::memory_order_acquire); }
 
   const std::string& path() const { return path_; }
 
@@ -49,7 +51,7 @@ class File {
 
   int fd_;
   std::string path_;
-  uint64_t size_;
+  std::atomic<uint64_t> size_;
 };
 
 /// Deletes a file if it exists; OK if missing.

@@ -3,48 +3,62 @@
 namespace micronn {
 
 namespace {
-constexpr size_t kEntryBytes = kPageSize + 64;  // payload + bookkeeping
+
+size_t PickShardCount(size_t budget_bytes) {
+  const size_t capacity_pages = budget_bytes / PageCache::kEntryBytes;
+  size_t shards = 1;
+  while (shards < PageCache::kMaxShards &&
+         capacity_pages / (shards * 2) >= PageCache::kMinPagesPerShard) {
+    shards *= 2;
+  }
+  return shards;
 }
 
-PageCache::PageCache(size_t budget_bytes) : budget_(budget_bytes) {}
+}  // namespace
+
+PageCache::PageCache(size_t budget_bytes)
+    : budget_(budget_bytes), shard_count_(PickShardCount(budget_bytes)) {}
 
 PageCache::~PageCache() { Clear(); }
 
 PagePtr PageCache::Get(PageId page, uint64_t version) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = map_.find(Key{page, version});
-  if (it == map_.end()) return nullptr;
+  Shard& shard = ShardFor(page);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(Key{page, version});
+  if (it == shard.map.end()) return nullptr;
   // Move to front (most recently used).
-  lru_.splice(lru_.begin(), lru_, it->second);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->data;
 }
 
 PagePtr PageCache::Put(PageId page, uint64_t version, PagePtr data) {
-  if (budget_ == 0) return data;
-  std::lock_guard<std::mutex> lock(mutex_);
+  if (budget_bytes() == 0) return data;
+  Shard& shard = ShardFor(page);
+  std::lock_guard<std::mutex> lock(shard.mutex);
   const Key key{page, version};
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return it->second->data;
   }
   PagePtr result = data;  // survives even if eviction removes the entry
-  lru_.push_front(Entry{key, std::move(data)});
-  map_[key] = lru_.begin();
-  bytes_ += kEntryBytes;
-  MemoryTracker::Global().Allocate(MemoryCategory::kPageCache, kEntryBytes);
-  EvictIfNeededLocked();
+  shard.lru.push_front(Entry{key, std::move(data)});
+  shard.map[key] = shard.lru.begin();
+  shard.bytes += PageCache::kEntryBytes;
+  MemoryTracker::Global().Allocate(MemoryCategory::kPageCache, PageCache::kEntryBytes);
+  EvictIfNeededLocked(shard);
   return result;
 }
 
 void PageCache::InvalidatePage(PageId page) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto it = lru_.begin(); it != lru_.end();) {
+  Shard& shard = ShardFor(page);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  for (auto it = shard.lru.begin(); it != shard.lru.end();) {
     if (it->key.page == page) {
-      map_.erase(it->key);
-      it = lru_.erase(it);
-      bytes_ -= kEntryBytes;
-      MemoryTracker::Global().Release(MemoryCategory::kPageCache, kEntryBytes);
+      shard.map.erase(it->key);
+      it = shard.lru.erase(it);
+      shard.bytes -= PageCache::kEntryBytes;
+      MemoryTracker::Global().Release(MemoryCategory::kPageCache, PageCache::kEntryBytes);
     } else {
       ++it;
     }
@@ -52,50 +66,73 @@ void PageCache::InvalidatePage(PageId page) {
 }
 
 void PageCache::DropVersioned() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->key.version != 0) {
-      map_.erase(it->key);
-      it = lru_.erase(it);
-      bytes_ -= kEntryBytes;
-      MemoryTracker::Global().Release(MemoryCategory::kPageCache, kEntryBytes);
-    } else {
-      ++it;
+  // Only the first shard_count_ shards can hold entries (ShardFor masks
+  // into that range); the loops below skip the permanently empty rest.
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.version != 0) {
+        shard.map.erase(it->key);
+        it = shard.lru.erase(it);
+        shard.bytes -= PageCache::kEntryBytes;
+        MemoryTracker::Global().Release(MemoryCategory::kPageCache,
+                                        PageCache::kEntryBytes);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
 void PageCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  MemoryTracker::Global().Release(MemoryCategory::kPageCache, bytes_);
-  bytes_ = 0;
-  lru_.clear();
-  map_.clear();
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    MemoryTracker::Global().Release(MemoryCategory::kPageCache, shard.bytes);
+    shard.bytes = 0;
+    shard.lru.clear();
+    shard.map.clear();
+  }
 }
 
 void PageCache::set_budget_bytes(size_t budget) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  budget_ = budget;
-  EvictIfNeededLocked();
+  budget_.store(budget, std::memory_order_relaxed);
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    EvictIfNeededLocked(shard);
+  }
 }
 
 size_t PageCache::size_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return bytes_;
+  size_t total = 0;
+  for (size_t s = 0; s < shard_count_; ++s) {
+    const Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.bytes;
+  }
+  return total;
 }
 
 size_t PageCache::entry_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return map_.size();
+  size_t total = 0;
+  for (size_t s = 0; s < shard_count_; ++s) {
+    const Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
 }
 
-void PageCache::EvictIfNeededLocked() {
-  while (bytes_ > budget_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    map_.erase(victim.key);
-    lru_.pop_back();
-    bytes_ -= kEntryBytes;
-    MemoryTracker::Global().Release(MemoryCategory::kPageCache, kEntryBytes);
+void PageCache::EvictIfNeededLocked(Shard& shard) {
+  const size_t shard_budget = ShardBudget();
+  while (shard.bytes > shard_budget && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    shard.bytes -= PageCache::kEntryBytes;
+    MemoryTracker::Global().Release(MemoryCategory::kPageCache, PageCache::kEntryBytes);
   }
 }
 

@@ -1,13 +1,24 @@
-// LRU page cache with a byte budget.
+// Sharded LRU page cache with a byte budget.
 //
 // The cache is *the* memory knob of MicroNN's disk-resident design (paper
 // §2.2.1, Figures 5/8: the Small/Large device profiles differ in cache
 // budget). Entries are keyed by (page id, version) where version is the WAL
 // frame that produced the page image (0 = main file), so readers at
 // different snapshots never see each other's versions.
+//
+// The cache is split into shards, each with its own mutex, LRU list, and
+// slice of the byte budget, so concurrent snapshot readers do not contend
+// on a single lock (the pre-shard design serialized every page lookup in
+// the scan hot path). A page's versions all live in one shard — sharding
+// is by page id — which keeps InvalidatePage a single-shard operation.
+// The shard count is fixed at construction and scales with the budget:
+// tiny caches (a handful of pages) get a single shard so eviction is
+// exact global LRU; production-sized budgets get the full shard fan-out.
 #ifndef MICRONN_STORAGE_PAGE_CACHE_H_
 #define MICRONN_STORAGE_PAGE_CACHE_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -18,11 +29,19 @@
 
 namespace micronn {
 
-/// Thread-safe LRU cache of immutable page images.
+/// Thread-safe sharded LRU cache of immutable page images.
 class PageCache {
  public:
-  /// `budget_bytes` bounds the sum of cached page payloads. A budget of 0
-  /// disables caching entirely (every read goes to disk).
+  static constexpr size_t kMaxShards = 16;  // power of two
+  // A shard only pulls its weight when its budget slice holds at least
+  // this many pages; below that, fewer shards with exact LRU win.
+  static constexpr size_t kMinPagesPerShard = 8;
+  // Budget accounting per cached page: payload + bookkeeping.
+  static constexpr size_t kEntryBytes = kPageSize + 64;
+
+  /// `budget_bytes` bounds the sum of cached page payloads across all
+  /// shards. A budget of 0 disables caching entirely (every read goes to
+  /// disk).
   explicit PageCache(size_t budget_bytes);
   ~PageCache();
 
@@ -32,9 +51,9 @@ class PageCache {
   /// Looks up (page, version); returns nullptr on miss.
   PagePtr Get(PageId page, uint64_t version);
 
-  /// Inserts a page image; evicts LRU entries beyond the budget. Returns
-  /// the cached pointer (callers keep using the returned value, which may
-  /// be an existing entry on double-insert races).
+  /// Inserts a page image; evicts LRU entries beyond the shard budget.
+  /// Returns the cached pointer (callers keep using the returned value,
+  /// which may be an existing entry on double-insert races).
   PagePtr Put(PageId page, uint64_t version, PagePtr data);
 
   /// Drops every cached version of `page`.
@@ -47,10 +66,15 @@ class PageCache {
   /// Drops everything (cold-start simulation).
   void Clear();
 
-  size_t budget_bytes() const { return budget_; }
+  size_t budget_bytes() const {
+    return budget_.load(std::memory_order_relaxed);
+  }
+  /// Adjusts the byte budget. The shard count is fixed at construction;
+  /// only the per-shard budget slice changes.
   void set_budget_bytes(size_t budget);
   size_t size_bytes() const;
   size_t entry_count() const;
+  size_t shard_count() const { return shard_count_; }
 
  private:
   struct Key {
@@ -70,13 +94,35 @@ class PageCache {
   };
   using LruList = std::list<Entry>;
 
-  void EvictIfNeededLocked();
+  struct Shard {
+    mutable std::mutex mutex;
+    size_t bytes = 0;
+    LruList lru;  // front = most recently used
+    std::unordered_map<Key, LruList::iterator, KeyHash> map;
+  };
 
-  mutable std::mutex mutex_;
-  size_t budget_;
-  size_t bytes_ = 0;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<Key, LruList::iterator, KeyHash> map_;
+  Shard& ShardFor(PageId page) {
+    // Mix before masking: sequential page ids would otherwise stripe
+    // perfectly, but B+Tree access is not sequential, so spread by hash.
+    const uint64_t h = page * 0x9e3779b97f4a7c15ULL;
+    return shards_[(h >> 32) & (shard_count_ - 1)];
+  }
+  // Per-shard budget slice, floored at one page per shard (unless caching
+  // is disabled outright): the shard count is fixed at construction, so a
+  // later set_budget_bytes below shard granularity would otherwise make
+  // every Put evict itself immediately, silently disabling the cache. The
+  // floor trades at most shard_count_ pages of budget overshoot for a
+  // still-functional small cache.
+  size_t ShardBudget() const {
+    const size_t total = budget_bytes();
+    if (total == 0) return 0;
+    return std::max(total / shard_count_, kEntryBytes);
+  }
+  void EvictIfNeededLocked(Shard& shard);
+
+  std::atomic<size_t> budget_;
+  size_t shard_count_;  // power of two in [1, kMaxShards]
+  Shard shards_[kMaxShards];
 };
 
 }  // namespace micronn

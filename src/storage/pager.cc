@@ -89,13 +89,15 @@ Result<PagePtr> Pager::ReadPage(PageId id, uint64_t snapshot_seq) {
 }
 
 Result<PagePtr> Pager::ReadCommitted(PageId id, uint64_t seq) {
-  // Resolve the version: newest WAL frame at-or-before `seq`, else main file.
+  // Lock-free read path: no pager-wide lock anywhere, so readers never
+  // stall behind a committing writer (the WAL index has its own
+  // shared_mutex, frame payloads are positional preads, and the cache is
+  // sharded). Safe against checkpoint frame recycling because every caller
+  // either holds a registered snapshot or is the single writer, and the
+  // checkpoint runs only when neither exists.
   uint64_t version = 0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (auto frame = wal_->FindFrame(id, seq)) {
-      version = *frame;
-    }
+  if (auto frame = wal_->FindFrame(id, seq)) {
+    version = *frame;
   }
   if (PagePtr cached = cache_.Get(id, version)) {
     stats_.pages_cache_hit.fetch_add(1, std::memory_order_relaxed);
@@ -103,7 +105,6 @@ Result<PagePtr> Pager::ReadCommitted(PageId id, uint64_t seq) {
   }
   auto page = std::make_shared<Page>();
   if (version != 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
     MICRONN_RETURN_IF_ERROR(wal_->ReadFrame(version, page.get()));
   } else {
     const uint64_t off = static_cast<uint64_t>(id) * kPageSize;
@@ -240,13 +241,24 @@ Status Pager::CommitWrite(std::unique_ptr<WriteTxnState> txn) {
       for (const auto& [pid, page] : txn->dirty_) {
         frames.emplace_back(pid, page.get());
       }
-      std::lock_guard<std::mutex> lock(mutex_);
-      result = wal_->AppendCommit(frames, commit_seq, options_.sync_on_commit);
+      // The WAL append — including the commit fsync when sync_on_commit is
+      // set — runs without any pager lock, so concurrent readers keep
+      // scanning their snapshots at full speed. The frames become visible
+      // to them in two ordered steps: the WAL publishes its index (under
+      // its own lock), then the new horizon is published below; readers at
+      // older snapshots filter the new frames out by commit_seq either way.
+      uint64_t first_frame = 0;
+      result = wal_->AppendCommit(frames, commit_seq, options_.sync_on_commit,
+                                  &first_frame);
       if (result.ok()) {
-        // Publish: new snapshot horizon + warm the cache with new frames.
-        last_committed_seq_ = commit_seq;
-        page_count_ = txn->page_count_;
-        uint64_t frame_no = wal_->frame_count() - txn->dirty_.size() + 1;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          last_committed_seq_ = commit_seq;
+          page_count_ = txn->page_count_;
+        }
+        // Warm the cache with the just-committed images (sharded; no pager
+        // lock needed). Frame numbers follow append order.
+        uint64_t frame_no = first_frame;
         for (auto& [pid, page] : txn->dirty_) {
           cache_.Put(pid, frame_no, PagePtr(std::move(page)));
           ++frame_no;
@@ -306,10 +318,12 @@ Status Pager::Checkpoint() {
 }
 
 Status Pager::CheckpointLocked() {
-  // Hold mutex_ throughout: this blocks BeginSnapshot (new readers) and
-  // WAL-frame reads for the duration, which closes the race where a reader
-  // resolves a frame number just before the WAL is reset under it.
-  // Checkpoints only run when the system is idle, so the stall is benign.
+  // Hold mutex_ throughout: this blocks BeginSnapshot, so no new reader can
+  // register while the WAL is folded back and reset. Readers that resolved
+  // a frame number are necessarily still registered (they deregister only
+  // after their last page read), and the emptiness check below makes the
+  // checkpoint yield to them — so no frame number can be recycled under a
+  // live pread even though the read path itself is lock-free.
   std::lock_guard<std::mutex> lock(mutex_);
   if (!active_readers_.empty()) {
     return Status::Busy("readers active during checkpoint");

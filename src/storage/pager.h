@@ -7,6 +7,13 @@
 //   - commit = append page images to the WAL (+ optional fsync),
 //   - checkpoint = fold WAL frames back into the main file when idle.
 //
+// Readers run lock-free against the pager: page resolution goes through
+// the WAL's shared-mutex frame index, payloads come from positional preads
+// or the sharded page cache, and no lock is ever held across the commit
+// fsync on any path a reader touches. The only pager-wide mutex guards the
+// reader registry and the published commit horizon, both O(1) critical
+// sections.
+//
 // Page 0 is the database header and carries the freelist and catalog root;
 // it is read and written through the same transactional machinery as any
 // other page, which is what makes crash recovery uniform.
@@ -184,7 +191,14 @@ class Pager {
   PageCache cache_;
   IoStats stats_;
 
-  // Guards wal_ index mutation vs. lookup, reader registry, page_count.
+  // Guards the reader registry and the published commit horizon
+  // (last_committed_seq_, page_count_). On the read and commit paths it is
+  // held only for O(1) registry/publish operations — never across WAL
+  // appends, fsyncs, or page reads; the lock-free read path goes through
+  // the WAL's own shared-mutex index and the sharded cache instead. The
+  // one deliberate exception is the checkpoint, which holds it for the
+  // whole WAL fold so no new reader can register mid-reset (and so only
+  // runs when the system is idle).
   mutable std::mutex mutex_;
   std::multiset<uint64_t> active_readers_;
   uint64_t last_committed_seq_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "common/bytes.h"
 #include "common/logging.h"
@@ -36,8 +37,10 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
 }
 
 Status Wal::Recover() {
+  // Runs at open, before the Wal is shared: no locking needed.
   const uint64_t total_frames = file_->size() / kFrameSize;
   uint64_t valid_frames = 0;     // frames belonging to complete commits
+  uint64_t recovered_seq = 0;
   uint64_t scanned = 0;
   std::vector<std::pair<PageId, uint64_t>> pending;  // frames of current txn
   uint64_t pending_seq = 0;
@@ -56,6 +59,14 @@ Status Wal::Recover() {
     if (!pending.empty() && header.commit_seq != pending_seq) {
       break;  // commit-boundary violation: treat as torn tail
     }
+    if (pending.empty() && recovered_seq != 0 &&
+        header.commit_seq != recovered_seq + 1) {
+      // Commits within one WAL generation carry strictly consecutive
+      // sequences; anything else is a stale orphan tail (e.g. remnants of
+      // a failed commit that a later, smaller commit overwrote only
+      // partially). Never stitch it into history.
+      break;
+    }
     pending_seq = header.commit_seq;
     pending.emplace_back(header.page_id, f + 1);  // frame numbers 1-based
     ++scanned;
@@ -64,7 +75,7 @@ Status Wal::Recover() {
       for (const auto& [pid, frame_no] : pending) {
         index_[pid].emplace_back(pending_seq, frame_no);
       }
-      last_committed_seq_ = std::max(last_committed_seq_, pending_seq);
+      recovered_seq = std::max(recovered_seq, pending_seq);
       valid_frames = scanned;
       pending.clear();
     }
@@ -74,7 +85,8 @@ Status Wal::Recover() {
                        << (scanned - valid_frames)
                        << " frame(s) of an incomplete commit";
   }
-  frame_count_ = valid_frames;
+  frame_count_.store(valid_frames, std::memory_order_release);
+  last_committed_seq_.store(recovered_seq, std::memory_order_release);
   const uint64_t valid_bytes = valid_frames * kFrameSize;
   if (file_->size() != valid_bytes) {
     MICRONN_RETURN_IF_ERROR(file_->Truncate(valid_bytes));
@@ -84,7 +96,7 @@ Status Wal::Recover() {
 
 Status Wal::AppendCommit(
     const std::vector<std::pair<PageId, const Page*>>& pages,
-    uint64_t commit_seq, bool sync) {
+    uint64_t commit_seq, bool sync, uint64_t* first_frame) {
   if (pages.empty()) return Status::OK();
   // Build the full commit image in one buffer to issue a single append.
   std::string buf;
@@ -101,15 +113,52 @@ Status Wal::AppendCommit(
     buf.append(reinterpret_cast<const char*>(pages[i].second->bytes()),
                kPageSize);
   }
-  MICRONN_RETURN_IF_ERROR(file_->Append(buf.data(), buf.size()));
-  if (sync) {
-    MICRONN_RETURN_IF_ERROR(file_->Sync());
+  // The file write and the (potentially slow) commit fsync run with no
+  // lock: concurrent readers keep resolving and reading published frames.
+  // The unpublished tail is invisible to them until the index update
+  // below. Placement is positional at the frame-count offset — never
+  // size-based append — so frame numbers stay correct even if a previous
+  // failed commit left an orphaned tail in the file (the next commit
+  // simply overwrites it).
+  const uint64_t base = frame_count_.load(std::memory_order_relaxed);
+  // A previous failed commit whose rollback truncate also failed may have
+  // left an orphaned tail past the published frames. It must be gone
+  // before this commit lands: a *smaller* commit would otherwise leave
+  // orphan frames beyond its own, which restart recovery could stitch
+  // into a bogus extra commit. Refusing to commit until the truncate
+  // succeeds turns that silent-corruption path into a clean error.
+  if (file_->size() > base * kFrameSize) {
+    MICRONN_RETURN_IF_ERROR(file_->Truncate(base * kFrameSize));
   }
-  for (size_t i = 0; i < pages.size(); ++i) {
-    index_[pages[i].first].emplace_back(commit_seq, frame_count_ + i + 1);
+  Status io = file_->WriteAt(base * kFrameSize, buf.data(), buf.size());
+  if (io.ok() && sync) {
+    io = file_->Sync();
   }
-  frame_count_ += pages.size();
-  last_committed_seq_ = commit_seq;
+  if (!io.ok()) {
+    // Best-effort rollback so restart recovery does not replay a commit
+    // that was reported failed (its frames carry valid checksums and a
+    // commit marker); if this truncate fails, the guard above retries it
+    // before any later commit. The crash-before-any-retry exposure — a
+    // failed-commit fsync that still proves durable — is the same one
+    // SQLite has.
+    Status rollback = file_->Truncate(base * kFrameSize);
+    if (!rollback.ok()) {
+      MICRONN_LOG(kWarn) << "WAL rollback after failed commit write: "
+                         << rollback.ToString();
+    }
+    return io;
+  }
+  if (first_frame != nullptr) {
+    *first_frame = base + 1;
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(index_mutex_);
+    for (size_t i = 0; i < pages.size(); ++i) {
+      index_[pages[i].first].emplace_back(commit_seq, base + i + 1);
+    }
+  }
+  frame_count_.store(base + pages.size(), std::memory_order_release);
+  last_committed_seq_.store(commit_seq, std::memory_order_release);
   if (stats_ != nullptr) {
     stats_->frames_written.fetch_add(pages.size(), std::memory_order_relaxed);
   }
@@ -118,6 +167,7 @@ Status Wal::AppendCommit(
 
 std::optional<uint64_t> Wal::FindFrame(PageId page,
                                        uint64_t snapshot_seq) const {
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
   auto it = index_.find(page);
   if (it == index_.end()) return std::nullopt;
   const auto& versions = it->second;  // ascending commit_seq
@@ -132,7 +182,9 @@ std::optional<uint64_t> Wal::FindFrame(PageId page,
 }
 
 Status Wal::ReadFrame(uint64_t frame_no, Page* out) const {
-  if (frame_no == 0 || frame_no > frame_count_) {
+  // Lock-free: the bounds check reads the atomic count, the payload read is
+  // a positional pread of an immutable, already-published frame.
+  if (frame_no == 0 || frame_no > frame_count_.load(std::memory_order_acquire)) {
     return Status::Corruption("WAL frame " + std::to_string(frame_no) +
                               " out of range");
   }
@@ -145,6 +197,7 @@ Status Wal::ReadFrame(uint64_t frame_no, Page* out) const {
 }
 
 std::map<PageId, uint64_t> Wal::LatestFrames(uint64_t seq) const {
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
   std::map<PageId, uint64_t> out;
   for (const auto& [pid, versions] : index_) {
     auto pos = std::upper_bound(
@@ -160,9 +213,13 @@ std::map<PageId, uint64_t> Wal::LatestFrames(uint64_t seq) const {
 }
 
 Status Wal::Reset() {
+  // Only called by the checkpoint after verifying no reader is registered,
+  // so no concurrent ReadFrame can observe the truncation; the lock below
+  // fences out any straggling FindFrame.
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
   MICRONN_RETURN_IF_ERROR(file_->Truncate(0));
   index_.clear();
-  frame_count_ = 0;
+  frame_count_.store(0, std::memory_order_release);
   // last_committed_seq_ survives the reset: sequence numbers are global to
   // the database, not to one WAL generation.
   return Status::OK();

@@ -9,10 +9,12 @@
 #ifndef MICRONN_STORAGE_WAL_H_
 #define MICRONN_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,9 +27,17 @@
 
 namespace micronn {
 
-/// Append-only WAL file plus its in-memory index. Not internally
-/// synchronized: the single writer appends; the pager serializes index
-/// mutation against concurrent lookups with its own lock.
+/// Append-only WAL file plus its in-memory index.
+///
+/// Internally synchronized for the pager's concurrency model: any number
+/// of snapshot readers call FindFrame/ReadFrame concurrently with the one
+/// writer appending commits. The frame index is guarded by a shared_mutex
+/// that the writer holds only for the in-memory publish step — never
+/// across the commit append or its fsync — so readers are not stalled by
+/// commit I/O. Frame payload reads are positional preads with no lock at
+/// all: frames are immutable once published, and Reset (which recycles
+/// frame numbers) only runs when the pager has verified no reader is
+/// active.
 class Wal {
  public:
   /// Frame layout: 32-byte header + page image.
@@ -44,16 +54,28 @@ class Wal {
   /// Appends one committed transaction: every (page, image) pair in
   /// `pages`, the last frame carrying the commit marker for `commit_seq`.
   /// If `sync` is true the file is fdatasync'd before returning. On success
-  /// the index reflects the new frames.
+  /// the index reflects the new frames and `*first_frame` (if non-null) is
+  /// set to the 1-based number of the commit's first frame — pages[i] is
+  /// frame `*first_frame + i`. The file append and fsync happen before the
+  /// index publish, so concurrent FindFrame callers only ever see fully
+  /// written frames; single writer (serialized by the pager). Frames are
+  /// placed positionally at the frame-count offset (not appended at the
+  /// file size), so a failed commit's orphaned tail can never skew later
+  /// frame numbering; on failure the tail is also truncated best-effort so
+  /// restart recovery does not replay the failed commit.
   Status AppendCommit(
       const std::vector<std::pair<PageId, const Page*>>& pages,
-      uint64_t commit_seq, bool sync);
+      uint64_t commit_seq, bool sync, uint64_t* first_frame = nullptr);
 
   /// Newest frame for `page` with commit sequence <= `snapshot_seq`.
   /// Frame numbers returned are 1-based (0 is reserved for "main file").
+  /// Thread-safe against the writer's index publish.
   std::optional<uint64_t> FindFrame(PageId page, uint64_t snapshot_seq) const;
 
-  /// Reads the page image of 1-based frame `frame_no`.
+  /// Reads the page image of 1-based frame `frame_no` with a positional
+  /// pread and no lock. Callers must hold a registered reader snapshot (or
+  /// be the writer) so the frame cannot be recycled by a checkpoint Reset
+  /// mid-read.
   Status ReadFrame(uint64_t frame_no, Page* out) const;
 
   /// Page -> newest frame (1-based) among commits <= `seq`; the checkpoint
@@ -66,8 +88,12 @@ class Wal {
   /// fdatasync the WAL file.
   Status Sync();
 
-  uint64_t frame_count() const { return frame_count_; }
-  uint64_t last_committed_seq() const { return last_committed_seq_; }
+  uint64_t frame_count() const {
+    return frame_count_.load(std::memory_order_acquire);
+  }
+  uint64_t last_committed_seq() const {
+    return last_committed_seq_.load(std::memory_order_acquire);
+  }
 
  private:
   Wal(std::unique_ptr<File> file, IoStats* stats)
@@ -77,8 +103,12 @@ class Wal {
 
   std::unique_ptr<File> file_;
   IoStats* stats_;
-  uint64_t frame_count_ = 0;           // valid frames in the file
-  uint64_t last_committed_seq_ = 0;    // 0 = empty WAL
+  std::atomic<uint64_t> frame_count_{0};         // valid frames in the file
+  std::atomic<uint64_t> last_committed_seq_{0};  // 0 = empty WAL
+  // Guards index_. Readers (FindFrame/LatestFrames) take it shared; the
+  // writer takes it exclusive only for the brief in-memory publish at the
+  // end of AppendCommit and during Reset.
+  mutable std::shared_mutex index_mutex_;
   // page -> [(commit_seq, frame_no)] in append (= ascending seq) order.
   std::unordered_map<PageId, std::vector<std::pair<uint64_t, uint64_t>>>
       index_;

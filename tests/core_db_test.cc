@@ -431,10 +431,12 @@ TEST_F(DbTest, ConcurrentSearchesDuringWrites) {
   std::atomic<bool> stop{false};
   std::atomic<int> errors{0};
   std::atomic<int> searches{0};
+  std::atomic<int> readers_warm{0};  // readers that completed >= 1 search
   std::vector<std::thread> readers;
   for (int t = 0; t < 2; ++t) {
     readers.emplace_back([&, t] {
       size_t q = t;
+      bool first = true;
       while (!stop.load()) {
         SearchRequest req;
         req.query.assign(ds.query(q % 10), ds.query(q % 10) + 8);
@@ -443,8 +445,19 @@ TEST_F(DbTest, ConcurrentSearchesDuringWrites) {
         if (!resp.ok() || resp->items.empty()) ++errors;
         ++searches;
         ++q;
+        if (first) {
+          first = false;
+          ++readers_warm;
+        }
       }
     });
+  }
+  // Don't start writing until both readers are demonstrably searching;
+  // otherwise on a loaded (or single-core) machine the writer can finish
+  // before the reader threads are scheduled, vacuously passing the
+  // progress assertion below.
+  while (readers_warm.load() < 2) {
+    std::this_thread::yield();
   }
   // Writer: interleave upserts, deletes, and a maintenance pass.
   for (int round = 0; round < 5; ++round) {

@@ -67,19 +67,25 @@ class HybridTest : public ::testing::Test {
     req.nprobe = 1000;  // every partition: post-filter becomes exact too
     req.filter = filter;
 
+    // Bind each response before iterating: ranging directly over
+    // `Search(...).value().items` dangles in C++20 (the temporary Result
+    // dies at the end of the range-init; only C++23 P2718 extends it).
     SearchRequest exact = req;
     exact.exact = true;
-    for (const auto& item : db_->Search(exact).value().items) {
+    const SearchResponse exact_resp = db_->Search(exact).value();
+    for (const auto& item : exact_resp.items) {
       out.exact.push_back(item.vid);
     }
     SearchRequest pre = req;
     pre.plan = PlanOverride::kForcePreFilter;
-    for (const auto& item : db_->Search(pre).value().items) {
+    const SearchResponse pre_resp = db_->Search(pre).value();
+    for (const auto& item : pre_resp.items) {
       out.pre.push_back(item.vid);
     }
     SearchRequest post = req;
     post.plan = PlanOverride::kForcePostFilter;
-    for (const auto& item : db_->Search(post).value().items) {
+    const SearchResponse post_resp = db_->Search(post).value();
+    for (const auto& item : post_resp.items) {
       out.post_full_probe.push_back(item.vid);
     }
     return out;

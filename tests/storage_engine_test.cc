@@ -200,9 +200,11 @@ TEST_F(EngineTest, ConcurrentReadersWhileWriting) {
   std::atomic<bool> stop{false};
   std::atomic<int> reader_errors{0};
   std::atomic<int> reads_done{0};
+  std::atomic<int> readers_warm{0};  // readers that completed >= 1 scan
   std::vector<std::thread> readers;
   for (int r = 0; r < 3; ++r) {
     readers.emplace_back([&] {
+      bool first = true;
       while (!stop.load()) {
         auto txn = engine->BeginRead();
         if (!txn.ok()) {
@@ -234,8 +236,19 @@ TEST_F(EngineTest, ConcurrentReadersWhileWriting) {
           ++reader_errors;
         }
         ++reads_done;
+        if (first) {
+          first = false;
+          ++readers_warm;
+        }
       }
     });
+  }
+  // Wait until every reader is demonstrably scanning before the first
+  // commit: on a loaded (or single-core) machine the writer can otherwise
+  // finish all batches before the reader threads are even scheduled, which
+  // would vacuously satisfy the progress assertion below.
+  while (readers_warm.load() < 3) {
+    std::this_thread::yield();
   }
   // Writer: 10 batches of 100 inserts each.
   for (int batch = 0; batch < 10; ++batch) {

@@ -207,6 +207,21 @@ TEST(PageCacheTest, ZeroBudgetPassesThrough) {
   EXPECT_EQ(cache.entry_count(), 0u);
 }
 
+TEST(PageCacheTest, ShrinkingBudgetBelowShardGranularityKeepsCacheAlive) {
+  // A production-sized budget picks multiple shards; shrinking the budget
+  // to a few pages afterwards must leave a small working cache (each shard
+  // floors at one page), not evict every insert immediately.
+  PageCache cache(8ull << 20);
+  ASSERT_GT(cache.shard_count(), 1u);
+  cache.set_budget_bytes(3 * PageCache::kEntryBytes);
+  for (PageId p = 1; p <= 3; ++p) {
+    cache.Put(p, 0, std::make_shared<Page>());
+  }
+  EXPECT_NE(cache.Get(3, 0), nullptr);  // the newest insert always survives
+  EXPECT_GE(cache.entry_count(), 1u);
+  EXPECT_LE(cache.entry_count(), cache.shard_count());
+}
+
 TEST(PageCacheTest, DropVersionedKeepsMainFilePages) {
   PageCache cache(10 * (kPageSize + 64));
   cache.Put(1, 0, std::make_shared<Page>());
