@@ -63,6 +63,22 @@ struct DbOptions {
   std::vector<std::string> fts_columns;
 
   // --- Storage ---
+  /// Storage-layer tuning; see PagerOptions (src/storage/pager.h) for the
+  /// full list. The knobs that matter most in practice, with defaults:
+  ///   - cache_bytes (8 MiB): page-cache budget, the memory knob of the
+  ///     paper's Small/Large device profiles; 0 disables caching.
+  ///   - sync_on_commit (false): fdatasync the WAL before a commit is
+  ///     acknowledged; concurrent committers share fsyncs (group commit).
+  ///   - auto_checkpoint_frames (16384): best-effort incremental
+  ///     checkpoint threshold; folds up to the oldest reader snapshot and
+  ///     never blocks foreground work. 0 disables.
+  ///   - wal_backpressure_frames (65536): hard cap past which a committer
+  ///     performs a blocking full checkpoint so the WAL stops growing.
+  ///     0 disables.
+  ///   - wal_backpressure_wait_ms (1000): how long that blocking
+  ///     checkpoint waits for readers to drain before settling for the
+  ///     partial backfill it achieved.
+  /// docs/ARCHITECTURE.md and docs/DURABILITY.md explain what each buys.
   PagerOptions pager;
 };
 

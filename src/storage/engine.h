@@ -126,10 +126,12 @@ class StorageEngine {
   /// Discards the transaction.
   void Rollback(std::unique_ptr<WriteTransaction> txn);
 
-  /// Folds the WAL into the main file. Returns Busy if any reader snapshot
-  /// or writer is active — the checkpoint always yields to foreground
-  /// work; see the regression test in tests/pager_concurrency_test.cc
-  /// before relaxing this.
+  /// Incrementally folds the WAL into the main file. Live readers no
+  /// longer block it: frames at-or-below the oldest registered snapshot
+  /// are folded and the persistent backfill watermark advances (Ok is
+  /// returned even when the fold is partial); only an active writer
+  /// yields Busy. See docs/ARCHITECTURE.md for the frame lifecycle and
+  /// tests/pager_concurrency_test.cc for the contract.
   Status Checkpoint();
   /// Drops page cache contents (cold-start simulation).
   void DropCaches();

@@ -21,6 +21,7 @@ class IoStats {
   std::atomic<uint64_t> pages_read_wal{0};    // frame reads from the WAL
   std::atomic<uint64_t> pages_cache_hit{0};   // served from page cache
   std::atomic<uint64_t> frames_written{0};    // WAL frames appended
+  std::atomic<uint64_t> wal_syncs{0};         // fdatasync calls on the WAL
   std::atomic<uint64_t> checkpoint_pages{0};  // pages copied at checkpoint
   std::atomic<uint64_t> commits{0};
   std::atomic<uint64_t> rows_inserted{0};
@@ -33,6 +34,7 @@ class IoStats {
     uint64_t pages_read_wal = 0;
     uint64_t pages_cache_hit = 0;
     uint64_t frames_written = 0;
+    uint64_t wal_syncs = 0;
     uint64_t checkpoint_pages = 0;
     uint64_t commits = 0;
     uint64_t rows_inserted = 0;
@@ -49,6 +51,7 @@ class IoStats {
       out.pages_read_wal = pages_read_wal - rhs.pages_read_wal;
       out.pages_cache_hit = pages_cache_hit - rhs.pages_cache_hit;
       out.frames_written = frames_written - rhs.frames_written;
+      out.wal_syncs = wal_syncs - rhs.wal_syncs;
       out.checkpoint_pages = checkpoint_pages - rhs.checkpoint_pages;
       out.commits = commits - rhs.commits;
       out.rows_inserted = rows_inserted - rhs.rows_inserted;
@@ -64,6 +67,7 @@ class IoStats {
     v.pages_read_wal = pages_read_wal.load(std::memory_order_relaxed);
     v.pages_cache_hit = pages_cache_hit.load(std::memory_order_relaxed);
     v.frames_written = frames_written.load(std::memory_order_relaxed);
+    v.wal_syncs = wal_syncs.load(std::memory_order_relaxed);
     v.checkpoint_pages = checkpoint_pages.load(std::memory_order_relaxed);
     v.commits = commits.load(std::memory_order_relaxed);
     v.rows_inserted = rows_inserted.load(std::memory_order_relaxed);

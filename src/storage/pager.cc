@@ -1,6 +1,7 @@
 #include "storage/pager.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 
@@ -51,14 +52,33 @@ Status Pager::Initialize() {
   if (header->ReadU32(DbHeader::kOffPageSize) != kPageSize) {
     return Status::Corruption("page size mismatch in " + path_);
   }
+  // A crash can leave the main file *ahead* of the surviving WAL: a
+  // partial checkpoint folds frames in, and recovery discards the log
+  // when its backfilled prefix no longer survives intact. The header page
+  // — itself folded — carries the commit horizon those folds reached, so
+  // sequences stay monotonic across such a reopen.
+  const uint64_t header_seq = header->ReadU64(DbHeader::kOffCommitSeq);
+  if (header_seq > last_committed_seq_) {
+    last_committed_seq_ = header_seq;
+  }
   page_count_ = header->ReadU32(DbHeader::kOffPageCount);
+  // Everything that survived recovery is durable by construction.
+  wal_durable_seq_ = last_committed_seq_;
   return Status::OK();
 }
 
 Status Pager::Close() {
   if (db_file_ == nullptr) return Status::OK();
-  // Best-effort checkpoint so the main file is self-contained; Busy (live
-  // readers) is not an error on close.
+  if (wal_ == nullptr) {
+    // Partially initialized (WAL open/recovery failed): nothing to
+    // checkpoint, just release the main file.
+    db_file_.reset();
+    cache_.Clear();
+    return Status::OK();
+  }
+  // Best-effort checkpoint so the main file is self-contained; Busy (an
+  // active writer) is not an error on close, and live readers merely limit
+  // the checkpoint to a partial backfill.
   Status st = Checkpoint();
   if (!st.ok() && !st.IsBusy()) {
     return st;
@@ -80,7 +100,13 @@ void Pager::EndSnapshot(uint64_t seq) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = active_readers_.find(seq);
   if (it != active_readers_.end()) {
+    const bool was_oldest = (it == active_readers_.begin());
     active_readers_.erase(it);
+    // Wake a waiting backpressure checkpoint when the backfill horizon can
+    // advance: the oldest snapshot ended (or the registry drained).
+    if (was_oldest) {
+      readers_cv_.notify_all();
+    }
   }
 }
 
@@ -94,7 +120,11 @@ Result<PagePtr> Pager::ReadCommitted(PageId id, uint64_t seq) {
   // shared_mutex, frame payloads are positional preads, and the cache is
   // sharded). Safe against checkpoint frame recycling because every caller
   // either holds a registered snapshot or is the single writer, and the
-  // checkpoint runs only when neither exists.
+  // WAL reset runs only when neither exists. Safe against checkpoint
+  // *backfill* (main-file writes under live readers) because a page is
+  // only folded while a frame for it at-or-below every registered
+  // snapshot exists in the index — any concurrent reader resolves that
+  // frame and never touches the main-file copy being rewritten.
   uint64_t version = 0;
   if (auto frame = wal_->FindFrame(id, seq)) {
     version = *frame;
@@ -218,10 +248,13 @@ Status Pager::CommitWrite(std::unique_ptr<WriteTxnState> txn) {
   }
   txn->finished_ = true;
   Status result = Status::OK();
+  uint64_t commit_seq = 0;
+  bool committed = false;
   if (!txn->dirty_.empty()) {
-    const uint64_t commit_seq = txn->base_seq_ + 1;
-    // Stamp the commit sequence into the header page (for observability;
-    // recovery derives state from WAL scan + header fields).
+    commit_seq = txn->base_seq_ + 1;
+    // Stamp the commit sequence into the header page: observability, and
+    // the recovery anchor for the case where a crash leaves the main file
+    // ahead of the surviving WAL (see Initialize).
     {
       auto it = txn->dirty_.find(0);
       if (it == txn->dirty_.end()) {
@@ -241,16 +274,20 @@ Status Pager::CommitWrite(std::unique_ptr<WriteTxnState> txn) {
       for (const auto& [pid, page] : txn->dirty_) {
         frames.emplace_back(pid, page.get());
       }
-      // The WAL append — including the commit fsync when sync_on_commit is
-      // set — runs without any pager lock, so concurrent readers keep
-      // scanning their snapshots at full speed. The frames become visible
-      // to them in two ordered steps: the WAL publishes its index (under
-      // its own lock), then the new horizon is published below; readers at
-      // older snapshots filter the new frames out by commit_seq either way.
+      // The WAL append runs without any pager lock, so concurrent readers
+      // keep scanning their snapshots at full speed. The commit fsync is
+      // *not* issued here: with sync_on_commit the durability wait happens
+      // after the writer slot is released (group commit below), so the
+      // next committer can append while this one's fsync is in flight and
+      // one leader sync covers the whole batch. The frames become visible
+      // in two ordered steps: the WAL publishes its index (under its own
+      // lock), then the new horizon is published below; readers at older
+      // snapshots filter the new frames out by commit_seq either way.
       uint64_t first_frame = 0;
-      result = wal_->AppendCommit(frames, commit_seq, options_.sync_on_commit,
+      result = wal_->AppendCommit(frames, commit_seq, /*sync=*/false,
                                   &first_frame);
       if (result.ok()) {
+        committed = true;
         {
           std::lock_guard<std::mutex> lock(mutex_);
           last_committed_seq_ = commit_seq;
@@ -273,21 +310,129 @@ Status Pager::CommitWrite(std::unique_ptr<WriteTxnState> txn) {
   }
   writer_cv_.notify_one();
 
-  if (result.ok() && options_.auto_checkpoint_frames > 0) {
-    bool should_checkpoint = false;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      should_checkpoint = wal_->frame_count() > options_.auto_checkpoint_frames &&
-                          active_readers_.empty();
-    }
-    if (should_checkpoint) {
-      Status st = Checkpoint();
-      if (!st.ok() && !st.IsBusy()) {
-        MICRONN_LOG(kWarn) << "auto-checkpoint failed: " << st.ToString();
-      }
-    }
+  if (committed && result.ok() && options_.sync_on_commit) {
+    // Group commit: the commit is already visible (published above) but is
+    // only acknowledged once a WAL fsync covers it — ours or a concurrent
+    // leader's. A crash before that fsync loses an unacknowledged suffix
+    // of commits, never a torn one.
+    result = WaitForDurable(commit_seq);
+  }
+
+  if (committed && result.ok()) {
+    MaybeCheckpointAfterCommit();
   }
   return result;
+}
+
+Status Pager::WaitForDurable(uint64_t commit_seq) {
+  std::unique_lock<std::mutex> lock(commit_sync_mutex_);
+  for (;;) {
+    if (wal_durable_seq_ >= commit_seq) {
+      return Status::OK();  // a concurrent leader's fsync covered us
+    }
+    if (commit_sync_failed_) {
+      // A previous WAL fsync failed. Unlike the pre-group-commit path,
+      // the frames cannot be truncated away here — later commits may
+      // already have appended past them — so the commit stays replayable
+      // by recovery even though it is reported failed. Refusing all
+      // further synced commits keeps an application-level retry from
+      // applying it twice in this process; a reopen re-validates the log
+      // from disk.
+      return Status::IOError(
+          "WAL fsync previously failed; commit durability unknown until "
+          "the database is reopened");
+    }
+    if (!commit_sync_in_flight_) break;
+    commit_sync_cv_.wait(lock);
+  }
+  // Leader: one fsync covers every commit fully appended by now. The
+  // coverage target is captured before unlocking — appends publish their
+  // sequence only after the frame write completes, so anything at-or-below
+  // it is on file before the fdatasync below starts.
+  commit_sync_in_flight_ = true;
+  const uint64_t covers = wal_->last_committed_seq();
+  lock.unlock();
+  Status st = wal_->Sync();
+  lock.lock();
+  commit_sync_in_flight_ = false;
+  if (st.ok()) {
+    if (covers > wal_durable_seq_) {
+      wal_durable_seq_ = covers;
+    }
+  } else {
+    // Post-failure fsync state is undefined (the kernel may have dropped
+    // the dirty pages); stop acknowledging synced commits for this
+    // pager's lifetime instead of pretending a later fsync can make the
+    // earlier writes durable.
+    commit_sync_failed_ = true;
+  }
+  commit_sync_cv_.notify_all();
+  return st;
+}
+
+void Pager::PublishDurable(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(commit_sync_mutex_);
+  // After any WAL fsync failure the kernel may have dropped dirty pages
+  // behind an apparently-successful later sync, so a post-failure sync
+  // must never acknowledge commits (wal_durable_seq_ only ever reflects
+  // pre-failure syncs; WaitForDurable's fast path relies on this).
+  if (commit_sync_failed_) return;
+  if (seq > wal_durable_seq_) {
+    wal_durable_seq_ = seq;
+    commit_sync_cv_.notify_all();
+  }
+}
+
+void Pager::MaybeCheckpointAfterCommit() {
+  const uint64_t frames = wal_->frame_count();
+  if (options_.wal_backpressure_frames > 0 &&
+      frames > options_.wal_backpressure_frames) {
+    // Hard backpressure: this committer pays for a blocking full
+    // checkpoint so the WAL stops growing. Queue for the writer slot
+    // (several committers may arrive here at once), then re-check — the
+    // one ahead of us may already have reclaimed the log.
+    {
+      std::unique_lock<std::mutex> lock(writer_mutex_);
+      writer_cv_.wait(lock, [this] { return !writer_active_; });
+      writer_active_ = true;
+    }
+    Status st = Status::OK();
+    if (wal_->frame_count() > options_.wal_backpressure_frames) {
+      st = CheckpointImpl(/*block_for_readers=*/true);
+    }
+    {
+      std::lock_guard<std::mutex> lock(writer_mutex_);
+      writer_active_ = false;
+    }
+    writer_cv_.notify_one();
+    if (!st.ok()) {
+      MICRONN_LOG(kWarn) << "WAL backpressure checkpoint failed: "
+                         << st.ToString();
+    }
+    return;
+  }
+  if (options_.auto_checkpoint_frames == 0 ||
+      frames <= options_.auto_checkpoint_frames) {
+    return;
+  }
+  // Best-effort auto-checkpoint. Skip cheaply when live readers pin the
+  // horizon below anything new to fold (the common steady state between
+  // horizon advances) — LatestFrames is O(index) and not worth scanning
+  // per commit for a guaranteed no-op.
+  bool idle;
+  uint64_t horizon;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle = active_readers_.empty();
+    horizon = idle ? last_committed_seq_ : *active_readers_.begin();
+  }
+  if (!idle && wal_->FramesThrough(horizon) <= wal_->backfill_watermark()) {
+    return;
+  }
+  Status st = Checkpoint();
+  if (!st.ok() && !st.IsBusy()) {
+    MICRONN_LOG(kWarn) << "auto-checkpoint failed: " << st.ToString();
+  }
 }
 
 void Pager::RollbackWrite(std::unique_ptr<WriteTxnState> txn) {
@@ -301,14 +446,15 @@ void Pager::RollbackWrite(std::unique_ptr<WriteTxnState> txn) {
 }
 
 Status Pager::Checkpoint() {
-  // Exclude writers for the duration.
-  std::unique_lock<std::mutex> wlock(writer_mutex_);
-  if (writer_active_) {
-    return Status::Busy("writer active during checkpoint");
+  // Exclude writers for the duration; readers are handled incrementally.
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    if (writer_active_) {
+      return Status::Busy("writer active during checkpoint");
+    }
+    writer_active_ = true;
   }
-  writer_active_ = true;
-  wlock.unlock();
-  Status st = CheckpointLocked();
+  Status st = CheckpointImpl(/*block_for_readers=*/false);
   {
     std::lock_guard<std::mutex> lock(writer_mutex_);
     writer_active_ = false;
@@ -317,39 +463,113 @@ Status Pager::Checkpoint() {
   return st;
 }
 
-Status Pager::CheckpointLocked() {
-  // Hold mutex_ throughout: this blocks BeginSnapshot, so no new reader can
-  // register while the WAL is folded back and reset. Readers that resolved
-  // a frame number are necessarily still registered (they deregister only
-  // after their last page read), and the emptiness check below makes the
-  // checkpoint yield to them — so no frame number can be recycled under a
-  // live pread even though the read path itself is lock-free.
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!active_readers_.empty()) {
-    return Status::Busy("readers active during checkpoint");
+Status Pager::CheckpointImpl(bool block_for_readers) {
+  // Caller holds the writer slot, so the WAL cannot grow and the commit
+  // horizon cannot move while this runs; only the reader registry changes
+  // underneath us, and only in the safe direction (a horizon that rises).
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.wal_backpressure_wait_ms);
+  for (;;) {
+    if (wal_->frame_count() == 0) {
+      return Status::OK();
+    }
+    uint64_t horizon;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      horizon = active_readers_.empty() ? last_committed_seq_
+                                        : *active_readers_.begin();
+    }
+    const uint64_t watermark = wal_->backfill_watermark();
+    const uint64_t target = wal_->FramesThrough(horizon);
+    if (target > watermark) {
+      // Backfill frames (watermark, target] — every frame of every commit
+      // at-or-below the reader horizon that an earlier pass did not
+      // already fold. This is safe under live readers: each registered
+      // snapshot is >= horizon, so for any page being rewritten in the
+      // main file the reader resolves a WAL frame (<= horizon <= its
+      // snapshot) and never reads the main-file copy mid-write.
+      //
+      // Durability order: WAL frames first (the log may never lag the
+      // main file after a crash), then the folded images, then the
+      // watermark that records them as folded. A crash between any two
+      // steps merely re-folds on the next checkpoint.
+      const uint64_t synced_through = wal_->last_committed_seq();
+      Status wal_sync = wal_->Sync();
+      if (!wal_sync.ok()) {
+        // Same sticky rule as the group-commit leader: a failed WAL fsync
+        // leaves durability unknowable for this pager's lifetime.
+        std::lock_guard<std::mutex> lock(commit_sync_mutex_);
+        commit_sync_failed_ = true;
+        commit_sync_cv_.notify_all();
+        return wal_sync;
+      }
+      PublishDurable(synced_through);
+      const std::map<PageId, uint64_t> latest = wal_->LatestFrames(horizon);
+      Page buf;
+      for (const auto& [pid, frame_no] : latest) {
+        if (frame_no <= watermark) continue;  // folded by an earlier pass
+        MICRONN_RETURN_IF_ERROR(wal_->ReadFrame(frame_no, &buf));
+        MICRONN_RETURN_IF_ERROR(db_file_->WriteAt(
+            static_cast<uint64_t>(pid) * kPageSize, buf.bytes(), kPageSize));
+        stats_.checkpoint_pages.fetch_add(1, std::memory_order_relaxed);
+      }
+      MICRONN_RETURN_IF_ERROR(db_file_->Sync());
+      MICRONN_RETURN_IF_ERROR(wal_->AdvanceBackfillWatermark(target, horizon));
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (;;) {
+        if (active_readers_.empty() &&
+            wal_->backfill_watermark() == wal_->frame_count()) {
+          // Fully folded and nobody can touch a frame: recycle the log.
+          // Holding mutex_ across the reset keeps new readers out while
+          // frame numbers are invalidated — the one (short) foreground
+          // stall the checkpoint imposes, once per WAL generation. The
+          // check runs under the same lock hold as the wakeup below, so a
+          // churning reader cannot re-register in between and starve the
+          // reset indefinitely.
+          const std::map<PageId, uint64_t> folded =
+              wal_->LatestFrames(last_committed_seq_);
+          MICRONN_RETURN_IF_ERROR(wal_->Reset());
+          // Frame-versioned cache entries refer to recycled frame numbers;
+          // drop them, along with stale version-0 images of every page
+          // this WAL generation rewrote in the main file.
+          cache_.DropVersioned();
+          for (const auto& [pid, frame_no] : folded) {
+            (void)frame_no;
+            cache_.InvalidatePage(pid);
+          }
+          return Status::OK();
+        }
+        if (!block_for_readers) {
+          return Status::OK();  // partial backfill; watermark records it
+        }
+        // If the horizon already rose past frames not yet folded (it can
+        // move during the fold phase, whose cv notification nobody was
+        // waiting on), drop the lock and fold them before waiting.
+        const uint64_t h = active_readers_.empty()
+                               ? last_committed_seq_
+                               : *active_readers_.begin();
+        if (wal_->FramesThrough(h) > wal_->backfill_watermark()) {
+          break;  // back to the fold phase of the outer loop
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+          MICRONN_LOG(kWarn)
+              << "WAL backpressure: " << active_readers_.size()
+              << " reader(s) still active after "
+              << options_.wal_backpressure_wait_ms
+              << " ms; settling for partial backfill ("
+              << wal_->backfill_watermark() << "/" << wal_->frame_count()
+              << " frames folded)";
+          return Status::OK();
+        }
+        // Wait for the oldest snapshot to end (raising the horizon) or
+        // the registry to drain, then re-evaluate from the top.
+        readers_cv_.wait_until(lock, deadline);
+      }
+    }
   }
-  if (wal_->frame_count() == 0) {
-    return Status::OK();
-  }
-  const std::map<PageId, uint64_t> latest =
-      wal_->LatestFrames(last_committed_seq_);
-  Page buf;
-  for (const auto& [pid, frame_no] : latest) {
-    MICRONN_RETURN_IF_ERROR(wal_->ReadFrame(frame_no, &buf));
-    MICRONN_RETURN_IF_ERROR(db_file_->WriteAt(
-        static_cast<uint64_t>(pid) * kPageSize, buf.bytes(), kPageSize));
-    stats_.checkpoint_pages.fetch_add(1, std::memory_order_relaxed);
-  }
-  MICRONN_RETURN_IF_ERROR(db_file_->Sync());
-  MICRONN_RETURN_IF_ERROR(wal_->Reset());
-  // Frame-versioned cache entries refer to recycled frame numbers; drop
-  // them, and drop stale version-0 images of pages the checkpoint rewrote.
-  cache_.DropVersioned();
-  for (const auto& [pid, frame_no] : latest) {
-    (void)frame_no;
-    cache_.InvalidatePage(pid);
-  }
-  return Status::OK();
 }
 
 void Pager::DropCaches() { cache_.Clear(); }

@@ -4,8 +4,10 @@
 // concurrency model the paper inherits from SQLite (§3.2, §3.6):
 //   - many concurrent snapshot readers (each pinned to a commit sequence),
 //   - one writer at a time, buffering private page copies until commit,
-//   - commit = append page images to the WAL (+ optional fsync),
-//   - checkpoint = fold WAL frames back into the main file when idle.
+//   - commit = append page images to the WAL (+ optional group fsync),
+//   - checkpoint = incrementally fold WAL frames at-or-below the oldest
+//     live reader horizon back into the main file; the WAL itself is
+//     truncated only once everything is folded and no reader remains.
 //
 // Readers run lock-free against the pager: page resolution goes through
 // the WAL's shared-mutex frame index, payloads come from positional preads
@@ -17,6 +19,9 @@
 // Page 0 is the database header and carries the freelist and catalog root;
 // it is read and written through the same transactional machinery as any
 // other page, which is what makes crash recovery uniform.
+//
+// docs/ARCHITECTURE.md walks the whole stack; docs/DURABILITY.md states
+// the crash-recovery guarantees each knob below buys.
 #ifndef MICRONN_STORAGE_PAGER_H_
 #define MICRONN_STORAGE_PAGER_H_
 
@@ -39,21 +44,48 @@
 
 namespace micronn {
 
-/// Tuning knobs for the storage layer.
+/// Tuning knobs for the storage layer. Every field has a safe default;
+/// the comments state it explicitly so callers can reason about what an
+/// override changes.
 struct PagerOptions {
-  /// Page cache budget in bytes. This is the main memory knob for the
-  /// "constrained memory" experiments (Small vs Large device profiles).
+  /// Page cache budget in bytes (default 8 MiB). This is the main memory
+  /// knob for the "constrained memory" experiments (Small vs Large device
+  /// profiles). 0 disables caching entirely; every read then goes to the
+  /// WAL or the main file.
   size_t cache_bytes = 8ull << 20;
 
-  /// fdatasync the WAL on every commit (full durability). When false,
-  /// durability is deferred to checkpoints — SQLite's
+  /// fdatasync the WAL before a commit is acknowledged (full durability;
+  /// default false). Concurrent committers share fsyncs via group commit:
+  /// one leader syncs the log for every commit appended so far, followers
+  /// whose commit the sync covered return without issuing their own.
+  /// When false, durability is deferred to checkpoints — SQLite's
   /// `synchronous=NORMAL`-in-WAL-mode behaviour; atomicity and isolation
-  /// are unaffected.
+  /// are unaffected, and a crash loses at most the un-checkpointed WAL
+  /// suffix.
   bool sync_on_commit = false;
 
-  /// Auto-checkpoint when the WAL exceeds this many frames and no reader
-  /// is active. 0 disables auto-checkpointing.
+  /// Best-effort checkpoint after a commit leaves the WAL with more than
+  /// this many frames (default 16384 ≈ 64 MiB of 4 KiB frames; 0 disables
+  /// auto-checkpointing). The checkpoint folds frames at-or-below the
+  /// oldest live reader snapshot and never blocks foreground work; with a
+  /// pinned old reader it simply stops at that horizon and resumes later.
   uint64_t auto_checkpoint_frames = 16384;
+
+  /// Hard WAL backpressure (default 65536 frames ≈ 256 MiB; 0 disables).
+  /// When a commit leaves the WAL with more than this many frames, the
+  /// committer performs a *blocking* full checkpoint before returning:
+  /// it holds the writer slot (so the WAL cannot grow further), folds up
+  /// to the reader horizon, and waits up to `wal_backpressure_wait_ms`
+  /// for the reader registry to drain so the WAL can be reset. Must be
+  /// >= auto_checkpoint_frames to be meaningful.
+  uint64_t wal_backpressure_frames = 65536;
+
+  /// Upper bound (default 1000 ms) on how long a backpressure checkpoint
+  /// waits for readers to drain before settling for the partial backfill
+  /// it already achieved. The bound exists so a caller that commits while
+  /// itself holding a read snapshot (e.g. the chunked index rebuild)
+  /// degrades to a warning instead of deadlocking.
+  uint32_t wal_backpressure_wait_ms = 1000;
 };
 
 /// Header page field offsets (page 0).
@@ -154,15 +186,21 @@ class Pager {
   Status FreePage(WriteTxnState* txn, PageId id);
 
   /// Commits: appends dirty pages to the WAL, publishes the new snapshot,
-  /// releases the writer slot. The state object is consumed.
+  /// releases the writer slot, then — with sync_on_commit — waits for a
+  /// (possibly shared) WAL fsync to cover the commit before returning.
+  /// The state object is consumed.
   Status CommitWrite(std::unique_ptr<WriteTxnState> txn);
   /// Discards the transaction and releases the writer slot.
   void RollbackWrite(std::unique_ptr<WriteTxnState> txn);
 
   // --- Maintenance ---
 
-  /// Folds WAL frames into the main file. Returns Busy if readers are
-  /// active or a writer is running (unless called internally post-commit).
+  /// Incrementally folds WAL frames into the main file. Live readers no
+  /// longer make this Busy: the checkpoint folds every frame at-or-below
+  /// the oldest registered snapshot (the reader backfill horizon),
+  /// advances the persistent watermark, and returns Ok; only an active
+  /// *writer* yields Busy. The WAL file is truncated (reset) only when
+  /// every frame is folded and no reader is registered.
   Status Checkpoint();
 
   /// Drops the page cache (cold-start simulation for benchmarks).
@@ -171,6 +209,11 @@ class Pager {
   uint64_t last_committed_seq() const;
   uint32_t page_count() const;
   size_t cache_bytes_in_use() const { return cache_.size_bytes(); }
+  /// WAL observability for tests and monitoring.
+  uint64_t wal_frame_count() const { return wal_->frame_count(); }
+  uint64_t wal_backfill_watermark() const {
+    return wal_->backfill_watermark();
+  }
   IoStats& io_stats() { return stats_; }
   const PagerOptions& options() const { return options_; }
 
@@ -181,8 +224,19 @@ class Pager {
   Status Initialize();
   // Reads a committed page image as of `seq`, bypassing txn dirty state.
   Result<PagePtr> ReadCommitted(PageId id, uint64_t seq);
-  // Checkpoint body; caller holds writer_mutex_ and verified no readers.
-  Status CheckpointLocked();
+  // Checkpoint body; caller holds the writer slot. Folds up to the reader
+  // horizon; when `block_for_readers` is set, additionally waits (bounded
+  // by wal_backpressure_wait_ms) for the registry to drain so the fold can
+  // complete and the WAL can be reset.
+  Status CheckpointImpl(bool block_for_readers);
+  // Post-commit WAL maintenance: backpressure (blocking) or best-effort
+  // auto-checkpoint, depending on the frame count.
+  void MaybeCheckpointAfterCommit();
+  // Group commit: returns once the WAL is durable through `commit_seq`,
+  // fsyncing as leader if no other committer's sync covers it.
+  Status WaitForDurable(uint64_t commit_seq);
+  // Records that the WAL is durable through `seq` (checkpoint/leader sync).
+  void PublishDurable(uint64_t seq);
 
   PagerOptions options_;
   std::string path_;
@@ -196,18 +250,33 @@ class Pager {
   // held only for O(1) registry/publish operations — never across WAL
   // appends, fsyncs, or page reads; the lock-free read path goes through
   // the WAL's own shared-mutex index and the sharded cache instead. The
-  // one deliberate exception is the checkpoint, which holds it for the
-  // whole WAL fold so no new reader can register mid-reset (and so only
-  // runs when the system is idle).
+  // checkpoint takes it only to compute the reader horizon (O(1)) and,
+  // when fully folded with no readers, across the final WAL reset so no
+  // new reader can register mid-truncate.
   mutable std::mutex mutex_;
   std::multiset<uint64_t> active_readers_;
   uint64_t last_committed_seq_ = 0;
   uint32_t page_count_ = 0;
+  // Signalled by EndSnapshot when the registry drains; backpressure
+  // checkpoints wait on it.
+  std::condition_variable readers_cv_;
 
   // Writer exclusion.
   std::mutex writer_mutex_;
   std::condition_variable writer_cv_;
   bool writer_active_ = false;
+
+  // Group-commit gate. Commits publish their frames and release the
+  // writer slot *before* the durability fsync, so the next committer can
+  // append while the current one syncs; one leader fsync then covers
+  // every commit appended before it started.
+  std::mutex commit_sync_mutex_;
+  std::condition_variable commit_sync_cv_;
+  bool commit_sync_in_flight_ = false;
+  // Sticky: once a WAL fsync fails, post-failure fsync state is undefined
+  // and no further synced commit is acknowledged until reopen.
+  bool commit_sync_failed_ = false;
+  uint64_t wal_durable_seq_ = 0;  // WAL fsynced through this commit seq
 };
 
 /// PageView over a read snapshot. The caller owns snapshot lifetime.

@@ -26,6 +26,25 @@ uint64_t FrameChecksum(const FrameHeader& h, const Page& page) {
   return Hash64(page.bytes(), kPageSize, seed);
 }
 
+// On-disk WAL file header (first kHeaderSize bytes, zero-padded).
+struct WalFileHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint64_t backfill_watermark;
+  uint64_t backfill_seq;
+  uint64_t checksum;  // Hash64 over the fields above
+};
+static_assert(sizeof(WalFileHeader) <= Wal::kHeaderSize);
+
+uint64_t HeaderChecksum(const WalFileHeader& h) {
+  return Hash64(&h, offsetof(WalFileHeader, checksum));
+}
+
+// Byte offset of 1-based frame `frame_no`.
+uint64_t FrameOffset(uint64_t frame_no) {
+  return Wal::kHeaderSize + (frame_no - 1) * Wal::kFrameSize;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
@@ -36,9 +55,61 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
   return wal;
 }
 
+Status Wal::WriteHeader() {
+  uint8_t raw[kHeaderSize] = {0};
+  WalFileHeader h;
+  h.magic = kWalMagic;
+  h.version = kFormatVersion;
+  h.backfill_watermark = backfill_watermark_.load(std::memory_order_relaxed);
+  h.backfill_seq = backfill_seq_.load(std::memory_order_relaxed);
+  h.checksum = HeaderChecksum(h);
+  std::memcpy(raw, &h, sizeof(h));
+  return file_->WriteAt(0, raw, kHeaderSize);
+}
+
 Status Wal::Recover() {
   // Runs at open, before the Wal is shared: no locking needed.
-  const uint64_t total_frames = file_->size() / kFrameSize;
+  if (file_->size() < kHeaderSize) {
+    // Fresh WAL (or one torn during creation, before any frame existed):
+    // materialize a clean header so later in-place header rewrites never
+    // race a growing file.
+    if (file_->size() != 0) {
+      MICRONN_RETURN_IF_ERROR(file_->Truncate(0));
+    }
+    MICRONN_RETURN_IF_ERROR(WriteHeader());
+    return file_->Sync();
+  }
+
+  uint64_t watermark = 0;
+  uint64_t watermark_seq = 0;
+  {
+    uint8_t raw[kHeaderSize];
+    MICRONN_RETURN_IF_ERROR(file_->ReadAt(0, raw, kHeaderSize));
+    WalFileHeader h;
+    std::memcpy(&h, raw, sizeof(h));
+    if (h.magic == kWalMagic && h.version == kFormatVersion &&
+        h.checksum == HeaderChecksum(h)) {
+      watermark = h.backfill_watermark;
+      watermark_seq = h.backfill_seq;
+    } else if (h.magic == kFrameMagic) {
+      // Format v1 had no file header: the file starts directly with a
+      // frame. Parsing it at the v2 offsets would mis-checksum every
+      // frame and silently truncate committed transactions — refuse
+      // loudly instead.
+      return Status::Corruption(
+          "WAL " + file_->path() +
+          " uses the legacy headerless format; checkpoint it with the "
+          "previous build (which empties it on close) or delete it to "
+          "discard its unfolded commits");
+    } else {
+      // A torn header rewrite cannot corrupt frames (they start past it);
+      // forgetting the watermark only costs a redundant re-fold.
+      MICRONN_LOG(kWarn) << "WAL header invalid in " << file_->path()
+                         << "; treating backfill watermark as 0";
+    }
+  }
+
+  const uint64_t total_frames = (file_->size() - kHeaderSize) / kFrameSize;
   uint64_t valid_frames = 0;     // frames belonging to complete commits
   uint64_t recovered_seq = 0;
   uint64_t scanned = 0;
@@ -47,7 +118,7 @@ Status Wal::Recover() {
   FrameHeader header;
   Page page;
   for (uint64_t f = 0; f < total_frames; ++f) {
-    const uint64_t off = f * kFrameSize;
+    const uint64_t off = FrameOffset(f + 1);
     Status st = file_->ReadAt(off, &header, kFrameHeaderSize);
     if (!st.ok()) break;
     st = file_->ReadAt(off + kFrameHeaderSize, page.bytes(), kPageSize);
@@ -71,10 +142,17 @@ Status Wal::Recover() {
     pending.emplace_back(header.page_id, f + 1);  // frame numbers 1-based
     ++scanned;
     if (header.commit_marker != 0) {
-      // Complete commit: publish pending frames.
+      // Complete commit: publish pending frames. Frames at-or-below the
+      // backfill watermark are part of the commit chain (so the scan above
+      // still validates them) but stay out of the index — their images are
+      // already durable in the main file, and reads of those pages should
+      // fall through to it.
       for (const auto& [pid, frame_no] : pending) {
-        index_[pid].emplace_back(pending_seq, frame_no);
+        if (frame_no > watermark) {
+          index_[pid].emplace_back(pending_seq, frame_no);
+        }
       }
+      commit_bounds_.emplace_back(pending_seq, pending.back().second);
       recovered_seq = std::max(recovered_seq, pending_seq);
       valid_frames = scanned;
       pending.clear();
@@ -85,9 +163,34 @@ Status Wal::Recover() {
                        << (scanned - valid_frames)
                        << " frame(s) of an incomplete commit";
   }
+
+  if (watermark > valid_frames) {
+    // The folded prefix extends past the surviving log: either a crash
+    // landed between a WAL reset's truncate and its header rewrite, or a
+    // tear sits inside the folded region itself. Every folded frame is
+    // already durable in the main file, but the survivors can no longer
+    // anchor the commit chain, so drop the log outright; the pager then
+    // takes its commit horizon from the database header page.
+    MICRONN_LOG(kWarn) << "WAL backfill watermark (" << watermark
+                       << " frames) exceeds surviving log (" << valid_frames
+                       << " frames); discarding WAL in favour of the "
+                          "checkpointed main file";
+    index_.clear();
+    commit_bounds_.clear();
+    frame_count_.store(0, std::memory_order_release);
+    last_committed_seq_.store(0, std::memory_order_release);
+    backfill_watermark_.store(0, std::memory_order_release);
+    backfill_seq_.store(0, std::memory_order_release);
+    MICRONN_RETURN_IF_ERROR(file_->Truncate(kHeaderSize));
+    MICRONN_RETURN_IF_ERROR(WriteHeader());
+    return file_->Sync();
+  }
+
   frame_count_.store(valid_frames, std::memory_order_release);
   last_committed_seq_.store(recovered_seq, std::memory_order_release);
-  const uint64_t valid_bytes = valid_frames * kFrameSize;
+  backfill_watermark_.store(watermark, std::memory_order_release);
+  backfill_seq_.store(watermark_seq, std::memory_order_release);
+  const uint64_t valid_bytes = kHeaderSize + valid_frames * kFrameSize;
   if (file_->size() != valid_bytes) {
     MICRONN_RETURN_IF_ERROR(file_->Truncate(valid_bytes));
   }
@@ -127,12 +230,12 @@ Status Wal::AppendCommit(
   // orphan frames beyond its own, which restart recovery could stitch
   // into a bogus extra commit. Refusing to commit until the truncate
   // succeeds turns that silent-corruption path into a clean error.
-  if (file_->size() > base * kFrameSize) {
-    MICRONN_RETURN_IF_ERROR(file_->Truncate(base * kFrameSize));
+  if (file_->size() > FrameOffset(base + 1)) {
+    MICRONN_RETURN_IF_ERROR(file_->Truncate(FrameOffset(base + 1)));
   }
-  Status io = file_->WriteAt(base * kFrameSize, buf.data(), buf.size());
+  Status io = file_->WriteAt(FrameOffset(base + 1), buf.data(), buf.size());
   if (io.ok() && sync) {
-    io = file_->Sync();
+    io = Sync();
   }
   if (!io.ok()) {
     // Best-effort rollback so restart recovery does not replay a commit
@@ -141,7 +244,7 @@ Status Wal::AppendCommit(
     // before any later commit. The crash-before-any-retry exposure — a
     // failed-commit fsync that still proves durable — is the same one
     // SQLite has.
-    Status rollback = file_->Truncate(base * kFrameSize);
+    Status rollback = file_->Truncate(FrameOffset(base + 1));
     if (!rollback.ok()) {
       MICRONN_LOG(kWarn) << "WAL rollback after failed commit write: "
                          << rollback.ToString();
@@ -156,6 +259,7 @@ Status Wal::AppendCommit(
     for (size_t i = 0; i < pages.size(); ++i) {
       index_[pages[i].first].emplace_back(commit_seq, base + i + 1);
     }
+    commit_bounds_.emplace_back(commit_seq, base + pages.size());
   }
   frame_count_.store(base + pages.size(), std::memory_order_release);
   last_committed_seq_.store(commit_seq, std::memory_order_release);
@@ -188,7 +292,7 @@ Status Wal::ReadFrame(uint64_t frame_no, Page* out) const {
     return Status::Corruption("WAL frame " + std::to_string(frame_no) +
                               " out of range");
   }
-  const uint64_t off = (frame_no - 1) * kFrameSize + kFrameHeaderSize;
+  const uint64_t off = FrameOffset(frame_no) + kFrameHeaderSize;
   MICRONN_RETURN_IF_ERROR(file_->ReadAt(off, out->bytes(), kPageSize));
   if (stats_ != nullptr) {
     stats_->pages_read_wal.fetch_add(1, std::memory_order_relaxed);
@@ -212,19 +316,62 @@ std::map<PageId, uint64_t> Wal::LatestFrames(uint64_t seq) const {
   return out;
 }
 
+uint64_t Wal::FramesThrough(uint64_t seq) const {
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  // Last commit bound with commit_seq <= seq (bounds ascend in both
+  // fields: sequences are consecutive and frames are appended in order).
+  auto pos = std::upper_bound(
+      commit_bounds_.begin(), commit_bounds_.end(), seq,
+      [](uint64_t s, const std::pair<uint64_t, uint64_t>& b) {
+        return s < b.first;
+      });
+  if (pos == commit_bounds_.begin()) return 0;
+  return (pos - 1)->second;
+}
+
+Status Wal::AdvanceBackfillWatermark(uint64_t frames, uint64_t seq) {
+  const uint64_t current = backfill_watermark_.load(std::memory_order_acquire);
+  if (frames < current) {
+    return Status::InvalidArgument("backfill watermark may only advance");
+  }
+  if (frames > frame_count_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("backfill watermark beyond WAL frames");
+  }
+  if (frames == current) return Status::OK();
+  backfill_watermark_.store(frames, std::memory_order_release);
+  backfill_seq_.store(seq, std::memory_order_release);
+  return WriteHeader();
+}
+
 Status Wal::Reset() {
-  // Only called by the checkpoint after verifying no reader is registered,
-  // so no concurrent ReadFrame can observe the truncation; the lock below
-  // fences out any straggling FindFrame.
+  // Only called by the checkpoint after verifying every frame is
+  // backfilled and no reader is registered, so no concurrent ReadFrame can
+  // observe the truncation; the lock below fences out any straggling
+  // FindFrame.
   std::unique_lock<std::shared_mutex> lock(index_mutex_);
-  MICRONN_RETURN_IF_ERROR(file_->Truncate(0));
+  MICRONN_RETURN_IF_ERROR(file_->Truncate(kHeaderSize));
+  backfill_watermark_.store(0, std::memory_order_release);
+  // backfill_seq_ keeps the folded horizon for observability; sequence
+  // numbers are global to the database, not to one WAL generation, and so
+  // is last_committed_seq_, which survives the reset.
+  MICRONN_RETURN_IF_ERROR(WriteHeader());
+  // The watermark *reset* must be durable before any new frame lands: a
+  // stale-high watermark over a fresh frame generation would make recovery
+  // skip frames that were never folded. (Advances need no fsync — the
+  // failure direction there merely re-folds.)
+  MICRONN_RETURN_IF_ERROR(Sync());
   index_.clear();
+  commit_bounds_.clear();
   frame_count_.store(0, std::memory_order_release);
-  // last_committed_seq_ survives the reset: sequence numbers are global to
-  // the database, not to one WAL generation.
   return Status::OK();
 }
 
-Status Wal::Sync() { return file_->Sync(); }
+Status Wal::Sync() {
+  MICRONN_RETURN_IF_ERROR(file_->Sync());
+  if (stats_ != nullptr) {
+    stats_->wal_syncs.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
 
 }  // namespace micronn

@@ -4,8 +4,12 @@
 // and single-writer/multi-reader snapshot isolation (§3.6): committed
 // transactions append page images ("frames") to a side log; readers resolve
 // a page to the newest frame at-or-before their snapshot; a checkpoint
-// copies the newest frames back into the main file when no reader needs
-// the history.
+// copies the newest frames back into the main file. Checkpoints are
+// *incremental*: a persistent backfill watermark in the WAL file header
+// records how many leading frames have already been folded into the main
+// file, so a checkpoint that is cut short by a live reader horizon resumes
+// where it left off, and recovery skips re-indexing the folded prefix.
+// See docs/ARCHITECTURE.md for the full frame lifecycle.
 #ifndef MICRONN_STORAGE_WAL_H_
 #define MICRONN_STORAGE_WAL_H_
 
@@ -29,6 +33,11 @@ namespace micronn {
 
 /// Append-only WAL file plus its in-memory index.
 ///
+/// File layout: a 64-byte header (magic, format version, backfill
+/// watermark) followed by fixed-size frames. Frame numbers are 1-based and
+/// positional: frame `f` lives at byte offset `kHeaderSize + (f-1) *
+/// kFrameSize`.
+///
 /// Internally synchronized for the pager's concurrency model: any number
 /// of snapshot readers call FindFrame/ReadFrame concurrently with the one
 /// writer appending commits. The frame index is guarded by a shared_mutex
@@ -40,6 +49,14 @@ namespace micronn {
 /// active.
 class Wal {
  public:
+  /// WAL file header: magic + version + backfill watermark + checksum,
+  /// zero-padded to 64 bytes. Rewritten in place after each checkpoint
+  /// step; a stale (lower) watermark on disk is always safe because
+  /// re-folding an already-folded frame is idempotent.
+  static constexpr size_t kHeaderSize = 64;
+  static constexpr uint32_t kWalMagic = 0x4C41574D;  // "MWAL"
+  static constexpr uint32_t kFormatVersion = 2;
+
   /// Frame layout: 32-byte header + page image.
   static constexpr size_t kFrameHeaderSize = 32;
   static constexpr size_t kFrameSize = kFrameHeaderSize + kPageSize;
@@ -47,7 +64,10 @@ class Wal {
 
   /// Opens (creating if missing) the WAL at `path` and recovers its index:
   /// frames of incomplete or corrupt trailing commits are discarded and the
-  /// file is truncated to the last durable commit.
+  /// file is truncated to the last durable commit. Frames at-or-below the
+  /// persisted backfill watermark are scanned (their commit chain still
+  /// validates the log) but not indexed — their content already lives in
+  /// the main database file.
   static Result<std::unique_ptr<Wal>> Open(const std::string& path,
                                            IoStats* stats);
 
@@ -79,13 +99,35 @@ class Wal {
   Status ReadFrame(uint64_t frame_no, Page* out) const;
 
   /// Page -> newest frame (1-based) among commits <= `seq`; the checkpoint
-  /// working set.
+  /// working set. Entries whose frame number is at-or-below the backfill
+  /// watermark are already folded into the main file.
   std::map<PageId, uint64_t> LatestFrames(uint64_t seq) const;
 
-  /// Discards all frames and truncates the file (after checkpoint).
+  /// Number of frames that belong to commits with sequence <= `seq` — the
+  /// backfill target for a checkpoint whose reader horizon is `seq`.
+  /// Commits occupy contiguous frame ranges in sequence order, so this is
+  /// always a frame-count prefix of the log.
+  uint64_t FramesThrough(uint64_t seq) const;
+
+  /// Records that the leading `frames` frames (covering commits through
+  /// `seq`) have been folded into the main file, and persists the new
+  /// watermark in the WAL header. The caller must have fsynced both the
+  /// WAL (so the folded frames cannot be torn behind the watermark) and
+  /// the main file (so the folded images are durable) first. The header
+  /// rewrite is deliberately *not* fsynced: losing it only lowers the
+  /// on-disk watermark, and re-folding is idempotent. Monotonic; a value
+  /// below the current watermark is an error.
+  Status AdvanceBackfillWatermark(uint64_t frames, uint64_t seq);
+
+  /// Discards all frames, truncates the file to the header, and resets the
+  /// backfill watermark to zero. The watermark reset is fsynced before
+  /// returning: unlike an advance, a *stale-high* watermark over a fresh
+  /// frame generation would make recovery skip frames that were never
+  /// folded. Only called once every frame is backfilled and no reader is
+  /// registered.
   Status Reset();
 
-  /// fdatasync the WAL file.
+  /// fdatasync the WAL file (counted in IoStats::wal_syncs).
   Status Sync();
 
   uint64_t frame_count() const {
@@ -94,24 +136,40 @@ class Wal {
   uint64_t last_committed_seq() const {
     return last_committed_seq_.load(std::memory_order_acquire);
   }
+  /// Frames already folded into the main file (prefix of the log).
+  uint64_t backfill_watermark() const {
+    return backfill_watermark_.load(std::memory_order_acquire);
+  }
+  /// Commit sequence the backfill watermark corresponds to.
+  uint64_t backfill_seq() const {
+    return backfill_seq_.load(std::memory_order_acquire);
+  }
 
  private:
   Wal(std::unique_ptr<File> file, IoStats* stats)
       : file_(std::move(file)), stats_(stats) {}
 
   Status Recover();
+  // Serializes the current watermark into the on-disk header (in place).
+  Status WriteHeader();
 
   std::unique_ptr<File> file_;
   IoStats* stats_;
   std::atomic<uint64_t> frame_count_{0};         // valid frames in the file
   std::atomic<uint64_t> last_committed_seq_{0};  // 0 = empty WAL
-  // Guards index_. Readers (FindFrame/LatestFrames) take it shared; the
-  // writer takes it exclusive only for the brief in-memory publish at the
-  // end of AppendCommit and during Reset.
+  std::atomic<uint64_t> backfill_watermark_{0};  // frames folded into main
+  std::atomic<uint64_t> backfill_seq_{0};        // seq folded through
+  // Guards index_ and commit_bounds_. Readers (FindFrame/LatestFrames/
+  // FramesThrough) take it shared; the writer takes it exclusive only for
+  // the brief in-memory publish at the end of AppendCommit and during
+  // Reset.
   mutable std::shared_mutex index_mutex_;
   // page -> [(commit_seq, frame_no)] in append (= ascending seq) order.
   std::unordered_map<PageId, std::vector<std::pair<uint64_t, uint64_t>>>
       index_;
+  // (commit_seq, last frame of that commit) in append order; binary-searched
+  // by FramesThrough to turn a reader-horizon sequence into a frame prefix.
+  std::vector<std::pair<uint64_t, uint64_t>> commit_bounds_;
 };
 
 }  // namespace micronn

@@ -319,7 +319,8 @@ TEST_F(WalTest, CorruptChecksumStopsRecovery) {
   {
     auto file = File::Open(Path("wal")).value();
     // Flip a byte inside the second frame's page image.
-    const uint64_t off = Wal::kFrameSize + Wal::kFrameHeaderSize + 100;
+    const uint64_t off =
+        Wal::kHeaderSize + Wal::kFrameSize + Wal::kFrameHeaderSize + 100;
     char b = 'x';
     ASSERT_TRUE(file->WriteAt(off, &b, 1).ok());
   }
@@ -452,26 +453,37 @@ TEST_F(PagerTest, CheckpointFoldsWalIntoMainFile) {
     ASSERT_TRUE(pager->Checkpoint().ok());
     ASSERT_TRUE(pager->Close().ok());
   }
-  // After a checkpoint the WAL should be empty.
+  // After a full checkpoint the WAL holds no frames — only its file
+  // header (with the backfill watermark reset to zero) remains.
   auto wal_file = File::Open(Path("db") + "-wal").value();
-  EXPECT_EQ(wal_file->size(), 0u);
+  EXPECT_EQ(wal_file->size(), Wal::kHeaderSize);
   auto pager = Pager::Open(Path("db"), PagerOptions{}).value();
   const uint64_t seq = pager->BeginSnapshot();
   EXPECT_EQ(pager->ReadPage(pid, seq).value()->ReadU32(8), 77u);
   pager->EndSnapshot(seq);
 }
 
-TEST_F(PagerTest, CheckpointBusyWhileReaderActive) {
+TEST_F(PagerTest, CheckpointBackfillsUnderActiveReader) {
   auto pager = Pager::Open(Path("db"), PagerOptions{}).value();
   {
     auto txn = pager->BeginWrite().value();
     pager->AllocatePage(txn.get()).value();
     ASSERT_TRUE(pager->CommitWrite(std::move(txn)).ok());
   }
+  // A live reader no longer makes the checkpoint Busy: frames at-or-below
+  // the reader's snapshot are folded and the watermark advances, but the
+  // WAL is not reset while the reader could still touch a frame.
   const uint64_t seq = pager->BeginSnapshot();
-  EXPECT_TRUE(pager->Checkpoint().IsBusy());
-  pager->EndSnapshot(seq);
+  const uint64_t frames = pager->wal_frame_count();
+  ASSERT_GT(frames, 0u);
   EXPECT_TRUE(pager->Checkpoint().ok());
+  EXPECT_EQ(pager->wal_backfill_watermark(), frames);
+  EXPECT_EQ(pager->wal_frame_count(), frames);  // folded, not reset
+  pager->EndSnapshot(seq);
+  // With the registry drained the next checkpoint recycles the log.
+  EXPECT_TRUE(pager->Checkpoint().ok());
+  EXPECT_EQ(pager->wal_frame_count(), 0u);
+  EXPECT_EQ(pager->wal_backfill_watermark(), 0u);
 }
 
 TEST_F(PagerTest, ColdStartAfterDropCachesStillReads) {

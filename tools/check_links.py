@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Checks relative links in Markdown files.
+
+Usage: check_links.py FILE [FILE...]
+
+For every inline Markdown link `[text](target)` whose target is not an
+absolute URL or an in-page anchor, verifies that the referenced path
+exists relative to the linking file's directory (anchors within existing
+files are accepted without validation; pure file existence is the
+contract). Exits non-zero listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+# Inline links, excluding images' alt-text edge cases we don't use.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def check_file(path):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    # Strip fenced code blocks: link-looking text inside them is not a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    base = os.path.dirname(os.path.abspath(path))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = os.path.normpath(os.path.join(base, file_part))
+        if not os.path.exists(resolved):
+            broken.append((target, resolved))
+    return broken
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        for target, resolved in check_file(path):
+            print(f"{path}: broken link '{target}' -> {resolved}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    print(f"ok: {len(argv) - 1} file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
