@@ -1,16 +1,94 @@
 // Figure 9: impact of multi-query optimization — (a) time to process a
 // query batch relative to one-query-at-a-time execution, (b) amortized
-// single-query latency vs batch size.
+// single-query latency vs batch size — now for unfiltered AND filtered
+// batches (filtered batches run through the shared-scan executor too).
 //
 // Expected shape (paper §4.3.3): batch time is consistently sub-linear
 // (below the dashed y=x line); amortized latency falls with batch size;
 // gains diminish when the query-batch x centroid matrix dominates (many
 // centroids, e.g. the DEEPImage row). At batch 512 the paper reports >30%
 // amortized latency reduction on InternalA.
+//
+// Machine-readable output: writes BENCH_batch.json in the working
+// directory with sequential-vs-MQO QPS at batch sizes 1/8/64 for both the
+// unfiltered and the filtered workload (consumed by CI to track the perf
+// trajectory). MICRONN_BENCH_DATASETS (comma-separated substring match)
+// restricts the dataset list — CI smoke runs only MNIST.
+#include <cstring>
+
 #include "bench/bench_util.h"
+#include "query/predicate.h"
 
 using namespace micronn;
 using namespace micronn::bench;
+
+namespace {
+
+// Loads `ds` with a low-cardinality "bucket" attribute (i % 10) so
+// filtered runs have a 10%-selectivity predicate to push down.
+std::unique_ptr<DB> LoadWithAttrs(const std::string& path, const Dataset& ds,
+                                  DbOptions options) {
+  options.dim = ds.spec.dim;
+  options.metric = ds.spec.metric;
+  auto db = DB::Open(path, options).value();
+  std::vector<UpsertRequest> batch;
+  batch.reserve(2000);
+  for (size_t i = 0; i < ds.spec.n; ++i) {
+    UpsertRequest req;
+    req.asset_id = "a" + std::to_string(i);
+    req.vector.assign(ds.row(i), ds.row(i) + ds.spec.dim);
+    req.attributes["bucket"] =
+        AttributeValue::Int(static_cast<int64_t>(i % 10));
+    batch.push_back(std::move(req));
+    if (batch.size() == 2000) {
+      db->Upsert(batch).ok();
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) db->Upsert(batch).ok();
+  db->BuildIndex().ok();
+  return db;
+}
+
+SearchRequest MakeRequest(const Dataset& ds, size_t q, uint32_t k,
+                          uint32_t nprobe, bool filtered) {
+  SearchRequest req;
+  req.query.assign(ds.query(q % ds.spec.n_queries),
+                   ds.query(q % ds.spec.n_queries) + ds.spec.dim);
+  req.k = k;
+  req.nprobe = nprobe;
+  if (filtered) {
+    req.filter =
+        Predicate::Compare("bucket", CompareOp::kEq, AttributeValue::Int(3));
+  }
+  return req;
+}
+
+struct JsonRow {
+  std::string dataset;
+  size_t batch;
+  bool filtered;
+  double seq_qps;
+  double mqo_qps;
+};
+
+bool DatasetEnabled(const std::string& name) {
+  const char* env = std::getenv("MICRONN_BENCH_DATASETS");
+  if (env == nullptr || *env == '\0') return true;
+  std::string list(env);
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    const size_t comma = list.find(',', pos);
+    const std::string item =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!item.empty() && name.find(item) != std::string::npos) return true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
 
 int main() {
   const double scale = BenchScale();
@@ -20,35 +98,77 @@ int main() {
   std::printf("== Figure 9: multi-query optimization (scale %.4f) ==\n\n",
               scale);
 
-  const size_t batch_sizes[] = {1, 16, 64, 128, 256, 512, 1024};
+  const size_t batch_sizes[] = {1, 8, 16, 64, 128, 256, 512, 1024};
+  const size_t json_batches[] = {1, 8, 64};
+  std::vector<JsonRow> json_rows;
 
   for (const DatasetSpec& spec : Table2Specs(scale)) {
+    if (!DatasetEnabled(spec.name)) continue;
     Dataset ds = GenerateDataset(spec);
-    auto db = LoadDataset(dir.Path(spec.name + ".mnn"), ds,
-                          DefaultBenchOptions(), /*build_index=*/true);
-    // Sequential baseline: average warm single-query latency.
-    const double single_ms = MeasureWarmLatencyMs(
-        db.get(), ds, k, nprobe, std::min<size_t>(ds.spec.n_queries, 96));
-    std::printf("%s (single-query %.3f ms)\n", spec.name.c_str(), single_ms);
-    std::printf("  %8s %14s %20s %18s\n", "batch", "total(ms)",
-                "relative-to-seq", "amortized(ms)");
-    for (const size_t bs : batch_sizes) {
-      std::vector<SearchRequest> requests(bs);
-      for (size_t i = 0; i < bs; ++i) {
-        const size_t q = i % ds.spec.n_queries;
-        requests[i].query.assign(ds.query(q), ds.query(q) + spec.dim);
-        requests[i].k = k;
-        requests[i].nprobe = nprobe;
+    auto db = LoadWithAttrs(dir.Path(spec.name + ".mnn"), ds,
+                            DefaultBenchOptions());
+    for (const bool filtered : {false, true}) {
+      // Sequential baseline: average warm single-query latency.
+      const size_t n_probe_queries = std::min<size_t>(ds.spec.n_queries, 96);
+      for (size_t q = 0; q < std::min<size_t>(n_probe_queries, 32); ++q) {
+        db->Search(MakeRequest(ds, q, k, nprobe, filtered)).value();
       }
-      db->BatchSearch(requests).value();  // warm-up
-      const auto start = Clock::now();
-      db->BatchSearch(requests).value();
-      const double total_ms = MsSince(start);
-      const double sequential_ms = single_ms * static_cast<double>(bs);
-      std::printf("  %8zu %14.2f %19.2fx %18.3f\n", bs, total_ms,
-                  total_ms / sequential_ms, total_ms / static_cast<double>(bs));
+      const auto seq_start = Clock::now();
+      for (size_t q = 0; q < n_probe_queries; ++q) {
+        db->Search(MakeRequest(ds, q, k, nprobe, filtered)).value();
+      }
+      const double single_ms =
+          MsSince(seq_start) / static_cast<double>(n_probe_queries);
+      std::printf("%s%s (single-query %.3f ms)\n", spec.name.c_str(),
+                  filtered ? " [filtered bucket=3]" : "", single_ms);
+      std::printf("  %8s %14s %20s %18s\n", "batch", "total(ms)",
+                  "relative-to-seq", "amortized(ms)");
+      for (const size_t bs : batch_sizes) {
+        std::vector<SearchRequest> requests;
+        requests.reserve(bs);
+        for (size_t i = 0; i < bs; ++i) {
+          requests.push_back(MakeRequest(ds, i, k, nprobe, filtered));
+        }
+        db->BatchSearch(requests).value();  // warm-up
+        const auto start = Clock::now();
+        db->BatchSearch(requests).value();
+        const double total_ms = MsSince(start);
+        const double sequential_ms = single_ms * static_cast<double>(bs);
+        std::printf("  %8zu %14.2f %19.2fx %18.3f\n", bs, total_ms,
+                    total_ms / sequential_ms,
+                    total_ms / static_cast<double>(bs));
+        for (const size_t jb : json_batches) {
+          if (jb == bs) {
+            json_rows.push_back(JsonRow{
+                spec.name, bs, filtered, 1000.0 / single_ms,
+                static_cast<double>(bs) / (total_ms / 1000.0)});
+          }
+        }
+      }
     }
     db->Close().ok();
+  }
+
+  // Machine-readable summary for CI.
+  if (FILE* f = std::fopen("BENCH_batch.json", "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"fig9_batch\",\n  \"scale\": %.6f,\n",
+                 scale);
+    std::fprintf(f, "  \"rows\": [\n");
+    for (size_t i = 0; i < json_rows.size(); ++i) {
+      const JsonRow& r = json_rows[i];
+      std::fprintf(f,
+                   "    {\"dataset\": \"%s\", \"batch\": %zu, \"filtered\": "
+                   "%s, \"seq_qps\": %.2f, \"mqo_qps\": %.2f}%s\n",
+                   r.dataset.c_str(), r.batch, r.filtered ? "true" : "false",
+                   r.seq_qps, r.mqo_qps,
+                   i + 1 < json_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_batch.json (%zu rows)\n", json_rows.size());
+  } else {
+    std::fprintf(stderr, "failed to write BENCH_batch.json\n");
+    return 1;
   }
   std::printf("shape check: relative-to-seq < 1 and falling; >=30%% "
               "amortized cut at batch 512 (paper §3.4)\n");

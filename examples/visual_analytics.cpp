@@ -74,7 +74,8 @@ int main(int argc, char** argv) {
               batched_ms, batched_ms / kTargets,
               100.0 * (1.0 - batched_ms / sequential_ms));
   std::printf("partitions touched by the batch: %llu (vs %llu query-probe pairs)\n",
-              static_cast<unsigned long long>(responses[0].partitions_scanned),
+              static_cast<unsigned long long>(
+                  responses[0].explain.group_partitions_scanned),
               static_cast<unsigned long long>(kTargets * (8 + 1)));
 
   // Build topically-related groups: union-find over mutual top-k edges.

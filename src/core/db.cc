@@ -12,11 +12,10 @@
 #include "common/memory_tracker.h"
 #include "core/db_internal.h"
 #include "ivf/schema.h"
-#include "ivf/search.h"
-#include "numerics/aligned_buffer.h"
 #include "numerics/distance.h"
 #include "query/attr_index.h"
-#include "query/batch.h"
+#include "query/executor.h"
+#include "query/planner.h"
 #include "storage/key_encoding.h"
 
 namespace micronn {
@@ -141,22 +140,6 @@ Status DB::InitializeSchema() {
     return st;
   }
   return engine_->Commit(std::move(txn));
-}
-
-Status DB::PrepareQuery(std::vector<float>* query) const {
-  if (query->size() != options_.dim) {
-    return Status::InvalidArgument(
-        "query dimension " + std::to_string(query->size()) +
-        " != database dimension " + std::to_string(options_.dim));
-  }
-  if (options_.metric == Metric::kCosine) {
-    const float n = Norm(query->data(), query->size());
-    if (n > 0.f) {
-      const float inv = 1.0f / n;
-      for (float& x : *query) x *= inv;
-    }
-  }
-  return Status::OK();
 }
 
 Status DB::Upsert(const std::vector<UpsertRequest>& batch) {
@@ -474,166 +457,85 @@ Result<std::vector<ResultItem>> DB::ResolveItems(
 }
 
 Result<SearchResponse> DB::Search(const SearchRequest& request) {
-  return SearchLocked(request);
-}
-
-Result<SearchResponse> DB::SearchLocked(const SearchRequest& request) {
-  SearchRequest req = request;  // local copy: query gets normalized
-  MICRONN_RETURN_IF_ERROR(PrepareQuery(&req.query));
-  if (req.k == 0) return Status::InvalidArgument("k must be > 0");
-  const uint32_t nprobe =
-      req.nprobe != 0 ? req.nprobe : options_.default_nprobe;
-
-  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<ReadTransaction> txn,
-                           engine_->BeginRead());
-  MICRONN_ASSIGN_OR_RETURN(BTree vectors, txn->OpenTable(kVectorsTable));
-  SearchResponse response;
-  SearchCounters counters;
-
-  // Build the row filter for hybrid queries: the per-row join against the
-  // Attributes table (§3.5 post-filtering pushdown).
-  RowFilter filter;
-  if (req.filter.has_value()) {
-    MICRONN_ASSIGN_OR_RETURN(BTree attributes,
-                             txn->OpenTable(kAttributesTable));
-    const Predicate* pred = &*req.filter;
-    filter = [attributes, pred](uint64_t vid) mutable -> Result<bool> {
-      MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> blob,
-                               attributes.Get(key::U64(vid)));
-      if (!blob.has_value()) return false;
-      MICRONN_ASSIGN_OR_RETURN(AttributeRecord record,
-                               DecodeAttributeRecord(*blob));
-      return EvalPredicate(*pred, record);
-    };
-  }
-
-  std::vector<Neighbor> neighbors;
-  if (req.exact) {
-    MICRONN_ASSIGN_OR_RETURN(
-        neighbors, ExactSearch(vectors, options_.metric, options_.dim,
-                               req.query.data(), req.k, filter, &counters));
-    response.plan = QueryPlan::kPostFilter;
-  } else if (!req.filter.has_value()) {
-    MICRONN_ASSIGN_OR_RETURN(std::shared_ptr<const CentroidSet> cset,
-                             GetCentroids(txn.get()));
-    AnnSearchParams params{req.k, nprobe};
-    MICRONN_ASSIGN_OR_RETURN(
-        neighbors, AnnSearch(vectors, *cset, options_.dim, req.query.data(),
-                             params, &pool_, /*filter=*/nullptr, &counters));
-    response.plan = QueryPlan::kPostFilter;
-  } else {
-    // Hybrid query: choose pre- vs post-filtering (§3.5.1).
-    QueryPlan plan;
-    if (req.plan == PlanOverride::kForcePreFilter) {
-      plan = QueryPlan::kPreFilter;
-    } else if (req.plan == PlanOverride::kForcePostFilter) {
-      plan = QueryPlan::kPostFilter;
-    } else {
-      MICRONN_ASSIGN_OR_RETURN(auto stats, GetStats(txn.get()));
-      MICRONN_ASSIGN_OR_RETURN(TableInfo vinfo,
-                               txn->GetTableInfo(kVectorsTable));
-      TableResolver resolver = MakeReadResolver(txn.get());
-      TokenDfFn token_df = [resolver](const std::string& column,
-                                      const std::string& token)
-          -> Result<uint64_t> {
-        Result<BTree> freqs = resolver(FtsFreqsTableName(column));
-        if (!freqs.ok()) {
-          if (freqs.status().IsNotFound()) return 0;
-          return freqs.status();
-        }
-        Result<BTree> postings = resolver(FtsPostingsTableName(column));
-        if (!postings.ok()) return postings.status();
-        FtsIndex fts(*postings, *freqs);
-        return fts.DocumentFrequency(token);
-      };
-      SelectivityEstimator estimator(*stats, vinfo.row_count,
-                                     std::move(token_df));
-      MICRONN_ASSIGN_OR_RETURN(
-          response.decision,
-          ChoosePlan(estimator, *req.filter, nprobe,
-                     options_.target_cluster_size));
-      plan = response.decision.plan;
-    }
-    response.plan = plan;
-    if (plan == QueryPlan::kPreFilter) {
-      MICRONN_ASSIGN_OR_RETURN(BTree vidmap, txn->OpenTable(kVidMapTable));
-      MICRONN_ASSIGN_OR_RETURN(
-          std::vector<uint64_t> vids,
-          CollectMatchingVids(MakeReadResolver(txn.get()), *req.filter));
-      MICRONN_ASSIGN_OR_RETURN(
-          neighbors,
-          SearchByVids(vectors, vidmap, options_.metric, options_.dim,
-                       req.query.data(), req.k, vids, &counters));
-    } else {
-      MICRONN_ASSIGN_OR_RETURN(std::shared_ptr<const CentroidSet> cset,
-                               GetCentroids(txn.get()));
-      AnnSearchParams params{req.k, nprobe};
-      MICRONN_ASSIGN_OR_RETURN(
-          neighbors, AnnSearch(vectors, *cset, options_.dim,
-                               req.query.data(), params, &pool_, filter,
-                               &counters));
-    }
-  }
-  MICRONN_ASSIGN_OR_RETURN(response.items,
-                           ResolveItems(txn.get(), neighbors));
-  response.partitions_scanned = counters.partitions_scanned;
-  response.rows_scanned = counters.rows_scanned;
-  response.rows_filtered = counters.rows_filtered;
-  return response;
+  MICRONN_ASSIGN_OR_RETURN(std::vector<SearchResponse> out,
+                           RunQueries(&request, 1));
+  return std::move(out[0]);
 }
 
 Result<std::vector<SearchResponse>> DB::BatchSearch(
     const std::vector<SearchRequest>& requests) {
-  if (requests.empty()) return std::vector<SearchResponse>{};
-  // MQO requires a homogeneous, unfiltered batch; anything else falls back
-  // to per-query execution.
-  bool homogeneous = true;
-  for (const SearchRequest& r : requests) {
-    if (r.filter.has_value() || r.exact || r.k != requests[0].k ||
-        r.nprobe != requests[0].nprobe) {
-      homogeneous = false;
-      break;
-    }
-  }
-  if (!homogeneous) {
-    std::vector<SearchResponse> out;
-    out.reserve(requests.size());
-    for (const SearchRequest& r : requests) {
-      MICRONN_ASSIGN_OR_RETURN(SearchResponse resp, SearchLocked(r));
-      out.push_back(std::move(resp));
-    }
-    return out;
-  }
+  return RunQueries(requests.data(), requests.size());
+}
 
-  const size_t q = requests.size();
-  const uint32_t dim = options_.dim;
-  AlignedFloatBuffer queries(q * dim);
-  for (size_t i = 0; i < q; ++i) {
-    std::vector<float> query = requests[i].query;
-    MICRONN_RETURN_IF_ERROR(PrepareQuery(&query));
-    std::memcpy(queries.data() + i * dim, query.data(), dim * sizeof(float));
-  }
+// The unified query path (§3.4–§3.5): lower every request to a physical
+// plan, execute the whole group with shared partition scans, then resolve
+// and annotate each response with its plan decision and true per-query
+// counters.
+Result<std::vector<SearchResponse>> DB::RunQueries(
+    const SearchRequest* requests, size_t n) {
+  std::vector<SearchResponse> out(n);
+  if (n == 0) return out;
   MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<ReadTransaction> txn,
                            engine_->BeginRead());
   MICRONN_ASSIGN_OR_RETURN(BTree vectors, txn->OpenTable(kVectorsTable));
-  MICRONN_ASSIGN_OR_RETURN(std::shared_ptr<const CentroidSet> cset,
-                           GetCentroids(txn.get()));
-  BatchSearchOptions options;
-  options.k = requests[0].k;
-  options.nprobe =
-      requests[0].nprobe != 0 ? requests[0].nprobe : options_.default_nprobe;
-  BatchCounters counters;
-  MICRONN_ASSIGN_OR_RETURN(
-      std::vector<std::vector<Neighbor>> results,
-      BatchAnnSearch(vectors, *cset, dim, queries.data(), q, options, &pool_,
-                     &counters));
-  std::vector<SearchResponse> out(q);
-  for (size_t i = 0; i < q; ++i) {
-    MICRONN_ASSIGN_OR_RETURN(out[i].items,
-                             ResolveItems(txn.get(), results[i]));
-    out[i].plan = QueryPlan::kPostFilter;
-    out[i].partitions_scanned = counters.partitions_scanned;
-    out[i].rows_scanned = counters.rows_scanned;
+  MICRONN_ASSIGN_OR_RETURN(BTree vidmap, txn->OpenTable(kVidMapTable));
+
+  QueryPlanner planner(txn.get(), &options_,
+                       [this, &txn] { return GetStats(txn.get()); });
+  std::vector<PhysicalPlan> plans;
+  plans.reserve(n);
+  bool needs_centroids = false;
+  for (size_t i = 0; i < n; ++i) {
+    MICRONN_ASSIGN_OR_RETURN(PhysicalPlan plan, planner.Lower(requests[i]));
+    // Only ANN strategies probe centroids; exact plans enumerate the
+    // physical partitions and pre-filter plans score candidate vids.
+    needs_centroids |= plan.plan == QueryPlan::kUnfiltered ||
+                       plan.plan == QueryPlan::kPostFilter;
+    plans.push_back(std::move(plan));
+  }
+
+  std::shared_ptr<const CentroidSet> cset;
+  if (needs_centroids) {
+    MICRONN_ASSIGN_OR_RETURN(cset, GetCentroids(txn.get()));
+  }
+  QueryExecutor executor(ExecutorContext{
+      vectors, vidmap, cset != nullptr ? cset.get() : nullptr, options_.dim,
+      options_.metric, &pool_});
+  BatchCounters group;
+  MICRONN_ASSIGN_OR_RETURN(std::vector<PlanResult> results,
+                           executor.Execute(plans, &group));
+
+  for (size_t i = 0; i < n; ++i) {
+    SearchResponse& resp = out[i];
+    const PhysicalPlan& plan = plans[i];
+    const PlanResult& result = results[i];
+    MICRONN_ASSIGN_OR_RETURN(resp.items,
+                             ResolveItems(txn.get(), result.neighbors));
+    resp.plan = plan.plan;
+    resp.decision = plan.decision;
+    resp.partitions_scanned = result.counters.partitions_scanned;
+    resp.rows_scanned = result.counters.rows_scanned;
+    resp.rows_filtered = result.counters.rows_filtered;
+
+    QueryExplain& ex = resp.explain;
+    ex.plan = plan.plan;
+    ex.decision = plan.decision;
+    ex.optimized = plan.optimized;
+    // nprobe only drives ANN strategies; zero it where it played no part.
+    ex.nprobe = (plan.plan == QueryPlan::kPreFilter ||
+                 plan.plan == QueryPlan::kExact)
+                    ? 0
+                    : plan.nprobe;
+    ex.probe_pairs = result.probe_pairs;
+    ex.candidates = plan.prefilter_vids.size();
+    ex.partitions_scanned = resp.partitions_scanned;
+    ex.rows_scanned = resp.rows_scanned;
+    ex.rows_filtered = resp.rows_filtered;
+    ex.shared_scan = result.shared_scan;
+    ex.group_size = static_cast<uint32_t>(n);
+    ex.group_partitions_scanned = group.partitions_scanned;
+    ex.group_rows_scanned = group.rows_scanned;
+    ex.group_probe_pairs = group.probe_pairs;
   }
   return out;
 }

@@ -56,8 +56,14 @@ class DB {
 
   Result<SearchResponse> Search(const SearchRequest& request);
 
-  /// Multi-query optimized batch execution (§3.4). Requests must share k
-  /// and nprobe; requests carrying filters fall back to per-query Search.
+  /// Multi-query optimized batch execution (§3.4). Heterogeneous batches
+  /// participate fully: per-request k/nprobe/filters/exact all mix, each
+  /// request gets its own plan choice (§3.5.1, made inside the batch),
+  /// and every partition-scanning plan shares each partition scan with
+  /// the rest of the batch. Results are identical to issuing the
+  /// requests through Search one at a time; each response carries its own
+  /// per-query counters plus the group's scan-sharing counters in
+  /// `SearchResponse::explain`.
   Result<std::vector<SearchResponse>> BatchSearch(
       const std::vector<SearchRequest>& requests);
 
@@ -108,12 +114,13 @@ class DB {
   Result<std::shared_ptr<const std::map<std::string, ColumnStats>>> GetStats(
       ReadTransaction* txn);
 
-  // Search internals.
-  Result<SearchResponse> SearchLocked(const SearchRequest& request);
+  // Search internals: Search and BatchSearch both lower their requests
+  // through the QueryPlanner and run the plan group on the QueryExecutor
+  // with shared partition scans (src/query/planner.h, executor.h).
+  Result<std::vector<SearchResponse>> RunQueries(const SearchRequest* requests,
+                                                 size_t n);
   Result<std::vector<ResultItem>> ResolveItems(
       ReadTransaction* txn, const std::vector<Neighbor>& neighbors);
-  // Normalizes a query in place for cosine; validates dimension.
-  Status PrepareQuery(std::vector<float>* query) const;
 
   // Maintenance internals (db_maintenance.cc).
   Status BuildIndexLocked();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "numerics/metric.h"
+#include "query/explain.h"
 #include "query/optimizer.h"
 #include "query/predicate.h"
 #include "query/value.h"
@@ -114,14 +115,19 @@ struct ResultItem {
 
 struct SearchResponse {
   std::vector<ResultItem> items;
-  /// Plan actually executed (meaningful for hybrid queries).
-  QueryPlan plan = QueryPlan::kPostFilter;
+  /// Physical plan actually executed: kPreFilter/kPostFilter for hybrid
+  /// queries, kUnfiltered for plain ANN, kExact for exhaustive scans.
+  QueryPlan plan = QueryPlan::kUnfiltered;
   /// The optimizer's estimates (hybrid queries with plan == kAuto).
   PlanDecision decision;
-  /// Execution counters.
+  /// True per-query execution counters (a batched query reports only its
+  /// own share of the shared scans).
   uint64_t partitions_scanned = 0;
   uint64_t rows_scanned = 0;
   uint64_t rows_filtered = 0;
+  /// EXPLAIN-style report: plan, estimates, per-query counters, and the
+  /// batch-group scan-sharing counters. `explain.ToString()` renders it.
+  QueryExplain explain;
 };
 
 /// What Maintain() did.

@@ -1,6 +1,7 @@
 #include "ivf/scan.h"
 
 #include <cstring>
+#include <limits>
 
 #include "storage/key_encoding.h"
 
@@ -79,6 +80,21 @@ Status ScanAllPartitions(BTree vectors, uint32_t dim, const RowFilter& filter,
   MICRONN_RETURN_IF_ERROR(cursor.SeekToFirst());
   return ScanRange(&vectors, &cursor, dim, filter, cb, counters,
                    [](std::string_view) { return true; });
+}
+
+Result<std::vector<uint32_t>> ListPartitions(BTree vectors) {
+  std::vector<uint32_t> out;
+  BTreeCursor cursor = vectors.NewCursor();
+  MICRONN_RETURN_IF_ERROR(cursor.SeekToFirst());
+  while (cursor.Valid()) {
+    uint32_t partition;
+    uint64_t vid;
+    MICRONN_RETURN_IF_ERROR(ParseVectorKey(cursor.key(), &partition, &vid));
+    out.push_back(partition);
+    if (partition == std::numeric_limits<uint32_t>::max()) break;
+    MICRONN_RETURN_IF_ERROR(cursor.Seek(PartitionPrefix(partition + 1)));
+  }
+  return out;
 }
 
 }  // namespace micronn

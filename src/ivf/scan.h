@@ -57,6 +57,13 @@ Status ScanPartition(BTree vectors, uint32_t partition, uint32_t dim,
 Status ScanAllPartitions(BTree vectors, uint32_t dim, const RowFilter& filter,
                          const BlockCallback& cb, ScanCounters* counters);
 
+/// Distinct partition ids physically present in the vectors table
+/// (ascending; delta included if it has rows). One seek per partition.
+/// Exact plans enumerate partitions from here — not from the centroid
+/// metadata — so exhaustive scans stay exhaustive even if index metadata
+/// and row placement ever disagree.
+Result<std::vector<uint32_t>> ListPartitions(BTree vectors);
+
 }  // namespace micronn
 
 #endif  // MICRONN_IVF_SCAN_H_

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <mutex>
 #include <unordered_set>
+#include <utility>
 
+#include "common/memory_tracker.h"
+#include "numerics/aligned_buffer.h"
 #include "numerics/distance.h"
 #include "storage/key_encoding.h"
 
@@ -12,27 +16,121 @@ namespace micronn {
 
 namespace {
 
-// Scans one partition into a heap: the per-worker body of Algorithm 2's
-// parallel loop (lines 4-10).
-Status ScanPartitionIntoHeap(BTree vectors, uint32_t partition, Metric metric,
-                             uint32_t dim, const float* query,
-                             const RowFilter& filter, TopKHeap* heap,
-                             ScanCounters* scan_counters) {
-  std::vector<float> dist(kScanBlockRows);
+// The empty filter passed to ScanPartition when no pushdown applies.
+const RowFilter& NoFilter() {
+  static const RowFilter empty;
+  return empty;
+}
+
+}  // namespace
+
+Status ScanPartitionIntoHeaps(BTree vectors, uint32_t partition, Metric metric,
+                              uint32_t dim, HeapScanTarget* targets,
+                              size_t n_targets,
+                              ScanCounters* scan_counters) {
+  if (n_targets == 0) return Status::OK();
+
+  // Gather the queries into a contiguous submatrix so one
+  // DistanceManyToMany call covers (targets x block) — the shared scan.
+  // A single target skips the gather and uses DistanceOneToMany directly
+  // (which DistanceManyToMany delegates to, so results are bit-identical
+  // either way).
+  AlignedFloatBuffer subq;
+  if (n_targets > 1) {
+    subq.Reset(n_targets * dim);
+    for (size_t i = 0; i < n_targets; ++i) {
+      std::memcpy(subq.data() + i * dim, targets[i].query,
+                  dim * sizeof(float));
+    }
+  }
+  std::vector<float> dist(n_targets * kScanBlockRows);
+  ScopedMemoryReservation mem(MemoryCategory::kQueryExec,
+                              (subq.size() + dist.size()) * sizeof(float));
+
+  auto score_block = [&](const ScanBlock& block) {
+    if (n_targets == 1) {
+      DistanceOneToMany(metric, targets[0].query, block.data, block.count,
+                        dim, dist.data());
+    } else {
+      DistanceManyToMany(metric, subq.data(), n_targets, block.data,
+                         block.count, dim, dist.data());
+    }
+  };
+
+  // Filter pushdown: one shared filter (or none) runs inside the scan so
+  // failing rows skip decode; the scan counters then apply to every
+  // target verbatim.
+  bool shared_filter = true;
+  for (size_t i = 1; i < n_targets; ++i) {
+    if (targets[i].filter != targets[0].filter) {
+      shared_filter = false;
+      break;
+    }
+  }
+  if (shared_filter) {
+    const RowFilter& filter =
+        targets[0].filter != nullptr ? *targets[0].filter : NoFilter();
+    ScanCounters sc;
+    MICRONN_RETURN_IF_ERROR(ScanPartition(
+        vectors, partition, dim, filter,
+        [&](const ScanBlock& block) -> Status {
+          score_block(block);
+          for (size_t i = 0; i < n_targets; ++i) {
+            const float* row = dist.data() + i * block.count;
+            TopKHeap* heap = targets[i].heap;
+            for (size_t r = 0; r < block.count; ++r) {
+              heap->Push(block.vids[r], row[r]);
+            }
+          }
+          return Status::OK();
+        },
+        &sc));
+    for (size_t i = 0; i < n_targets; ++i) {
+      if (targets[i].counters != nullptr) {
+        targets[i].counters->rows_scanned += sc.rows_scanned;
+        targets[i].counters->rows_filtered += sc.rows_filtered;
+      }
+    }
+    if (scan_counters != nullptr) {
+      scan_counters->rows_scanned += sc.rows_scanned;
+      scan_counters->rows_filtered += sc.rows_filtered;
+    }
+    return Status::OK();
+  }
+
+  // Heterogeneous filters: scan unfiltered, evaluate each target's filter
+  // per row. Per-target counters end up exactly as a dedicated filtered
+  // scan would have left them.
   return ScanPartition(
-      vectors, partition, dim, filter,
+      vectors, partition, dim, /*filter=*/NoFilter(),
       [&](const ScanBlock& block) -> Status {
-        DistanceOneToMany(metric, query, block.data, block.count, dim,
-                          dist.data());
-        for (size_t i = 0; i < block.count; ++i) {
-          heap->Push(block.vids[i], dist[i]);
+        score_block(block);
+        for (size_t i = 0; i < n_targets; ++i) {
+          const float* row = dist.data() + i * block.count;
+          TopKHeap* heap = targets[i].heap;
+          ScanCounters* counters = targets[i].counters;
+          const RowFilter* filter = targets[i].filter;
+          if (filter == nullptr || !*filter) {
+            for (size_t r = 0; r < block.count; ++r) {
+              heap->Push(block.vids[r], row[r]);
+            }
+            if (counters != nullptr) counters->rows_scanned += block.count;
+            continue;
+          }
+          for (size_t r = 0; r < block.count; ++r) {
+            MICRONN_ASSIGN_OR_RETURN(bool keep, (*filter)(block.vids[r]));
+            if (keep) {
+              heap->Push(block.vids[r], row[r]);
+              if (counters != nullptr) ++counters->rows_scanned;
+            } else if (counters != nullptr) {
+              ++counters->rows_filtered;
+            }
+          }
         }
         return Status::OK();
       },
       scan_counters);
 }
-
-}  // namespace
 
 Result<std::vector<Neighbor>> AnnSearch(BTree vectors,
                                         const CentroidSet& centroids,
@@ -53,6 +151,13 @@ Result<std::vector<Neighbor>> AnnSearch(BTree vectors,
   std::vector<TopKHeap> heaps(probe.size(), TopKHeap(params.k));
   std::vector<ScanCounters> scan_counters(probe.size());
   std::vector<Status> statuses(probe.size());
+  const RowFilter* filter_ptr = filter ? &filter : nullptr;
+
+  auto scan_one = [&](size_t i) {
+    HeapScanTarget target{query, &heaps[i], filter_ptr, &scan_counters[i]};
+    statuses[i] = ScanPartitionIntoHeaps(vectors, probe[i], metric, dim,
+                                         &target, 1);
+  };
 
   if (pool != nullptr && probe.size() > 1) {
     std::atomic<size_t> next{0};
@@ -64,9 +169,7 @@ Result<std::vector<Neighbor>> AnnSearch(BTree vectors,
         for (;;) {
           const size_t i = next.fetch_add(1);
           if (i >= probe.size()) break;
-          statuses[i] = ScanPartitionIntoHeap(vectors, probe[i], metric, dim,
-                                              query, filter, &heaps[i],
-                                              &scan_counters[i]);
+          scan_one(i);
         }
         wg.Done();
       });
@@ -74,9 +177,7 @@ Result<std::vector<Neighbor>> AnnSearch(BTree vectors,
     wg.Wait();
   } else {
     for (size_t i = 0; i < probe.size(); ++i) {
-      statuses[i] = ScanPartitionIntoHeap(vectors, probe[i], metric, dim,
-                                          query, filter, &heaps[i],
-                                          &scan_counters[i]);
+      scan_one(i);
     }
   }
   for (const Status& st : statuses) {
@@ -122,27 +223,93 @@ Result<std::vector<Neighbor>> SearchByVids(BTree vectors, BTree vidmap,
                                            Metric metric, uint32_t dim,
                                            const float* query, uint32_t k,
                                            const std::vector<uint64_t>& vids,
+                                           ThreadPool* pool,
                                            SearchCounters* counters) {
-  TopKHeap heap(k);
-  std::vector<float> vec(dim);
+  // Stage 1: resolve vid -> partition. The vids arrive sorted, so the
+  // vidmap point reads walk that tree in key order; the regroup below
+  // turns the vectors-table lookups into partition-clustered runs.
+  std::vector<std::pair<uint32_t, uint64_t>> rows;  // (partition, vid)
+  rows.reserve(vids.size());
   for (const uint64_t vid : vids) {
     MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> loc,
                              vidmap.Get(key::U64(vid)));
     if (!loc.has_value()) continue;  // row vanished (deleted)
     uint32_t partition;
     MICRONN_RETURN_IF_ERROR(DecodeVidMapValue(*loc, &partition));
-    MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> row,
-                             vectors.Get(VectorKey(partition, vid)));
-    if (!row.has_value()) {
-      return Status::Corruption("vidmap points at missing vector row");
-    }
-    VectorRow vr;
-    MICRONN_RETURN_IF_ERROR(DecodeVectorRow(*row, dim, &vr));
-    const float* v = reinterpret_cast<const float*>(vr.vector_blob.data());
-    heap.Push(vid, Distance(metric, query, v, dim));
-    if (counters != nullptr) ++counters->rows_scanned;
+    rows.emplace_back(partition, vid);
   }
-  return heap.TakeSorted();
+  std::sort(rows.begin(), rows.end());
+  const size_t n_rows = rows.size();
+
+  // Stage 2: fetch + decode into SIMD blocks and score with
+  // DistanceOneToMany, in contiguous slices across the pool.
+  size_t n_tasks = 1;
+  if (pool != nullptr && n_rows >= 2 * kScanBlockRows) {
+    n_tasks = std::min(pool->num_threads(),
+                       std::max<size_t>(1, n_rows / kScanBlockRows));
+  }
+  std::vector<TopKHeap> heaps(n_tasks, TopKHeap(k));
+  std::vector<uint64_t> scored(n_tasks, 0);
+  std::vector<Status> statuses(n_tasks);
+
+  auto score_slice = [&](size_t t, size_t lo, size_t hi) -> Status {
+    AlignedFloatBuffer block(kScanBlockRows * dim);
+    std::vector<uint64_t> block_vids(kScanBlockRows);
+    std::vector<float> dist(kScanBlockRows);
+    ScopedMemoryReservation mem(
+        MemoryCategory::kQueryExec,
+        (block.size() + dist.size()) * sizeof(float) +
+            block_vids.size() * sizeof(uint64_t));
+    size_t fill = 0;
+    auto flush = [&]() {
+      if (fill == 0) return;
+      DistanceOneToMany(metric, query, block.data(), fill, dim, dist.data());
+      for (size_t r = 0; r < fill; ++r) {
+        heaps[t].Push(block_vids[r], dist[r]);
+      }
+      scored[t] += fill;
+      fill = 0;
+    };
+    for (size_t i = lo; i < hi; ++i) {
+      const auto [partition, vid] = rows[i];
+      MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> row,
+                               vectors.Get(VectorKey(partition, vid)));
+      if (!row.has_value()) {
+        return Status::Corruption("vidmap points at missing vector row");
+      }
+      VectorRow vr;
+      MICRONN_RETURN_IF_ERROR(DecodeVectorRow(*row, dim, &vr));
+      block_vids[fill] = vid;
+      std::memcpy(block.data() + fill * dim, vr.vector_blob.data(),
+                  dim * sizeof(float));
+      if (++fill == kScanBlockRows) flush();
+    }
+    flush();
+    return Status::OK();
+  };
+
+  if (n_tasks == 1) {
+    MICRONN_RETURN_IF_ERROR(score_slice(0, 0, n_rows));
+  } else {
+    WaitGroup wg;
+    wg.Add(n_tasks);
+    for (size_t t = 0; t < n_tasks; ++t) {
+      const size_t lo = t * n_rows / n_tasks;
+      const size_t hi = (t + 1) * n_rows / n_tasks;
+      pool->Submit([&, t, lo, hi] {
+        statuses[t] = score_slice(t, lo, hi);
+        wg.Done();
+      });
+    }
+    wg.Wait();
+    for (const Status& st : statuses) {
+      MICRONN_RETURN_IF_ERROR(st);
+    }
+  }
+  if (counters != nullptr) {
+    for (const uint64_t s : scored) counters->rows_scanned += s;
+  }
+  return MergeHeapsSorted(heaps, k);
 }
 
 double RecallAtK(const std::vector<Neighbor>& got,

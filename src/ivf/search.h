@@ -1,4 +1,6 @@
-// ANN and exact KNN search (paper Algorithm 2 and §3.3).
+// ANN and exact KNN search (paper Algorithm 2 and §3.3), plus the shared
+// scan-into-heaps kernel that both single-query search and the batch
+// executor (src/query/executor.h) are built on.
 //
 // AnnSearch scans the n nearest partitions *plus the delta partition*
 // (always), in parallel across a thread pool, keeping one bounded top-k
@@ -31,6 +33,35 @@ struct SearchCounters {
   uint64_t rows_filtered = 0;
 };
 
+/// One query's slot in a (possibly shared) partition scan: where its
+/// distances go, which rows it accepts, and where its counters accumulate.
+struct HeapScanTarget {
+  const float* query = nullptr;       // dim floats (normalized for cosine)
+  TopKHeap* heap = nullptr;           // receives surviving rows
+  const RowFilter* filter = nullptr;  // optional per-query filter
+  ScanCounters* counters = nullptr;   // optional per-query counters
+};
+
+/// The scan-into-heaps kernel: scans `partition` exactly once and scores
+/// every decoded block against all `n_targets` queries (DistanceOneToMany
+/// for one target, one DistanceManyToMany block otherwise — the §3.4
+/// shared scan), pushing surviving rows into each target's heap.
+///
+/// Filter pushdown: when every target shares the same filter pointer (in
+/// particular, a single target), the filter runs inside the scan so that
+/// failing rows skip row decode entirely — identical to the single-query
+/// post-filter path. With heterogeneous filters the scan is unfiltered
+/// and each target's filter is evaluated per row before its heap push;
+/// per-target counters see exactly what a dedicated scan would have seen.
+///
+/// `scan_counters` (optional) receives the *physical* scan cost — rows
+/// decoded once, however many targets consumed them — which is what the
+/// group-level MQO accounting wants.
+Status ScanPartitionIntoHeaps(BTree vectors, uint32_t partition, Metric metric,
+                              uint32_t dim, HeapScanTarget* targets,
+                              size_t n_targets,
+                              ScanCounters* scan_counters = nullptr);
+
 /// Algorithm 2. `query` must already be normalized when metric == kCosine.
 /// `pool` may be null (serial scan). `filter` may be empty.
 Result<std::vector<Neighbor>> AnnSearch(BTree vectors,
@@ -49,12 +80,18 @@ Result<std::vector<Neighbor>> ExactSearch(BTree vectors, Metric metric,
                                           SearchCounters* counters);
 
 /// Brute-force top-k over an explicit list of row ids (the pre-filtering
-/// executor's second stage): fetches each vid via vidmap -> vectors and
-/// scores it. 100% recall over the candidate set by construction.
+/// executor's second stage). Resolves each vid via vidmap, regroups the
+/// candidates by partition so the vectors-table point reads walk the
+/// clustered key in order, scores them in SIMD blocks (DistanceOneToMany
+/// over kScanBlockRows rows), and splits large candidate sets across
+/// `pool`. 100% recall over the candidate set by construction. `vids`
+/// should be sorted (CollectMatchingVids returns them sorted); `pool` may
+/// be null (serial).
 Result<std::vector<Neighbor>> SearchByVids(BTree vectors, BTree vidmap,
                                            Metric metric, uint32_t dim,
                                            const float* query, uint32_t k,
                                            const std::vector<uint64_t>& vids,
+                                           ThreadPool* pool,
                                            SearchCounters* counters);
 
 /// Recall@k of `got` against ground truth `expected` (both ascending by

@@ -1,10 +1,7 @@
 #include "query/batch.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstring>
-#include <map>
-#include <unordered_map>
 
 #include "common/memory_tracker.h"
 #include "numerics/aligned_buffer.h"
@@ -13,168 +10,59 @@
 
 namespace micronn {
 
-namespace {
+std::vector<std::vector<uint32_t>> ComputeProbeSets(
+    const CentroidSet& centroids, uint32_t dim,
+    const std::vector<ProbeRequest>& requests) {
+  const size_t q = requests.size();
+  std::vector<std::vector<uint32_t>> out(q);
+  const size_t ncent = centroids.size();
+  if (q == 0 || ncent == 0) return out;
 
-// Work item: one partition and the queries that probe it.
-struct PartitionWork {
-  uint32_t partition;
-  std::vector<uint32_t> query_idx;
-};
-
-}  // namespace
-
-Result<std::vector<std::vector<Neighbor>>> BatchAnnSearch(
-    BTree vectors, const CentroidSet& centroids, uint32_t dim,
-    const float* queries, size_t q, const BatchSearchOptions& options,
-    ThreadPool* pool, BatchCounters* counters) {
-  if (options.k == 0) return Status::InvalidArgument("k must be > 0");
-  if (q == 0) return std::vector<std::vector<Neighbor>>{};
-  const Metric metric = centroids.centroids.metric;
-
-  // Phase 1: probe-set computation over the centroid matrix. This is the
-  // Q x |centroids| block whose cost grows with the number of centroids —
-  // the diminishing-returns effect the paper reports for DEEPImage.
-  std::map<uint32_t, std::vector<uint32_t>> by_partition;
   if (centroids.accel != nullptr) {
     // Two-level centroid index: per-query pruned probe-set computation.
     for (size_t qi = 0; qi < q; ++qi) {
-      for (const uint32_t partition : centroids.FindNearestPartitions(
-               queries + qi * dim, options.nprobe)) {
-        by_partition[partition].push_back(static_cast<uint32_t>(qi));
-      }
-      by_partition[kDeltaPartition].push_back(static_cast<uint32_t>(qi));
-      if (counters != nullptr) counters->probe_pairs += options.nprobe;
+      out[qi] = centroids.FindNearestPartitions(requests[qi].query,
+                                                requests[qi].nprobe);
     }
-  } else {
-    const size_t ncent = centroids.size();
-    const uint32_t nprobe =
-        std::min<uint32_t>(options.nprobe, static_cast<uint32_t>(ncent));
-    constexpr size_t kQBlock = 64;
-    std::vector<float> dist(kQBlock * std::max<size_t>(ncent, 1));
-    ScopedMemoryReservation mem(MemoryCategory::kQueryExec,
-                                dist.size() * sizeof(float));
-    for (size_t q0 = 0; q0 < q; q0 += kQBlock) {
-      const size_t cnt = std::min(kQBlock, q - q0);
-      if (ncent > 0) {
-        DistanceManyToMany(metric, queries + q0 * dim, cnt,
-                           centroids.centroids.data.data(), ncent, dim,
-                           dist.data());
-      }
-      for (size_t i = 0; i < cnt; ++i) {
-        const uint32_t qi = static_cast<uint32_t>(q0 + i);
-        if (ncent > 0 && nprobe > 0) {
-          TopKHeap heap(nprobe);
-          const float* row = dist.data() + i * ncent;
-          for (size_t c = 0; c < ncent; ++c) heap.Push(c, row[c]);
-          for (const Neighbor& nb : heap.TakeSorted()) {
-            by_partition[centroids.partitions[nb.id]].push_back(qi);
-          }
-          if (counters != nullptr) counters->probe_pairs += nprobe;
-        }
-        // Every query scans the delta store (Algorithm 2 line 3).
-        by_partition[kDeltaPartition].push_back(qi);
-      }
-    }
+    return out;
   }
 
-  std::vector<PartitionWork> work;
-  work.reserve(by_partition.size());
-  for (auto& [partition, qids] : by_partition) {
-    work.push_back(PartitionWork{partition, std::move(qids)});
-  }
-  // Largest fan-in first: better load balance across workers.
-  std::sort(work.begin(), work.end(),
-            [](const PartitionWork& a, const PartitionWork& b) {
-              return a.query_idx.size() > b.query_idx.size();
-            });
-
-  // Phase 2: scan each partition once; per-worker, per-query heaps.
-  const size_t n_workers =
-      (pool != nullptr) ? std::max<size_t>(1, pool->num_threads()) : 1;
-  std::vector<std::unordered_map<uint32_t, TopKHeap>> worker_heaps(n_workers);
-  std::vector<ScanCounters> worker_scans(n_workers);
-  std::vector<Status> worker_status(n_workers);
-
-  auto process = [&](size_t worker_id, const PartitionWork& pw) -> Status {
-    auto& heaps = worker_heaps[worker_id];
-    const size_t qp = pw.query_idx.size();
-    // Gather the probing queries into a contiguous submatrix so one
-    // DistanceManyToMany covers (queries x block) — the shared scan.
-    AlignedFloatBuffer subq(qp * dim);
-    for (size_t i = 0; i < qp; ++i) {
-      std::memcpy(subq.data() + i * dim,
-                  queries + size_t{pw.query_idx[i]} * dim,
+  // Blocked Q x |centroids| distance computation. This is the matrix
+  // whose cost grows with the number of centroids — the diminishing-
+  // returns effect the paper reports for DEEPImage.
+  const Metric metric = centroids.centroids.metric;
+  constexpr size_t kQBlock = 64;
+  AlignedFloatBuffer subq(kQBlock * dim);
+  std::vector<float> dist(kQBlock * ncent);
+  ScopedMemoryReservation mem(MemoryCategory::kQueryExec,
+                              (subq.size() + dist.size()) * sizeof(float));
+  for (size_t q0 = 0; q0 < q; q0 += kQBlock) {
+    const size_t cnt = std::min(kQBlock, q - q0);
+    for (size_t i = 0; i < cnt; ++i) {
+      std::memcpy(subq.data() + i * dim, requests[q0 + i].query,
                   dim * sizeof(float));
     }
-    std::vector<float> dist(qp * kScanBlockRows);
-    ScopedMemoryReservation mem(
-        MemoryCategory::kQueryExec,
-        (subq.size() + dist.size()) * sizeof(float));
-    return ScanPartition(
-        vectors, pw.partition, dim, /*filter=*/nullptr,
-        [&](const ScanBlock& block) -> Status {
-          DistanceManyToMany(metric, subq.data(), qp, block.data, block.count,
-                             dim, dist.data());
-          for (size_t i = 0; i < qp; ++i) {
-            auto [it, inserted] = heaps.try_emplace(pw.query_idx[i],
-                                                    TopKHeap(options.k));
-            TopKHeap& heap = it->second;
-            const float* row = dist.data() + i * block.count;
-            for (size_t r = 0; r < block.count; ++r) {
-              heap.Push(block.vids[r], row[r]);
-            }
-          }
-          return Status::OK();
-        },
-        &worker_scans[worker_id]);
-  };
-
-  if (pool != nullptr && work.size() > 1) {
-    std::atomic<size_t> next{0};
-    WaitGroup wg;
-    const size_t active = std::min(n_workers, work.size());
-    wg.Add(active);
-    for (size_t w = 0; w < active; ++w) {
-      pool->Submit([&, w] {
-        for (;;) {
-          const size_t i = next.fetch_add(1);
-          if (i >= work.size()) break;
-          Status st = process(w, work[i]);
-          if (!st.ok() && worker_status[w].ok()) worker_status[w] = st;
-        }
-        wg.Done();
-      });
-    }
-    wg.Wait();
-  } else {
-    for (const PartitionWork& pw : work) {
-      Status st = process(0, pw);
-      if (!st.ok()) return st;
+    DistanceManyToMany(metric, subq.data(), cnt,
+                       centroids.centroids.data.data(), ncent, dim,
+                       dist.data());
+    for (size_t i = 0; i < cnt; ++i) {
+      const size_t qi = q0 + i;
+      const uint32_t nprobe = std::min<uint32_t>(
+          requests[qi].nprobe, static_cast<uint32_t>(ncent));
+      if (nprobe == 0) continue;
+      // Same heap, same push order as FindNearestPartitions — and the
+      // blocked kernel delegates to the same per-row kernel — so the
+      // probe set is bit-identical to the single-query path.
+      TopKHeap heap(nprobe);
+      const float* row = dist.data() + i * ncent;
+      for (size_t c = 0; c < ncent; ++c) heap.Push(c, row[c]);
+      out[qi].reserve(nprobe);
+      for (const Neighbor& nb : heap.TakeSorted()) {
+        out[qi].push_back(centroids.partitions[nb.id]);
+      }
     }
   }
-  for (const Status& st : worker_status) {
-    MICRONN_RETURN_IF_ERROR(st);
-  }
-
-  if (counters != nullptr) {
-    counters->partitions_scanned += work.size();
-    for (const ScanCounters& sc : worker_scans) {
-      counters->rows_scanned += sc.rows_scanned;
-    }
-  }
-
-  // Phase 3: merge per-worker heaps into per-query results.
-  std::vector<std::vector<Neighbor>> results(q);
-  std::vector<TopKHeap> merged(q, TopKHeap(options.k));
-  for (auto& heaps : worker_heaps) {
-    for (auto& [qi, heap] : heaps) {
-      merged[qi].Merge(heap);
-    }
-  }
-  for (size_t i = 0; i < q; ++i) {
-    results[i] = merged[i].TakeSorted();
-  }
-  return results;
+  return out;
 }
 
 }  // namespace micronn

@@ -1,4 +1,5 @@
-// Multi-query optimized batch execution (paper §3.4, after HQI).
+// Probe-set phase of multi-query optimized batch execution (paper §3.4,
+// after HQI).
 //
 // Given a batch of queries, MicroNN "first identifies the set of clusters
 // that each query needs to access, and groups queries per partition. Then,
@@ -6,12 +7,12 @@
 // between queries and the vectors in the partition is calculated via a
 // single matrix multiplication."
 //
-// Implementation: one pass computes every query's probe set from the
-// in-memory centroid matrix (a blocked Q x k distance computation); the
-// inverted (partition -> queries) map becomes a parallel work list; each
-// partition is scanned exactly once, producing Qp x B distance blocks for
-// the Qp queries that probe it; per-(worker, query) heaps are merged at
-// the end.
+// This module implements the first step: one blocked Q x |centroids|
+// distance computation yields every query's probe set (supporting
+// heterogeneous per-query nprobe). Inverting the result into a
+// (partition -> queries) work list and running the shared scans is the
+// QueryExecutor's job (src/query/executor.h); the shared scan itself is
+// the ScanPartitionIntoHeaps kernel (src/ivf/search.h).
 #ifndef MICRONN_QUERY_BATCH_H_
 #define MICRONN_QUERY_BATCH_H_
 
@@ -19,31 +20,33 @@
 #include <vector>
 
 #include "common/result.h"
-#include "common/thread_pool.h"
 #include "ivf/centroid_set.h"
-#include "ivf/search.h"
 
 namespace micronn {
 
-struct BatchSearchOptions {
-  uint32_t k = 10;
-  uint32_t nprobe = 8;
+/// One query's slot in the probe-set computation.
+struct ProbeRequest {
+  const float* query = nullptr;  // dim floats (normalized for cosine)
+  uint32_t nprobe = 0;           // partitions to probe (clamped to size)
 };
 
-/// Aggregate counters for one batch execution.
+/// Aggregate counters for one batch (plan-group) execution.
 struct BatchCounters {
   uint64_t partitions_scanned = 0;  // unique partitions touched
   uint64_t rows_scanned = 0;        // rows decoded across all partitions
   uint64_t probe_pairs = 0;         // sum over queries of probe set sizes
 };
 
-/// Executes `q` queries (row-major q x dim; pre-normalized for cosine)
-/// with multi-query optimization. Results are per query, ascending by
-/// distance. `pool` may be null (serial).
-Result<std::vector<std::vector<Neighbor>>> BatchAnnSearch(
-    BTree vectors, const CentroidSet& centroids, uint32_t dim,
-    const float* queries, size_t q, const BatchSearchOptions& options,
-    ThreadPool* pool, BatchCounters* counters);
+/// Computes each request's probe set: the partition ids of its nprobe
+/// nearest centroids, nearest first (the delta partition is NOT included —
+/// callers always add it). Uses per-query accelerated lookups when the
+/// centroid set carries a two-level index, and a blocked Q x |centroids|
+/// DistanceManyToMany otherwise. Either way the result is bit-identical
+/// to per-query CentroidSet::FindNearestPartitions, which is what keeps
+/// batch execution result-equivalent to sequential execution.
+std::vector<std::vector<uint32_t>> ComputeProbeSets(
+    const CentroidSet& centroids, uint32_t dim,
+    const std::vector<ProbeRequest>& requests);
 
 }  // namespace micronn
 

@@ -1,0 +1,213 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <unordered_map>
+
+#include "ivf/schema.h"
+
+namespace micronn {
+
+namespace {
+
+// Work item: one partition and the plans that probe it.
+struct PartitionWork {
+  uint32_t partition;
+  std::vector<size_t> plan_idx;
+};
+
+}  // namespace
+
+Result<std::vector<PlanResult>> QueryExecutor::Execute(
+    const std::vector<PhysicalPlan>& plans, BatchCounters* group) {
+  const size_t n = plans.size();
+  std::vector<PlanResult> results(n);
+  if (n == 0) return results;
+
+  // Split the group by strategy: partition-scanning plans share scans;
+  // pre-filter plans score their own candidate sets.
+  std::vector<size_t> scan_plans;   // kUnfiltered / kPostFilter / kExact
+  std::vector<size_t> pre_plans;    // kPreFilter
+  for (size_t i = 0; i < n; ++i) {
+    (plans[i].plan == QueryPlan::kPreFilter ? pre_plans : scan_plans)
+        .push_back(i);
+  }
+
+  // Phase 1: probe-set op. Invert into (partition -> probing plans).
+  std::map<uint32_t, std::vector<size_t>> fanin;
+  if (!scan_plans.empty()) {
+    std::vector<size_t> ann_plans;
+    std::vector<uint32_t> physical;  // non-delta partitions with rows
+    bool physical_loaded = false;
+    for (const size_t idx : scan_plans) {
+      if (plans[idx].plan == QueryPlan::kExact) {
+        // Exhaustive: every partition physically present in the vectors
+        // table (not the centroid metadata — exact search must stay
+        // exhaustive even if the two ever disagree), plus delta below.
+        if (!physical_loaded) {
+          MICRONN_ASSIGN_OR_RETURN(physical, ListPartitions(ctx_.vectors));
+          std::erase(physical, kDeltaPartition);  // added once below
+          physical_loaded = true;
+        }
+        for (const uint32_t partition : physical) {
+          fanin[partition].push_back(idx);
+        }
+        results[idx].counters.partitions_scanned = physical.size() + 1;
+      } else {
+        ann_plans.push_back(idx);
+      }
+    }
+    if (!ann_plans.empty()) {
+      if (ctx_.centroids == nullptr) {
+        return Status::InvalidArgument(
+            "executor needs a centroid set for ANN plans");
+      }
+      const CentroidSet& cset = *ctx_.centroids;
+      std::vector<ProbeRequest> reqs;
+      reqs.reserve(ann_plans.size());
+      for (const size_t idx : ann_plans) {
+        reqs.push_back(ProbeRequest{plans[idx].query.data(),
+                                    plans[idx].nprobe});
+      }
+      const std::vector<std::vector<uint32_t>> probe_sets =
+          ComputeProbeSets(cset, ctx_.dim, reqs);
+      for (size_t a = 0; a < ann_plans.size(); ++a) {
+        const size_t idx = ann_plans[a];
+        for (const uint32_t partition : probe_sets[a]) {
+          fanin[partition].push_back(idx);
+        }
+        results[idx].probe_pairs = probe_sets[a].size();
+        // +1: the delta partition (Algorithm 2 line 3, added below).
+        results[idx].counters.partitions_scanned = probe_sets[a].size() + 1;
+      }
+    }
+    // Every partition-scanning plan visits the delta store.
+    fanin[kDeltaPartition] = scan_plans;
+  }
+
+  std::vector<PartitionWork> work;
+  work.reserve(fanin.size());
+  for (auto& [partition, idxs] : fanin) {
+    work.push_back(PartitionWork{partition, std::move(idxs)});
+  }
+  // Largest fan-in first: better load balance across workers.
+  std::sort(work.begin(), work.end(),
+            [](const PartitionWork& a, const PartitionWork& b) {
+              return a.plan_idx.size() > b.plan_idx.size();
+            });
+
+  // A plan's scans are "shared" iff some partition it probes has fan-in
+  // > 1 (with >= 2 scan plans that is always at least the delta scan).
+  for (const PartitionWork& pw : work) {
+    if (pw.plan_idx.size() < 2) continue;
+    for (const size_t idx : pw.plan_idx) results[idx].shared_scan = true;
+  }
+
+  // Phase 2: partition-scan op. Each partition is scanned exactly once;
+  // per-(worker, plan) heaps and counters.
+  const size_t n_workers =
+      (ctx_.pool != nullptr) ? std::max<size_t>(1, ctx_.pool->num_threads())
+                             : 1;
+  struct WorkerState {
+    std::unordered_map<size_t, TopKHeap> heaps;
+    std::unordered_map<size_t, ScanCounters> counters;
+    ScanCounters physical;  // rows decoded once per shared scan
+    Status status;
+  };
+  std::vector<WorkerState> workers(n_workers);
+
+  auto process = [&](size_t worker_id, const PartitionWork& pw) -> Status {
+    WorkerState& ws = workers[worker_id];
+    std::vector<HeapScanTarget> targets;
+    targets.reserve(pw.plan_idx.size());
+    for (const size_t idx : pw.plan_idx) {
+      auto [it, inserted] =
+          ws.heaps.try_emplace(idx, TopKHeap(plans[idx].k));
+      targets.push_back(HeapScanTarget{
+          plans[idx].query.data(), &it->second,
+          plans[idx].filter != nullptr ? plans[idx].filter.get() : nullptr,
+          &ws.counters[idx]});
+    }
+    return ScanPartitionIntoHeaps(ctx_.vectors, pw.partition, ctx_.metric,
+                                  ctx_.dim, targets.data(), targets.size(),
+                                  &ws.physical);
+  };
+
+  if (ctx_.pool != nullptr && work.size() > 1) {
+    std::atomic<size_t> next{0};
+    WaitGroup wg;
+    const size_t active = std::min(n_workers, work.size());
+    wg.Add(active);
+    for (size_t w = 0; w < active; ++w) {
+      ctx_.pool->Submit([&, w] {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= work.size()) break;
+          Status st = process(w, work[i]);
+          if (!st.ok() && workers[w].status.ok()) workers[w].status = st;
+        }
+        wg.Done();
+      });
+    }
+    wg.Wait();
+  } else {
+    for (const PartitionWork& pw : work) {
+      MICRONN_RETURN_IF_ERROR(process(0, pw));
+    }
+  }
+  for (const WorkerState& ws : workers) {
+    MICRONN_RETURN_IF_ERROR(ws.status);
+  }
+
+  // Phase 3: merge op — fold per-worker heaps and counters per plan.
+  {
+    std::unordered_map<size_t, TopKHeap> merged;
+    merged.reserve(scan_plans.size());
+    for (const size_t idx : scan_plans) {
+      merged.try_emplace(idx, TopKHeap(plans[idx].k));
+    }
+    for (WorkerState& ws : workers) {
+      for (auto& [idx, heap] : ws.heaps) {
+        merged.at(idx).Merge(heap);
+      }
+      for (const auto& [idx, sc] : ws.counters) {
+        results[idx].counters.rows_scanned += sc.rows_scanned;
+        results[idx].counters.rows_filtered += sc.rows_filtered;
+      }
+    }
+    for (const size_t idx : scan_plans) {
+      results[idx].neighbors = merged.at(idx).TakeSorted();
+    }
+  }
+
+  if (group != nullptr) {
+    group->partitions_scanned += work.size();
+    for (const size_t idx : scan_plans) {
+      group->probe_pairs += results[idx].probe_pairs;
+    }
+    for (const WorkerState& ws : workers) {
+      group->rows_scanned += ws.physical.rows_scanned;
+    }
+  }
+
+  // Phase 4: pre-filter plans — vectorized candidate scoring over the
+  // same pool (the §3.5 pre-filtering executor's second stage).
+  for (const size_t idx : pre_plans) {
+    const PhysicalPlan& plan = plans[idx];
+    MICRONN_ASSIGN_OR_RETURN(
+        results[idx].neighbors,
+        SearchByVids(ctx_.vectors, ctx_.vidmap, ctx_.metric, ctx_.dim,
+                     plan.query.data(), plan.k, plan.prefilter_vids,
+                     ctx_.pool, &results[idx].counters));
+  }
+
+  if (group != nullptr) {
+    for (const size_t idx : pre_plans) {
+      group->rows_scanned += results[idx].counters.rows_scanned;
+    }
+  }
+  return results;
+}
+
+}  // namespace micronn

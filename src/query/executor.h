@@ -1,0 +1,73 @@
+// Query executor: runs a group of physical plans with shared partition
+// scans (paper §3.4 multi-query optimization, generalized to filtered,
+// exact, and heterogeneous-(k, nprobe) groups).
+//
+// Execution model:
+//   1. Probe-set op — every partition-scanning plan (ANN post-filter,
+//      unfiltered ANN, exact) computes its probe set: the nprobe nearest
+//      partitions (blocked Q x |centroids| matrix, query/batch.h) plus
+//      the delta store; exact plans probe every partition physically
+//      present in the vectors table.
+//   2. Partition-scan op — the inverted (partition -> plans) map becomes
+//      a parallel work list; each partition is scanned exactly once via
+//      the ScanPartitionIntoHeaps kernel, scoring a Qp x B distance block
+//      for the Qp plans that probe it, with per-plan filter pushdown.
+//   3. Merge op — per-(worker, plan) heaps merge into per-plan results.
+//   4. Pre-filter plans run their vectorized candidate scoring
+//      (SearchByVids) over the same pool.
+// Per-plan counters are exact: each plan sees precisely the partitions,
+// rows, and filter drops a dedicated execution would have seen, while the
+// group counters record the shared work actually performed.
+#ifndef MICRONN_QUERY_EXECUTOR_H_
+#define MICRONN_QUERY_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "ivf/centroid_set.h"
+#include "ivf/search.h"
+#include "query/batch.h"
+#include "query/planner.h"
+
+namespace micronn {
+
+/// Tables and tuning the executor needs; all handles must stay valid for
+/// the duration of Execute (they belong to the caller's read snapshot).
+struct ExecutorContext {
+  BTree vectors;
+  BTree vidmap;
+  /// Required when the group contains any ANN plan (kUnfiltered /
+  /// kPostFilter); may be null otherwise — exact plans enumerate the
+  /// physically present partitions instead.
+  const CentroidSet* centroids = nullptr;
+  uint32_t dim = 0;
+  Metric metric = Metric::kL2;
+  ThreadPool* pool = nullptr;  // may be null (serial execution)
+};
+
+/// One plan's outcome.
+struct PlanResult {
+  std::vector<Neighbor> neighbors;  // ascending distance
+  SearchCounters counters;          // true per-plan counters
+  uint64_t probe_pairs = 0;         // probe set size, delta excluded
+  bool shared_scan = false;         // scans were shared with other plans
+};
+
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(ExecutorContext ctx) : ctx_(std::move(ctx)) {}
+
+  /// Executes every plan of the group. `group` (optional) receives the
+  /// group-level counters: unique partitions scanned, rows decoded once
+  /// per shared scan, and total probe pairs.
+  Result<std::vector<PlanResult>> Execute(
+      const std::vector<PhysicalPlan>& plans, BatchCounters* group);
+
+ private:
+  ExecutorContext ctx_;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_QUERY_EXECUTOR_H_

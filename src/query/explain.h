@@ -1,0 +1,58 @@
+// Per-query EXPLAIN output of the unified planner/executor.
+//
+// Every SearchResponse carries a QueryExplain describing the physical plan
+// the planner chose (§3.5.1), the optimizer estimates that produced it,
+// and the *true* per-query execution counters — plus, when the query ran
+// inside a batch, the group-level scan-sharing counters (§3.4) that show
+// how much work the multi-query optimization actually saved.
+#ifndef MICRONN_QUERY_EXPLAIN_H_
+#define MICRONN_QUERY_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "query/optimizer.h"
+
+namespace micronn {
+
+struct QueryExplain {
+  /// Physical strategy executed (see QueryPlan).
+  QueryPlan plan = QueryPlan::kUnfiltered;
+  /// The optimizer's estimates; meaningful only when `optimized` is true
+  /// (hybrid queries planned with PlanOverride::kAuto).
+  PlanDecision decision;
+  bool optimized = false;
+
+  /// Effective nprobe after resolving the request default (ANN plans).
+  uint32_t nprobe = 0;
+  /// Partitions this query probed, delta store excluded (ANN plans).
+  uint64_t probe_pairs = 0;
+  /// Candidate rows produced by the attribute indexes (pre-filter plans).
+  uint64_t candidates = 0;
+
+  // True per-query execution counters (duplicated from SearchResponse so
+  // the explain is self-contained).
+  uint64_t partitions_scanned = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_filtered = 0;
+
+  /// True when this query's partition scans were shared with other
+  /// queries of the same batch.
+  bool shared_scan = false;
+  /// Number of queries in the executed group (1 for DB::Search).
+  uint32_t group_size = 1;
+  /// Unique partitions the whole group scanned. With scan sharing this is
+  /// strictly below the sum of the group's per-query partitions_scanned.
+  uint64_t group_partitions_scanned = 0;
+  /// Rows decoded across the whole group (each shared scan counted once).
+  uint64_t group_rows_scanned = 0;
+  /// Sum of probe-set sizes across the group (query-partition pairs).
+  uint64_t group_probe_pairs = 0;
+
+  /// One-line human-readable rendering.
+  std::string ToString() const;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_QUERY_EXPLAIN_H_

@@ -10,6 +10,10 @@ std::string_view QueryPlanName(QueryPlan plan) {
       return "pre-filter";
     case QueryPlan::kPostFilter:
       return "post-filter";
+    case QueryPlan::kUnfiltered:
+      return "unfiltered-ann";
+    case QueryPlan::kExact:
+      return "exact";
   }
   return "?";
 }

@@ -20,9 +20,16 @@
 
 namespace micronn {
 
+/// Physical strategy of one query. kPreFilter/kPostFilter are the two
+/// hybrid plans the optimizer chooses between (§3.5.1); kUnfiltered and
+/// kExact name the strategies that involve no plan choice, so EXPLAIN
+/// output never mislabels an unfiltered ANN scan or an exhaustive scan as
+/// "post-filter".
 enum class QueryPlan {
   kPreFilter,
   kPostFilter,
+  kUnfiltered,  // ANN partition scan, no attribute filter
+  kExact,       // exhaustive scan (an attribute filter, if any, is inline)
 };
 
 std::string_view QueryPlanName(QueryPlan plan);

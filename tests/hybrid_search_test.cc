@@ -231,6 +231,100 @@ TEST_F(HybridTest, OptimizerReportsEstimates) {
   EXPECT_NEAR(resp.decision.ivf_selectivity, 0.05, 0.001);
 }
 
+TEST_F(HybridTest, ExplainSurfacesPlanAndCounters) {
+  SearchRequest req;
+  req.query.assign(ds_.query(6), ds_.query(6) + kDim);
+  req.k = 5;
+  req.filter = Predicate::Compare("city", CompareOp::kEq,
+                                  AttributeValue::String("katmandu"));
+  auto resp = db_->Search(req).value();
+  // katmandu is selective: optimizer picks pre-filter, explain agrees.
+  EXPECT_EQ(resp.explain.plan, QueryPlan::kPreFilter);
+  EXPECT_TRUE(resp.explain.optimized);
+  EXPECT_EQ(resp.explain.decision.filter_selectivity,
+            resp.decision.filter_selectivity);
+  EXPECT_EQ(resp.explain.candidates, kN / 500);
+  EXPECT_EQ(resp.explain.partitions_scanned, resp.partitions_scanned);
+  EXPECT_EQ(resp.explain.rows_scanned, resp.rows_scanned);
+  EXPECT_EQ(resp.explain.group_size, 1u);
+  EXPECT_FALSE(resp.explain.shared_scan);
+  const std::string text = resp.explain.ToString();
+  EXPECT_NE(text.find("plan=pre-filter"), std::string::npos) << text;
+  EXPECT_NE(text.find("candidates="), std::string::npos) << text;
+  EXPECT_NE(text.find("est["), std::string::npos) << text;
+
+  // A plain unfiltered query reports its true strategy (not the
+  // misleading "post-filter" of the old two-value enum).
+  SearchRequest plain;
+  plain.query.assign(ds_.query(6), ds_.query(6) + kDim);
+  plain.k = 5;
+  auto plain_resp = db_->Search(plain).value();
+  EXPECT_EQ(plain_resp.plan, QueryPlan::kUnfiltered);
+  EXPECT_FALSE(plain_resp.explain.optimized);
+  EXPECT_EQ(plain_resp.explain.nprobe, 4u);  // default_nprobe
+  EXPECT_EQ(plain_resp.explain.probe_pairs, 4u);
+
+  SearchRequest exact = plain;
+  exact.exact = true;
+  auto exact_resp = db_->Search(exact).value();
+  EXPECT_EQ(exact_resp.plan, QueryPlan::kExact);
+  EXPECT_EQ(exact_resp.explain.rows_scanned, kN);
+}
+
+TEST_F(HybridTest, BatchOfHybridQueriesMatchesSingle) {
+  // A batch mixing every hybrid shape — auto plans that resolve to pre-
+  // AND post-filtering, forced plans, FTS filters, plus an unfiltered
+  // query — returns results identical to per-query Search.
+  std::vector<SearchRequest> requests;
+  auto base = [&](size_t qi) {
+    SearchRequest req;
+    req.query.assign(ds_.query(qi), ds_.query(qi) + kDim);
+    req.k = 20;
+    req.nprobe = 4;
+    return req;
+  };
+  SearchRequest r0 = base(0);  // auto -> pre-filter (selective)
+  r0.filter = Predicate::Compare("city", CompareOp::kEq,
+                                 AttributeValue::String("katmandu"));
+  SearchRequest r1 = base(1);  // auto -> post-filter (broad)
+  r1.filter = Predicate::Compare("city", CompareOp::kEq,
+                                 AttributeValue::String("seattle"));
+  SearchRequest r2 = base(2);  // FTS MATCH filter
+  r2.filter = Predicate::Match("tags", "special");
+  SearchRequest r3 = base(3);  // forced post-filter on a selective pred
+  r3.filter = Predicate::Compare("city", CompareOp::kEq,
+                                 AttributeValue::String("katmandu"));
+  r3.plan = PlanOverride::kForcePostFilter;
+  SearchRequest r4 = base(4);  // unfiltered rider
+  SearchRequest r5 = base(5);  // predicate tree
+  r5.filter = Predicate::And(
+      {Predicate::Compare("year", CompareOp::kGe, AttributeValue::Int(2010)),
+       Predicate::Compare("score", CompareOp::kLt,
+                          AttributeValue::Double(0.5))});
+  requests = {r0, r1, r2, r3, r4, r5};
+
+  auto batched = db_->BatchSearch(requests).value();
+  ASSERT_EQ(batched.size(), requests.size());
+  for (size_t q = 0; q < requests.size(); ++q) {
+    const auto single = db_->Search(requests[q]).value();
+    ASSERT_EQ(batched[q].items.size(), single.items.size()) << q;
+    for (size_t i = 0; i < single.items.size(); ++i) {
+      EXPECT_EQ(batched[q].items[i].vid, single.items[i].vid)
+          << "q=" << q << " i=" << i;
+      EXPECT_EQ(batched[q].items[i].distance, single.items[i].distance)
+          << "q=" << q << " i=" << i;
+    }
+    EXPECT_EQ(batched[q].plan, single.plan) << q;
+    EXPECT_EQ(batched[q].partitions_scanned, single.partitions_scanned) << q;
+    EXPECT_EQ(batched[q].rows_scanned, single.rows_scanned) << q;
+    EXPECT_EQ(batched[q].rows_filtered, single.rows_filtered) << q;
+  }
+  EXPECT_EQ(batched[0].plan, QueryPlan::kPreFilter);
+  EXPECT_EQ(batched[1].plan, QueryPlan::kPostFilter);
+  EXPECT_EQ(batched[3].plan, QueryPlan::kPostFilter);
+  EXPECT_EQ(batched[4].plan, QueryPlan::kUnfiltered);
+}
+
 TEST_F(HybridTest, HybridSearchAfterMaintain) {
   // Filters keep working for vectors that moved from delta to partitions.
   AttributeRecord attrs;

@@ -385,7 +385,7 @@ TEST_F(IvfSearchTest, SearchByVidsIsExactOverSubset) {
   q[0] = 10.f;
   const std::vector<uint64_t> subset = {1, 2, 3, 60, 61, 999, 424242};
   auto result = SearchByVids(vectors, vidmap, Metric::kL2, kDim, q.data(), 3,
-                             subset, nullptr).value();
+                             subset, /*pool=*/nullptr, nullptr).value();
   ASSERT_EQ(result.size(), 3u);
   // Result ids must come from the subset (the absent 424242 is skipped).
   for (const Neighbor& n : result) {
