@@ -13,6 +13,7 @@
 #include "core/db_internal.h"
 #include "ivf/schema.h"
 #include "numerics/distance.h"
+#include "numerics/sq8.h"
 #include "query/attr_index.h"
 #include "query/executor.h"
 #include "query/planner.h"
@@ -105,10 +106,17 @@ Status DB::InitializeSchema() {
       MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaStatsVersion, 0));
       for (const char* table :
            {kVectorsTable, kVidMapTable, kAssetsTable, kCentroidsTable,
-            kAttributesTable, kStatsTable}) {
+            kAttributesTable, kStatsTable, kSq8Table, kSq8ParamsTable}) {
         MICRONN_RETURN_IF_ERROR(txn->OpenOrCreateTable(table).status());
       }
     } else {
+      // Databases created before the SQ8 column existed: materialize the
+      // (empty) sidecar tables so every write path can open them
+      // unconditionally. No partition has params yet, so scans stay
+      // full-precision until the next index build.
+      for (const char* table : {kSq8Table, kSq8ParamsTable}) {
+        MICRONN_RETURN_IF_ERROR(txn->OpenOrCreateTable(table).status());
+      }
       if (options_.dim != 0 && options_.dim != stored_dim) {
         return Status::InvalidArgument(
             "dimension mismatch: database has dim " +
@@ -155,10 +163,20 @@ Status DB::Upsert(const std::vector<UpsertRequest>& batch) {
     MICRONN_ASSIGN_OR_RETURN(BTree assets, txn->OpenTable(kAssetsTable));
     MICRONN_ASSIGN_OR_RETURN(BTree attributes,
                              txn->OpenTable(kAttributesTable));
+    MICRONN_ASSIGN_OR_RETURN(BTree sq8, txn->OpenTable(kSq8Table));
+    MICRONN_ASSIGN_OR_RETURN(BTree sq8params,
+                             txn->OpenTable(kSq8ParamsTable));
     MICRONN_ASSIGN_OR_RETURN(uint64_t next_vid,
                              MetaGetU64(&meta, kMetaNextVid, 1));
     MICRONN_ASSIGN_OR_RETURN(uint64_t delta_count,
                              MetaGetU64(&meta, kMetaDeltaCount, 0));
+    // Delta-store quantization parameters (collection-global, written by
+    // the last index build). Absent before the first build: rows then get
+    // no sidecar codes and the delta store scans at full precision.
+    MICRONN_ASSIGN_OR_RETURN(
+        std::optional<Sq8PartitionParams> delta_params,
+        GetSq8Params(&sq8params, kDeltaPartition, options_.dim));
+    std::vector<uint8_t> sq8_codes(options_.dim);
     const TableResolver resolver = MakeWriteResolver(txn.get());
     std::map<uint32_t, int64_t> partition_deltas;
 
@@ -196,6 +214,9 @@ Status DB::Upsert(const std::vector<UpsertRequest>& batch) {
           return Status::Corruption("vector row missing for asset " +
                                     req.asset_id);
         }
+        MICRONN_ASSIGN_OR_RETURN(bool sq8_erased,
+                                 sq8.Delete(VectorKey(old_partition, vid)));
+        if (sq8_erased) txn->AddRowDelta(kSq8Table, -1);
         if (old_partition == kDeltaPartition) {
           --delta_count;
         } else {
@@ -228,6 +249,15 @@ Status DB::Upsert(const std::vector<UpsertRequest>& batch) {
       MICRONN_RETURN_IF_ERROR(vectors.Put(
           VectorKey(kDeltaPartition, vid),
           EncodeVectorRow(req.asset_id, vec.data(), vec.size())));
+      if (delta_params.has_value()) {
+        QuantizeSq8(vec.data(), delta_params->min.data(),
+                    delta_params->scale.data(), options_.dim,
+                    sq8_codes.data());
+        MICRONN_RETURN_IF_ERROR(
+            sq8.Put(VectorKey(kDeltaPartition, vid),
+                    EncodeSq8Row(sq8_codes.data(), options_.dim)));
+        txn->AddRowDelta(kSq8Table, 1);
+      }
       MICRONN_RETURN_IF_ERROR(vidmap.Put(
           key::U64(vid), EncodeVidMapValue(kDeltaPartition)));
       ++delta_count;
@@ -281,6 +311,7 @@ Status DB::Delete(const std::vector<std::string>& asset_ids) {
     MICRONN_ASSIGN_OR_RETURN(BTree assets, txn->OpenTable(kAssetsTable));
     MICRONN_ASSIGN_OR_RETURN(BTree attributes,
                              txn->OpenTable(kAttributesTable));
+    MICRONN_ASSIGN_OR_RETURN(BTree sq8, txn->OpenTable(kSq8Table));
     MICRONN_ASSIGN_OR_RETURN(uint64_t delta_count,
                              MetaGetU64(&meta, kMetaDeltaCount, 0));
     const TableResolver resolver = MakeWriteResolver(txn.get());
@@ -298,6 +329,9 @@ Status DB::Delete(const std::vector<std::string>& asset_ids) {
         MICRONN_RETURN_IF_ERROR(DecodeVidMapValue(*loc, &partition));
         MICRONN_ASSIGN_OR_RETURN(bool erased,
                                  vectors.Delete(VectorKey(partition, vid)));
+        MICRONN_ASSIGN_OR_RETURN(bool sq8_erased,
+                                 sq8.Delete(VectorKey(partition, vid)));
+        if (sq8_erased) txn->AddRowDelta(kSq8Table, -1);
         if (erased) {
           txn->AddRowDelta(kVectorsTable, -1);
           if (partition == kDeltaPartition) {
@@ -498,9 +532,24 @@ Result<std::vector<SearchResponse>> DB::RunQueries(
   if (needs_centroids) {
     MICRONN_ASSIGN_OR_RETURN(cset, GetCentroids(txn.get()));
   }
-  QueryExecutor executor(ExecutorContext{
+  ExecutorContext ctx{
       vectors, vidmap, cset != nullptr ? cset.get() : nullptr, options_.dim,
-      options_.metric, &pool_});
+      options_.metric, &pool_, std::nullopt, std::nullopt, std::nullopt};
+  // SQ8 sidecar + attributes table for the executor's quantized scans and
+  // shared filter evaluation. All three exist on every database this
+  // version opens; tolerate absence anyway (the executor degrades to
+  // float scans / per-plan filters).
+  {
+    Result<BTree> sq8 = txn->OpenTable(kSq8Table);
+    Result<BTree> sq8params = txn->OpenTable(kSq8ParamsTable);
+    if (sq8.ok() && sq8params.ok()) {
+      ctx.sq8 = *sq8;
+      ctx.sq8params = *sq8params;
+    }
+    Result<BTree> attributes = txn->OpenTable(kAttributesTable);
+    if (attributes.ok()) ctx.attributes = *attributes;
+  }
+  QueryExecutor executor(std::move(ctx));
   BatchCounters group;
   MICRONN_ASSIGN_OR_RETURN(std::vector<PlanResult> results,
                            executor.Execute(plans, &group));
@@ -531,6 +580,11 @@ Result<std::vector<SearchResponse>> DB::RunQueries(
     ex.partitions_scanned = resp.partitions_scanned;
     ex.rows_scanned = resp.rows_scanned;
     ex.rows_filtered = resp.rows_filtered;
+    ex.quantized = result.quantized;
+    ex.partitions_quantized = result.partitions_quantized;
+    ex.rerank_budget = plan.quantized ? plan.rerank_k : 0;
+    ex.rerank_candidates = result.rerank_candidates;
+    ex.rows_reranked = result.rows_reranked;
     ex.shared_scan = result.shared_scan;
     ex.group_size = static_cast<uint32_t>(n);
     ex.group_partitions_scanned = group.partitions_scanned;

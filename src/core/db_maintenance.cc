@@ -18,9 +18,11 @@
 #include "core/db.h"
 #include "core/db_internal.h"
 #include "ivf/kmeans.h"
+#include "ivf/scan.h"
 #include "ivf/schema.h"
 #include "numerics/aligned_buffer.h"
 #include "numerics/distance.h"
+#include "numerics/sq8.h"
 #include "query/stats.h"
 #include "storage/key_encoding.h"
 
@@ -128,10 +130,14 @@ Status DB::RecoverInterruptedRebuild() {
                           "index rebuild";
     MICRONN_RETURN_IF_ERROR(DropTableChunked(kVectorsNewTable));
     MICRONN_RETURN_IF_ERROR(DropTableChunked(kVidMapNewTable));
+    MICRONN_RETURN_IF_ERROR(DropTableChunked(kSq8NewTable));
+    MICRONN_RETURN_IF_ERROR(DropTableChunked(kSq8ParamsNewTable));
   }
   if (cleanup) {
     MICRONN_RETURN_IF_ERROR(DropTableChunked(kVectorsOldTable));
     MICRONN_RETURN_IF_ERROR(DropTableChunked(kVidMapOldTable));
+    MICRONN_RETURN_IF_ERROR(DropTableChunked(kSq8OldTable));
+    MICRONN_RETURN_IF_ERROR(DropTableChunked(kSq8ParamsOldTable));
   }
   if (staging || cleanup) {
     MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
@@ -199,6 +205,8 @@ Status DB::BuildIndexLocked() {
   // Phase 0: clear leftovers and mark the rebuild.
   MICRONN_RETURN_IF_ERROR(DropTableChunked(kVectorsNewTable));
   MICRONN_RETURN_IF_ERROR(DropTableChunked(kVidMapNewTable));
+  MICRONN_RETURN_IF_ERROR(DropTableChunked(kSq8NewTable));
+  MICRONN_RETURN_IF_ERROR(DropTableChunked(kSq8ParamsNewTable));
   {
     MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
                              engine_->BeginWrite());
@@ -207,6 +215,9 @@ Status DB::BuildIndexLocked() {
       MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaRebuildInProgress, 1));
       MICRONN_RETURN_IF_ERROR(
           txn->OpenOrCreateTable(kVectorsNewTable).status());
+      MICRONN_RETURN_IF_ERROR(txn->OpenOrCreateTable(kSq8NewTable).status());
+      MICRONN_RETURN_IF_ERROR(
+          txn->OpenOrCreateTable(kSq8ParamsNewTable).status());
       return txn->OpenOrCreateTable(kVidMapNewTable).status();
     }();
     if (!st.ok()) {
@@ -239,6 +250,15 @@ Status DB::BuildIndexLocked() {
       MICRONN_ASSIGN_OR_RETURN(BTree centroids,
                                txn->OpenTable(kCentroidsTable));
       MICRONN_RETURN_IF_ERROR(centroids.Clear());
+      MICRONN_ASSIGN_OR_RETURN(BTree sq8, txn->OpenTable(kSq8Table));
+      MICRONN_RETURN_IF_ERROR(sq8.Clear());
+      MICRONN_ASSIGN_OR_RETURN(TableInfo sq8_info,
+                               txn->GetTableInfo(kSq8Table));
+      txn->AddRowDelta(kSq8Table,
+                       -static_cast<int64_t>(sq8_info.row_count));
+      MICRONN_ASSIGN_OR_RETURN(BTree sq8params,
+                               txn->OpenTable(kSq8ParamsTable));
+      MICRONN_RETURN_IF_ERROR(sq8params.Clear());
       MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
       MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaNumPartitions, 0));
       MICRONN_RETURN_IF_ERROR(MetaPutF64(&meta, kMetaBaseAvgPartition, 0.0));
@@ -249,6 +269,8 @@ Status DB::BuildIndexLocked() {
           MetaPutU64(&meta, kMetaIndexVersion, version + 1));
       MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaRebuildInProgress, 0));
       MICRONN_RETURN_IF_ERROR(txn->DropTable(kVectorsNewTable));
+      MICRONN_RETURN_IF_ERROR(txn->DropTable(kSq8NewTable));
+      MICRONN_RETURN_IF_ERROR(txn->DropTable(kSq8ParamsNewTable));
       return txn->DropTable(kVidMapNewTable);
     }();
     if (!st.ok()) {
@@ -347,6 +369,70 @@ Status DB::BuildIndexLocked() {
   }
   snapshot.reset();  // release the rebuild snapshot
 
+  // Phase 3.5: scalar-quantization pass. Each partition of the staging
+  // table is requantized in place — per-dim bounds from its final
+  // membership, then its sq8 sidecar rows — in bounded memory (two passes
+  // over one partition's contiguous rows at a time, batched into chunked
+  // transactions). The union of all bounds becomes the delta store's
+  // collection-global parameters, so post-build upserts quantize on the
+  // way in.
+  {
+    std::vector<uint32_t> partitions;
+    {
+      MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<ReadTransaction> txn,
+                               engine_->BeginRead());
+      MICRONN_ASSIGN_OR_RETURN(BTree vnew, txn->OpenTable(kVectorsNewTable));
+      MICRONN_ASSIGN_OR_RETURN(partitions, ListPartitions(vnew));
+    }
+    Sq8BoundsAccumulator global;
+    global.Reset(dim);
+    size_t next = 0;
+    while (next < partitions.size()) {
+      MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                               engine_->BeginWrite());
+      Status st = [&]() -> Status {
+        MICRONN_ASSIGN_OR_RETURN(BTree vnew,
+                                 txn->OpenTable(kVectorsNewTable));
+        MICRONN_ASSIGN_OR_RETURN(BTree snew, txn->OpenTable(kSq8NewTable));
+        MICRONN_ASSIGN_OR_RETURN(BTree pnew,
+                                 txn->OpenTable(kSq8ParamsNewTable));
+        uint64_t rows_this_txn = 0;
+        while (next < partitions.size() &&
+               rows_this_txn < options_.rebuild_chunk_rows) {
+          MICRONN_ASSIGN_OR_RETURN(
+              uint64_t rows,
+              RequantizePartition(vnew, snew, pnew, partitions[next], dim,
+                                  &global));
+          rows_this_txn += rows;
+          txn->AddRowDelta(kSq8NewTable, static_cast<int64_t>(rows));
+          ++next;
+        }
+        io.rows_inserted.fetch_add(rows_this_txn, std::memory_order_relaxed);
+        return Status::OK();
+      }();
+      if (!st.ok()) {
+        engine_->Rollback(std::move(txn));
+        return st;
+      }
+      MICRONN_RETURN_IF_ERROR(engine_->Commit(std::move(txn)));
+    }
+    if (global.any) {
+      MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                               engine_->BeginWrite());
+      Status st = [&]() -> Status {
+        MICRONN_ASSIGN_OR_RETURN(BTree pnew,
+                                 txn->OpenTable(kSq8ParamsNewTable));
+        return pnew.Put(key::U32(kDeltaPartition),
+                        EncodeSq8Params(FinalizeSq8Params(global)));
+      }();
+      if (!st.ok()) {
+        engine_->Rollback(std::move(txn));
+        return st;
+      }
+      MICRONN_RETURN_IF_ERROR(engine_->Commit(std::move(txn)));
+    }
+  }
+
   // Phase 4: the atomic swap — one small transaction flips readers to the
   // new generation.
   {
@@ -365,10 +451,16 @@ Status DB::BuildIndexLocked() {
                                                kVectorsOldTable));
       MICRONN_RETURN_IF_ERROR(txn->RenameTable(kVidMapTable,
                                                kVidMapOldTable));
+      MICRONN_RETURN_IF_ERROR(txn->RenameTable(kSq8Table, kSq8OldTable));
+      MICRONN_RETURN_IF_ERROR(
+          txn->RenameTable(kSq8ParamsTable, kSq8ParamsOldTable));
       MICRONN_RETURN_IF_ERROR(txn->RenameTable(kVectorsNewTable,
                                                kVectorsTable));
       MICRONN_RETURN_IF_ERROR(txn->RenameTable(kVidMapNewTable,
                                                kVidMapTable));
+      MICRONN_RETURN_IF_ERROR(txn->RenameTable(kSq8NewTable, kSq8Table));
+      MICRONN_RETURN_IF_ERROR(
+          txn->RenameTable(kSq8ParamsNewTable, kSq8ParamsTable));
       MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
       MICRONN_RETURN_IF_ERROR(MetaPutU64(&meta, kMetaNumPartitions, k));
       MICRONN_RETURN_IF_ERROR(MetaPutF64(
@@ -392,6 +484,8 @@ Status DB::BuildIndexLocked() {
   // Phase 5: chunked cleanup of the previous generation.
   MICRONN_RETURN_IF_ERROR(DropTableChunked(kVectorsOldTable));
   MICRONN_RETURN_IF_ERROR(DropTableChunked(kVidMapOldTable));
+  MICRONN_RETURN_IF_ERROR(DropTableChunked(kSq8OldTable));
+  MICRONN_RETURN_IF_ERROR(DropTableChunked(kSq8ParamsOldTable));
   {
     MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
                              engine_->BeginWrite());
@@ -468,6 +562,13 @@ Result<MaintenanceReport> DB::MaintainLocked() {
       std::max<size_t>(64, (2ull << 20) / row_bytes));
   RowChunk chunk;
   std::vector<uint32_t> assign_rows;
+  // Destination-partition quantization parameters, loaded on first use.
+  // Params only change during a full rebuild, so the cache stays valid
+  // across the flush's chunked transactions. A partition without params
+  // (pre-SQ8 build) keeps serving full-precision scans, so its moved rows
+  // get no sidecar codes.
+  std::map<uint32_t, std::optional<Sq8PartitionParams>> sq8_params_cache;
+  std::vector<uint8_t> sq8_codes(dim);
   for (;;) {
     // Fresh snapshot per chunk: moved rows have left the delta partition.
     chunk.clear();
@@ -506,6 +607,19 @@ Result<MaintenanceReport> DB::MaintainLocked() {
       MICRONN_ASSIGN_OR_RETURN(BTree vectors, txn->OpenTable(kVectorsTable));
       MICRONN_ASSIGN_OR_RETURN(BTree vidmap, txn->OpenTable(kVidMapTable));
       MICRONN_ASSIGN_OR_RETURN(BTree meta, txn->OpenTable(kMetaTable));
+      MICRONN_ASSIGN_OR_RETURN(BTree sq8, txn->OpenTable(kSq8Table));
+      MICRONN_ASSIGN_OR_RETURN(BTree sq8params,
+                               txn->OpenTable(kSq8ParamsTable));
+      auto params_for = [&](uint32_t partition)
+          -> Result<const std::optional<Sq8PartitionParams>*> {
+        auto it = sq8_params_cache.find(partition);
+        if (it == sq8_params_cache.end()) {
+          MICRONN_ASSIGN_OR_RETURN(std::optional<Sq8PartitionParams> params,
+                                   GetSq8Params(&sq8params, partition, dim));
+          it = sq8_params_cache.emplace(partition, std::move(params)).first;
+        }
+        return &it->second;
+      };
       for (size_t i = 0; i < chunk.size(); ++i) {
         const uint32_t row = assign_rows[i];
         const uint32_t partition = cset.partitions[row];
@@ -519,6 +633,22 @@ Result<MaintenanceReport> DB::MaintainLocked() {
                                         chunk.block.data() + i * dim, dim)));
         MICRONN_RETURN_IF_ERROR(
             vidmap.Put(key::U64(vid), EncodeVidMapValue(partition)));
+        // Re-quantize the moved row with its destination's parameters
+        // (values outside the partition's box saturate; the rerank stage
+        // re-scores at full precision).
+        MICRONN_ASSIGN_OR_RETURN(
+            bool sq8_erased, sq8.Delete(VectorKey(kDeltaPartition, vid)));
+        if (sq8_erased) txn->AddRowDelta(kSq8Table, -1);
+        MICRONN_ASSIGN_OR_RETURN(const std::optional<Sq8PartitionParams>* sp,
+                                 params_for(partition));
+        if (sp->has_value()) {
+          QuantizeSq8(chunk.block.data() + i * dim, (*sp)->min.data(),
+                      (*sp)->scale.data(), dim, sq8_codes.data());
+          MICRONN_RETURN_IF_ERROR(
+              sq8.Put(VectorKey(partition, vid),
+                      EncodeSq8Row(sq8_codes.data(), dim)));
+          txn->AddRowDelta(kSq8Table, 1);
+        }
         auto& [sum, cnt] = updates[row];
         if (sum.empty()) sum.assign(dim, 0.0);
         const float* v = chunk.block.data() + i * dim;

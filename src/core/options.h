@@ -51,6 +51,20 @@ struct DbOptions {
   /// (recall/latency knob of the two-level lookup).
   uint32_t centroid_super_probe = 8;
 
+  // --- Quantized scans (SQ8) ---
+  /// ANN partition scans read the int8 scalar-quantized copy of each row
+  /// (~4x fewer scanned bytes) and re-score the top k*alpha candidates at
+  /// full precision. Per-partition parameters are maintained by index
+  /// builds and delta flushes; partitions without parameters (e.g. before
+  /// the first build) transparently scan full precision. Exact and
+  /// pre-filter plans never use the quantized path. Opt out here, or per
+  /// request via SearchRequest::quantized.
+  bool sq8_scan = true;
+  /// Rerank over-fetch factor alpha: quantized scans collect
+  /// ceil(k * alpha) candidates before the full-precision rerank. Larger
+  /// alpha buys recall at the cost of more rerank point-reads.
+  float sq8_rerank_alpha = 4.0f;
+
   // --- Maintenance (paper §3.6) ---
   /// Full rebuild when avg partition size grows by this fraction over the
   /// post-build baseline (0.5 = +50%, the paper's setting).
@@ -105,6 +119,10 @@ struct SearchRequest {
   PlanOverride plan = PlanOverride::kAuto;
   /// Exhaustive exact KNN instead of ANN.
   bool exact = false;
+  /// Per-request override of DbOptions::sq8_scan (benchmarks and tests
+  /// compare the quantized and float paths over one snapshot). Unset
+  /// defers to the DB option.
+  std::optional<bool> quantized;
 };
 
 struct ResultItem {

@@ -1,6 +1,11 @@
 #include "ivf/maintenance.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "ivf/scan.h"
+#include "numerics/sq8.h"
+#include "storage/key_encoding.h"
 
 namespace micronn {
 
@@ -32,6 +37,93 @@ Result<IndexStats> ComputeIndexStats(const CentroidSet& centroids,
     stats.size_cv = mean > 0 ? std::sqrt(std::max(0.0, var)) / mean : 0.0;
   }
   return stats;
+}
+
+void Sq8BoundsAccumulator::Reset(size_t dim) {
+  min.assign(dim, 0.f);
+  max.assign(dim, 0.f);
+  any = false;
+}
+
+void Sq8BoundsAccumulator::Add(const float* v, size_t dim) {
+  if (!any) {
+    min.assign(v, v + dim);
+    max.assign(v, v + dim);
+    any = true;
+    return;
+  }
+  for (size_t d = 0; d < dim; ++d) {
+    min[d] = std::min(min[d], v[d]);
+    max[d] = std::max(max[d], v[d]);
+  }
+}
+
+void Sq8BoundsAccumulator::Union(const Sq8BoundsAccumulator& other) {
+  if (!other.any) return;
+  if (!any) {
+    min = other.min;
+    max = other.max;
+    any = true;
+    return;
+  }
+  for (size_t d = 0; d < min.size(); ++d) {
+    min[d] = std::min(min[d], other.min[d]);
+    max[d] = std::max(max[d], other.max[d]);
+  }
+}
+
+Sq8PartitionParams FinalizeSq8Params(const Sq8BoundsAccumulator& bounds) {
+  Sq8PartitionParams params;
+  const size_t dim = bounds.min.size();
+  params.min = bounds.min;
+  params.scale.resize(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    const float range = bounds.max[d] - bounds.min[d];
+    params.scale[d] = range > 0.f ? range / 255.0f : 0.f;
+  }
+  return params;
+}
+
+Result<uint64_t> RequantizePartition(BTree vectors, BTree sq8,
+                                     BTree params_table, uint32_t partition,
+                                     uint32_t dim,
+                                     Sq8BoundsAccumulator* global_bounds) {
+  // Pass A: per-dim bounds over the partition's rows.
+  Sq8BoundsAccumulator bounds;
+  bounds.Reset(dim);
+  MICRONN_RETURN_IF_ERROR(ScanPartition(
+      vectors, partition, dim, /*filter=*/{},
+      [&](const ScanBlock& block) -> Status {
+        for (size_t r = 0; r < block.count; ++r) {
+          bounds.Add(block.data + r * dim, dim);
+        }
+        return Status::OK();
+      },
+      nullptr));
+  if (!bounds.any) return 0;  // empty partition: no params, no codes
+  const Sq8PartitionParams params = FinalizeSq8Params(bounds);
+  if (global_bounds != nullptr) global_bounds->Union(bounds);
+
+  // Pass B: quantize every row and write its sq8 sidecar row.
+  uint64_t rows = 0;
+  std::vector<uint8_t> codes(dim);
+  MICRONN_RETURN_IF_ERROR(ScanPartition(
+      vectors, partition, dim, /*filter=*/{},
+      [&](const ScanBlock& block) -> Status {
+        for (size_t r = 0; r < block.count; ++r) {
+          QuantizeSq8(block.data + r * dim, params.min.data(),
+                      params.scale.data(), dim, codes.data());
+          MICRONN_RETURN_IF_ERROR(
+              sq8.Put(VectorKey(partition, block.vids[r]),
+                      EncodeSq8Row(codes.data(), dim)));
+          ++rows;
+        }
+        return Status::OK();
+      },
+      nullptr));
+  MICRONN_RETURN_IF_ERROR(
+      params_table.Put(key::U32(partition), EncodeSq8Params(params)));
+  return rows;
 }
 
 bool ShouldFullRebuild(const IndexStats& stats, const RebuildPolicy& policy) {

@@ -11,6 +11,7 @@
 #define MICRONN_IVF_MAINTENANCE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/result.h"
 #include "ivf/centroid_set.h"
@@ -43,6 +44,43 @@ Result<IndexStats> ComputeIndexStats(const CentroidSet& centroids,
 
 /// True when the growth criterion mandates a full rebuild.
 bool ShouldFullRebuild(const IndexStats& stats, const RebuildPolicy& policy);
+
+// --- SQ8 quantization maintenance ---
+//
+// Scalar-quantization parameters are per partition and are recomputed
+// during the same partition maintenance MicroNN already performs: a full
+// rebuild re-derives every partition's per-dim bounds from its final
+// membership (and the collection-global bounds that serve the delta
+// store), while the incremental delta flush re-quantizes each moved row
+// with its destination partition's existing parameters.
+
+/// Streaming per-dimension bounds over a set of vectors; O(dim) memory.
+struct Sq8BoundsAccumulator {
+  std::vector<float> min;
+  std::vector<float> max;
+  bool any = false;
+
+  void Reset(size_t dim);
+  void Add(const float* v, size_t dim);
+  /// Unions another accumulator's bounds (the global-bounds fold).
+  void Union(const Sq8BoundsAccumulator& other);
+};
+
+/// Finalizes bounds into quantization parameters: scale = (max - min)/255
+/// per dimension (0 for constant dimensions, which encode exactly).
+Sq8PartitionParams FinalizeSq8Params(const Sq8BoundsAccumulator& bounds);
+
+/// Recomputes partition `partition`'s SQ8 parameters from its current rows
+/// in `vectors` and rewrites its rows in `sq8` (two passes over the
+/// partition's contiguous key range, O(dim) working memory), then writes
+/// the params row to `params_table`. An empty partition writes nothing.
+/// `global_bounds` (optional) receives the union of the partition's
+/// bounds. Returns the number of rows quantized. Must run inside a write
+/// transaction owning all three trees.
+Result<uint64_t> RequantizePartition(BTree vectors, BTree sq8,
+                                     BTree params_table, uint32_t partition,
+                                     uint32_t dim,
+                                     Sq8BoundsAccumulator* global_bounds);
 
 }  // namespace micronn
 

@@ -2,6 +2,8 @@
 
 #include <cstring>
 #include <limits>
+#include <type_traits>
+#include <utility>
 
 #include "storage/key_encoding.h"
 
@@ -10,27 +12,16 @@ namespace micronn {
 namespace {
 
 // Shared scan core: iterates the cursor while keys satisfy `in_range`,
-// assembling blocks.
-Status ScanRange(BTree* vectors, BTreeCursor* cursor, uint32_t dim,
-                 const RowFilter& filter, const BlockCallback& cb,
-                 ScanCounters* counters,
-                 const std::function<bool(std::string_view)>& in_range) {
-  (void)vectors;
-  std::vector<uint64_t> vids(kScanBlockRows);
-  AlignedFloatBuffer block(kScanBlockRows * dim);
-  size_t fill = 0;
-
-  auto flush = [&]() -> Status {
-    if (fill == 0) return Status::OK();
-    ScanBlock sb;
-    sb.vids = vids.data();
-    sb.data = block.data();
-    sb.count = fill;
-    MICRONN_RETURN_IF_ERROR(cb(sb));
-    fill = 0;
-    return Status::OK();
-  };
-
+// applying the filter before any value access and handing each surviving
+// row's raw value to `append` (which decodes it and assembles blocks).
+// Values are borrowed via ValueView — no per-row heap allocation; the
+// float and quantized scans differ only in their `append`.
+template <typename Append>
+Status ScanRows(BTreeCursor* cursor, const RowFilter& filter,
+                ScanCounters* counters,
+                const std::function<bool(std::string_view)>& in_range,
+                Append&& append) {
+  std::string overflow;  // ValueView spill buffer, reused across rows
   while (cursor->Valid() && in_range(cursor->key())) {
     uint32_t partition;
     uint64_t vid;
@@ -43,20 +34,86 @@ Status ScanRange(BTree* vectors, BTreeCursor* cursor, uint32_t dim,
         continue;
       }
     }
-    MICRONN_ASSIGN_OR_RETURN(std::string value, cursor->value());
-    VectorRow row;
-    MICRONN_RETURN_IF_ERROR(DecodeVectorRow(value, dim, &row));
-    vids[fill] = vid;
-    std::memcpy(block.data() + fill * dim, row.vector_blob.data(),
-                dim * sizeof(float));
-    ++fill;
+    MICRONN_ASSIGN_OR_RETURN(std::string_view value,
+                             cursor->ValueView(&overflow));
+    MICRONN_RETURN_IF_ERROR(append(vid, value));
     if (counters != nullptr) ++counters->rows_scanned;
-    if (fill == kScanBlockRows) {
-      MICRONN_RETURN_IF_ERROR(flush());
-    }
     MICRONN_RETURN_IF_ERROR(cursor->Next());
   }
-  return flush();
+  return Status::OK();
+}
+
+// Key bound covering exactly one partition's contiguous range.
+std::function<bool(std::string_view)> PartitionRange(std::string prefix) {
+  return [prefix = std::move(prefix)](std::string_view key) {
+    return key.size() >= prefix.size() &&
+           key.substr(0, prefix.size()) == prefix;
+  };
+}
+
+// Fixed-capacity block assembler shared by the float and quantized scan
+// loops: buffers up to kScanBlockRows rows (row_elems elements each) and
+// emits full blocks through `emit(vids, rows, count)`; callers Flush()
+// the final partial block.
+template <typename Storage>
+class BlockAssembler {
+ public:
+  using Elem =
+      std::remove_reference_t<decltype(*std::declval<Storage&>().data())>;
+  using Emit =
+      std::function<Status(const uint64_t* vids, const Elem* rows,
+                           size_t count)>;
+
+  BlockAssembler(size_t row_elems, Emit emit)
+      : vids_(kScanBlockRows),
+        block_(kScanBlockRows * row_elems),
+        row_elems_(row_elems),
+        emit_(std::move(emit)) {}
+
+  Status Append(uint64_t vid, const Elem* row) {
+    vids_[fill_] = vid;
+    std::memcpy(block_.data() + fill_ * row_elems_, row,
+                row_elems_ * sizeof(Elem));
+    if (++fill_ == kScanBlockRows) return Flush();
+    return Status::OK();
+  }
+
+  Status Flush() {
+    if (fill_ == 0) return Status::OK();
+    const size_t count = fill_;
+    fill_ = 0;
+    return emit_(vids_.data(), block_.data(), count);
+  }
+
+ private:
+  std::vector<uint64_t> vids_;
+  Storage block_;
+  size_t row_elems_;
+  size_t fill_ = 0;
+  Emit emit_;
+};
+
+Status ScanRange(BTreeCursor* cursor, uint32_t dim, const RowFilter& filter,
+                 const BlockCallback& cb, ScanCounters* counters,
+                 const std::function<bool(std::string_view)>& in_range) {
+  BlockAssembler<AlignedFloatBuffer> blocks(
+      dim, [&cb](const uint64_t* vids, const float* rows,
+                 size_t count) -> Status {
+        ScanBlock sb;
+        sb.vids = vids;
+        sb.data = rows;
+        sb.count = count;
+        return cb(sb);
+      });
+  MICRONN_RETURN_IF_ERROR(ScanRows(
+      cursor, filter, counters, in_range,
+      [&](uint64_t vid, std::string_view value) -> Status {
+        VectorRow row;
+        MICRONN_RETURN_IF_ERROR(DecodeVectorRow(value, dim, &row));
+        return blocks.Append(
+            vid, reinterpret_cast<const float*>(row.vector_blob.data()));
+      }));
+  return blocks.Flush();
 }
 
 }  // namespace
@@ -64,21 +121,44 @@ Status ScanRange(BTree* vectors, BTreeCursor* cursor, uint32_t dim,
 Status ScanPartition(BTree vectors, uint32_t partition, uint32_t dim,
                      const RowFilter& filter, const BlockCallback& cb,
                      ScanCounters* counters) {
-  const std::string prefix = PartitionPrefix(partition);
+  std::string prefix = PartitionPrefix(partition);
   BTreeCursor cursor = vectors.NewCursor();
   MICRONN_RETURN_IF_ERROR(cursor.Seek(prefix));
-  return ScanRange(&vectors, &cursor, dim, filter, cb, counters,
-                   [&prefix](std::string_view key) {
-                     return key.size() >= prefix.size() &&
-                            key.substr(0, prefix.size()) == prefix;
-                   });
+  return ScanRange(&cursor, dim, filter, cb, counters,
+                   PartitionRange(std::move(prefix)));
+}
+
+Status ScanPartitionSq8(BTree sq8, uint32_t partition, uint32_t dim,
+                        const RowFilter& filter, const Sq8BlockCallback& cb,
+                        ScanCounters* counters) {
+  std::string prefix = PartitionPrefix(partition);
+  BTreeCursor cursor = sq8.NewCursor();
+  MICRONN_RETURN_IF_ERROR(cursor.Seek(prefix));
+
+  BlockAssembler<std::vector<uint8_t>> blocks(
+      dim, [&cb](const uint64_t* vids, const uint8_t* rows,
+                 size_t count) -> Status {
+        Sq8ScanBlock sb;
+        sb.vids = vids;
+        sb.codes = rows;
+        sb.count = count;
+        return cb(sb);
+      });
+  MICRONN_RETURN_IF_ERROR(ScanRows(
+      &cursor, filter, counters, PartitionRange(std::move(prefix)),
+      [&](uint64_t vid, std::string_view value) -> Status {
+        MICRONN_ASSIGN_OR_RETURN(const uint8_t* codes,
+                                 DecodeSq8Row(value, dim));
+        return blocks.Append(vid, codes);
+      }));
+  return blocks.Flush();
 }
 
 Status ScanAllPartitions(BTree vectors, uint32_t dim, const RowFilter& filter,
                          const BlockCallback& cb, ScanCounters* counters) {
   BTreeCursor cursor = vectors.NewCursor();
   MICRONN_RETURN_IF_ERROR(cursor.SeekToFirst());
-  return ScanRange(&vectors, &cursor, dim, filter, cb, counters,
+  return ScanRange(&cursor, dim, filter, cb, counters,
                    [](std::string_view) { return true; });
 }
 

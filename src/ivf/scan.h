@@ -36,6 +36,16 @@ struct ScanBlock {
 /// Receives blocks during a scan; returning an error aborts the scan.
 using BlockCallback = std::function<Status(const ScanBlock&)>;
 
+/// One decoded block of quantized partition rows (row i at
+/// codes + i * dim; dim bytes per row).
+struct Sq8ScanBlock {
+  const uint64_t* vids = nullptr;
+  const uint8_t* codes = nullptr;
+  size_t count = 0;
+};
+
+using Sq8BlockCallback = std::function<Status(const Sq8ScanBlock&)>;
+
 /// Scan statistics (observability + the paper's I/O accounting).
 struct ScanCounters {
   uint64_t rows_scanned = 0;    // rows decoded (after filtering)
@@ -51,6 +61,14 @@ inline constexpr size_t kScanBlockRows = 256;
 Status ScanPartition(BTree vectors, uint32_t partition, uint32_t dim,
                      const RowFilter& filter, const BlockCallback& cb,
                      ScanCounters* counters);
+
+/// Scans partition `partition` of the `vectors#sq8` sidecar table: rows are
+/// raw dim-byte code strings, assembled into int8 blocks with no
+/// per-row float decode or marshalling. The filter (optional) is applied
+/// before block assembly, same as the float scan.
+Status ScanPartitionSq8(BTree sq8, uint32_t partition, uint32_t dim,
+                        const RowFilter& filter, const Sq8BlockCallback& cb,
+                        ScanCounters* counters);
 
 /// Scans the entire vectors table (every partition, delta included) — the
 /// exact-KNN path.

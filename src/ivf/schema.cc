@@ -82,6 +82,53 @@ Status DecodeVidMapValue(std::string_view value, uint32_t* partition) {
   return Status::OK();
 }
 
+std::string EncodeSq8Params(const Sq8PartitionParams& params) {
+  std::string v;
+  const size_t dim = params.min.size();
+  v.reserve(2 * dim * sizeof(float));
+  v.append(reinterpret_cast<const char*>(params.min.data()),
+           dim * sizeof(float));
+  v.append(reinterpret_cast<const char*>(params.scale.data()),
+           dim * sizeof(float));
+  return v;
+}
+
+Status DecodeSq8Params(std::string_view value, size_t dim,
+                       Sq8PartitionParams* out) {
+  if (value.size() != 2 * dim * sizeof(float)) {
+    return Status::Corruption("sq8 params size mismatch");
+  }
+  out->min.resize(dim);
+  out->scale.resize(dim);
+  std::memcpy(out->min.data(), value.data(), dim * sizeof(float));
+  std::memcpy(out->scale.data(), value.data() + dim * sizeof(float),
+              dim * sizeof(float));
+  return Status::OK();
+}
+
+Result<std::optional<Sq8PartitionParams>> GetSq8Params(BTree* sq8params,
+                                                       uint32_t partition,
+                                                       size_t dim) {
+  MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> blob,
+                           sq8params->Get(key::U32(partition)));
+  if (!blob.has_value()) return std::optional<Sq8PartitionParams>();
+  std::optional<Sq8PartitionParams> params;
+  params.emplace();
+  MICRONN_RETURN_IF_ERROR(DecodeSq8Params(*blob, dim, &*params));
+  return params;
+}
+
+std::string EncodeSq8Row(const uint8_t* codes, size_t dim) {
+  return std::string(reinterpret_cast<const char*>(codes), dim);
+}
+
+Result<const uint8_t*> DecodeSq8Row(std::string_view value, size_t dim) {
+  if (value.size() != dim) {
+    return Status::Corruption("sq8 row size mismatch");
+  }
+  return reinterpret_cast<const uint8_t*>(value.data());
+}
+
 Result<uint64_t> MetaGetU64(BTree* meta, std::string_view key,
                             uint64_t default_value) {
   MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> v,

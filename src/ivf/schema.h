@@ -20,6 +20,7 @@
 #define MICRONN_IVF_SCHEMA_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,12 +45,24 @@ inline constexpr const char* kAssetsTable = "assets";
 inline constexpr const char* kCentroidsTable = "centroids";
 inline constexpr const char* kAttributesTable = "attributes";
 inline constexpr const char* kMetaTable = "meta";
+/// SQ8 sidecar tables: `vectors#sq8` mirrors the vectors table key-for-key
+/// with int8 quantized rows (dim bytes per row, the quantized-scan column);
+/// `sq8params` holds one per-partition parameter row (per-dim min/scale).
+/// Invariant: whenever sq8params has an entry for partition p, every row of
+/// p in `vectors` has a matching row in `vectors#sq8` — a partition without
+/// params falls back to full-precision scans.
+inline constexpr const char* kSq8Table = "vectors#sq8";
+inline constexpr const char* kSq8ParamsTable = "sq8params";
 /// Staging tables used during a chunked full rebuild.
 inline constexpr const char* kVectorsNewTable = "vectors#new";
 inline constexpr const char* kVidMapNewTable = "vidmap#new";
+inline constexpr const char* kSq8NewTable = "vectors#sq8#new";
+inline constexpr const char* kSq8ParamsNewTable = "sq8params#new";
 /// Previous-generation tables awaiting chunked cleanup after a swap.
 inline constexpr const char* kVectorsOldTable = "vectors#old";
 inline constexpr const char* kVidMapOldTable = "vidmap#old";
+inline constexpr const char* kSq8OldTable = "vectors#sq8#old";
+inline constexpr const char* kSq8ParamsOldTable = "sq8params#old";
 
 /// Meta keys.
 inline constexpr const char* kMetaDim = "dim";
@@ -99,6 +112,30 @@ Status DecodeCentroidRow(std::string_view value, size_t dim,
 /// vidmap row payload: the partition currently holding a vid.
 std::string EncodeVidMapValue(uint32_t partition);
 Status DecodeVidMapValue(std::string_view value, uint32_t* partition);
+
+/// sq8params row payload: per-dimension affine quantization parameters of
+/// one partition (code c reconstructs as min[d] + scale[d] * c). The
+/// delta-store entry (partition 0) holds collection-global parameters so
+/// freshly upserted rows can be quantized before any maintenance runs.
+struct Sq8PartitionParams {
+  std::vector<float> min;    // dim entries
+  std::vector<float> scale;  // dim entries, >= 0
+};
+
+std::string EncodeSq8Params(const Sq8PartitionParams& params);
+Status DecodeSq8Params(std::string_view value, size_t dim,
+                       Sq8PartitionParams* out);
+/// Loads one partition's params from the sq8params table; nullopt when the
+/// partition has none (scans then fall back to full precision).
+Result<std::optional<Sq8PartitionParams>> GetSq8Params(BTree* sq8params,
+                                                       uint32_t partition,
+                                                       size_t dim);
+
+/// vectors#sq8 row payload: exactly dim code bytes (no header — the row's
+/// asset id lives in the full-precision row). Returns the code pointer, or
+/// Corruption on a size mismatch.
+std::string EncodeSq8Row(const uint8_t* codes, size_t dim);
+Result<const uint8_t*> DecodeSq8Row(std::string_view value, size_t dim);
 
 // --- Meta accessors (operate on the meta table through any view) ---
 

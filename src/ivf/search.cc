@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <unordered_set>
 #include <utility>
@@ -10,6 +11,7 @@
 #include "common/memory_tracker.h"
 #include "numerics/aligned_buffer.h"
 #include "numerics/distance.h"
+#include "numerics/sq8.h"
 #include "storage/key_encoding.h"
 
 namespace micronn {
@@ -22,12 +24,109 @@ const RowFilter& NoFilter() {
   return empty;
 }
 
+// True when every target carries the same filter pointer, so the filter
+// (or its absence) can run once inside the scan, below row decode.
+bool HasSharedFilter(const HeapScanTarget* targets, size_t n_targets) {
+  for (size_t i = 1; i < n_targets; ++i) {
+    if (targets[i].filter != targets[0].filter) return false;
+  }
+  return true;
+}
+
+// Pushes one scored block when filtering already happened inside the scan
+// (shared-filter path): every row goes to every heap.
+void PushBlockAll(const uint64_t* vids, size_t count, const float* dist,
+                  HeapScanTarget* targets, size_t n_targets) {
+  for (size_t i = 0; i < n_targets; ++i) {
+    const float* row = dist + i * count;
+    TopKHeap* heap = targets[i].heap;
+    for (size_t r = 0; r < count; ++r) {
+      heap->Push(vids[r], row[r]);
+    }
+  }
+}
+
+// Pushes one scored block in the heterogeneous-filter path. With a shared
+// evaluator, each row's attribute record is decoded once and all distinct
+// predicates are evaluated against it (`verdicts` is the per-scan slot
+// buffer, n_slots entries); targets consume verdicts via filter_slot.
+// Without one, each target's RowFilter runs per row — exactly what a
+// dedicated filtered scan would have done. Per-target counters are
+// identical either way.
+Status PushBlockHetero(const uint64_t* vids, size_t count, const float* dist,
+                       HeapScanTarget* targets, size_t n_targets,
+                       const SharedFilterEval* shared_eval, bool* verdicts) {
+  if (shared_eval != nullptr) {
+    for (size_t r = 0; r < count; ++r) {
+      MICRONN_RETURN_IF_ERROR((*shared_eval)(vids[r], verdicts));
+      for (size_t i = 0; i < n_targets; ++i) {
+        HeapScanTarget& t = targets[i];
+        bool keep = true;
+        if (t.filter_slot >= 0) {
+          keep = verdicts[t.filter_slot];
+        } else if (t.filter != nullptr && *t.filter) {
+          // Filtered target without a verdict slot: fall back to its own
+          // row filter (the search.h contract).
+          MICRONN_ASSIGN_OR_RETURN(keep, (*t.filter)(vids[r]));
+        }
+        if (!keep) {
+          if (t.counters != nullptr) ++t.counters->rows_filtered;
+          continue;
+        }
+        t.heap->Push(vids[r], dist[i * count + r]);
+        if (t.counters != nullptr) ++t.counters->rows_scanned;
+      }
+    }
+    return Status::OK();
+  }
+  for (size_t i = 0; i < n_targets; ++i) {
+    const float* row = dist + i * count;
+    TopKHeap* heap = targets[i].heap;
+    ScanCounters* counters = targets[i].counters;
+    const RowFilter* filter = targets[i].filter;
+    if (filter == nullptr || !*filter) {
+      for (size_t r = 0; r < count; ++r) {
+        heap->Push(vids[r], row[r]);
+      }
+      if (counters != nullptr) counters->rows_scanned += count;
+      continue;
+    }
+    for (size_t r = 0; r < count; ++r) {
+      MICRONN_ASSIGN_OR_RETURN(bool keep, (*filter)(vids[r]));
+      if (keep) {
+        heap->Push(vids[r], row[r]);
+        if (counters != nullptr) ++counters->rows_scanned;
+      } else if (counters != nullptr) {
+        ++counters->rows_filtered;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Shared-filter epilogue: the physical scan counters apply to every target
+// verbatim (each saw exactly the rows a dedicated scan would have).
+void FoldSharedCounters(const ScanCounters& sc, HeapScanTarget* targets,
+                        size_t n_targets, ScanCounters* scan_counters) {
+  for (size_t i = 0; i < n_targets; ++i) {
+    if (targets[i].counters != nullptr) {
+      targets[i].counters->rows_scanned += sc.rows_scanned;
+      targets[i].counters->rows_filtered += sc.rows_filtered;
+    }
+  }
+  if (scan_counters != nullptr) {
+    scan_counters->rows_scanned += sc.rows_scanned;
+    scan_counters->rows_filtered += sc.rows_filtered;
+  }
+}
+
 }  // namespace
 
 Status ScanPartitionIntoHeaps(BTree vectors, uint32_t partition, Metric metric,
                               uint32_t dim, HeapScanTarget* targets,
-                              size_t n_targets,
-                              ScanCounters* scan_counters) {
+                              size_t n_targets, ScanCounters* scan_counters,
+                              const SharedFilterEval* shared_eval,
+                              size_t n_slots) {
   if (n_targets == 0) return Status::OK();
 
   // Gather the queries into a contiguous submatrix so one
@@ -60,14 +159,7 @@ Status ScanPartitionIntoHeaps(BTree vectors, uint32_t partition, Metric metric,
   // Filter pushdown: one shared filter (or none) runs inside the scan so
   // failing rows skip decode; the scan counters then apply to every
   // target verbatim.
-  bool shared_filter = true;
-  for (size_t i = 1; i < n_targets; ++i) {
-    if (targets[i].filter != targets[0].filter) {
-      shared_filter = false;
-      break;
-    }
-  }
-  if (shared_filter) {
+  if (HasSharedFilter(targets, n_targets)) {
     const RowFilter& filter =
         targets[0].filter != nullptr ? *targets[0].filter : NoFilter();
     ScanCounters sc;
@@ -75,59 +167,82 @@ Status ScanPartitionIntoHeaps(BTree vectors, uint32_t partition, Metric metric,
         vectors, partition, dim, filter,
         [&](const ScanBlock& block) -> Status {
           score_block(block);
-          for (size_t i = 0; i < n_targets; ++i) {
-            const float* row = dist.data() + i * block.count;
-            TopKHeap* heap = targets[i].heap;
-            for (size_t r = 0; r < block.count; ++r) {
-              heap->Push(block.vids[r], row[r]);
-            }
-          }
+          PushBlockAll(block.vids, block.count, dist.data(), targets,
+                       n_targets);
           return Status::OK();
         },
         &sc));
-    for (size_t i = 0; i < n_targets; ++i) {
-      if (targets[i].counters != nullptr) {
-        targets[i].counters->rows_scanned += sc.rows_scanned;
-        targets[i].counters->rows_filtered += sc.rows_filtered;
-      }
-    }
-    if (scan_counters != nullptr) {
-      scan_counters->rows_scanned += sc.rows_scanned;
-      scan_counters->rows_filtered += sc.rows_filtered;
-    }
+    FoldSharedCounters(sc, targets, n_targets, scan_counters);
     return Status::OK();
   }
 
-  // Heterogeneous filters: scan unfiltered, evaluate each target's filter
-  // per row. Per-target counters end up exactly as a dedicated filtered
-  // scan would have left them.
+  // Heterogeneous filters: scan unfiltered, evaluate per row (sharing the
+  // attribute decode through `shared_eval` when the caller provides one).
+  std::unique_ptr<bool[]> verdicts(n_slots > 0 ? new bool[n_slots]()
+                                               : nullptr);
   return ScanPartition(
       vectors, partition, dim, /*filter=*/NoFilter(),
       [&](const ScanBlock& block) -> Status {
         score_block(block);
-        for (size_t i = 0; i < n_targets; ++i) {
-          const float* row = dist.data() + i * block.count;
-          TopKHeap* heap = targets[i].heap;
-          ScanCounters* counters = targets[i].counters;
-          const RowFilter* filter = targets[i].filter;
-          if (filter == nullptr || !*filter) {
-            for (size_t r = 0; r < block.count; ++r) {
-              heap->Push(block.vids[r], row[r]);
-            }
-            if (counters != nullptr) counters->rows_scanned += block.count;
-            continue;
-          }
-          for (size_t r = 0; r < block.count; ++r) {
-            MICRONN_ASSIGN_OR_RETURN(bool keep, (*filter)(block.vids[r]));
-            if (keep) {
-              heap->Push(block.vids[r], row[r]);
-              if (counters != nullptr) ++counters->rows_scanned;
-            } else if (counters != nullptr) {
-              ++counters->rows_filtered;
-            }
-          }
-        }
-        return Status::OK();
+        return PushBlockHetero(block.vids, block.count, dist.data(), targets,
+                               n_targets, shared_eval, verdicts.get());
+      },
+      scan_counters);
+}
+
+Status ScanPartitionSq8IntoHeaps(BTree sq8, uint32_t partition, Metric metric,
+                                 uint32_t dim, const float* min,
+                                 const float* scale, HeapScanTarget* targets,
+                                 size_t n_targets, ScanCounters* scan_counters,
+                                 const SharedFilterEval* shared_eval,
+                                 size_t n_slots) {
+  if (n_targets == 0) return Status::OK();
+
+  // Fold the partition's affine parameters into each query once; block
+  // scoring then touches only code bytes.
+  std::vector<Sq8QueryContext> ctx(n_targets);
+  for (size_t i = 0; i < n_targets; ++i) {
+    ctx[i].Prepare(metric, targets[i].query, min, scale, dim);
+  }
+  std::vector<float> dist(n_targets * kScanBlockRows);
+  ScopedMemoryReservation mem(
+      MemoryCategory::kQueryExec,
+      (dist.size() + n_targets * 2 * dim) * sizeof(float));
+
+  // Queries stream over each code block while it is cache-hot — the same
+  // blocking DistanceManyToMany applies to float rows.
+  auto score_block = [&](const Sq8ScanBlock& block) {
+    for (size_t i = 0; i < n_targets; ++i) {
+      Sq8DistanceOneToMany(ctx[i], block.codes, block.count,
+                           dist.data() + i * block.count);
+    }
+  };
+
+  if (HasSharedFilter(targets, n_targets)) {
+    const RowFilter& filter =
+        targets[0].filter != nullptr ? *targets[0].filter : NoFilter();
+    ScanCounters sc;
+    MICRONN_RETURN_IF_ERROR(ScanPartitionSq8(
+        sq8, partition, dim, filter,
+        [&](const Sq8ScanBlock& block) -> Status {
+          score_block(block);
+          PushBlockAll(block.vids, block.count, dist.data(), targets,
+                       n_targets);
+          return Status::OK();
+        },
+        &sc));
+    FoldSharedCounters(sc, targets, n_targets, scan_counters);
+    return Status::OK();
+  }
+
+  std::unique_ptr<bool[]> verdicts(n_slots > 0 ? new bool[n_slots]()
+                                               : nullptr);
+  return ScanPartitionSq8(
+      sq8, partition, dim, /*filter=*/NoFilter(),
+      [&](const Sq8ScanBlock& block) -> Status {
+        score_block(block);
+        return PushBlockHetero(block.vids, block.count, dist.data(), targets,
+                               n_targets, shared_eval, verdicts.get());
       },
       scan_counters);
 }

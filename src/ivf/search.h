@@ -33,6 +33,15 @@ struct SearchCounters {
   uint64_t rows_filtered = 0;
 };
 
+/// Shared attribute-filter evaluation for a heterogeneous-filter fan-in:
+/// fetches and decodes the row's attribute record once per row, then
+/// evaluates every distinct fan-in predicate against it. verdicts[s]
+/// receives slot s (callers size the buffer to the slot count). Built by
+/// the query executor, which owns the predicate/attribute types; the scan
+/// kernels only route verdicts. Must be thread-safe: shared scans call it
+/// concurrently from multiple workers with per-worker verdict buffers.
+using SharedFilterEval = std::function<Status(uint64_t vid, bool* verdicts)>;
+
 /// One query's slot in a (possibly shared) partition scan: where its
 /// distances go, which rows it accepts, and where its counters accumulate.
 struct HeapScanTarget {
@@ -40,6 +49,10 @@ struct HeapScanTarget {
   TopKHeap* heap = nullptr;           // receives surviving rows
   const RowFilter* filter = nullptr;  // optional per-query filter
   ScanCounters* counters = nullptr;   // optional per-query counters
+  /// Verdict slot of this target's predicate in the scan's
+  /// SharedFilterEval; -1 when the target is unfiltered or the scan runs
+  /// without shared evaluation (per-target `filter` is used instead).
+  int filter_slot = -1;
 };
 
 /// The scan-into-heaps kernel: scans `partition` exactly once and scores
@@ -57,10 +70,34 @@ struct HeapScanTarget {
 /// `scan_counters` (optional) receives the *physical* scan cost — rows
 /// decoded once, however many targets consumed them — which is what the
 /// group-level MQO accounting wants.
+///
+/// `shared_eval` (optional, heterogeneous-filter fan-ins only): decodes
+/// each row's attribute record once and evaluates all distinct predicates
+/// (`n_slots` of them); filtered targets then consume verdicts through
+/// their `filter_slot` instead of running their own attribute lookup per
+/// row. Targets with filter_slot < 0 fall back to their RowFilter.
 Status ScanPartitionIntoHeaps(BTree vectors, uint32_t partition, Metric metric,
                               uint32_t dim, HeapScanTarget* targets,
                               size_t n_targets,
-                              ScanCounters* scan_counters = nullptr);
+                              ScanCounters* scan_counters = nullptr,
+                              const SharedFilterEval* shared_eval = nullptr,
+                              size_t n_slots = 0);
+
+/// The quantized twin of ScanPartitionIntoHeaps: scans the partition's
+/// int8 rows from the `vectors#sq8` sidecar table and scores them with the
+/// asymmetric SQ8 kernels against every target (per-target affine
+/// precompute done once per scan from the partition's `min`/`scale`
+/// arrays, dim entries each). Distances pushed into the heaps approximate
+/// the full-precision distances — callers size the heaps to k*alpha and
+/// re-score the survivors exactly (the executor's rerank op). Filter
+/// semantics, counters, and shared evaluation match the float kernel.
+Status ScanPartitionSq8IntoHeaps(BTree sq8, uint32_t partition, Metric metric,
+                                 uint32_t dim, const float* min,
+                                 const float* scale, HeapScanTarget* targets,
+                                 size_t n_targets,
+                                 ScanCounters* scan_counters = nullptr,
+                                 const SharedFilterEval* shared_eval = nullptr,
+                                 size_t n_slots = 0);
 
 /// Algorithm 2. `query` must already be normalized when metric == kCosine.
 /// `pool` may be null (serial scan). `filter` may be empty.

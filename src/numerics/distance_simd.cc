@@ -3,6 +3,7 @@
 // the dispatcher in distance.cc only calls a kernel after verifying CPU
 // support, so no illegal instruction can be reached.
 #include <cstddef>
+#include <cstdint>
 
 #include <immintrin.h>
 
@@ -72,6 +73,85 @@ __attribute__((target("avx2,fma"))) float DotAvx2(const float* a,
   float sum = _mm_cvtss_f32(lo);
   for (; i < d; ++i) {
     sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+// Asymmetric SQ8 kernels: a float query (pre-adjusted for the partition's
+// quantization parameters, see numerics/sq8.h) against int8 rows. Codes
+// are widened 8-at-a-time (pmovzxbd + cvtdq2ps) and folded with FMA, so
+// the only memory traffic per dimension is one code byte.
+
+__attribute__((target("avx2,fma"))) float Sq8AdjustedL2Avx2(
+    const float* a, const float* s, const uint8_t* codes, size_t d) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    const __m128i raw = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(codes + i));
+    const __m256 c0 = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(raw));
+    const __m256 c1 = _mm256_cvtepi32_ps(
+        _mm256_cvtepu8_epi32(_mm_srli_si128(raw, 8)));
+    // diff = a - s * c
+    const __m256 d0 = _mm256_fnmadd_ps(_mm256_loadu_ps(s + i), c0,
+                                       _mm256_loadu_ps(a + i));
+    const __m256 d1 = _mm256_fnmadd_ps(_mm256_loadu_ps(s + i + 8), c1,
+                                       _mm256_loadu_ps(a + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= d; i += 8) {
+    const __m128i raw = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(codes + i));
+    const __m256 c0 = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(raw));
+    const __m256 d0 = _mm256_fnmadd_ps(_mm256_loadu_ps(s + i), c0,
+                                       _mm256_loadu_ps(a + i));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+  }
+  acc0 = _mm256_add_ps(acc0, acc1);
+  __m128 lo = _mm256_castps256_ps128(acc0);
+  __m128 hi = _mm256_extractf128_ps(acc0, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  float sum = _mm_cvtss_f32(lo);
+  for (; i < d; ++i) {
+    const float diff = a[i] - s[i] * static_cast<float>(codes[i]);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) float Sq8DotAvx2(
+    const float* a, const uint8_t* codes, size_t d) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    const __m128i raw = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(codes + i));
+    const __m256 c0 = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(raw));
+    const __m256 c1 = _mm256_cvtepi32_ps(
+        _mm256_cvtepu8_epi32(_mm_srli_si128(raw, 8)));
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), c0, acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8), c1, acc1);
+  }
+  for (; i + 8 <= d; i += 8) {
+    const __m128i raw = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(codes + i));
+    const __m256 c0 = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(raw));
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), c0, acc0);
+  }
+  acc0 = _mm256_add_ps(acc0, acc1);
+  __m128 lo = _mm256_castps256_ps128(acc0);
+  __m128 hi = _mm256_extractf128_ps(acc0, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  float sum = _mm_cvtss_f32(lo);
+  for (; i < d; ++i) {
+    sum += a[i] * static_cast<float>(codes[i]);
   }
   return sum;
 }

@@ -1,0 +1,129 @@
+#include "numerics/sq8.h"
+
+#include <cmath>
+
+#include "numerics/distance.h"
+
+namespace micronn {
+
+namespace internal {
+
+float Sq8AdjustedL2Scalar(const float* a, const float* s,
+                          const uint8_t* codes, size_t d) {
+  float acc = 0.f;
+  for (size_t i = 0; i < d; ++i) {
+    const float diff = a[i] - s[i] * static_cast<float>(codes[i]);
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+float Sq8DotScalar(const float* a, const uint8_t* codes, size_t d) {
+  float acc = 0.f;
+  for (size_t i = 0; i < d; ++i) {
+    acc += a[i] * static_cast<float>(codes[i]);
+  }
+  return acc;
+}
+
+// Implemented in distance_simd.cc with GCC target attributes.
+float Sq8AdjustedL2Avx2(const float* a, const float* s, const uint8_t* codes,
+                        size_t d);
+float Sq8DotAvx2(const float* a, const uint8_t* codes, size_t d);
+bool CpuHasAvx2();
+
+}  // namespace internal
+
+void QuantizeSq8(const float* v, const float* min, const float* scale,
+                 size_t d, uint8_t* out) {
+  for (size_t i = 0; i < d; ++i) {
+    if (scale[i] <= 0.f) {
+      out[i] = 0;
+      continue;
+    }
+    const float code = std::round((v[i] - min[i]) / scale[i]);
+    // The negated comparison routes NaN inputs to 0 instead of reaching
+    // the float->int cast, which would be UB for an unrepresentable value.
+    if (!(code > 0.f)) {
+      out[i] = 0;
+    } else if (code >= 255.f) {
+      out[i] = 255;
+    } else {
+      out[i] = static_cast<uint8_t>(static_cast<int>(code));
+    }
+  }
+}
+
+void DequantizeSq8(const uint8_t* codes, const float* min, const float* scale,
+                   size_t d, float* out) {
+  for (size_t i = 0; i < d; ++i) {
+    out[i] = min[i] + scale[i] * static_cast<float>(codes[i]);
+  }
+}
+
+void Sq8QueryContext::Prepare(Metric m, const float* query, const float* min,
+                              const float* scale, size_t d) {
+  metric = m;
+  dim = d;
+  a.resize(d);
+  bias = 0.f;
+  if (m == Metric::kL2) {
+    b.assign(scale, scale + d);
+    for (size_t i = 0; i < d; ++i) a[i] = query[i] - min[i];
+  } else {
+    b.clear();
+    for (size_t i = 0; i < d; ++i) a[i] = query[i] * scale[i];
+    bias = Dot(query, min, d);
+  }
+}
+
+void Sq8DistanceOneToMany(const Sq8QueryContext& ctx, const uint8_t* codes,
+                          size_t n, float* out) {
+  const size_t d = ctx.dim;
+  const bool avx2 =
+      ActiveSimdLevel() >= SimdLevel::kAvx2 && internal::CpuHasAvx2();
+  switch (ctx.metric) {
+    case Metric::kL2:
+      if (avx2) {
+        for (size_t i = 0; i < n; ++i) {
+          out[i] = internal::Sq8AdjustedL2Avx2(ctx.a.data(), ctx.b.data(),
+                                               codes + i * d, d);
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          out[i] = internal::Sq8AdjustedL2Scalar(ctx.a.data(), ctx.b.data(),
+                                                 codes + i * d, d);
+        }
+      }
+      break;
+    case Metric::kInnerProduct:
+      if (avx2) {
+        for (size_t i = 0; i < n; ++i) {
+          out[i] = -(ctx.bias + internal::Sq8DotAvx2(ctx.a.data(),
+                                                     codes + i * d, d));
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          out[i] = -(ctx.bias + internal::Sq8DotScalar(ctx.a.data(),
+                                                       codes + i * d, d));
+        }
+      }
+      break;
+    case Metric::kCosine:
+      if (avx2) {
+        for (size_t i = 0; i < n; ++i) {
+          out[i] = 1.0f - (ctx.bias + internal::Sq8DotAvx2(ctx.a.data(),
+                                                           codes + i * d, d));
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          out[i] =
+              1.0f - (ctx.bias + internal::Sq8DotScalar(ctx.a.data(),
+                                                        codes + i * d, d));
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace micronn

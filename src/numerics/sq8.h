@@ -1,0 +1,68 @@
+// SQ8 scalar quantization: the int8 row codec and the asymmetric
+// (float query x int8 row) distance kernels behind quantized partition
+// scans.
+//
+// Each partition carries per-dimension affine parameters (min, scale); a
+// stored code c reconstructs as min[d] + scale[d] * c. Queries stay in
+// full precision: distances are computed against the reconstruction
+// without materializing it, by folding the affine transform into a
+// per-(query, partition) precomputation (Sq8QueryContext). The quantized
+// scan ranks k*alpha candidates which the executor re-scores at full
+// precision, so quantization error never reaches reported distances.
+#ifndef MICRONN_NUMERICS_SQ8_H_
+#define MICRONN_NUMERICS_SQ8_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "numerics/metric.h"
+
+namespace micronn {
+
+/// Quantizes `d` floats: out[i] = clamp(round((v[i] - min[i]) / scale[i])).
+/// Values outside [min, min + 255*scale] saturate — streamed updates that
+/// escape a partition's box degrade gracefully and the full-precision
+/// rerank corrects them. A zero scale (constant dimension) encodes 0.
+void QuantizeSq8(const float* v, const float* min, const float* scale,
+                 size_t d, uint8_t* out);
+
+/// Reconstructs `d` floats: out[i] = min[i] + scale[i] * codes[i].
+void DequantizeSq8(const uint8_t* codes, const float* min, const float* scale,
+                   size_t d, float* out);
+
+/// Per-(query, partition-params) precomputation for asymmetric distances.
+///
+/// L2:   dist = sum_d ((q[d]-min[d]) - scale[d]*c[d])^2
+///       -> a = q - min, b = scale
+/// dot-based (inner product / cosine):
+///       dot(q, x) = dot(q, min) + sum_d (q[d]*scale[d]) * c[d]
+///       -> a = q * scale, bias = dot(q, min)
+struct Sq8QueryContext {
+  Metric metric = Metric::kL2;
+  size_t dim = 0;
+  std::vector<float> a;
+  std::vector<float> b;  // L2 only: the per-dim scales
+  float bias = 0.f;      // dot metrics only
+
+  void Prepare(Metric m, const float* query, const float* min,
+               const float* scale, size_t d);
+};
+
+/// Distances between the prepared query and `n` quantized rows (row i at
+/// codes + i*dim). Same orientation as DistanceOneToMany: smaller = more
+/// similar, and the value approximates the full-precision distance to the
+/// reconstructed vector.
+void Sq8DistanceOneToMany(const Sq8QueryContext& ctx, const uint8_t* codes,
+                          size_t n, float* out);
+
+namespace internal {
+// Scalar reference kernels (SIMD parity tests).
+float Sq8AdjustedL2Scalar(const float* a, const float* s,
+                          const uint8_t* codes, size_t d);
+float Sq8DotScalar(const float* a, const uint8_t* codes, size_t d);
+}  // namespace internal
+
+}  // namespace micronn
+
+#endif  // MICRONN_NUMERICS_SQ8_H_

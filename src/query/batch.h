@@ -32,7 +32,10 @@ struct ProbeRequest {
 
 /// Aggregate counters for one batch (plan-group) execution.
 struct BatchCounters {
-  uint64_t partitions_scanned = 0;  // unique partitions touched
+  /// Physical partition scans performed. Equals the unique partitions
+  /// touched, except that a partition whose fan-in mixes quantized and
+  /// float plans is scanned once per representation and counts twice.
+  uint64_t partitions_scanned = 0;
   uint64_t rows_scanned = 0;        // rows decoded across all partitions
   uint64_t probe_pairs = 0;         // sum over queries of probe set sizes
 };

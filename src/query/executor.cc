@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
+#include <memory>
 #include <unordered_map>
 
 #include "ivf/schema.h"
+#include "query/predicate.h"
+#include "query/value.h"
+#include "storage/key_encoding.h"
 
 namespace micronn {
 
@@ -16,6 +20,19 @@ struct PartitionWork {
   uint32_t partition;
   std::vector<size_t> plan_idx;
 };
+
+// One kernel invocation's fan-in: the targets plus (optionally) the
+// shared attribute-record evaluator for heterogeneous filters.
+struct SubScan {
+  std::vector<HeapScanTarget> targets;
+  SharedFilterEval eval;  // empty when per-target filters run instead
+  size_t n_slots = 0;
+};
+
+// A quantized plan's heap holds the rerank candidate pool.
+uint32_t HeapK(const PhysicalPlan& plan) {
+  return plan.quantized ? plan.rerank_k : plan.k;
+}
 
 }  // namespace
 
@@ -104,34 +121,151 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
     for (const size_t idx : pw.plan_idx) results[idx].shared_scan = true;
   }
 
-  // Phase 2: partition-scan op. Each partition is scanned exactly once;
-  // per-(worker, plan) heaps and counters.
+  // Load SQ8 parameters for every partition a quantized plan probes.
+  // Partitions without a params row (unbuilt index, pre-SQ8 builds) keep
+  // nullptr and fall back to the float scan.
+  bool any_quantized = false;
+  for (const size_t idx : scan_plans) {
+    any_quantized |= plans[idx].quantized;
+  }
+  std::vector<std::unique_ptr<Sq8PartitionParams>> work_params(work.size());
+  if (any_quantized && ctx_.sq8.has_value() && ctx_.sq8params.has_value()) {
+    for (size_t i = 0; i < work.size(); ++i) {
+      bool wanted = false;
+      for (const size_t idx : work[i].plan_idx) {
+        wanted |= plans[idx].quantized;
+      }
+      if (!wanted) continue;
+      MICRONN_ASSIGN_OR_RETURN(
+          std::optional<Sq8PartitionParams> params,
+          GetSq8Params(&*ctx_.sq8params, work[i].partition, ctx_.dim));
+      if (!params.has_value()) continue;
+      work_params[i] =
+          std::make_unique<Sq8PartitionParams>(std::move(*params));
+    }
+  }
+
+  // Phase 2: partition-scan op. Each partition is scanned exactly once
+  // per representation; per-(worker, plan) heaps and counters.
   const size_t n_workers =
       (ctx_.pool != nullptr) ? std::max<size_t>(1, ctx_.pool->num_threads())
                              : 1;
   struct WorkerState {
     std::unordered_map<size_t, TopKHeap> heaps;
     std::unordered_map<size_t, ScanCounters> counters;
+    std::unordered_map<size_t, uint64_t> quantized_partitions;
     ScanCounters physical;  // rows decoded once per shared scan
+    // Physical partition scans: a partition whose fan-in splits by
+    // representation is scanned once per representation and counts twice,
+    // keeping the group counters consistent with `physical`.
+    uint64_t physical_scans = 0;
     Status status;
   };
   std::vector<WorkerState> workers(n_workers);
 
-  auto process = [&](size_t worker_id, const PartitionWork& pw) -> Status {
-    WorkerState& ws = workers[worker_id];
-    std::vector<HeapScanTarget> targets;
-    targets.reserve(pw.plan_idx.size());
-    for (const size_t idx : pw.plan_idx) {
+  // Builds one kernel invocation's fan-in. When >= 2 of its targets carry
+  // filters, the per-row attribute record is decoded once and every
+  // distinct predicate (planner-deduped by equality, so duplicates share
+  // a slot) is evaluated against it — instead of one attributes-table
+  // lookup per filtered target per row.
+  auto build_subscan = [&](const std::vector<size_t>& idxs,
+                           WorkerState& ws) -> SubScan {
+    SubScan s;
+    s.targets.reserve(idxs.size());
+    size_t filtered = 0;
+    for (const size_t idx : idxs) {
       auto [it, inserted] =
-          ws.heaps.try_emplace(idx, TopKHeap(plans[idx].k));
-      targets.push_back(HeapScanTarget{
-          plans[idx].query.data(), &it->second,
-          plans[idx].filter != nullptr ? plans[idx].filter.get() : nullptr,
-          &ws.counters[idx]});
+          ws.heaps.try_emplace(idx, TopKHeap(HeapK(plans[idx])));
+      HeapScanTarget t;
+      t.query = plans[idx].query.data();
+      t.heap = &it->second;
+      t.filter = plans[idx].filter != nullptr ? plans[idx].filter.get()
+                                              : nullptr;
+      t.counters = &ws.counters[idx];
+      s.targets.push_back(t);
+      if (t.filter != nullptr) ++filtered;
     }
-    return ScanPartitionIntoHeaps(ctx_.vectors, pw.partition, ctx_.metric,
-                                  ctx_.dim, targets.data(), targets.size(),
-                                  &ws.physical);
+    if (filtered < 2 || !ctx_.attributes.has_value()) return s;
+    // Slot per distinct filter instance; every filtered plan must carry
+    // its predicate (they do — the planner binds them together).
+    std::vector<const RowFilter*> distinct;
+    auto preds =
+        std::make_shared<std::vector<std::shared_ptr<const Predicate>>>();
+    for (size_t i = 0; i < idxs.size(); ++i) {
+      const RowFilter* f = s.targets[i].filter;
+      if (f == nullptr) continue;
+      const std::shared_ptr<const Predicate>& pred =
+          plans[idxs[i]].predicate;
+      if (pred == nullptr) return s;  // no predicate: per-target fallback
+      size_t slot = 0;
+      for (; slot < distinct.size(); ++slot) {
+        if (distinct[slot] == f) break;
+      }
+      if (slot == distinct.size()) {
+        distinct.push_back(f);
+        preds->push_back(pred);
+      }
+      s.targets[i].filter_slot = static_cast<int>(slot);
+    }
+    s.n_slots = distinct.size();
+    BTree attributes = *ctx_.attributes;
+    s.eval = [attributes, preds](uint64_t vid,
+                                 bool* verdicts) mutable -> Status {
+      MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> blob,
+                               attributes.Get(key::U64(vid)));
+      const size_t n_slots = preds->size();
+      if (!blob.has_value()) {
+        std::fill(verdicts, verdicts + n_slots, false);
+        return Status::OK();
+      }
+      MICRONN_ASSIGN_OR_RETURN(AttributeRecord record,
+                               DecodeAttributeRecord(*blob));
+      for (size_t slot = 0; slot < n_slots; ++slot) {
+        MICRONN_ASSIGN_OR_RETURN(bool keep,
+                                 EvalPredicate(*(*preds)[slot], record));
+        verdicts[slot] = keep;
+      }
+      return Status::OK();
+    };
+    return s;
+  };
+
+  auto process = [&](size_t worker_id, size_t work_i) -> Status {
+    WorkerState& ws = workers[worker_id];
+    const PartitionWork& pw = work[work_i];
+    const Sq8PartitionParams* params = work_params[work_i].get();
+    // Split the fan-in by representation: quantized plans read the SQ8
+    // sidecar when this partition has parameters, the rest scan float.
+    std::vector<size_t> quant_idx;
+    std::vector<size_t> float_idx;
+    if (params != nullptr) {
+      for (const size_t idx : pw.plan_idx) {
+        (plans[idx].quantized ? quant_idx : float_idx).push_back(idx);
+      }
+    } else {
+      float_idx = pw.plan_idx;
+    }
+    if (!quant_idx.empty()) {
+      SubScan s = build_subscan(quant_idx, ws);
+      MICRONN_RETURN_IF_ERROR(ScanPartitionSq8IntoHeaps(
+          *ctx_.sq8, pw.partition, ctx_.metric, ctx_.dim,
+          params->min.data(), params->scale.data(), s.targets.data(),
+          s.targets.size(), &ws.physical, s.eval ? &s.eval : nullptr,
+          s.n_slots));
+      ++ws.physical_scans;
+      for (const size_t idx : quant_idx) {
+        ++ws.quantized_partitions[idx];
+      }
+    }
+    if (!float_idx.empty()) {
+      SubScan s = build_subscan(float_idx, ws);
+      MICRONN_RETURN_IF_ERROR(ScanPartitionIntoHeaps(
+          ctx_.vectors, pw.partition, ctx_.metric, ctx_.dim,
+          s.targets.data(), s.targets.size(), &ws.physical,
+          s.eval ? &s.eval : nullptr, s.n_slots));
+      ++ws.physical_scans;
+    }
+    return Status::OK();
   };
 
   if (ctx_.pool != nullptr && work.size() > 1) {
@@ -144,7 +278,7 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
         for (;;) {
           const size_t i = next.fetch_add(1);
           if (i >= work.size()) break;
-          Status st = process(w, work[i]);
+          Status st = process(w, i);
           if (!st.ok() && workers[w].status.ok()) workers[w].status = st;
         }
         wg.Done();
@@ -152,8 +286,8 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
     }
     wg.Wait();
   } else {
-    for (const PartitionWork& pw : work) {
-      MICRONN_RETURN_IF_ERROR(process(0, pw));
+    for (size_t i = 0; i < work.size(); ++i) {
+      MICRONN_RETURN_IF_ERROR(process(0, i));
     }
   }
   for (const WorkerState& ws : workers) {
@@ -165,7 +299,7 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
     std::unordered_map<size_t, TopKHeap> merged;
     merged.reserve(scan_plans.size());
     for (const size_t idx : scan_plans) {
-      merged.try_emplace(idx, TopKHeap(plans[idx].k));
+      merged.try_emplace(idx, TopKHeap(HeapK(plans[idx])));
     }
     for (WorkerState& ws : workers) {
       for (auto& [idx, heap] : ws.heaps) {
@@ -175,18 +309,49 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
         results[idx].counters.rows_scanned += sc.rows_scanned;
         results[idx].counters.rows_filtered += sc.rows_filtered;
       }
+      for (const auto& [idx, count] : ws.quantized_partitions) {
+        results[idx].partitions_quantized += count;
+      }
     }
     for (const size_t idx : scan_plans) {
       results[idx].neighbors = merged.at(idx).TakeSorted();
     }
   }
 
+  // Phase 3.5: rerank op — a quantized plan's candidate pool (k*alpha
+  // rows ranked by approximate distance) is re-scored at full precision
+  // through the vectorized SearchByVids machinery; reported distances are
+  // always exact. A quantized plan none of whose partitions had SQ8 data
+  // already holds exact distances: truncate instead of re-reading.
+  for (const size_t idx : scan_plans) {
+    const PhysicalPlan& plan = plans[idx];
+    if (!plan.quantized) continue;
+    PlanResult& r = results[idx];
+    if (r.partitions_quantized == 0) {
+      if (r.neighbors.size() > plan.k) r.neighbors.resize(plan.k);
+      continue;
+    }
+    r.quantized = true;
+    r.rerank_candidates = r.neighbors.size();
+    std::vector<uint64_t> vids;
+    vids.reserve(r.neighbors.size());
+    for (const Neighbor& nb : r.neighbors) vids.push_back(nb.id);
+    std::sort(vids.begin(), vids.end());
+    SearchCounters rerank_counters;
+    MICRONN_ASSIGN_OR_RETURN(
+        r.neighbors,
+        SearchByVids(ctx_.vectors, ctx_.vidmap, ctx_.metric, ctx_.dim,
+                     plan.query.data(), plan.k, vids, ctx_.pool,
+                     &rerank_counters));
+    r.rows_reranked = rerank_counters.rows_scanned;
+  }
+
   if (group != nullptr) {
-    group->partitions_scanned += work.size();
     for (const size_t idx : scan_plans) {
       group->probe_pairs += results[idx].probe_pairs;
     }
     for (const WorkerState& ws : workers) {
+      group->partitions_scanned += ws.physical_scans;
       group->rows_scanned += ws.physical.rows_scanned;
     }
   }

@@ -21,6 +21,7 @@
 #ifndef MICRONN_QUERY_EXECUTOR_H_
 #define MICRONN_QUERY_EXECUTOR_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
@@ -44,6 +45,15 @@ struct ExecutorContext {
   uint32_t dim = 0;
   Metric metric = Metric::kL2;
   ThreadPool* pool = nullptr;  // may be null (serial execution)
+  /// SQ8 sidecar tables (quantized plans). Unset disables the quantized
+  /// path; a partition without a params row falls back to the float scan.
+  std::optional<BTree> sq8;
+  std::optional<BTree> sq8params;
+  /// Attributes table for shared filter evaluation: heterogeneous-filter
+  /// fan-ins decode each row's attribute record once and evaluate every
+  /// distinct fan-in predicate against it. Unset falls back to per-plan
+  /// row filters.
+  std::optional<BTree> attributes;
 };
 
 /// One plan's outcome.
@@ -52,6 +62,16 @@ struct PlanResult {
   SearchCounters counters;          // true per-plan counters
   uint64_t probe_pairs = 0;         // probe set size, delta excluded
   bool shared_scan = false;         // scans were shared with other plans
+  /// Quantized-scan outcome (plans lowered with PhysicalPlan::quantized):
+  /// partitions served by the SQ8 sidecar, candidates handed to the
+  /// full-precision rerank, and rows the rerank re-read. `quantized` is
+  /// true only when at least one partition actually scanned quantized —
+  /// a quantized plan over an unbuilt index degenerates to the float path
+  /// and skips the rerank.
+  bool quantized = false;
+  uint64_t partitions_quantized = 0;
+  uint64_t rerank_candidates = 0;
+  uint64_t rows_reranked = 0;
 };
 
 class QueryExecutor {
@@ -59,8 +79,8 @@ class QueryExecutor {
   explicit QueryExecutor(ExecutorContext ctx) : ctx_(std::move(ctx)) {}
 
   /// Executes every plan of the group. `group` (optional) receives the
-  /// group-level counters: unique partitions scanned, rows decoded once
-  /// per shared scan, and total probe pairs.
+  /// group-level counters: physical partition scans performed, rows
+  /// decoded once per shared scan, and total probe pairs.
   Result<std::vector<PlanResult>> Execute(
       const std::vector<PhysicalPlan>& plans, BatchCounters* group);
 

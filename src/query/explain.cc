@@ -22,6 +22,15 @@ std::string QueryExplain::ToString() const {
                         static_cast<unsigned long long>(probe_pairs));
   }
   out.append(buf, len > 0 ? static_cast<size_t>(len) : 0);
+  if (quantized) {
+    len = std::snprintf(
+        buf, sizeof(buf),
+        " sq8[partitions=%llu rerank=%llu/%u rows_reranked=%llu]",
+        static_cast<unsigned long long>(partitions_quantized),
+        static_cast<unsigned long long>(rerank_candidates), rerank_budget,
+        static_cast<unsigned long long>(rows_reranked));
+    out.append(buf, len > 0 ? static_cast<size_t>(len) : 0);
+  }
   if (optimized) {
     len = std::snprintf(buf, sizeof(buf), " est[filter=%.4f ivf=%.4f]",
                         decision.filter_selectivity, decision.ivf_selectivity);

@@ -36,13 +36,31 @@ struct QueryExplain {
   uint64_t rows_scanned = 0;
   uint64_t rows_filtered = 0;
 
+  /// True when partition scans read the SQ8 quantized sidecar (at least
+  /// one probed partition had quantization parameters). The
+  /// accuracy/speed trade of the quantized path is observable through the
+  /// rerank counters below.
+  bool quantized = false;
+  /// Probed partitions served by the quantized sidecar; the remainder
+  /// (partitions_scanned - partitions_quantized) fell back to float scans.
+  uint64_t partitions_quantized = 0;
+  /// Candidate budget of the quantized scan: ceil(k * sq8_rerank_alpha).
+  uint32_t rerank_budget = 0;
+  /// Candidates the quantized scan produced and handed to the
+  /// full-precision rerank (<= rerank_budget).
+  uint64_t rerank_candidates = 0;
+  /// Rows re-read at full precision by the rerank op.
+  uint64_t rows_reranked = 0;
+
   /// True when this query's partition scans were shared with other
   /// queries of the same batch.
   bool shared_scan = false;
   /// Number of queries in the executed group (1 for DB::Search).
   uint32_t group_size = 1;
-  /// Unique partitions the whole group scanned. With scan sharing this is
-  /// strictly below the sum of the group's per-query partitions_scanned.
+  /// Physical partition scans the whole group performed (a partition
+  /// whose fan-in mixes quantized and float plans counts once per
+  /// representation). With scan sharing this is strictly below the sum of
+  /// the group's per-query partitions_scanned.
   uint64_t group_partitions_scanned = 0;
   /// Rows decoded across the whole group (each shared scan counted once).
   uint64_t group_rows_scanned = 0;

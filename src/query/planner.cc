@@ -1,5 +1,7 @@
 #include "query/planner.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "ivf/schema.h"
@@ -12,22 +14,33 @@
 
 namespace micronn {
 
-Result<std::shared_ptr<const RowFilter>> QueryPlanner::BindFilter(
+Result<QueryPlanner::BoundFilter> QueryPlanner::BindFilter(
     const Predicate& pred) {
+  // Dedup by structural equality: requests of one batch carrying the same
+  // predicate get the same bound instance, so the executor's pushdown
+  // (pointer identity) and per-row shared evaluation (slot dedup) both
+  // collapse duplicate filters into one evaluation per row.
+  for (const BoundFilter& bound : bound_filters_) {
+    if (PredicateEquals(*bound.predicate, pred)) return bound;
+  }
   MICRONN_ASSIGN_OR_RETURN(BTree attributes,
                            txn_->OpenTable(kAttributesTable));
-  // The predicate is copied into the closure: plans may outlive the
+  BoundFilter bound;
+  // The predicate is copied out of the request: plans may outlive the
   // request they were lowered from.
-  auto filter = std::make_shared<RowFilter>(
-      [attributes, pred](uint64_t vid) mutable -> Result<bool> {
+  bound.predicate = std::make_shared<const Predicate>(pred);
+  std::shared_ptr<const Predicate> predicate = bound.predicate;
+  bound.filter = std::make_shared<const RowFilter>(
+      [attributes, predicate](uint64_t vid) mutable -> Result<bool> {
         MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> blob,
                                  attributes.Get(key::U64(vid)));
         if (!blob.has_value()) return false;
         MICRONN_ASSIGN_OR_RETURN(AttributeRecord record,
                                  DecodeAttributeRecord(*blob));
-        return EvalPredicate(pred, record);
+        return EvalPredicate(*predicate, record);
       });
-  return std::shared_ptr<const RowFilter>(std::move(filter));
+  bound_filters_.push_back(bound);
+  return bound;
 }
 
 Result<PlanDecision> QueryPlanner::Choose(const Predicate& filter,
@@ -74,17 +87,34 @@ Result<PhysicalPlan> QueryPlanner::Lower(const SearchRequest& request) {
   plan.nprobe =
       request.nprobe != 0 ? request.nprobe : options_->default_nprobe;
 
+  // Quantized-vs-exact scan choice: SQ8 serves ANN partition scans only —
+  // exact plans promise exhaustive full-precision answers, and pre-filter
+  // plans already score their candidates exactly. Request override beats
+  // the DB default.
+  const bool want_quantized = request.quantized.value_or(options_->sq8_scan);
+  auto enable_quantized = [&] {
+    if (!want_quantized) return;
+    plan.quantized = true;
+    const float alpha = std::max(1.0f, options_->sq8_rerank_alpha);
+    plan.rerank_k = std::max(
+        plan.k, static_cast<uint32_t>(
+                    std::ceil(static_cast<float>(plan.k) * alpha)));
+  };
+
   if (request.exact) {
     plan.plan = QueryPlan::kExact;
     plan.decision.plan = QueryPlan::kExact;
     if (request.filter.has_value()) {
-      MICRONN_ASSIGN_OR_RETURN(plan.filter, BindFilter(*request.filter));
+      MICRONN_ASSIGN_OR_RETURN(BoundFilter bound, BindFilter(*request.filter));
+      plan.filter = bound.filter;
+      plan.predicate = bound.predicate;
     }
     return plan;
   }
   if (!request.filter.has_value()) {
     plan.plan = QueryPlan::kUnfiltered;
     plan.decision.plan = QueryPlan::kUnfiltered;
+    enable_quantized();
     return plan;
   }
 
@@ -110,7 +140,10 @@ Result<PhysicalPlan> QueryPlanner::Lower(const SearchRequest& request) {
             [txn](const std::string& name) { return txn->OpenTable(name); },
             *request.filter));
   } else {
-    MICRONN_ASSIGN_OR_RETURN(plan.filter, BindFilter(*request.filter));
+    MICRONN_ASSIGN_OR_RETURN(BoundFilter bound, BindFilter(*request.filter));
+    plan.filter = bound.filter;
+    plan.predicate = bound.predicate;
+    enable_quantized();
   }
   return plan;
 }

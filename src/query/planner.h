@@ -38,11 +38,26 @@ struct PhysicalPlan {
   PlanDecision decision;
   bool optimized = false;
 
+  /// SQ8 quantized partition scans (kUnfiltered / kPostFilter plans with
+  /// quantization enabled): scans read the int8 sidecar rows of every
+  /// partition that has parameters, heaps collect `rerank_k` = ceil(k *
+  /// alpha) candidates, and the executor's rerank op re-scores them at
+  /// full precision. Partitions without parameters fall back to the float
+  /// scan inside the same plan.
+  bool quantized = false;
+  uint32_t rerank_k = 0;
+
   /// Bound row-level filter (post-filter and filtered-exact plans). The
   /// shared_ptr identity doubles as the executor's pushdown key: scans
   /// whose fan-in all carry the same pointer push the filter below the
-  /// row decode.
+  /// row decode — and the planner binds *equal* predicates of one batch to
+  /// the same pointer, so duplicate filters across a batch share their
+  /// evaluation too.
   std::shared_ptr<const RowFilter> filter;
+  /// The predicate behind `filter` (same dedup identity); the executor
+  /// uses it to evaluate heterogeneous fan-in filters against one shared
+  /// attribute-record decode per row.
+  std::shared_ptr<const Predicate> predicate;
 
   /// Candidate rows from the attribute indexes (kPreFilter plans only).
   std::vector<uint64_t> prefilter_vids;
@@ -64,15 +79,24 @@ class QueryPlanner {
   Result<PhysicalPlan> Lower(const SearchRequest& request);
 
  private:
+  // A bound filter and the predicate it evaluates; cached so equal
+  // predicates across one planner's lifetime (= one batch) bind to the
+  // same filter instance and share evaluation in the executor.
+  struct BoundFilter {
+    std::shared_ptr<const Predicate> predicate;
+    std::shared_ptr<const RowFilter> filter;
+  };
+
   // Builds the per-row join against the Attributes table (§3.5 post-filter
-  // pushdown).
-  Result<std::shared_ptr<const RowFilter>> BindFilter(const Predicate& pred);
+  // pushdown), deduping by predicate equality.
+  Result<BoundFilter> BindFilter(const Predicate& pred);
   // Runs the §3.5.1 optimizer for a hybrid query.
   Result<PlanDecision> Choose(const Predicate& filter, uint32_t nprobe);
 
   ReadTransaction* txn_;
   const DbOptions* options_;
   StatsProvider stats_;
+  std::vector<BoundFilter> bound_filters_;
 };
 
 }  // namespace micronn

@@ -143,4 +143,23 @@ Result<bool> EvalPredicate(const Predicate& pred,
   return Status::Internal("bad predicate kind");
 }
 
+bool PredicateEquals(const Predicate& a, const Predicate& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Predicate::Kind::kCompare:
+      return a.column == b.column && a.op == b.op && a.value == b.value;
+    case Predicate::Kind::kMatch:
+      return a.column == b.column && a.tokens == b.tokens;
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      if (a.children.size() != b.children.size()) return false;
+      for (size_t i = 0; i < a.children.size(); ++i) {
+        if (!PredicateEquals(a.children[i], b.children[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace micronn

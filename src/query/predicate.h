@@ -46,6 +46,11 @@ struct Predicate {
 Result<bool> EvalPredicate(const Predicate& pred,
                            const AttributeRecord& record);
 
+/// Structural equality of two predicate trees (same kind, column, operator,
+/// value, tokens, and children in order). The planner uses it to dedup
+/// identical filters across a batch so their evaluation is shared per row.
+bool PredicateEquals(const Predicate& a, const Predicate& b);
+
 }  // namespace micronn
 
 #endif  // MICRONN_QUERY_PREDICATE_H_

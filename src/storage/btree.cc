@@ -790,4 +790,14 @@ Result<std::string> BTreeCursor::value() const {
   return std::string(c.inline_value);
 }
 
+Result<std::string_view> BTreeCursor::ValueView(std::string* storage) const {
+  const LeafCell c = ParseLeafCell(*leaf_page_, leaf_idx_);
+  if (c.overflow) {
+    MICRONN_ASSIGN_OR_RETURN(
+        *storage, ReadOverflowChain(view_, c.overflow_page, c.total_len));
+    return std::string_view(*storage);
+  }
+  return c.inline_value;
+}
+
 }  // namespace micronn

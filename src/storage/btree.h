@@ -125,6 +125,13 @@ class BTreeCursor {
   /// Current value (inline or overflow). Requires Valid().
   Result<std::string> value() const;
 
+  /// Borrowed view of the current value. An inline value is returned as a
+  /// view into the pinned leaf page — no copy — valid until the cursor
+  /// moves; an overflow value is materialized into `*storage` and the view
+  /// points there. The hot scan loops (src/ivf/scan.cc) use this to avoid
+  /// one heap-allocated std::string per row.
+  Result<std::string_view> ValueView(std::string* storage) const;
+
  private:
   friend class BTree;
   BTreeCursor(PageView* view, PageId root) : view_(view), root_(root) {}

@@ -129,6 +129,40 @@ TEST_F(BTreeTest, OverflowValuesRoundTrip) {
   ASSERT_TRUE(t.CheckIntegrity().ok());
 }
 
+TEST_F(BTreeTest, CursorValueViewBorrowsInlineAndSpillsOverflow) {
+  BTree t = Tree();
+  std::string big(3 * kMaxInlineValue, 'x');
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>('a' + i % 26);
+  }
+  ASSERT_TRUE(t.Put("a_inline", "small value").ok());
+  ASSERT_TRUE(t.Put("b_overflow", big).ok());
+
+  BTreeCursor c = t.NewCursor();
+  ASSERT_TRUE(c.SeekToFirst().ok());
+  ASSERT_TRUE(c.Valid());
+  std::string storage;
+  auto inline_view = c.ValueView(&storage);
+  ASSERT_TRUE(inline_view.ok());
+  EXPECT_EQ(*inline_view, "small value");
+  // Inline values are borrowed from the leaf page, not copied out.
+  EXPECT_TRUE(storage.empty());
+  EXPECT_NE(static_cast<const void*>(inline_view->data()),
+            static_cast<const void*>(storage.data()));
+
+  ASSERT_TRUE(c.Next().ok());
+  ASSERT_TRUE(c.Valid());
+  auto overflow_view = c.ValueView(&storage);
+  ASSERT_TRUE(overflow_view.ok());
+  EXPECT_EQ(*overflow_view, big);
+  // Overflow values materialize into the caller's spill buffer.
+  EXPECT_EQ(static_cast<const void*>(overflow_view->data()),
+            static_cast<const void*>(storage.data()));
+
+  // Both accessors agree.
+  EXPECT_EQ(c.value().value(), *overflow_view);
+}
+
 TEST_F(BTreeTest, OverflowChainsFreedOnDeleteAndReplace) {
   BTree t = Tree();
   const std::string big(10 * kPageSize, 'z');
