@@ -37,6 +37,40 @@ void ThreadPool::Wait() {
   cv_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+    if (in_flight_ == 0) cv_done_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::HelpWait(WaitGroup* wg) {
+  // `wg` is re-checked between helped tasks, but a single helped task can
+  // itself be long (the executor submits drain-loop tasks): once this
+  // thread picks up a foreign group's drain it finishes that drain before
+  // returning. That bounds the added wait at one task, which the measured
+  // tail latencies absorb; finer-grained helping would need per-item
+  // tasks and their queue overhead.
+  while (!wg->Finished()) {
+    if (!RunOneTask()) {
+      // Queue drained: the group's remaining tasks are running on other
+      // threads; block until they report done.
+      wg->Wait();
+      return;
+    }
+  }
+}
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   ParallelForRanges(n, [&fn](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) fn(i);
@@ -46,15 +80,23 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 void ThreadPool::ParallelForRanges(
     size_t n, const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
-  const size_t chunks = std::min(n, num_threads());
+  // The calling thread takes a chunk too: progress is guaranteed even
+  // when every worker is busy with other submitters' tasks.
+  const size_t chunks = std::min(n, num_threads() + 1);
   const size_t per_chunk = (n + chunks - 1) / chunks;
-  for (size_t c = 0; c < chunks; ++c) {
+  WaitGroup wg;
+  for (size_t c = 1; c < chunks; ++c) {
     const size_t begin = c * per_chunk;
     const size_t end = std::min(n, begin + per_chunk);
     if (begin >= end) break;
-    Submit([&fn, begin, end] { fn(begin, end); });
+    wg.Add(1);
+    Submit([&fn, &wg, begin, end] {
+      fn(begin, end);
+      wg.Done();
+    });
   }
-  Wait();
+  fn(0, std::min(n, per_chunk));
+  HelpWait(&wg);
 }
 
 void ThreadPool::WorkerLoop() {

@@ -28,21 +28,37 @@ class ThreadPool {
   /// Enqueues a task. Never blocks.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing. Note this
+  /// is pool-wide: with concurrent submitters it waits for *their* tasks
+  /// too — group-scoped callers should pair Submit with a WaitGroup and
+  /// HelpWait instead.
   void Wait();
+
+  /// Waits for `wg` to drain while lending the calling thread to the
+  /// pool: queued tasks (any submitter's) run on this thread until the
+  /// group completes. This is what makes nested execution safe under the
+  /// admission scheduler — a leader blocked on its group's scan tasks
+  /// cannot starve behind other groups' queued work, because it chews
+  /// through the queue (including its own tasks) itself.
+  void HelpWait(class WaitGroup* wg);
 
   size_t num_threads() const { return workers_.size(); }
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
-  /// Work is divided into contiguous chunks, one per worker.
+  /// Work is divided into contiguous chunks; the calling thread executes
+  /// one chunk itself and helps drain the queue while waiting.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Runs `fn(begin, end)` over contiguous ranges covering [0, n).
+  /// Group-scoped (WaitGroup-based): safe for concurrent callers sharing
+  /// one pool — each returns when *its* ranges are done.
   void ParallelForRanges(size_t n,
                          const std::function<void(size_t, size_t)>& fn);
 
  private:
   void WorkerLoop();
+  // Pops and runs one queued task; false when the queue is empty.
+  bool RunOneTask();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
@@ -73,6 +89,11 @@ class WaitGroup {
   void Wait() {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+  /// True when no registered completion is outstanding.
+  bool Finished() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_ == 0;
   }
 
  private:

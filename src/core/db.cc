@@ -501,39 +501,100 @@ Result<std::vector<SearchResponse>> DB::BatchSearch(
   return RunQueries(requests.data(), requests.size());
 }
 
-// The unified query path (§3.4–§3.5): lower every request to a physical
-// plan, execute the whole group with shared partition scans, then resolve
-// and annotate each response with its plan decision and true per-query
-// counters.
+// The unified query path (§3.4–§3.5) now runs behind the admission
+// scheduler: a submission either executes immediately (no concurrent
+// peers / scheduler disabled) or is merged with in-flight submissions
+// into one coalesced group that the leader executes on behalf of all.
 Result<std::vector<SearchResponse>> DB::RunQueries(
     const SearchRequest* requests, size_t n) {
-  std::vector<SearchResponse> out(n);
-  if (n == 0) return out;
-  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<ReadTransaction> txn,
-                           engine_->BeginRead());
-  MICRONN_ASSIGN_OR_RETURN(BTree vectors, txn->OpenTable(kVectorsTable));
-  MICRONN_ASSIGN_OR_RETURN(BTree vidmap, txn->OpenTable(kVidMapTable));
+  if (n == 0) return std::vector<SearchResponse>();
+  return scheduler_.Submit(requests, n);
+}
+
+// Executes one (possibly coalesced) group: one read snapshot, one planner
+// pass — lowering is re-run here by the leader so every plan binds this
+// snapshot's tables, and predicate dedup spans submissions — one executor
+// group with shared partition scans, then per-response resolution and
+// annotation. Failures are per-submission where possible (an invalid
+// request fails only its own submission, exactly as when it ran alone);
+// group-wide failures (snapshot, executor I/O) fail every submission
+// still pending.
+void DB::ExecuteQueryGroup(const std::vector<QueryGroupEntry*>& group) {
+  // A plan's position in the executed group, mapped back to its
+  // submission and that submission's response slot.
+  struct PlanRef {
+    QueryGroupEntry* entry;
+    size_t local;
+  };
+  std::vector<PhysicalPlan> plans;
+  std::vector<PlanRef> refs;
+
+  std::unique_ptr<ReadTransaction> txn;
+  std::optional<BTree> vectors;
+  std::optional<BTree> vidmap;
+  const Status shared = [&]() -> Status {
+    MICRONN_ASSIGN_OR_RETURN(txn, engine_->BeginRead());
+    MICRONN_ASSIGN_OR_RETURN(BTree v, txn->OpenTable(kVectorsTable));
+    MICRONN_ASSIGN_OR_RETURN(BTree m, txn->OpenTable(kVidMapTable));
+    vectors = v;
+    vidmap = m;
+    return Status::OK();
+  }();
+  if (!shared.ok()) {
+    for (QueryGroupEntry* entry : group) entry->status = shared;
+    return;
+  }
 
   QueryPlanner planner(txn.get(), &options_,
                        [this, &txn] { return GetStats(txn.get()); });
-  std::vector<PhysicalPlan> plans;
-  plans.reserve(n);
   bool needs_centroids = false;
-  for (size_t i = 0; i < n; ++i) {
-    MICRONN_ASSIGN_OR_RETURN(PhysicalPlan plan, planner.Lower(requests[i]));
-    // Only ANN strategies probe centroids; exact plans enumerate the
-    // physical partitions and pre-filter plans score candidate vids.
-    needs_centroids |= plan.plan == QueryPlan::kUnfiltered ||
-                       plan.plan == QueryPlan::kPostFilter;
-    plans.push_back(std::move(plan));
+  for (QueryGroupEntry* entry : group) {
+    entry->status = Status::OK();
+    std::vector<PhysicalPlan> lowered;
+    lowered.reserve(entry->n);
+    for (size_t i = 0; i < entry->n; ++i) {
+      Result<PhysicalPlan> plan = planner.Lower(entry->requests[i]);
+      if (!plan.ok()) {
+        // Validation failure: fail this submission only; its peers in the
+        // coalesced group are untouched.
+        entry->status = plan.status();
+        break;
+      }
+      lowered.push_back(std::move(*plan));
+    }
+    if (!entry->status.ok()) continue;
+    entry->responses.assign(entry->n, SearchResponse{});
+    for (size_t i = 0; i < lowered.size(); ++i) {
+      // Only ANN strategies probe centroids; exact plans enumerate the
+      // physical partitions and pre-filter plans score candidate vids.
+      needs_centroids |= lowered[i].plan == QueryPlan::kUnfiltered ||
+                         lowered[i].plan == QueryPlan::kPostFilter;
+      refs.push_back(PlanRef{entry, i});
+      plans.push_back(std::move(lowered[i]));
+    }
   }
+  if (plans.empty()) return;  // every submission failed validation
+
+  auto fail_pending = [&](const Status& st) {
+    for (QueryGroupEntry* entry : group) {
+      if (entry->status.ok()) {
+        entry->status = st;
+        entry->responses.clear();
+      }
+    }
+  };
 
   std::shared_ptr<const CentroidSet> cset;
   if (needs_centroids) {
-    MICRONN_ASSIGN_OR_RETURN(cset, GetCentroids(txn.get()));
+    Result<std::shared_ptr<const CentroidSet>> r = GetCentroids(txn.get());
+    if (!r.ok()) {
+      fail_pending(r.status());
+      return;
+    }
+    cset = std::move(*r);
   }
   ExecutorContext ctx{
-      vectors, vidmap, cset != nullptr ? cset.get() : nullptr, options_.dim,
+      *vectors, *vidmap, cset != nullptr ? cset.get() : nullptr, options_.dim,
       options_.metric, &pool_, std::nullopt, std::nullopt, std::nullopt};
   // SQ8 sidecar + attributes table for the executor's quantized scans and
   // shared filter evaluation. All three exist on every database this
@@ -550,16 +611,29 @@ Result<std::vector<SearchResponse>> DB::RunQueries(
     if (attributes.ok()) ctx.attributes = *attributes;
   }
   QueryExecutor executor(std::move(ctx));
-  BatchCounters group;
-  MICRONN_ASSIGN_OR_RETURN(std::vector<PlanResult> results,
-                           executor.Execute(plans, &group));
+  BatchCounters counters;
+  Result<std::vector<PlanResult>> executed = executor.Execute(plans, &counters);
+  if (!executed.ok()) {
+    fail_pending(executed.status());
+    return;
+  }
+  const std::vector<PlanResult>& results = *executed;
 
-  for (size_t i = 0; i < n; ++i) {
-    SearchResponse& resp = out[i];
-    const PhysicalPlan& plan = plans[i];
-    const PlanResult& result = results[i];
-    MICRONN_ASSIGN_OR_RETURN(resp.items,
-                             ResolveItems(txn.get(), result.neighbors));
+  const uint32_t group_size = static_cast<uint32_t>(plans.size());
+  for (size_t gi = 0; gi < plans.size(); ++gi) {
+    QueryGroupEntry* entry = refs[gi].entry;
+    if (!entry->status.ok()) continue;  // a sibling plan's resolve failed
+    SearchResponse& resp = entry->responses[refs[gi].local];
+    const PhysicalPlan& plan = plans[gi];
+    const PlanResult& result = results[gi];
+    Result<std::vector<ResultItem>> items =
+        ResolveItems(txn.get(), result.neighbors);
+    if (!items.ok()) {
+      entry->status = items.status();
+      entry->responses.clear();
+      continue;
+    }
+    resp.items = std::move(*items);
     resp.plan = plan.plan;
     resp.decision = plan.decision;
     resp.partitions_scanned = result.counters.partitions_scanned;
@@ -586,12 +660,13 @@ Result<std::vector<SearchResponse>> DB::RunQueries(
     ex.rerank_candidates = result.rerank_candidates;
     ex.rows_reranked = result.rows_reranked;
     ex.shared_scan = result.shared_scan;
-    ex.group_size = static_cast<uint32_t>(n);
-    ex.group_partitions_scanned = group.partitions_scanned;
-    ex.group_rows_scanned = group.rows_scanned;
-    ex.group_probe_pairs = group.probe_pairs;
+    ex.group_size = group_size;
+    ex.group_partitions_scanned = counters.partitions_scanned;
+    ex.group_rows_scanned = counters.rows_scanned;
+    ex.group_probe_pairs = counters.probe_pairs;
+    ex.coalesced_group_size = entry->group_entries;
+    ex.coalesce_wait_us = entry->wait_us;
   }
-  return out;
 }
 
 Result<IndexStats> DB::GetIndexStats() {

@@ -23,6 +23,7 @@
 #include "ivf/centroid_set.h"
 #include "ivf/maintenance.h"
 #include "numerics/topk.h"
+#include "query/scheduler.h"
 #include "query/stats.h"
 #include "storage/engine.h"
 
@@ -95,12 +96,18 @@ class DB {
   StorageEngine* engine() { return engine_.get(); }
   const DbOptions& options() const { return options_; }
   IoStats& io_stats() { return engine_->io_stats(); }
+  /// Admission-scheduler counters (groups run, submissions coalesced).
+  const SchedulerStats& scheduler_stats() const { return scheduler_.stats(); }
 
  private:
   DB(DbOptions options, std::unique_ptr<StorageEngine> engine)
       : options_(std::move(options)),
         engine_(std::move(engine)),
-        pool_(options_.search_threads) {}
+        pool_(options_.search_threads),
+        scheduler_(options_.mqo_window_us, options_.mqo_max_group,
+                   [this](const std::vector<QueryGroupEntry*>& group) {
+                     ExecuteQueryGroup(group);
+                   }) {}
 
   // Bootstrap/validation at open.
   Status InitializeSchema();
@@ -114,11 +121,15 @@ class DB {
   Result<std::shared_ptr<const std::map<std::string, ColumnStats>>> GetStats(
       ReadTransaction* txn);
 
-  // Search internals: Search and BatchSearch both lower their requests
-  // through the QueryPlanner and run the plan group on the QueryExecutor
-  // with shared partition scans (src/query/planner.h, executor.h).
+  // Search internals: Search and BatchSearch both submit to the admission
+  // scheduler, which merges concurrent submissions into one group and has
+  // the leader run ExecuteQueryGroup — one read snapshot, one QueryPlanner
+  // pass (lowering is re-run by the leader so every plan binds the group's
+  // snapshot), one QueryExecutor::Execute with shared partition scans
+  // (src/query/scheduler.h, planner.h, executor.h).
   Result<std::vector<SearchResponse>> RunQueries(const SearchRequest* requests,
                                                  size_t n);
+  void ExecuteQueryGroup(const std::vector<QueryGroupEntry*>& group);
   Result<std::vector<ResultItem>> ResolveItems(
       ReadTransaction* txn, const std::vector<Neighbor>& neighbors);
 
@@ -131,6 +142,7 @@ class DB {
   DbOptions options_;
   std::unique_ptr<StorageEngine> engine_;
   ThreadPool pool_;
+  QueryScheduler scheduler_;
 
   // Serializes all writes, including multi-transaction maintenance.
   std::mutex write_mutex_;

@@ -386,6 +386,10 @@ Status DB::BuildIndexLocked() {
     }
     Sq8BoundsAccumulator global;
     global.Reset(dim);
+    // Floor the chunk so each transaction always quantizes at least one
+    // partition — a rebuild_chunk_rows of 0 must not spin.
+    const uint64_t sq8_chunk_rows =
+        std::max<uint64_t>(1, options_.rebuild_chunk_rows);
     size_t next = 0;
     while (next < partitions.size()) {
       MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
@@ -397,8 +401,7 @@ Status DB::BuildIndexLocked() {
         MICRONN_ASSIGN_OR_RETURN(BTree pnew,
                                  txn->OpenTable(kSq8ParamsNewTable));
         uint64_t rows_this_txn = 0;
-        while (next < partitions.size() &&
-               rows_this_txn < options_.rebuild_chunk_rows) {
+        while (next < partitions.size() && rows_this_txn < sq8_chunk_rows) {
           MICRONN_ASSIGN_OR_RETURN(
               uint64_t rows,
               RequantizePartition(vnew, snew, pnew, partitions[next], dim,
@@ -569,6 +572,14 @@ Result<MaintenanceReport> DB::MaintainLocked() {
   // get no sidecar codes.
   std::map<uint32_t, std::optional<Sq8PartitionParams>> sq8_params_cache;
   std::vector<uint8_t> sq8_codes(dim);
+  // Drift detection: saturated vs total codes written per destination
+  // partition across this flush. A high ratio means the partition's
+  // bounds predate the data now landing in it.
+  struct SaturationCount {
+    uint64_t saturated = 0;
+    uint64_t total = 0;
+  };
+  std::map<uint32_t, SaturationCount> saturation;
   for (;;) {
     // Fresh snapshot per chunk: moved rows have left the delta partition.
     chunk.clear();
@@ -642,8 +653,12 @@ Result<MaintenanceReport> DB::MaintainLocked() {
         MICRONN_ASSIGN_OR_RETURN(const std::optional<Sq8PartitionParams>* sp,
                                  params_for(partition));
         if (sp->has_value()) {
-          QuantizeSq8(chunk.block.data() + i * dim, (*sp)->min.data(),
-                      (*sp)->scale.data(), dim, sq8_codes.data());
+          const size_t saturated = QuantizeSq8Saturating(
+              chunk.block.data() + i * dim, (*sp)->min.data(),
+              (*sp)->scale.data(), dim, sq8_codes.data());
+          SaturationCount& sat = saturation[partition];
+          sat.saturated += saturated;
+          sat.total += dim;
           MICRONN_RETURN_IF_ERROR(
               sq8.Put(VectorKey(partition, vid),
                       EncodeSq8Row(sq8_codes.data(), dim)));
@@ -670,6 +685,58 @@ Result<MaintenanceReport> DB::MaintainLocked() {
     }
     MICRONN_RETURN_IF_ERROR(engine_->Commit(std::move(txn)));
     report.delta_flushed += chunk.size();
+  }
+
+  // Drift requantization (ROADMAP "SQ8 drift requantization"): partitions
+  // whose flush saturated more than sq8_requantize_saturation of its
+  // codes get fresh per-dim bounds and rewritten sidecar rows, in place,
+  // via the same RequantizePartition pass a full rebuild uses. The
+  // sidecar invariant (params(p) => codes mirror rows key-for-key) holds
+  // throughout, so the row-count delta is zero.
+  if (options_.sq8_requantize_saturation > 0) {
+    std::vector<uint32_t> drifted;
+    for (const auto& [partition, sat] : saturation) {
+      if (sat.total == 0) continue;
+      const double ratio = static_cast<double>(sat.saturated) /
+                           static_cast<double>(sat.total);
+      if (ratio > options_.sq8_requantize_saturation) {
+        drifted.push_back(partition);
+      }
+    }
+    // Floor the chunk size so each transaction always requantizes at
+    // least one partition — a rebuild_chunk_rows of 0 must not spin.
+    const uint64_t requantize_chunk_rows =
+        std::max<uint64_t>(1, options_.rebuild_chunk_rows);
+    size_t next = 0;
+    while (next < drifted.size()) {
+      MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTransaction> txn,
+                               engine_->BeginWrite());
+      Status st = [&]() -> Status {
+        MICRONN_ASSIGN_OR_RETURN(BTree vectors,
+                                 txn->OpenTable(kVectorsTable));
+        MICRONN_ASSIGN_OR_RETURN(BTree sq8, txn->OpenTable(kSq8Table));
+        MICRONN_ASSIGN_OR_RETURN(BTree sq8params,
+                                 txn->OpenTable(kSq8ParamsTable));
+        uint64_t rows_this_txn = 0;
+        while (next < drifted.size() &&
+               rows_this_txn < requantize_chunk_rows) {
+          MICRONN_ASSIGN_OR_RETURN(
+              uint64_t rows,
+              RequantizePartition(vectors, sq8, sq8params, drifted[next],
+                                  dim, /*global_bounds=*/nullptr));
+          rows_this_txn += rows;
+          io.rows_updated.fetch_add(rows, std::memory_order_relaxed);
+          ++report.partitions_requantized;
+          ++next;
+        }
+        return Status::OK();
+      }();
+      if (!st.ok()) {
+        engine_->Rollback(std::move(txn));
+        return st;
+      }
+      MICRONN_RETURN_IF_ERROR(engine_->Commit(std::move(txn)));
+    }
   }
 
   // Centroid update: VLAD-style running mean over the new members, then

@@ -51,6 +51,20 @@ struct DbOptions {
   /// (recall/latency knob of the two-level lookup).
   uint32_t centroid_super_probe = 8;
 
+  // --- Cross-request MQO (admission scheduler) ---
+  /// Concurrent Search/BatchSearch calls are coalesced into one executor
+  /// group (one snapshot, shared partition scans — the §3.4 sharing
+  /// extended across requests): the first arrival leads, collects peers
+  /// that arrive within this window, executes the merged group, and
+  /// distributes responses. A submission with no concurrent peers skips
+  /// the window entirely (near-zero added single-client latency). 0
+  /// disables the scheduler: every call plans and executes on its own.
+  /// See docs/ARCHITECTURE.md "Request scheduler".
+  uint32_t mqo_window_us = 100;
+  /// Cap on the total queries merged into one executed group (a
+  /// submission is never split across groups).
+  uint32_t mqo_max_group = 64;
+
   // --- Quantized scans (SQ8) ---
   /// ANN partition scans read the int8 scalar-quantized copy of each row
   /// (~4x fewer scanned bytes) and re-score the top k*alpha candidates at
@@ -64,6 +78,14 @@ struct DbOptions {
   /// ceil(k * alpha) candidates before the full-precision rerank. Larger
   /// alpha buys recall at the cost of more rerank point-reads.
   float sq8_rerank_alpha = 4.0f;
+  /// SQ8 drift requantization: delta flushes quantize moved rows with
+  /// their destination partition's existing (possibly stale) bounds;
+  /// codes that fall outside the box saturate. Maintain() tracks the
+  /// per-partition saturated-code ratio of each flush and requantizes a
+  /// partition in place (fresh bounds + rewritten sidecar rows) when the
+  /// ratio exceeds this threshold. <= 0 disables drift requantization
+  /// (stale bounds then persist until the next full rebuild).
+  double sq8_requantize_saturation = 0.10;
 
   // --- Maintenance (paper §3.6) ---
   /// Full rebuild when avg partition size grows by this fraction over the
@@ -93,6 +115,11 @@ struct DbOptions {
   ///   - wal_backpressure_wait_ms (1000): how long that blocking
   ///     checkpoint waits for readers to drain before settling for the
   ///     partial backfill it achieved.
+  ///   - cache_shards (0 = auto): page-cache shard count override. Auto
+  ///     scales with the budget (exact LRU for tiny caches, full fan-out
+  ///     for production budgets); pin it to measure shard-contention
+  ///     effects under many concurrent readers (bench_concurrency). Per
+  ///     shard hit/miss counters surface through IoStats.
   /// docs/ARCHITECTURE.md and docs/DURABILITY.md explain what each buys.
   PagerOptions pager;
 };
@@ -153,6 +180,9 @@ struct MaintenanceReport {
   bool full_rebuild = false;
   uint64_t delta_flushed = 0;   // rows moved out of the delta store
   uint64_t row_changes = 0;     // logical row writes performed
+  /// Partitions whose SQ8 parameters drifted past
+  /// DbOptions::sq8_requantize_saturation and were requantized in place.
+  uint64_t partitions_requantized = 0;
 };
 
 }  // namespace micronn

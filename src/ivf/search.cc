@@ -276,20 +276,26 @@ Result<std::vector<Neighbor>> AnnSearch(BTree vectors,
 
   if (pool != nullptr && probe.size() > 1) {
     std::atomic<size_t> next{0};
-    const size_t workers = std::min(pool->num_threads(), probe.size());
+    auto drain = [&]() {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= probe.size()) break;
+        scan_one(i);
+      }
+    };
+    // The caller drains too and helps the pool while waiting, so
+    // concurrent searches sharing one pool cannot starve each other.
+    const size_t workers = std::min(pool->num_threads(), probe.size() - 1);
     WaitGroup wg;
     wg.Add(workers);
     for (size_t w = 0; w < workers; ++w) {
       pool->Submit([&]() {
-        for (;;) {
-          const size_t i = next.fetch_add(1);
-          if (i >= probe.size()) break;
-          scan_one(i);
-        }
+        drain();
         wg.Done();
       });
     }
-    wg.Wait();
+    drain();
+    pool->HelpWait(&wg);
   } else {
     for (size_t i = 0; i < probe.size(); ++i) {
       scan_one(i);
@@ -407,8 +413,8 @@ Result<std::vector<Neighbor>> SearchByVids(BTree vectors, BTree vidmap,
     MICRONN_RETURN_IF_ERROR(score_slice(0, 0, n_rows));
   } else {
     WaitGroup wg;
-    wg.Add(n_tasks);
-    for (size_t t = 0; t < n_tasks; ++t) {
+    wg.Add(n_tasks - 1);
+    for (size_t t = 1; t < n_tasks; ++t) {
       const size_t lo = t * n_rows / n_tasks;
       const size_t hi = (t + 1) * n_rows / n_tasks;
       pool->Submit([&, t, lo, hi] {
@@ -416,7 +422,10 @@ Result<std::vector<Neighbor>> SearchByVids(BTree vectors, BTree vidmap,
         wg.Done();
       });
     }
-    wg.Wait();
+    // Slice 0 runs on the calling thread (nested execution: the caller
+    // contributes instead of idling behind other groups' queued tasks).
+    statuses[0] = score_slice(0, 0, n_rows / n_tasks);
+    pool->HelpWait(&wg);
     for (const Status& st : statuses) {
       MICRONN_RETURN_IF_ERROR(st);
     }

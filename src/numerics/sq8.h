@@ -27,6 +27,14 @@ namespace micronn {
 void QuantizeSq8(const float* v, const float* min, const float* scale,
                  size_t d, uint8_t* out);
 
+/// QuantizeSq8, additionally counting the dimensions whose value fell
+/// outside the representable box (clamped below 0 / above 255, or a
+/// constant dimension fed a different value). Maintenance tracks this
+/// ratio per partition during delta flushes to detect parameter drift
+/// (DbOptions::sq8_requantize_saturation).
+size_t QuantizeSq8Saturating(const float* v, const float* min,
+                             const float* scale, size_t d, uint8_t* out);
+
 /// Reconstructs `d` floats: out[i] = min[i] + scale[i] * codes[i].
 void DequantizeSq8(const uint8_t* codes, const float* min, const float* scale,
                    size_t d, float* out);

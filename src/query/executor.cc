@@ -146,10 +146,14 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
   }
 
   // Phase 2: partition-scan op. Each partition is scanned exactly once
-  // per representation; per-(worker, plan) heaps and counters.
-  const size_t n_workers =
-      (ctx_.pool != nullptr) ? std::max<size_t>(1, ctx_.pool->num_threads())
-                             : 1;
+  // per representation; per-(worker, plan) heaps and counters. Slot
+  // layout: pool workers first, the calling thread last — the caller
+  // always drains work too, so a scheduler leader executing a coalesced
+  // group keeps making progress even when the pool is saturated by other
+  // groups (nested execution, see ThreadPool::HelpWait).
+  const size_t pool_threads =
+      ctx_.pool != nullptr ? ctx_.pool->num_threads() : 0;
+  const size_t n_workers = pool_threads + 1;
   struct WorkerState {
     std::unordered_map<size_t, TopKHeap> heaps;
     std::unordered_map<size_t, ScanCounters> counters;
@@ -268,27 +272,31 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
     return Status::OK();
   };
 
+  std::atomic<size_t> next_work{0};
+  auto drain = [&](size_t w) {
+    // Fail fast: once this worker hits an error the group is doomed, so
+    // stop claiming work items instead of scanning the rest.
+    for (; workers[w].status.ok();) {
+      const size_t i = next_work.fetch_add(1);
+      if (i >= work.size()) break;
+      Status st = process(w, i);
+      if (!st.ok()) workers[w].status = st;
+    }
+  };
   if (ctx_.pool != nullptr && work.size() > 1) {
-    std::atomic<size_t> next{0};
     WaitGroup wg;
-    const size_t active = std::min(n_workers, work.size());
-    wg.Add(active);
-    for (size_t w = 0; w < active; ++w) {
+    const size_t helpers = std::min(pool_threads, work.size() - 1);
+    wg.Add(helpers);
+    for (size_t w = 0; w < helpers; ++w) {
       ctx_.pool->Submit([&, w] {
-        for (;;) {
-          const size_t i = next.fetch_add(1);
-          if (i >= work.size()) break;
-          Status st = process(w, i);
-          if (!st.ok() && workers[w].status.ok()) workers[w].status = st;
-        }
+        drain(w);
         wg.Done();
       });
     }
-    wg.Wait();
+    drain(pool_threads);  // the caller's slot
+    ctx_.pool->HelpWait(&wg);
   } else {
-    for (size_t i = 0; i < work.size(); ++i) {
-      MICRONN_RETURN_IF_ERROR(process(0, i));
-    }
+    drain(pool_threads);
   }
   for (const WorkerState& ws : workers) {
     MICRONN_RETURN_IF_ERROR(ws.status);

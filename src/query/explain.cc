@@ -46,6 +46,13 @@ std::string QueryExplain::ToString() const {
         static_cast<unsigned long long>(group_probe_pairs));
     out.append(buf, len > 0 ? static_cast<size_t>(len) : 0);
   }
+  if (coalesced_group_size > 1) {
+    len = std::snprintf(buf, sizeof(buf),
+                        " coalesced[submissions=%u wait=%lluus]",
+                        coalesced_group_size,
+                        static_cast<unsigned long long>(coalesce_wait_us));
+    out.append(buf, len > 0 ? static_cast<size_t>(len) : 0);
+  }
   return out;
 }
 

@@ -67,6 +67,15 @@ struct QueryExplain {
   /// Sum of probe-set sizes across the group (query-partition pairs).
   uint64_t group_probe_pairs = 0;
 
+  /// Independent submissions (Search/BatchSearch calls) the admission
+  /// scheduler coalesced into the executed group — 1 when the query ran
+  /// alone (fast path, pass-through, or no concurrent peers). When > 1,
+  /// `group_size` counts the queries of *all* coalesced submissions.
+  uint32_t coalesced_group_size = 1;
+  /// Microseconds this request spent in the scheduler's staging queue
+  /// before its group began executing (0 on the fast path).
+  uint64_t coalesce_wait_us = 0;
+
   /// One-line human-readable rendering.
   std::string ToString() const;
 };

@@ -7,11 +7,16 @@
 #ifndef MICRONN_STORAGE_IO_STATS_H_
 #define MICRONN_STORAGE_IO_STATS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace micronn {
+
+/// Upper bound on page-cache shards (PageCache::kMaxShards mirrors it);
+/// per-shard hit/miss counters are sized to this.
+inline constexpr size_t kMaxCacheShards = 64;
 
 /// Monotonic counters; snapshot with Snapshot() and subtract to measure an
 /// operation. All fields are thread-safe.
@@ -27,6 +32,11 @@ class IoStats {
   std::atomic<uint64_t> rows_inserted{0};
   std::atomic<uint64_t> rows_updated{0};
   std::atomic<uint64_t> rows_deleted{0};
+  // Per-shard page-cache hits/misses (only the first
+  // PageCache::shard_count() slots ever move): the readers-at-scale bench
+  // uses these to verify shard spread and tune PagerOptions::cache_shards.
+  std::array<std::atomic<uint64_t>, kMaxCacheShards> cache_shard_hits{};
+  std::array<std::atomic<uint64_t>, kMaxCacheShards> cache_shard_misses{};
 
   /// Plain-value copy of the counters.
   struct View {
@@ -40,10 +50,18 @@ class IoStats {
     uint64_t rows_inserted = 0;
     uint64_t rows_updated = 0;
     uint64_t rows_deleted = 0;
+    std::array<uint64_t, kMaxCacheShards> cache_shard_hits{};
+    std::array<uint64_t, kMaxCacheShards> cache_shard_misses{};
 
     /// Total logical row changes (the Fig. 10d metric).
     uint64_t RowChanges() const {
       return rows_inserted + rows_updated + rows_deleted;
+    }
+    /// Page-cache misses summed over the shards.
+    uint64_t CacheMisses() const {
+      uint64_t total = 0;
+      for (const uint64_t m : cache_shard_misses) total += m;
+      return total;
     }
     View operator-(const View& rhs) const {
       View out;
@@ -57,6 +75,12 @@ class IoStats {
       out.rows_inserted = rows_inserted - rhs.rows_inserted;
       out.rows_updated = rows_updated - rhs.rows_updated;
       out.rows_deleted = rows_deleted - rhs.rows_deleted;
+      for (size_t s = 0; s < kMaxCacheShards; ++s) {
+        out.cache_shard_hits[s] =
+            cache_shard_hits[s] - rhs.cache_shard_hits[s];
+        out.cache_shard_misses[s] =
+            cache_shard_misses[s] - rhs.cache_shard_misses[s];
+      }
       return out;
     }
   };
@@ -73,6 +97,12 @@ class IoStats {
     v.rows_inserted = rows_inserted.load(std::memory_order_relaxed);
     v.rows_updated = rows_updated.load(std::memory_order_relaxed);
     v.rows_deleted = rows_deleted.load(std::memory_order_relaxed);
+    for (size_t s = 0; s < kMaxCacheShards; ++s) {
+      v.cache_shard_hits[s] =
+          cache_shard_hits[s].load(std::memory_order_relaxed);
+      v.cache_shard_misses[s] =
+          cache_shard_misses[s].load(std::memory_order_relaxed);
+    }
     return v;
   }
 };

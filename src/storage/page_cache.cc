@@ -4,7 +4,15 @@ namespace micronn {
 
 namespace {
 
-size_t PickShardCount(size_t budget_bytes) {
+size_t PickShardCount(size_t budget_bytes, size_t shard_override) {
+  if (shard_override > 0) {
+    // Pinned: round down to a power of two within [1, kMaxShards].
+    size_t shards = 1;
+    while (shards * 2 <= std::min(shard_override, PageCache::kMaxShards)) {
+      shards *= 2;
+    }
+    return shards;
+  }
   const size_t capacity_pages = budget_bytes / PageCache::kEntryBytes;
   size_t shards = 1;
   while (shards < PageCache::kMaxShards &&
@@ -16,19 +24,35 @@ size_t PickShardCount(size_t budget_bytes) {
 
 }  // namespace
 
-PageCache::PageCache(size_t budget_bytes)
-    : budget_(budget_bytes), shard_count_(PickShardCount(budget_bytes)) {}
+PageCache::PageCache(size_t budget_bytes, size_t shard_override)
+    : budget_(budget_bytes),
+      shard_count_(PickShardCount(budget_bytes, shard_override)) {}
 
 PageCache::~PageCache() { Clear(); }
 
 PagePtr PageCache::Get(PageId page, uint64_t version) {
-  Shard& shard = ShardFor(page);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.map.find(Key{page, version});
-  if (it == shard.map.end()) return nullptr;
-  // Move to front (most recently used).
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->data;
+  const size_t idx = ShardIndex(page);
+  Shard& shard = shards_[idx];
+  PagePtr result;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(Key{page, version});
+    if (it != shard.map.end()) {
+      // Move to front (most recently used).
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      result = it->second->data;
+    }
+  }
+  if (stats_ != nullptr) {
+    if (result != nullptr) {
+      stats_->pages_cache_hit.fetch_add(1, std::memory_order_relaxed);
+      stats_->cache_shard_hits[idx].fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_->cache_shard_misses[idx].fetch_add(1,
+                                                std::memory_order_relaxed);
+    }
+  }
+  return result;
 }
 
 PagePtr PageCache::Put(PageId page, uint64_t version, PagePtr data) {

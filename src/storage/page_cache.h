@@ -11,9 +11,12 @@
 // on a single lock (the pre-shard design serialized every page lookup in
 // the scan hot path). A page's versions all live in one shard — sharding
 // is by page id — which keeps InvalidatePage a single-shard operation.
-// The shard count is fixed at construction and scales with the budget:
-// tiny caches (a handful of pages) get a single shard so eviction is
-// exact global LRU; production-sized budgets get the full shard fan-out.
+// The shard count is fixed at construction: by default it scales with the
+// budget (tiny caches — a handful of pages — get a single shard so
+// eviction is exact global LRU; production-sized budgets get a wide shard
+// fan-out), and PagerOptions::cache_shards pins it explicitly so the
+// readers-at-scale bench can measure shard-contention effects. Per-shard
+// hit/miss counters are reported through IoStats.
 #ifndef MICRONN_STORAGE_PAGE_CACHE_H_
 #define MICRONN_STORAGE_PAGE_CACHE_H_
 
@@ -25,6 +28,7 @@
 #include <unordered_map>
 
 #include "common/memory_tracker.h"
+#include "storage/io_stats.h"
 #include "storage/page.h"
 
 namespace micronn {
@@ -32,7 +36,7 @@ namespace micronn {
 /// Thread-safe sharded LRU cache of immutable page images.
 class PageCache {
  public:
-  static constexpr size_t kMaxShards = 16;  // power of two
+  static constexpr size_t kMaxShards = kMaxCacheShards;  // power of two
   // A shard only pulls its weight when its budget slice holds at least
   // this many pages; below that, fewer shards with exact LRU win.
   static constexpr size_t kMinPagesPerShard = 8;
@@ -41,8 +45,10 @@ class PageCache {
 
   /// `budget_bytes` bounds the sum of cached page payloads across all
   /// shards. A budget of 0 disables caching entirely (every read goes to
-  /// disk).
-  explicit PageCache(size_t budget_bytes);
+  /// disk). `shard_override` pins the shard count (rounded down to a
+  /// power of two, clamped to [1, kMaxShards]); 0 picks it from the
+  /// budget.
+  explicit PageCache(size_t budget_bytes, size_t shard_override = 0);
   ~PageCache();
 
   PageCache(const PageCache&) = delete;
@@ -76,6 +82,11 @@ class PageCache {
   size_t entry_count() const;
   size_t shard_count() const { return shard_count_; }
 
+  /// Routes hit/miss accounting into `stats` (cache_shard_hits/_misses
+  /// plus the aggregate pages_cache_hit). Set once at pager bring-up,
+  /// before any reader runs.
+  void set_io_stats(IoStats* stats) { stats_ = stats; }
+
  private:
   struct Key {
     PageId page;
@@ -101,12 +112,13 @@ class PageCache {
     std::unordered_map<Key, LruList::iterator, KeyHash> map;
   };
 
-  Shard& ShardFor(PageId page) {
+  size_t ShardIndex(PageId page) const {
     // Mix before masking: sequential page ids would otherwise stripe
     // perfectly, but B+Tree access is not sequential, so spread by hash.
     const uint64_t h = page * 0x9e3779b97f4a7c15ULL;
-    return shards_[(h >> 32) & (shard_count_ - 1)];
+    return (h >> 32) & (shard_count_ - 1);
   }
+  Shard& ShardFor(PageId page) { return shards_[ShardIndex(page)]; }
   // Per-shard budget slice, floored at one page per shard (unless caching
   // is disabled outright): the shard count is fixed at construction, so a
   // later set_budget_bytes below shard granularity would otherwise make
@@ -122,6 +134,7 @@ class PageCache {
 
   std::atomic<size_t> budget_;
   size_t shard_count_;  // power of two in [1, kMaxShards]
+  IoStats* stats_ = nullptr;
   Shard shards_[kMaxShards];
 };
 

@@ -129,8 +129,8 @@ Result<PagePtr> Pager::ReadCommitted(PageId id, uint64_t seq) {
   if (auto frame = wal_->FindFrame(id, seq)) {
     version = *frame;
   }
+  // Hit/miss accounting (aggregate + per shard) happens inside the cache.
   if (PagePtr cached = cache_.Get(id, version)) {
-    stats_.pages_cache_hit.fetch_add(1, std::memory_order_relaxed);
     return cached;
   }
   auto page = std::make_shared<Page>();

@@ -86,6 +86,14 @@ struct PagerOptions {
   /// itself holding a read snapshot (e.g. the chunked index rebuild)
   /// degrades to a warning instead of deadlocking.
   uint32_t wal_backpressure_wait_ms = 1000;
+
+  /// Page-cache shard count (default 0 = pick from the budget: exact LRU
+  /// for tiny caches, wide fan-out for production budgets). Non-zero pins
+  /// the count (rounded down to a power of two, clamped to
+  /// PageCache::kMaxShards) so many-reader deployments can tune lock
+  /// spread explicitly; per-shard hit/miss counters surface through
+  /// IoStats::cache_shard_hits/_misses.
+  size_t cache_shards = 0;
 };
 
 /// Header page field offsets (page 0).
@@ -209,6 +217,7 @@ class Pager {
   uint64_t last_committed_seq() const;
   uint32_t page_count() const;
   size_t cache_bytes_in_use() const { return cache_.size_bytes(); }
+  size_t cache_shard_count() const { return cache_.shard_count(); }
   /// WAL observability for tests and monitoring.
   uint64_t wal_frame_count() const { return wal_->frame_count(); }
   uint64_t wal_backfill_watermark() const {
@@ -219,7 +228,11 @@ class Pager {
 
  private:
   Pager(std::string path, const PagerOptions& options)
-      : options_(options), path_(std::move(path)), cache_(options.cache_bytes) {}
+      : options_(options),
+        path_(std::move(path)),
+        cache_(options.cache_bytes, options.cache_shards) {
+    cache_.set_io_stats(&stats_);
+  }
 
   Status Initialize();
   // Reads a committed page image as of `seq`, bypassing txn dirty state.

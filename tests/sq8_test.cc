@@ -519,5 +519,113 @@ TEST_F(Sq8DbTest, DuplicateBatchFiltersShareEvaluation) {
   }
 }
 
+// Drift requantization (DbOptions::sq8_requantize_saturation): a stream
+// of delta flushes carrying vectors far outside a partition's built box
+// saturates its codes; Maintain() must detect the ratio and requantize
+// the partition in place with fresh bounds, keeping sidecar consistency
+// and quantized/float recall parity for the drifted data.
+TEST_F(Sq8DbTest, DriftRequantizationRefreshesBounds) {
+  DatasetSpec spec;
+  spec.name = "sq8-drift";
+  spec.dim = 16;
+  spec.n = 1500;
+  spec.n_queries = 4;
+  Dataset ds = GenerateDataset(spec);
+  // rebuild_chunk_rows = 0: the chunked requantization loops (build
+  // phase 3.5 and the drift pass below) must floor the chunk and make
+  // progress, not spin on an empty transaction.
+  DbOptions drift_options = SmallOptions(spec.dim);
+  drift_options.rebuild_chunk_rows = 0;
+  auto db = LoadDataset(ds, drift_options);
+  ASSERT_TRUE(db->BuildIndex().ok());
+
+  // Upper bound of the built boxes (the dataset lives roughly in the
+  // unit box, so this lands near 1).
+  auto max_bound = [&](DB* handle) {
+    double bound = 0;
+    auto txn = handle->engine()->BeginRead().value();
+    BTree sq8params = txn->OpenTable(kSq8ParamsTable).value();
+    BTreeCursor c = sq8params.NewCursor();
+    EXPECT_TRUE(c.SeekToFirst().ok());
+    while (c.Valid()) {
+      std::string_view key = c.key();
+      uint32_t partition;
+      EXPECT_TRUE(key::ConsumeU32(&key, &partition));
+      if (partition != kDeltaPartition) {  // global bounds excluded
+        Sq8PartitionParams p;
+        EXPECT_TRUE(DecodeSq8Params(c.value().value(), spec.dim, &p).ok());
+        for (uint32_t d = 0; d < spec.dim; ++d) {
+          bound = std::max(bound,
+                           double{p.min[d]} + 255.0 * double{p.scale[d]});
+        }
+      }
+      EXPECT_TRUE(c.Next().ok());
+    }
+    return bound;
+  };
+  const double built_bound = max_bound(db.get());
+
+  // Drift: 120 vectors shifted far outside every built box. They land in
+  // the delta store and flush into their nearest partitions with heavily
+  // saturated codes.
+  std::vector<UpsertRequest> drifted;
+  for (size_t i = 0; i < 120; ++i) {
+    UpsertRequest req;
+    req.asset_id = "drift" + std::to_string(i);
+    req.vector.assign(ds.row(i), ds.row(i) + spec.dim);
+    for (float& f : req.vector) f += 5.0f;
+    drifted.push_back(std::move(req));
+  }
+  ASSERT_TRUE(db->Upsert(drifted).ok());
+
+  auto report = db->Maintain().value();
+  ASSERT_FALSE(report.full_rebuild);  // stays incremental at +8% rows
+  EXPECT_EQ(report.delta_flushed, drifted.size());
+  EXPECT_GT(report.partitions_requantized, 0u);
+  VerifySidecar(db.get());
+
+  // Fresh bounds cover the drifted data; the built boxes did not.
+  EXPECT_LT(built_bound, 4.0);
+  EXPECT_GT(max_bound(db.get()), 4.0);
+
+  // Recall parity on the drifted region: the quantized scan must rank the
+  // requantized rows exactly like the float path.
+  for (size_t q = 0; q < 8; ++q) {
+    SearchRequest req;
+    req.query = drifted[q].vector;
+    req.k = 5;
+    req.nprobe = 8;
+    req.quantized = false;
+    auto float_resp = db->Search(req).value();
+    req.quantized = true;
+    auto sq8_resp = db->Search(req).value();
+    ASSERT_EQ(sq8_resp.items.size(), float_resp.items.size()) << q;
+    for (size_t i = 0; i < float_resp.items.size(); ++i) {
+      EXPECT_EQ(sq8_resp.items[i].vid, float_resp.items[i].vid)
+          << q << " " << i;
+      EXPECT_EQ(sq8_resp.items[i].distance, float_resp.items[i].distance)
+          << q << " " << i;
+    }
+    EXPECT_EQ(sq8_resp.items[0].asset_id, drifted[q].asset_id) << q;
+    EXPECT_FLOAT_EQ(sq8_resp.items[0].distance, 0.f) << q;
+  }
+  ASSERT_TRUE(db->Close().ok());
+
+  // Disabled threshold: same drift, no requantization.
+  std::filesystem::remove_all(dir_);
+  std::filesystem::create_directories(dir_);
+  DbOptions options = SmallOptions(spec.dim);
+  options.sq8_requantize_saturation = 0;
+  db = LoadDataset(ds, options);
+  ASSERT_TRUE(db->BuildIndex().ok());
+  ASSERT_TRUE(db->Upsert(drifted).ok());
+  report = db->Maintain().value();
+  ASSERT_FALSE(report.full_rebuild);
+  EXPECT_EQ(report.delta_flushed, drifted.size());
+  EXPECT_EQ(report.partitions_requantized, 0u);
+  EXPECT_LT(max_bound(db.get()), 4.0);  // bounds stayed stale
+  VerifySidecar(db.get());
+}
+
 }  // namespace
 }  // namespace micronn

@@ -222,6 +222,52 @@ TEST(PageCacheTest, ShrinkingBudgetBelowShardGranularityKeepsCacheAlive) {
   EXPECT_LE(cache.entry_count(), cache.shard_count());
 }
 
+TEST(PageCacheTest, ShardOverridePinsTheCount) {
+  // Auto-pick scales with the budget...
+  EXPECT_EQ(PageCache(3 * PageCache::kEntryBytes).shard_count(), 1u);
+  EXPECT_GT(PageCache(64ull << 20).shard_count(), 1u);
+  // ...while an explicit override pins it: rounded down to a power of
+  // two, clamped to kMaxShards, independent of the budget.
+  EXPECT_EQ(PageCache(64ull << 20, 1).shard_count(), 1u);
+  EXPECT_EQ(PageCache(3 * PageCache::kEntryBytes, 8).shard_count(), 8u);
+  EXPECT_EQ(PageCache(8ull << 20, 7).shard_count(), 4u);
+  EXPECT_EQ(PageCache(8ull << 20, 1000).shard_count(),
+            PageCache::kMaxShards);
+}
+
+TEST(PageCacheTest, PerShardHitMissCountersFeedIoStats) {
+  IoStats stats;
+  PageCache cache(64 * PageCache::kEntryBytes, 4);
+  cache.set_io_stats(&stats);
+  for (PageId p = 1; p <= 16; ++p) {
+    cache.Put(p, 0, std::make_shared<Page>());
+  }
+  for (PageId p = 1; p <= 16; ++p) {
+    EXPECT_NE(cache.Get(p, 0), nullptr);
+  }
+  for (PageId p = 100; p < 108; ++p) {
+    EXPECT_EQ(cache.Get(p, 0), nullptr);
+  }
+  const IoStats::View v = stats.Snapshot();
+  uint64_t hits = 0;
+  for (const uint64_t h : v.cache_shard_hits) hits += h;
+  EXPECT_EQ(hits, 16u);
+  EXPECT_EQ(v.pages_cache_hit, 16u);  // aggregate mirrors the shard sum
+  EXPECT_EQ(v.CacheMisses(), 8u);
+  // Only the first shard_count() slots may move.
+  for (size_t s = cache.shard_count(); s < kMaxCacheShards; ++s) {
+    EXPECT_EQ(v.cache_shard_hits[s], 0u);
+    EXPECT_EQ(v.cache_shard_misses[s], 0u);
+  }
+  // The hash spread should reach more than one of the 4 shards even with
+  // 16 sequential page ids.
+  size_t touched = 0;
+  for (size_t s = 0; s < cache.shard_count(); ++s) {
+    if (v.cache_shard_hits[s] > 0) ++touched;
+  }
+  EXPECT_GT(touched, 1u);
+}
+
 TEST(PageCacheTest, DropVersionedKeepsMainFilePages) {
   PageCache cache(10 * (kPageSize + 64));
   cache.Put(1, 0, std::make_shared<Page>());
