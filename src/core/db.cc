@@ -595,7 +595,8 @@ void DB::ExecuteQueryGroup(const std::vector<QueryGroupEntry*>& group) {
   }
   ExecutorContext ctx{
       *vectors, *vidmap, cset != nullptr ? cset.get() : nullptr, options_.dim,
-      options_.metric, &pool_, std::nullopt, std::nullopt, std::nullopt};
+      options_.metric, &pool_, std::nullopt, std::nullopt, std::nullopt,
+      engine_->pager(), txn->snapshot_seq(), options_.prefetch_depth};
   // SQ8 sidecar + attributes table for the executor's quantized scans and
   // shared filter evaluation. All three exist on every database this
   // version opens; tolerate absence anyway (the executor degrades to

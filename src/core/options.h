@@ -95,6 +95,19 @@ struct DbOptions {
   /// memory).
   size_t rebuild_chunk_rows = 2048;
 
+  // --- Read I/O & prefetch ---
+  /// Partitions of read-ahead per executor worker: while a worker scans
+  /// one partition, the leaf pages of up to this many upcoming partitions
+  /// in the group's work list are fetched as batched best-effort reads
+  /// (io_uring when available, else looped pread), so cold-cache scans
+  /// overlap I/O with scoring. Also enables the batched point-read path
+  /// inside rerank / pre-filter stages. 0 disables all read-ahead (every
+  /// page is a blocking demand read, the pre-batching behavior). Results
+  /// are bit-identical at any depth. The I/O backend itself is selected by
+  /// PagerOptions::io_backend (env override MICRONN_IO_BACKEND).
+  /// See docs/ARCHITECTURE.md "Read I/O & prefetch".
+  uint32_t prefetch_depth = 2;
+
   // --- Hybrid search ---
   /// String columns that also get a full-text (MATCH) index.
   std::vector<std::string> fts_columns;

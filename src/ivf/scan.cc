@@ -162,6 +162,18 @@ Status ScanAllPartitions(BTree vectors, uint32_t dim, const RowFilter& filter,
                    [](std::string_view) { return true; });
 }
 
+Status CollectPartitionLeafPages(BTree table, uint32_t partition,
+                                 size_t max_pages, std::vector<PageId>* out) {
+  // [prefix(p), prefix(p+1)) in memcmp order; the last partition id is
+  // unbounded above.
+  std::string lo = PartitionPrefix(partition);
+  std::string hi;
+  if (partition != std::numeric_limits<uint32_t>::max()) {
+    hi = PartitionPrefix(partition + 1);
+  }
+  return table.CollectLeafPagesInRange(lo, hi, max_pages, out);
+}
+
 Result<std::vector<uint32_t>> ListPartitions(BTree vectors) {
   std::vector<uint32_t> out;
   BTreeCursor cursor = vectors.NewCursor();

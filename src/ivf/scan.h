@@ -75,6 +75,15 @@ Status ScanPartitionSq8(BTree sq8, uint32_t partition, uint32_t dim,
 Status ScanAllPartitions(BTree vectors, uint32_t dim, const RowFilter& filter,
                          const BlockCallback& cb, ScanCounters* counters);
 
+/// Appends to `*out` the ids of every leaf page that may hold rows of
+/// `partition` in `table` (the vectors table or its sq8 sidecar — both are
+/// clustered on VectorKey, so a partition is one contiguous key range),
+/// without reading those leaves. Capped at `max_pages` entries. Feed the
+/// result to Pager::PrefetchPages ahead of ScanPartition /
+/// ScanPartitionSq8 so the scan's leaves arrive as one batched read.
+Status CollectPartitionLeafPages(BTree table, uint32_t partition,
+                                 size_t max_pages, std::vector<PageId>* out);
+
 /// Distinct partition ids physically present in the vectors table
 /// (ascending; delta included if it has rows). One seek per partition.
 /// Exact plans enumerate partitions from here — not from the centroid

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_set>
 #include <utility>
 
@@ -340,15 +341,43 @@ Result<std::vector<Neighbor>> ExactSearch(BTree vectors, Metric metric,
   return heap.TakeSorted();
 }
 
+namespace {
+
+// Best-effort batched read-ahead of the leaves a sorted key run will
+// touch. Errors are swallowed: the demand reads behind it retry (and
+// report) anything that matters.
+void PrefetchLeaves(BTree table, std::span<const std::string> sorted_keys,
+                    const PrefetchContext* prefetch) {
+  if (prefetch == nullptr || prefetch->pager == nullptr ||
+      sorted_keys.empty()) {
+    return;
+  }
+  std::vector<PageId> pages;
+  if (!table.CollectLeafPages(sorted_keys, &pages).ok() || pages.empty()) {
+    return;
+  }
+  prefetch->pager->PrefetchPages(pages, prefetch->snapshot_seq);
+}
+
+}  // namespace
+
 Result<std::vector<Neighbor>> SearchByVids(BTree vectors, BTree vidmap,
                                            Metric metric, uint32_t dim,
                                            const float* query, uint32_t k,
                                            const std::vector<uint64_t>& vids,
                                            ThreadPool* pool,
-                                           SearchCounters* counters) {
+                                           SearchCounters* counters,
+                                           const PrefetchContext* prefetch) {
   // Stage 1: resolve vid -> partition. The vids arrive sorted, so the
-  // vidmap point reads walk that tree in key order; the regroup below
-  // turns the vectors-table lookups into partition-clustered runs.
+  // vidmap point reads walk that tree in key order (and, with a prefetch
+  // context, land as one batched read); the regroup below turns the
+  // vectors-table lookups into partition-clustered runs.
+  if (prefetch != nullptr && prefetch->pager != nullptr && !vids.empty()) {
+    std::vector<std::string> keys;
+    keys.reserve(vids.size());
+    for (const uint64_t vid : vids) keys.push_back(key::U64(vid));
+    PrefetchLeaves(vidmap, keys, prefetch);
+  }
   std::vector<std::pair<uint32_t, uint64_t>> rows;  // (partition, vid)
   rows.reserve(vids.size());
   for (const uint64_t vid : vids) {
@@ -361,6 +390,16 @@ Result<std::vector<Neighbor>> SearchByVids(BTree vectors, BTree vidmap,
   }
   std::sort(rows.begin(), rows.end());
   const size_t n_rows = rows.size();
+  // VectorKey preserves (partition, vid) order, so the vectors-table run
+  // below is sorted too — batch its leaves ahead of the Get() loop.
+  if (prefetch != nullptr && prefetch->pager != nullptr && !rows.empty()) {
+    std::vector<std::string> keys;
+    keys.reserve(rows.size());
+    for (const auto& [partition, vid] : rows) {
+      keys.push_back(VectorKey(partition, vid));
+    }
+    PrefetchLeaves(vectors, keys, prefetch);
+  }
 
   // Stage 2: fetch + decode into SIMD blocks and score with
   // DistanceOneToMany, in contiguous slices across the pool.

@@ -116,6 +116,16 @@ Result<std::vector<Neighbor>> ExactSearch(BTree vectors, Metric metric,
                                           uint32_t k, const RowFilter& filter,
                                           SearchCounters* counters);
 
+/// Snapshot handle for read-ahead inside search primitives. When supplied
+/// to SearchByVids, each point-read stage first enumerates the leaf pages
+/// its sorted key run will touch (BTree::CollectLeafPages) and issues them
+/// as one best-effort Pager::PrefetchPages batch, so the per-key Get()
+/// loop hits cache instead of paying one blocking pread per leaf.
+struct PrefetchContext {
+  Pager* pager = nullptr;
+  uint64_t snapshot_seq = 0;
+};
+
 /// Brute-force top-k over an explicit list of row ids (the pre-filtering
 /// executor's second stage). Resolves each vid via vidmap, regroups the
 /// candidates by partition so the vectors-table point reads walk the
@@ -123,13 +133,16 @@ Result<std::vector<Neighbor>> ExactSearch(BTree vectors, Metric metric,
 /// over kScanBlockRows rows), and splits large candidate sets across
 /// `pool`. 100% recall over the candidate set by construction. `vids`
 /// should be sorted (CollectMatchingVids returns them sorted); `pool` may
-/// be null (serial).
+/// be null (serial); `prefetch` may be null (no read-ahead — results are
+/// identical either way).
 Result<std::vector<Neighbor>> SearchByVids(BTree vectors, BTree vidmap,
                                            Metric metric, uint32_t dim,
                                            const float* query, uint32_t k,
                                            const std::vector<uint64_t>& vids,
                                            ThreadPool* pool,
-                                           SearchCounters* counters);
+                                           SearchCounters* counters,
+                                           const PrefetchContext* prefetch =
+                                               nullptr);
 
 /// Recall@k of `got` against ground truth `expected` (both ascending by
 /// distance): |got ∩ expected| / |expected|.

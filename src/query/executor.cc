@@ -272,6 +272,46 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
     return Status::OK();
   };
 
+  // Read-ahead over the work list: while a worker scans partition i, the
+  // leaf pages of the next `prefetch_depth` unclaimed partitions are
+  // issued as one best-effort batched read each, so their scans start
+  // warm. The claim cursor only moves forward, so each partition is
+  // prefetched at most once across all workers.
+  const bool prefetch_on =
+      ctx_.pager != nullptr && ctx_.prefetch_depth > 0;
+  const PrefetchContext pctx{ctx_.pager, ctx_.snapshot_seq};
+  const PrefetchContext* prefetch_ctx = prefetch_on ? &pctx : nullptr;
+  std::atomic<size_t> prefetch_cursor{0};
+  auto prefetch_one = [&](size_t work_i) {
+    const PartitionWork& pw = work[work_i];
+    // Mirror process()'s representation split so the read-ahead touches
+    // exactly the tables the scan will.
+    bool want_quant = false;
+    bool want_float = false;
+    if (work_params[work_i] != nullptr) {
+      for (const size_t idx : pw.plan_idx) {
+        (plans[idx].quantized ? want_quant : want_float) = true;
+      }
+    } else {
+      want_float = true;
+    }
+    constexpr size_t kMaxPrefetchPages = 1024;  // 4 MiB per partition, max
+    std::vector<PageId> pages;
+    if (want_quant && ctx_.sq8.has_value()) {
+      CollectPartitionLeafPages(*ctx_.sq8, pw.partition, kMaxPrefetchPages,
+                                &pages)
+          .ok();
+    }
+    if (want_float) {
+      CollectPartitionLeafPages(ctx_.vectors, pw.partition, kMaxPrefetchPages,
+                                &pages)
+          .ok();
+    }
+    if (!pages.empty()) {
+      ctx_.pager->PrefetchPages(pages, ctx_.snapshot_seq);
+    }
+  };
+
   std::atomic<size_t> next_work{0};
   auto drain = [&](size_t w) {
     // Fail fast: once this worker hits an error the group is doomed, so
@@ -279,6 +319,24 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
     for (; workers[w].status.ok();) {
       const size_t i = next_work.fetch_add(1);
       if (i >= work.size()) break;
+      if (prefetch_on) {
+        // Claim-ahead: advance the shared cursor through (i, i + depth],
+        // skipping anything already claimed for processing or prefetched
+        // by another worker.
+        const size_t target =
+            std::min(work.size(),
+                     i + 1 + static_cast<size_t>(ctx_.prefetch_depth));
+        size_t cur = prefetch_cursor.load(std::memory_order_relaxed);
+        for (;;) {
+          const size_t next = std::max(cur, i + 1);
+          if (next >= target) break;
+          if (prefetch_cursor.compare_exchange_weak(
+                  cur, next + 1, std::memory_order_relaxed)) {
+            prefetch_one(next);
+            cur = next + 1;
+          }
+        }
+      }
       Status st = process(w, i);
       if (!st.ok()) workers[w].status = st;
     }
@@ -350,7 +408,7 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
         r.neighbors,
         SearchByVids(ctx_.vectors, ctx_.vidmap, ctx_.metric, ctx_.dim,
                      plan.query.data(), plan.k, vids, ctx_.pool,
-                     &rerank_counters));
+                     &rerank_counters, prefetch_ctx));
     r.rows_reranked = rerank_counters.rows_scanned;
   }
 
@@ -372,7 +430,7 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
         results[idx].neighbors,
         SearchByVids(ctx_.vectors, ctx_.vidmap, ctx_.metric, ctx_.dim,
                      plan.query.data(), plan.k, plan.prefilter_vids,
-                     ctx_.pool, &results[idx].counters));
+                     ctx_.pool, &results[idx].counters, prefetch_ctx));
   }
 
   if (group != nullptr) {

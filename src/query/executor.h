@@ -54,6 +54,16 @@ struct ExecutorContext {
   /// distinct fan-in predicate against it. Unset falls back to per-plan
   /// row filters.
   std::optional<BTree> attributes;
+  /// Read-ahead plumbing (DbOptions::prefetch_depth). With a pager, a
+  /// snapshot, and depth > 0, workers draining the partition work list
+  /// claim up to `prefetch_depth` not-yet-scanned partitions ahead and
+  /// issue their leaf pages as best-effort Pager::PrefetchPages batches,
+  /// and SearchByVids stages batch their point-read leaves the same way.
+  /// Results are bit-identical with prefetch on or off; a null pager or
+  /// depth 0 is the fully blocking seed path.
+  Pager* pager = nullptr;
+  uint64_t snapshot_seq = 0;
+  uint32_t prefetch_depth = 0;
 };
 
 /// One plan's outcome.

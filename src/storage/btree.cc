@@ -403,6 +403,126 @@ Result<PageId> BTree::DescendToLeaf(std::string_view key,
   }
 }
 
+Status BTree::CollectLeafPages(std::span<const std::string> sorted_keys,
+                               std::vector<PageId>* out) {
+  if (sorted_keys.empty()) return Status::OK();
+  // Height probe: the tree has uniform leaf depth (root splits grow
+  // downward), so one descent fixes the level at which children are
+  // leaves. This reads a single leaf; the recursion below reads none.
+  std::vector<PathEntry> path;
+  MICRONN_ASSIGN_OR_RETURN(PageId first_leaf,
+                           DescendToLeaf(sorted_keys.front(), &path));
+  if (path.empty()) {  // the root is the only leaf
+    out->push_back(first_leaf);
+    return Status::OK();
+  }
+  return CollectFromNode(root_, 0, path.size(), sorted_keys, out);
+}
+
+Status BTree::CollectFromNode(PageId page, size_t level, size_t leaf_level,
+                              std::span<const std::string> keys,
+                              std::vector<PageId>* out) {
+  MICRONN_ASSIGN_OR_RETURN(PagePtr p, view_->Read(page));
+  if (IsLeaf(*p)) {  // defensive: never hit when leaf_level is honest
+    out->push_back(page);
+    return Status::OK();
+  }
+  // Merge-walk: partition the (sorted) keys among children using the
+  // max-key convention — cell i covers keys <= its separator, the right
+  // child covers the remainder.
+  const int n = NCells(*p);
+  size_t start = 0;
+  for (int i = 0; i < n && start < keys.size(); ++i) {
+    const std::string_view sep = CellKey(*p, i);
+    size_t end = start;
+    while (end < keys.size() && std::string_view(keys[end]) <= sep) ++end;
+    if (end == start) continue;
+    const PageId child = ParseInteriorCell(*p, i).child;
+    if (child == kInvalidPage) {
+      return Status::Corruption("interior node with null child");
+    }
+    if (level + 1 == leaf_level) {
+      out->push_back(child);
+    } else {
+      MICRONN_RETURN_IF_ERROR(CollectFromNode(
+          child, level + 1, leaf_level, keys.subspan(start, end - start),
+          out));
+    }
+    start = end;
+  }
+  if (start < keys.size()) {
+    const PageId child = RightChild(*p);
+    if (child != kInvalidPage) {
+      if (level + 1 == leaf_level) {
+        out->push_back(child);
+      } else {
+        MICRONN_RETURN_IF_ERROR(CollectFromNode(child, level + 1, leaf_level,
+                                                keys.subspan(start), out));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BTree::CollectLeafPagesInRange(std::string_view lo, std::string_view hi,
+                                      size_t max_pages,
+                                      std::vector<PageId>* out) {
+  if (max_pages == 0 || out->size() >= max_pages) return Status::OK();
+  std::vector<PathEntry> path;
+  MICRONN_ASSIGN_OR_RETURN(PageId first_leaf, DescendToLeaf(lo, &path));
+  if (path.empty()) {
+    out->push_back(first_leaf);
+    return Status::OK();
+  }
+  return CollectRangeFromNode(root_, 0, path.size(), lo, hi, max_pages, out);
+}
+
+Status BTree::CollectRangeFromNode(PageId page, size_t level,
+                                   size_t leaf_level, std::string_view lo,
+                                   std::string_view hi, size_t max_pages,
+                                   std::vector<PageId>* out) {
+  if (out->size() >= max_pages) return Status::OK();
+  MICRONN_ASSIGN_OR_RETURN(PagePtr p, view_->Read(page));
+  if (IsLeaf(*p)) {
+    out->push_back(page);
+    return Status::OK();
+  }
+  const int n = NCells(*p);
+  // Child i covers (sep[i-1], sep[i]]; once a separator reaches `hi` the
+  // child containing it still intersects the range, everything after is
+  // past it.
+  bool past_hi = false;
+  for (int i = 0; i < n; ++i) {
+    if (out->size() >= max_pages) return Status::OK();
+    if (past_hi) break;
+    const std::string_view sep = CellKey(*p, i);
+    if (sep < lo) continue;  // child holds only keys <= sep < lo
+    if (!hi.empty() && sep >= hi) past_hi = true;
+    const PageId child = ParseInteriorCell(*p, i).child;
+    if (child == kInvalidPage) {
+      return Status::Corruption("interior node with null child");
+    }
+    if (level + 1 == leaf_level) {
+      out->push_back(child);
+    } else {
+      MICRONN_RETURN_IF_ERROR(CollectRangeFromNode(
+          child, level + 1, leaf_level, lo, hi, max_pages, out));
+    }
+  }
+  if (!past_hi && out->size() < max_pages) {
+    const PageId child = RightChild(*p);
+    if (child != kInvalidPage) {
+      if (level + 1 == leaf_level) {
+        out->push_back(child);
+      } else {
+        MICRONN_RETURN_IF_ERROR(CollectRangeFromNode(
+            child, level + 1, leaf_level, lo, hi, max_pages, out));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status BTree::Put(std::string_view key, std::string_view value) {
   if (key.empty() || key.size() > kMaxKeySize) {
     return Status::InvalidArgument("key size must be in [1, " +

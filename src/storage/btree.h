@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -65,6 +66,20 @@ class BTree {
   /// empty leaf.
   Status Clear();
 
+  /// Appends to `*out` the ids of every leaf page that owns one of
+  /// `sorted_keys` (ascending memcmp order, duplicates allowed) WITHOUT
+  /// reading those leaves — only interior levels are walked (plus a single
+  /// leaf for the height probe). Feed the result to Pager::PrefetchPages so
+  /// a following run of Get() calls finds its leaves resident.
+  Status CollectLeafPages(std::span<const std::string> sorted_keys,
+                          std::vector<PageId>* out);
+
+  /// Same, for every leaf that may hold a key in [lo, hi); empty `hi`
+  /// means unbounded above. Stops early once `*out` holds `max_pages`
+  /// entries (prefetch is best-effort, so a truncated set is fine).
+  Status CollectLeafPagesInRange(std::string_view lo, std::string_view hi,
+                                 size_t max_pages, std::vector<PageId>* out);
+
   /// Walks the whole tree verifying structural invariants (ordering,
   /// separator bounds, reachability). Test / debugging aid.
   Status CheckIntegrity();
@@ -93,6 +108,16 @@ class BTree {
   Status RemoveChildRef(const std::vector<PathEntry>& path, size_t level);
 
   Status FreeSubtree(PageId page);
+
+  // Recursive workers for the leaf collectors. `leaf_level` is the uniform
+  // leaf depth (path length from root); children of a node at
+  // `leaf_level - 1` are emitted without being read.
+  Status CollectFromNode(PageId page, size_t level, size_t leaf_level,
+                         std::span<const std::string> keys,
+                         std::vector<PageId>* out);
+  Status CollectRangeFromNode(PageId page, size_t level, size_t leaf_level,
+                              std::string_view lo, std::string_view hi,
+                              size_t max_pages, std::vector<PageId>* out);
 
   Status CheckNode(PageId page, std::string_view upper_bound, bool has_bound,
                    std::string* max_key_out);

@@ -15,7 +15,14 @@ std::string ErrnoMessage(const std::string& op, const std::string& path) {
 }
 }  // namespace
 
-Result<std::unique_ptr<File>> File::Open(const std::string& path) {
+Status FileHandle::ReadBatch(ReadOp* ops, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    ops[i].status = ReadAt(ops[i].offset, ops[i].buf, ops[i].len);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PosixFile>> PosixFile::Open(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd < 0) {
     return Status::IOError(ErrnoMessage("open", path));
@@ -25,20 +32,21 @@ Result<std::unique_ptr<File>> File::Open(const std::string& path) {
     ::close(fd);
     return Status::IOError(ErrnoMessage("fstat", path));
   }
-  return std::unique_ptr<File>(
-      new File(fd, path, static_cast<uint64_t>(st.st_size)));
+  return std::unique_ptr<PosixFile>(
+      new PosixFile(fd, path, static_cast<uint64_t>(st.st_size)));
 }
 
-File::~File() {
+PosixFile::~PosixFile() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Status File::ReadAt(uint64_t offset, void* buf, size_t n) const {
+Status PosixFile::ReadAt(uint64_t offset, void* buf, size_t n) {
   uint8_t* dst = static_cast<uint8_t*>(buf);
   size_t done = 0;
   while (done < n) {
     const ssize_t r = ::pread(fd_, dst + done, n - done,
                               static_cast<off_t>(offset + done));
+    CountReadSyscall();
     if (r < 0) {
       if (errno == EINTR) continue;
       return Status::IOError(ErrnoMessage("pread", path_));
@@ -52,7 +60,7 @@ Status File::ReadAt(uint64_t offset, void* buf, size_t n) const {
   return Status::OK();
 }
 
-Status File::WriteAt(uint64_t offset, const void* buf, size_t n) {
+Status PosixFile::WriteAt(uint64_t offset, const void* buf, size_t n) {
   const uint8_t* src = static_cast<const uint8_t*>(buf);
   size_t done = 0;
   while (done < n) {
@@ -70,18 +78,18 @@ Status File::WriteAt(uint64_t offset, const void* buf, size_t n) {
   return Status::OK();
 }
 
-Status File::Append(const void* buf, size_t n) {
+Status PosixFile::Append(const void* buf, size_t n) {
   return WriteAt(size(), buf, n);
 }
 
-Status File::Sync() {
+Status PosixFile::Sync() {
   if (::fdatasync(fd_) != 0) {
     return Status::IOError(ErrnoMessage("fdatasync", path_));
   }
   return Status::OK();
 }
 
-Status File::Truncate(uint64_t size) {
+Status PosixFile::Truncate(uint64_t size) {
   if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
     return Status::IOError(ErrnoMessage("ftruncate", path_));
   }

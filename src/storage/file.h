@@ -1,4 +1,14 @@
-// Thin POSIX file wrapper with positional reads/writes.
+// Pluggable random-access file layer.
+//
+// Everything the storage engine does to a disk file goes through the
+// FileHandle interface: positional reads/writes, appends, syncs, and the
+// batched read API the pager's prefetcher is built on. Implementations:
+//   - PosixFile (this header): blocking pread/pwrite, the default.
+//   - UringFile (storage/io_backend.cc, build-gated): batched reads via
+//     io_uring, one submitting syscall per batch.
+//   - FaultInjectionFile (tests/support/fault_injection_file.h): a
+//     decorator that fails the Nth operation on a deterministic schedule,
+//     installed through PagerOptions::file_wrapper.
 #ifndef MICRONN_STORAGE_FILE_H_
 #define MICRONN_STORAGE_FILE_H_
 
@@ -9,50 +19,105 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/io_stats.h"
 
 namespace micronn {
 
-/// A random-access file handle. pread/pwrite based, safe for concurrent
-/// reads from multiple threads; writes are serialized by callers (the
-/// storage engine has a single writer).
-class File {
- public:
-  /// Opens (creating if needed) `path` for read/write.
-  static Result<std::unique_ptr<File>> Open(const std::string& path);
+/// One positional read of a batch. `status` receives the per-op outcome
+/// from ReadBatch so best-effort callers (the prefetcher) can skip failed
+/// ops while strict callers check every one.
+struct ReadOp {
+  uint64_t offset = 0;
+  void* buf = nullptr;
+  size_t len = 0;
+  Status status;
+};
 
-  ~File();
-  File(const File&) = delete;
-  File& operator=(const File&) = delete;
+/// A random-access file handle. Reads are safe from multiple threads
+/// concurrently; writes are serialized by callers (the storage engine has
+/// a single writer).
+class FileHandle {
+ public:
+  virtual ~FileHandle() = default;
+  FileHandle(const FileHandle&) = delete;
+  FileHandle& operator=(const FileHandle&) = delete;
 
   /// Reads exactly `n` bytes at `offset`. Fails with IOError on short read.
-  Status ReadAt(uint64_t offset, void* buf, size_t n) const;
+  virtual Status ReadAt(uint64_t offset, void* buf, size_t n) = 0;
+
+  /// Issues `n` positional reads. Per-op outcomes land in ops[i].status;
+  /// the return value reports only transport-level failure (an OK return
+  /// with some failed ops is normal). The base implementation loops
+  /// ReadAt; backends override it with real batch submission.
+  virtual Status ReadBatch(ReadOp* ops, size_t n);
 
   /// Writes exactly `n` bytes at `offset`.
-  Status WriteAt(uint64_t offset, const void* buf, size_t n);
+  virtual Status WriteAt(uint64_t offset, const void* buf, size_t n) = 0;
 
   /// Appends `n` bytes at the current logical end (tracked size).
-  Status Append(const void* buf, size_t n);
+  virtual Status Append(const void* buf, size_t n) = 0;
 
   /// Flushes file data (and metadata) to stable storage.
-  Status Sync();
+  virtual Status Sync() = 0;
 
   /// Truncates the file to `size` bytes.
-  Status Truncate(uint64_t size);
+  virtual Status Truncate(uint64_t size) = 0;
 
   /// Current size in bytes (as tracked; matches the OS size). Safe to call
   /// from reader threads concurrently with the single writer's appends.
-  uint64_t size() const { return size_.load(std::memory_order_acquire); }
+  virtual uint64_t size() const = 0;
 
-  const std::string& path() const { return path_; }
+  virtual const std::string& path() const = 0;
 
- private:
-  File(int fd, std::string path, uint64_t size)
+  /// Routes syscall accounting into `stats` (IoStats::read_syscalls).
+  /// Set once at bring-up, before concurrent readers exist. Decorators
+  /// forward to the wrapped handle.
+  virtual void set_io_stats(IoStats* stats) { stats_ = stats; }
+
+ protected:
+  FileHandle() = default;
+
+  void CountReadSyscall() {
+    if (stats_ != nullptr) {
+      stats_->read_syscalls.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  IoStats* stats_ = nullptr;
+};
+
+/// The blocking pread/pwrite implementation.
+class PosixFile : public FileHandle {
+ public:
+  /// Opens (creating if needed) `path` for read/write.
+  static Result<std::unique_ptr<PosixFile>> Open(const std::string& path);
+
+  ~PosixFile() override;
+
+  Status ReadAt(uint64_t offset, void* buf, size_t n) override;
+  Status WriteAt(uint64_t offset, const void* buf, size_t n) override;
+  Status Append(const void* buf, size_t n) override;
+  Status Sync() override;
+  Status Truncate(uint64_t size) override;
+  uint64_t size() const override {
+    return size_.load(std::memory_order_acquire);
+  }
+  const std::string& path() const override { return path_; }
+
+ protected:
+  // Shared with UringFile (storage/io_backend.cc), which reuses the fd
+  // and every non-batched operation.
+  PosixFile(int fd, std::string path, uint64_t size)
       : fd_(fd), path_(std::move(path)), size_(size) {}
 
   int fd_;
   std::string path_;
   std::atomic<uint64_t> size_;
 };
+
+/// Historical name for the default file implementation; call sites that
+/// don't care about backends keep using File::Open.
+using File = PosixFile;
 
 /// Deletes a file if it exists; OK if missing.
 Status RemoveFileIfExists(const std::string& path);

@@ -1,0 +1,333 @@
+#include "storage/io_backend.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+// Build-time gate: the uring backend needs the kernel UAPI header. When it
+// is absent (or MICRONN_NO_IO_URING is defined), everything below compiles
+// to the pread path and IoUringAvailable() is constant false.
+#if !defined(MICRONN_NO_IO_URING) && defined(__linux__) && \
+    __has_include(<linux/io_uring.h>)
+#define MICRONN_HAVE_IO_URING 1
+#endif
+
+#ifdef MICRONN_HAVE_IO_URING
+#include <fcntl.h>
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace micronn {
+
+namespace {
+
+std::optional<bool>& AvailabilityOverride() {
+  static std::optional<bool> override;
+  return override;
+}
+
+#ifdef MICRONN_HAVE_IO_URING
+
+// Raw syscall wrappers: liburing is deliberately not a dependency (the
+// target devices ship without it); the ring protocol below is the same
+// one liburing implements.
+int SysIoUringSetup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+/// One mmap'd submission/completion ring pair. Single-threaded use; the
+/// owning UringFile serializes access with a mutex.
+struct Ring {
+  int fd = -1;
+  unsigned entries = 0;
+  void* sq_ptr = nullptr;
+  size_t sq_map_len = 0;
+  void* cq_ptr = nullptr;  // == sq_ptr with IORING_FEAT_SINGLE_MMAP
+  size_t cq_map_len = 0;
+  struct io_uring_sqe* sqes = nullptr;
+  size_t sqes_map_len = 0;
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_mask = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned* cq_mask = nullptr;
+  struct io_uring_cqe* cqes = nullptr;
+
+  bool Init(unsigned want_entries) {
+    struct io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    fd = SysIoUringSetup(want_entries, &p);
+    if (fd < 0) return false;
+    entries = p.sq_entries;
+    sq_map_len = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    cq_map_len = p.cq_off.cqes + p.cq_entries * sizeof(struct io_uring_cqe);
+    const bool single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) {
+      sq_map_len = cq_map_len = std::max(sq_map_len, cq_map_len);
+    }
+    sq_ptr = ::mmap(nullptr, sq_map_len, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+    if (sq_ptr == MAP_FAILED) {
+      sq_ptr = nullptr;
+      Destroy();
+      return false;
+    }
+    if (single_mmap) {
+      cq_ptr = sq_ptr;
+    } else {
+      cq_ptr = ::mmap(nullptr, cq_map_len, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+      if (cq_ptr == MAP_FAILED) {
+        cq_ptr = nullptr;
+        Destroy();
+        return false;
+      }
+    }
+    sqes_map_len = p.sq_entries * sizeof(struct io_uring_sqe);
+    void* sqes_map = ::mmap(nullptr, sqes_map_len, PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+    if (sqes_map == MAP_FAILED) {
+      Destroy();
+      return false;
+    }
+    sqes = static_cast<struct io_uring_sqe*>(sqes_map);
+    auto u32_at = [](void* base, unsigned off) {
+      return reinterpret_cast<unsigned*>(static_cast<uint8_t*>(base) + off);
+    };
+    sq_tail = u32_at(sq_ptr, p.sq_off.tail);
+    sq_mask = u32_at(sq_ptr, p.sq_off.ring_mask);
+    sq_array = u32_at(sq_ptr, p.sq_off.array);
+    cq_head = u32_at(cq_ptr, p.cq_off.head);
+    cq_tail = u32_at(cq_ptr, p.cq_off.tail);
+    cq_mask = u32_at(cq_ptr, p.cq_off.ring_mask);
+    cqes = reinterpret_cast<struct io_uring_cqe*>(
+        static_cast<uint8_t*>(cq_ptr) + p.cq_off.cqes);
+    return true;
+  }
+
+  void Destroy() {
+    if (sqes != nullptr) ::munmap(sqes, sqes_map_len);
+    if (cq_ptr != nullptr && cq_ptr != sq_ptr) ::munmap(cq_ptr, cq_map_len);
+    if (sq_ptr != nullptr) ::munmap(sq_ptr, sq_map_len);
+    if (fd >= 0) ::close(fd);
+    sqes = nullptr;
+    cq_ptr = nullptr;
+    sq_ptr = nullptr;
+    fd = -1;
+  }
+};
+
+/// FileHandle whose ReadBatch submits the whole batch to an io_uring ring
+/// with one io_uring_enter, instead of one pread per page. Everything
+/// else (single reads, all writes, sync, truncate) stays the inherited
+/// blocking implementation: the write path is WAL-append-ordered and
+/// gains nothing from ring submission, and a lone read is exactly one
+/// syscall either way.
+class UringFile final : public PosixFile {
+ public:
+  static Result<std::unique_ptr<UringFile>> Open(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return Status::IOError("open failed for " + path + ": " +
+                             std::strerror(errno));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IOError("fstat failed for " + path + ": " +
+                             std::strerror(errno));
+    }
+    Ring ring;
+    if (!ring.Init(kRingEntries)) {
+      ::close(fd);
+      return Status::IOError("io_uring_setup failed for " + path + ": " +
+                             std::strerror(errno));
+    }
+    return std::unique_ptr<UringFile>(new UringFile(
+        fd, path, static_cast<uint64_t>(st.st_size), std::move(ring)));
+  }
+
+  ~UringFile() override { ring_.Destroy(); }
+
+  Status ReadBatch(ReadOp* ops, size_t n) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t next = 0;
+    while (next < n) {
+      const unsigned chunk =
+          static_cast<unsigned>(std::min<size_t>(ring_.entries, n - next));
+      MICRONN_RETURN_IF_ERROR(SubmitChunk(ops, next, chunk));
+      next += chunk;
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr unsigned kRingEntries = 128;
+
+  UringFile(int fd, std::string path, uint64_t size, Ring ring)
+      : PosixFile(fd, std::move(path), size), ring_(ring) {
+    // The Ring was moved by value; make sure only this copy destroys it.
+  }
+
+  // Submits ops[base, base+chunk) and drains all their completions. The
+  // ring is empty on entry (every chunk waits for full completion), so
+  // chunk <= ring_.entries SQEs always fit.
+  Status SubmitChunk(ReadOp* ops, size_t base, unsigned chunk) {
+    const unsigned tail = *ring_.sq_tail;  // sole submitter (mutex held)
+    for (unsigned i = 0; i < chunk; ++i) {
+      const unsigned idx = (tail + i) & *ring_.sq_mask;
+      struct io_uring_sqe* sqe = &ring_.sqes[idx];
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->opcode = IORING_OP_READ;
+      sqe->fd = fd_;
+      sqe->addr = reinterpret_cast<uint64_t>(ops[base + i].buf);
+      sqe->len = static_cast<uint32_t>(ops[base + i].len);
+      sqe->off = ops[base + i].offset;
+      sqe->user_data = base + i;
+      ring_.sq_array[idx] = idx;
+    }
+    __atomic_store_n(ring_.sq_tail, tail + chunk, __ATOMIC_RELEASE);
+
+    unsigned submitted = 0;
+    unsigned completed = 0;
+    while (submitted < chunk || completed < chunk) {
+      const int r = SysIoUringEnter(ring_.fd, chunk - submitted,
+                                    chunk - completed, IORING_ENTER_GETEVENTS);
+      CountReadSyscall();
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("io_uring_enter failed for " + path_ + ": " +
+                               std::strerror(errno));
+      }
+      submitted += static_cast<unsigned>(r);
+      unsigned head = *ring_.cq_head;  // sole consumer (mutex held)
+      const unsigned cq_tail = __atomic_load_n(ring_.cq_tail, __ATOMIC_ACQUIRE);
+      while (head != cq_tail) {
+        const struct io_uring_cqe* cqe = &ring_.cqes[head & *ring_.cq_mask];
+        ReadOp& op = ops[cqe->user_data];
+        const int32_t res = cqe->res;
+        if (res == static_cast<int32_t>(op.len)) {
+          op.status = Status::OK();
+        } else if (res > 0 || res == -EINTR || res == -EAGAIN) {
+          // Short or interrupted read: complete via the blocking path
+          // (idempotent; re-reads the whole op). Same semantics as the
+          // PosixFile pread retry loop.
+          op.status = PosixFile::ReadAt(op.offset, op.buf, op.len);
+        } else if (res == 0) {
+          op.status = Status::IOError("short read at offset " +
+                                      std::to_string(op.offset) + " in " +
+                                      path_);
+        } else {
+          op.status = Status::IOError("io_uring read failed for " + path_ +
+                                      ": " + std::strerror(-res));
+        }
+        ++head;
+        ++completed;
+      }
+      __atomic_store_n(ring_.cq_head, head, __ATOMIC_RELEASE);
+    }
+    return Status::OK();
+  }
+
+  std::mutex mutex_;  // one batch in flight per file
+  Ring ring_;
+};
+
+bool ProbeIoUring() {
+  struct io_uring_params p;
+  std::memset(&p, 0, sizeof(p));
+  const int fd = SysIoUringSetup(4, &p);
+  if (fd < 0) return false;  // ENOSYS, EPERM (seccomp), ...
+  ::close(fd);
+  return true;
+}
+
+#else  // !MICRONN_HAVE_IO_URING
+
+bool ProbeIoUring() { return false; }
+
+#endif  // MICRONN_HAVE_IO_URING
+
+}  // namespace
+
+const char* IoBackendName(IoBackend backend) {
+  switch (backend) {
+    case IoBackend::kAuto:
+      return "auto";
+    case IoBackend::kPread:
+      return "pread";
+    case IoBackend::kUring:
+      return "uring";
+  }
+  return "unknown";
+}
+
+std::optional<IoBackend> ParseIoBackend(std::string_view name) {
+  if (name == "auto") return IoBackend::kAuto;
+  if (name == "pread") return IoBackend::kPread;
+  if (name == "uring") return IoBackend::kUring;
+  return std::nullopt;
+}
+
+bool IoUringAvailable() {
+  if (AvailabilityOverride().has_value()) return *AvailabilityOverride();
+  static const bool available = ProbeIoUring();
+  return available;
+}
+
+void OverrideIoUringAvailabilityForTest(std::optional<bool> available) {
+  AvailabilityOverride() = available;
+}
+
+IoBackend ResolveIoBackend(IoBackend requested) {
+  if (const char* env = std::getenv("MICRONN_IO_BACKEND")) {
+    if (std::optional<IoBackend> parsed = ParseIoBackend(env)) {
+      requested = *parsed;
+    }
+  }
+  if (requested == IoBackend::kAuto) {
+    return IoUringAvailable() ? IoBackend::kUring : IoBackend::kPread;
+  }
+  if (requested == IoBackend::kUring && !IoUringAvailable()) {
+    return IoBackend::kPread;
+  }
+  return requested;
+}
+
+Result<std::unique_ptr<FileHandle>> OpenFile(const std::string& path,
+                                             IoBackend backend,
+                                             IoBackend* effective) {
+#ifdef MICRONN_HAVE_IO_URING
+  if (ResolveIoBackend(backend) == IoBackend::kUring) {
+    Result<std::unique_ptr<UringFile>> uring = UringFile::Open(path);
+    if (uring.ok()) {
+      if (effective != nullptr) *effective = IoBackend::kUring;
+      return std::unique_ptr<FileHandle>(std::move(uring).value());
+    }
+    // Ring bring-up failed (fd limits, memlock, ...): degrade to pread
+    // rather than failing the open.
+  }
+#else
+  (void)backend;
+#endif
+  if (effective != nullptr) *effective = IoBackend::kPread;
+  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<PosixFile> file,
+                           PosixFile::Open(path));
+  return std::unique_ptr<FileHandle>(std::move(file));
+}
+
+}  // namespace micronn

@@ -1,0 +1,63 @@
+// Read-I/O backend selection for the storage layer.
+//
+// The pager opens its files through OpenFile(), which picks between the
+// blocking pread implementation (PosixFile) and the io_uring batch-read
+// implementation (UringFile, built only when <linux/io_uring.h> is
+// available). Selection order:
+//   1. The MICRONN_IO_BACKEND environment variable ("pread" / "uring" /
+//      "auto"), when set and parseable, overrides the requested backend —
+//      CI uses it to force the fallback path through the whole suite.
+//   2. kAuto resolves to uring when the build has it and the kernel
+//      accepts io_uring_setup (probed once, cached), else pread.
+//   3. An explicit kUring request degrades to pread when unavailable
+//      (missing header at build time, ENOSYS/seccomp at run time) — never
+//      an error, so one binary runs everywhere.
+// Either way the page images produced are identical; only the syscall
+// pattern differs (see docs/ARCHITECTURE.md, "Read I/O & prefetch").
+#ifndef MICRONN_STORAGE_IO_BACKEND_H_
+#define MICRONN_STORAGE_IO_BACKEND_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/file.h"
+
+namespace micronn {
+
+enum class IoBackend {
+  kAuto = 0,   // uring when available, else pread
+  kPread = 1,  // blocking positional reads (PosixFile)
+  kUring = 2,  // io_uring batch reads (UringFile), falls back to pread
+};
+
+/// Lower-case name ("auto" / "pread" / "uring").
+const char* IoBackendName(IoBackend backend);
+
+/// Parses an IoBackendName (or env-var value); nullopt when unknown.
+std::optional<IoBackend> ParseIoBackend(std::string_view name);
+
+/// True when io_uring was compiled in AND the kernel accepts
+/// io_uring_setup (probed once per process, cached).
+bool IoUringAvailable();
+
+/// Test hook: forces IoUringAvailable()'s answer; nullopt restores the
+/// real probe. Not thread-safe — call from test setup only.
+void OverrideIoUringAvailabilityForTest(std::optional<bool> available);
+
+/// Applies the MICRONN_IO_BACKEND override and resolves kAuto /
+/// unavailable-uring; the result is always kPread or kUring.
+IoBackend ResolveIoBackend(IoBackend requested);
+
+/// Opens (creating if needed) `path` with the resolved backend.
+/// `effective` (optional) reports which backend the handle actually uses —
+/// kPread when a uring request fell back.
+Result<std::unique_ptr<FileHandle>> OpenFile(const std::string& path,
+                                             IoBackend backend,
+                                             IoBackend* effective = nullptr);
+
+}  // namespace micronn
+
+#endif  // MICRONN_STORAGE_IO_BACKEND_H_

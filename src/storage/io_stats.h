@@ -25,6 +25,14 @@ class IoStats {
   std::atomic<uint64_t> pages_read_main{0};   // pread from the main file
   std::atomic<uint64_t> pages_read_wal{0};    // frame reads from the WAL
   std::atomic<uint64_t> pages_cache_hit{0};   // served from page cache
+  // Read-path syscall accounting (the cold-cache bench metric): every
+  // blocking read submission counts once — a pread() call on the pread
+  // backend, an io_uring_enter() on the uring backend (which covers a
+  // whole batch, hence the reduction the batch path buys).
+  std::atomic<uint64_t> read_syscalls{0};
+  std::atomic<uint64_t> batch_reads{0};       // Pager-level batched reads
+  std::atomic<uint64_t> pages_prefetched{0};  // pages read ahead into cache
+  std::atomic<uint64_t> prefetch_hits{0};     // prefetched pages later used
   std::atomic<uint64_t> frames_written{0};    // WAL frames appended
   std::atomic<uint64_t> wal_syncs{0};         // fdatasync calls on the WAL
   std::atomic<uint64_t> checkpoint_pages{0};  // pages copied at checkpoint
@@ -43,6 +51,10 @@ class IoStats {
     uint64_t pages_read_main = 0;
     uint64_t pages_read_wal = 0;
     uint64_t pages_cache_hit = 0;
+    uint64_t read_syscalls = 0;
+    uint64_t batch_reads = 0;
+    uint64_t pages_prefetched = 0;
+    uint64_t prefetch_hits = 0;
     uint64_t frames_written = 0;
     uint64_t wal_syncs = 0;
     uint64_t checkpoint_pages = 0;
@@ -68,6 +80,10 @@ class IoStats {
       out.pages_read_main = pages_read_main - rhs.pages_read_main;
       out.pages_read_wal = pages_read_wal - rhs.pages_read_wal;
       out.pages_cache_hit = pages_cache_hit - rhs.pages_cache_hit;
+      out.read_syscalls = read_syscalls - rhs.read_syscalls;
+      out.batch_reads = batch_reads - rhs.batch_reads;
+      out.pages_prefetched = pages_prefetched - rhs.pages_prefetched;
+      out.prefetch_hits = prefetch_hits - rhs.prefetch_hits;
       out.frames_written = frames_written - rhs.frames_written;
       out.wal_syncs = wal_syncs - rhs.wal_syncs;
       out.checkpoint_pages = checkpoint_pages - rhs.checkpoint_pages;
@@ -90,6 +106,10 @@ class IoStats {
     v.pages_read_main = pages_read_main.load(std::memory_order_relaxed);
     v.pages_read_wal = pages_read_wal.load(std::memory_order_relaxed);
     v.pages_cache_hit = pages_cache_hit.load(std::memory_order_relaxed);
+    v.read_syscalls = read_syscalls.load(std::memory_order_relaxed);
+    v.batch_reads = batch_reads.load(std::memory_order_relaxed);
+    v.pages_prefetched = pages_prefetched.load(std::memory_order_relaxed);
+    v.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
     v.frames_written = frames_written.load(std::memory_order_relaxed);
     v.wal_syncs = wal_syncs.load(std::memory_order_relaxed);
     v.checkpoint_pages = checkpoint_pages.load(std::memory_order_relaxed);

@@ -1,5 +1,8 @@
 #include "storage/page_cache.h"
 
+#include <utility>
+#include <vector>
+
 namespace micronn {
 
 namespace {
@@ -34,6 +37,7 @@ PagePtr PageCache::Get(PageId page, uint64_t version) {
   const size_t idx = ShardIndex(page);
   Shard& shard = shards_[idx];
   PagePtr result;
+  bool prefetch_hit = false;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.map.find(Key{page, version});
@@ -41,18 +45,32 @@ PagePtr PageCache::Get(PageId page, uint64_t version) {
       // Move to front (most recently used).
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       result = it->second->data;
+      if (it->second->prefetched) {
+        // First demand hit on a prefetched page: the read-ahead paid off.
+        it->second->prefetched = false;
+        prefetch_hit = true;
+      }
     }
   }
   if (stats_ != nullptr) {
     if (result != nullptr) {
       stats_->pages_cache_hit.fetch_add(1, std::memory_order_relaxed);
       stats_->cache_shard_hits[idx].fetch_add(1, std::memory_order_relaxed);
+      if (prefetch_hit) {
+        stats_->prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+      }
     } else {
       stats_->cache_shard_misses[idx].fetch_add(1,
                                                 std::memory_order_relaxed);
     }
   }
   return result;
+}
+
+bool PageCache::Contains(PageId page, uint64_t version) const {
+  const Shard& shard = shards_[ShardIndex(page)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.map.find(Key{page, version}) != shard.map.end();
 }
 
 PagePtr PageCache::Put(PageId page, uint64_t version, PagePtr data) {
@@ -72,6 +90,41 @@ PagePtr PageCache::Put(PageId page, uint64_t version, PagePtr data) {
   MemoryTracker::Global().Allocate(MemoryCategory::kPageCache, PageCache::kEntryBytes);
   EvictIfNeededLocked(shard);
   return result;
+}
+
+void PageCache::PutBatch(std::span<Insert> inserts, bool prefetched) {
+  if (budget_bytes() == 0 || inserts.empty()) return;
+  // Group by shard so each shard mutex is taken once per batch; eviction
+  // also runs once per touched shard, after all of its inserts landed.
+  std::vector<std::pair<size_t, size_t>> order;  // (shard, insert index)
+  order.reserve(inserts.size());
+  for (size_t i = 0; i < inserts.size(); ++i) {
+    order.emplace_back(ShardIndex(inserts[i].page), i);
+  }
+  std::sort(order.begin(), order.end());
+  size_t i = 0;
+  while (i < order.size()) {
+    const size_t s = order[i].first;
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (; i < order.size() && order[i].first == s; ++i) {
+      Insert& ins = inserts[order[i].second];
+      const Key key{ins.page, ins.version};
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        // Raced with a demand read; keep the resident entry (and its
+        // prefetched flag — a demand insert means the page was wanted).
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        continue;
+      }
+      shard.lru.push_front(Entry{key, std::move(ins.data), prefetched});
+      shard.map[key] = shard.lru.begin();
+      shard.bytes += PageCache::kEntryBytes;
+      MemoryTracker::Global().Allocate(MemoryCategory::kPageCache,
+                                       PageCache::kEntryBytes);
+    }
+    EvictIfNeededLocked(shard);
+  }
 }
 
 void PageCache::InvalidatePage(PageId page) {

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 
 #include "common/memory_tracker.h"
@@ -54,13 +55,34 @@ class PageCache {
   PageCache(const PageCache&) = delete;
   PageCache& operator=(const PageCache&) = delete;
 
-  /// Looks up (page, version); returns nullptr on miss.
+  /// One insert of a multi-insert batch (see PutBatch).
+  struct Insert {
+    PageId page = kInvalidPage;
+    uint64_t version = 0;
+    PagePtr data;
+  };
+
+  /// Looks up (page, version); returns nullptr on miss. The first hit on
+  /// an entry inserted by a prefetch counts once in
+  /// IoStats::prefetch_hits.
   PagePtr Get(PageId page, uint64_t version);
+
+  /// True if (page, version) is resident. No LRU bump, no hit/miss
+  /// accounting — the batch-read planner uses this to skip resident pages
+  /// without skewing the miss counters a real read would produce.
+  bool Contains(PageId page, uint64_t version) const;
 
   /// Inserts a page image; evicts LRU entries beyond the shard budget.
   /// Returns the cached pointer (callers keep using the returned value,
   /// which may be an existing entry on double-insert races).
   PagePtr Put(PageId page, uint64_t version, PagePtr data);
+
+  /// Multi-insert: groups the batch by shard and takes each shard lock
+  /// once (a batched read lands up to prefetch-depth partitions' pages at
+  /// a time; per-page locking would pay shard_count lock round-trips).
+  /// With `prefetched` set, entries are flagged so their first Get hit is
+  /// counted in IoStats::prefetch_hits.
+  void PutBatch(std::span<Insert> inserts, bool prefetched);
 
   /// Drops every cached version of `page`.
   void InvalidatePage(PageId page);
@@ -102,6 +124,8 @@ class PageCache {
   struct Entry {
     Key key;
     PagePtr data;
+    // Set by a prefetch insert, cleared (and counted) on first Get hit.
+    bool prefetched = false;
   };
   using LruList = std::list<Entry>;
 

@@ -21,8 +21,23 @@ Pager::~Pager() {
 }
 
 Status Pager::Initialize() {
-  MICRONN_ASSIGN_OR_RETURN(db_file_, File::Open(path_));
-  MICRONN_ASSIGN_OR_RETURN(wal_, Wal::Open(path_ + "-wal", &stats_));
+  // Both files go through the selected I/O backend (and, in tests, the
+  // fault-injection wrapper) so batched reads and injected faults cover
+  // the WAL exactly like the main file.
+  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<FileHandle> db_file,
+                           OpenFile(path_, options_.io_backend, &io_backend_));
+  if (options_.file_wrapper) {
+    db_file = options_.file_wrapper(std::move(db_file), "db");
+  }
+  db_file->set_io_stats(&stats_);
+  db_file_ = std::move(db_file);
+
+  MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<FileHandle> wal_file,
+                           OpenFile(path_ + "-wal", options_.io_backend));
+  if (options_.file_wrapper) {
+    wal_file = options_.file_wrapper(std::move(wal_file), "wal");
+  }
+  MICRONN_ASSIGN_OR_RETURN(wal_, Wal::Open(std::move(wal_file), &stats_));
 
   if (db_file_->size() == 0 && wal_->frame_count() == 0) {
     // Fresh database: write the header page directly (no WAL needed; there
@@ -146,6 +161,116 @@ Result<PagePtr> Pager::ReadCommitted(PageId id, uint64_t seq) {
     stats_.pages_read_main.fetch_add(1, std::memory_order_relaxed);
   }
   return cache_.Put(id, version, std::move(page));
+}
+
+Status Pager::ReadPages(std::span<const PageId> ids, uint64_t snapshot_seq) {
+  return ReadPagesInternal(ids, snapshot_seq, /*best_effort=*/false);
+}
+
+void Pager::PrefetchPages(std::span<const PageId> ids, uint64_t snapshot_seq) {
+  // Best-effort read-ahead: failures are dropped page by page, never
+  // surfaced — a demand read will retry (and report) any page that
+  // mattered.
+  ReadPagesInternal(ids, snapshot_seq, /*best_effort=*/true).ok();
+}
+
+Status Pager::ReadPagesInternal(std::span<const PageId> ids, uint64_t seq,
+                                bool best_effort) {
+  if (ids.empty()) return Status::OK();
+  if (best_effort && cache_.budget_bytes() == 0) {
+    return Status::OK();  // nowhere to keep the pages; skip the I/O
+  }
+  // Same version resolution as ReadCommitted, vectorized: resolve each page
+  // to its WAL frame (or the main file), drop the ones already resident,
+  // and issue the misses as one batch per source file.
+  std::vector<PageId> unique(ids.begin(), ids.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  struct Miss {
+    PageId id;
+    uint64_t version;  // 0 = main file, else WAL frame number
+    std::shared_ptr<Page> page;
+  };
+  std::vector<Miss> main_misses;
+  std::vector<Miss> wal_misses;
+  const uint64_t file_size = db_file_->size();
+  for (PageId id : unique) {
+    uint64_t version = 0;
+    if (auto frame = wal_->FindFrame(id, seq)) {
+      version = *frame;
+    }
+    if (cache_.Contains(id, version)) continue;
+    if (version == 0) {
+      const uint64_t off = static_cast<uint64_t>(id) * kPageSize;
+      if (off + kPageSize > file_size) {
+        if (best_effort) continue;  // stale hint (e.g. raced a truncate)
+        return Status::Corruption("page " + std::to_string(id) +
+                                  " beyond end of main file");
+      }
+      main_misses.push_back({id, 0, std::make_shared<Page>()});
+    } else {
+      wal_misses.push_back({id, version, std::make_shared<Page>()});
+    }
+  }
+  if (main_misses.empty() && wal_misses.empty()) return Status::OK();
+
+  std::vector<PageCache::Insert> inserts;
+  inserts.reserve(main_misses.size() + wal_misses.size());
+
+  if (!main_misses.empty()) {
+    std::vector<ReadOp> reads;
+    reads.reserve(main_misses.size());
+    for (Miss& m : main_misses) {
+      reads.push_back({static_cast<uint64_t>(m.id) * kPageSize,
+                       m.page->bytes(), kPageSize, Status::OK()});
+    }
+    stats_.batch_reads.fetch_add(1, std::memory_order_relaxed);
+    Status st = db_file_->ReadBatch(reads.data(), reads.size());
+    if (!st.ok() && !best_effort) return st;
+    if (st.ok()) {
+      for (size_t i = 0; i < main_misses.size(); ++i) {
+        if (!reads[i].status.ok()) {
+          if (best_effort) continue;
+          return reads[i].status;
+        }
+        stats_.pages_read_main.fetch_add(1, std::memory_order_relaxed);
+        inserts.push_back({main_misses[i].id, 0,
+                           std::move(main_misses[i].page)});
+      }
+    }
+  }
+
+  if (!wal_misses.empty()) {
+    std::vector<std::pair<uint64_t, Page*>> ops;
+    ops.reserve(wal_misses.size());
+    for (Miss& m : wal_misses) {
+      ops.emplace_back(m.version, m.page.get());
+    }
+    std::vector<Status> per_op;
+    stats_.batch_reads.fetch_add(1, std::memory_order_relaxed);
+    Status st = wal_->ReadFrameBatch(ops, &per_op);
+    if (!st.ok() && !best_effort) return st;
+    if (st.ok()) {
+      for (size_t i = 0; i < wal_misses.size(); ++i) {
+        if (!per_op[i].ok()) {
+          if (best_effort) continue;
+          return per_op[i];
+        }
+        inserts.push_back({wal_misses[i].id, wal_misses[i].version,
+                           std::move(wal_misses[i].page)});
+      }
+    }
+  }
+
+  if (!inserts.empty()) {
+    if (best_effort) {
+      stats_.pages_prefetched.fetch_add(inserts.size(),
+                                        std::memory_order_relaxed);
+    }
+    cache_.PutBatch(inserts, /*prefetched=*/best_effort);
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<WriteTxnState>> Pager::BeginWrite() {

@@ -27,16 +27,20 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/file.h"
+#include "storage/io_backend.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/page_cache.h"
@@ -94,6 +98,22 @@ struct PagerOptions {
   /// spread explicitly; per-shard hit/miss counters surface through
   /// IoStats::cache_shard_hits/_misses.
   size_t cache_shards = 0;
+
+  /// Read-I/O backend for the main file and WAL (default kAuto: io_uring
+  /// when the build and kernel support it, else blocking pread). The
+  /// MICRONN_IO_BACKEND environment variable ("pread"/"uring"/"auto")
+  /// overrides this, and an unavailable uring degrades to pread — page
+  /// images and query results are bit-identical across backends; only
+  /// the syscall pattern of batched reads (Pager::ReadPages) differs.
+  IoBackend io_backend = IoBackend::kAuto;
+
+  /// Test hook: wraps each file handle the pager opens (role is "db" or
+  /// "wal") — the seam the fault-injection harness installs through
+  /// (tests/support/fault_injection_file.h). Default empty: handles are
+  /// used as opened. Not for production use.
+  std::function<std::unique_ptr<FileHandle>(std::unique_ptr<FileHandle>,
+                                            std::string_view role)>
+      file_wrapper;
 };
 
 /// Header page field offsets (page 0).
@@ -175,6 +195,20 @@ class Pager {
   /// Reads `id` as of `snapshot_seq`.
   Result<PagePtr> ReadPage(PageId id, uint64_t snapshot_seq);
 
+  /// Batched read: resolves each page against the WAL index, skips the
+  /// cache-resident ones, reads the misses in (at most) one main-file
+  /// batch plus one WAL batch (FileHandle::ReadBatch — a single
+  /// submitting syscall each on the uring backend), and lands the images
+  /// in the page cache. Strict: any failed page fails the call. Callers
+  /// hold a registered snapshot, like ReadPage.
+  Status ReadPages(std::span<const PageId> ids, uint64_t snapshot_seq);
+
+  /// Best-effort ReadPages for read-ahead: per-page failures are skipped
+  /// (the demand read will surface them), inserted pages are flagged so
+  /// IoStats::pages_prefetched / prefetch_hits track read-ahead efficacy,
+  /// and a zero-budget cache makes it a no-op.
+  void PrefetchPages(std::span<const PageId> ids, uint64_t snapshot_seq);
+
   // --- Writer ---
 
   /// Starts the (single) write transaction; blocks until the writer slot
@@ -225,6 +259,8 @@ class Pager {
   }
   IoStats& io_stats() { return stats_; }
   const PagerOptions& options() const { return options_; }
+  /// Backend the main file actually uses (kPread when uring fell back).
+  IoBackend io_backend() const { return io_backend_; }
 
  private:
   Pager(std::string path, const PagerOptions& options)
@@ -237,6 +273,10 @@ class Pager {
   Status Initialize();
   // Reads a committed page image as of `seq`, bypassing txn dirty state.
   Result<PagePtr> ReadCommitted(PageId id, uint64_t seq);
+  // Shared body of ReadPages/PrefetchPages; `best_effort` skips failed
+  // pages instead of failing and flags inserts as prefetched.
+  Status ReadPagesInternal(std::span<const PageId> ids, uint64_t seq,
+                           bool best_effort);
   // Checkpoint body; caller holds the writer slot. Folds up to the reader
   // horizon; when `block_for_readers` is set, additionally waits (bounded
   // by wal_backpressure_wait_ms) for the registry to drain so the fold can
@@ -253,8 +293,9 @@ class Pager {
 
   PagerOptions options_;
   std::string path_;
-  std::unique_ptr<File> db_file_;
+  std::unique_ptr<FileHandle> db_file_;
   std::unique_ptr<Wal> wal_;
+  IoBackend io_backend_ = IoBackend::kPread;  // effective, set at open
   PageCache cache_;
   IoStats stats_;
 

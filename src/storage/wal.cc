@@ -50,6 +50,12 @@ uint64_t FrameOffset(uint64_t frame_no) {
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
                                        IoStats* stats) {
   MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<File> file, File::Open(path));
+  return Open(std::move(file), stats);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(std::unique_ptr<FileHandle> file,
+                                       IoStats* stats) {
+  file->set_io_stats(stats);
   std::unique_ptr<Wal> wal(new Wal(std::move(file), stats));
   MICRONN_RETURN_IF_ERROR(wal->Recover());
   return wal;
@@ -300,6 +306,43 @@ Status Wal::ReadFrame(uint64_t frame_no, Page* out) const {
   return Status::OK();
 }
 
+Status Wal::ReadFrameBatch(
+    const std::vector<std::pair<uint64_t, Page*>>& ops,
+    std::vector<Status>* per_op) const {
+  per_op->assign(ops.size(), Status::OK());
+  const uint64_t count = frame_count_.load(std::memory_order_acquire);
+  std::vector<ReadOp> reads;
+  std::vector<size_t> read_idx;  // reads[i] serves ops[read_idx[i]]
+  reads.reserve(ops.size());
+  read_idx.reserve(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const uint64_t frame_no = ops[i].first;
+    if (frame_no == 0 || frame_no > count) {
+      (*per_op)[i] = Status::Corruption("WAL frame " +
+                                        std::to_string(frame_no) +
+                                        " out of range");
+      continue;
+    }
+    ReadOp op;
+    op.offset = FrameOffset(frame_no) + kFrameHeaderSize;
+    op.buf = ops[i].second->bytes();
+    op.len = kPageSize;
+    reads.push_back(op);
+    read_idx.push_back(i);
+  }
+  if (reads.empty()) return Status::OK();
+  MICRONN_RETURN_IF_ERROR(file_->ReadBatch(reads.data(), reads.size()));
+  uint64_t ok_frames = 0;
+  for (size_t i = 0; i < reads.size(); ++i) {
+    (*per_op)[read_idx[i]] = reads[i].status;
+    if (reads[i].status.ok()) ++ok_frames;
+  }
+  if (stats_ != nullptr && ok_frames > 0) {
+    stats_->pages_read_wal.fetch_add(ok_frames, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
 std::map<PageId, uint64_t> Wal::LatestFrames(uint64_t seq) const {
   std::shared_lock<std::shared_mutex> lock(index_mutex_);
   std::map<PageId, uint64_t> out;
@@ -349,17 +392,36 @@ Status Wal::Reset() {
   // observe the truncation; the lock below fences out any straggling
   // FindFrame.
   std::unique_lock<std::shared_mutex> lock(index_mutex_);
-  MICRONN_RETURN_IF_ERROR(file_->Truncate(kHeaderSize));
-  backfill_watermark_.store(0, std::memory_order_release);
+  // Durably zero the watermark while the frames still exist. The watermark
+  // *reset* must be durable before any new frame lands: a stale-high
+  // watermark over a fresh frame generation would make recovery skip
+  // frames that were never folded. (Advances need no fsync — the failure
+  // direction there merely re-folds.) Truncating the frames first is the
+  // wrong order: if the header write or its fsync then fails, the
+  // in-memory frame count still points past a file that holds zero frames,
+  // the next commit lands beyond that hole, and restart recovery discards
+  // the acknowledged tail it cannot stitch across. With this order every
+  // failure or crash point leaves "watermark 0 over already-folded
+  // frames", which recovery merely re-folds (idempotent).
   // backfill_seq_ keeps the folded horizon for observability; sequence
   // numbers are global to the database, not to one WAL generation, and so
   // is last_committed_seq_, which survives the reset.
-  MICRONN_RETURN_IF_ERROR(WriteHeader());
-  // The watermark *reset* must be durable before any new frame lands: a
-  // stale-high watermark over a fresh frame generation would make recovery
-  // skip frames that were never folded. (Advances need no fsync — the
-  // failure direction there merely re-folds.)
-  MICRONN_RETURN_IF_ERROR(Sync());
+  const uint64_t old_watermark =
+      backfill_watermark_.load(std::memory_order_acquire);
+  backfill_watermark_.store(0, std::memory_order_release);
+  Status st = WriteHeader();
+  if (st.ok()) st = Sync();
+  if (!st.ok()) {
+    // The on-disk header is old, new, or torn — recovery handles all three
+    // (a torn header reads as watermark 0). Restore the in-memory view of
+    // the still-intact frames and report the checkpoint failed.
+    backfill_watermark_.store(old_watermark, std::memory_order_release);
+    return st;
+  }
+  // Frames may only disappear once the zero watermark is durable; if this
+  // truncate fails they survive under that zero watermark — consistent,
+  // just re-folded by the next checkpoint pass.
+  MICRONN_RETURN_IF_ERROR(file_->Truncate(kHeaderSize));
   index_.clear();
   commit_bounds_.clear();
   frame_count_.store(0, std::memory_order_release);

@@ -71,6 +71,12 @@ class Wal {
   static Result<std::unique_ptr<Wal>> Open(const std::string& path,
                                            IoStats* stats);
 
+  /// Same recovery over an already-open handle. The pager uses this to
+  /// route the WAL through a selected I/O backend (or a test's
+  /// fault-injection wrapper, PagerOptions::file_wrapper).
+  static Result<std::unique_ptr<Wal>> Open(std::unique_ptr<FileHandle> file,
+                                           IoStats* stats);
+
   /// Appends one committed transaction: every (page, image) pair in
   /// `pages`, the last frame carrying the commit marker for `commit_seq`.
   /// If `sync` is true the file is fdatasync'd before returning. On success
@@ -97,6 +103,14 @@ class Wal {
   /// be the writer) so the frame cannot be recycled by a checkpoint Reset
   /// mid-read.
   Status ReadFrame(uint64_t frame_no, Page* out) const;
+
+  /// One batched frame read of a Pager::ReadPages miss set. ops[i].second
+  /// receives the page image of 1-based frame ops[i].first; per-frame
+  /// outcomes land in (*per_op)[i] (sized by this call). The return value
+  /// reports transport-level failure only, so a best-effort prefetch can
+  /// keep the frames that did arrive. Same locking contract as ReadFrame.
+  Status ReadFrameBatch(const std::vector<std::pair<uint64_t, Page*>>& ops,
+                        std::vector<Status>* per_op) const;
 
   /// Page -> newest frame (1-based) among commits <= `seq`; the checkpoint
   /// working set. Entries whose frame number is at-or-below the backfill
@@ -146,14 +160,14 @@ class Wal {
   }
 
  private:
-  Wal(std::unique_ptr<File> file, IoStats* stats)
+  Wal(std::unique_ptr<FileHandle> file, IoStats* stats)
       : file_(std::move(file)), stats_(stats) {}
 
   Status Recover();
   // Serializes the current watermark into the on-disk header (in place).
   Status WriteHeader();
 
-  std::unique_ptr<File> file_;
+  std::unique_ptr<FileHandle> file_;
   IoStats* stats_;
   std::atomic<uint64_t> frame_count_{0};         // valid frames in the file
   std::atomic<uint64_t> last_committed_seq_{0};  // 0 = empty WAL

@@ -1,0 +1,401 @@
+// The batched read path: backend selection (pread / io_uring / forced
+// fallback), FileHandle::ReadBatch correctness on both backends,
+// Pager::ReadPages / PrefetchPages semantics and counters, fault injection
+// through PagerOptions::file_wrapper, and end-to-end cold-cache parity —
+// every backend x prefetch depth must return bit-identical search results
+// and per-query counters.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/db.h"
+#include "storage/file.h"
+#include "storage/io_backend.h"
+#include "storage/pager.h"
+#include "support/fault_injection_file.h"
+
+namespace micronn {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("micronn_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    OverrideIoUringAvailabilityForTest(std::nullopt);
+    ::unsetenv("MICRONN_IO_BACKEND");
+    std::filesystem::remove_all(dir_);
+  }
+  std::string Path(const std::string& name) const { return dir_ / name; }
+  std::filesystem::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------------
+
+TEST(IoBackendNameTest, ParseRoundTrip) {
+  for (const IoBackend b :
+       {IoBackend::kAuto, IoBackend::kPread, IoBackend::kUring}) {
+    const auto parsed = ParseIoBackend(IoBackendName(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(ParseIoBackend("aio").has_value());
+  EXPECT_FALSE(ParseIoBackend("").has_value());
+}
+
+using IoBackendTest = TempDir;
+
+TEST_F(IoBackendTest, ResolveNeverReturnsAuto) {
+  for (const IoBackend b :
+       {IoBackend::kAuto, IoBackend::kPread, IoBackend::kUring}) {
+    const IoBackend r = ResolveIoBackend(b);
+    EXPECT_NE(r, IoBackend::kAuto);
+  }
+}
+
+TEST_F(IoBackendTest, UringRequestFallsBackWhenUnavailable) {
+  OverrideIoUringAvailabilityForTest(false);
+  EXPECT_EQ(ResolveIoBackend(IoBackend::kUring), IoBackend::kPread);
+  EXPECT_EQ(ResolveIoBackend(IoBackend::kAuto), IoBackend::kPread);
+  IoBackend effective = IoBackend::kAuto;
+  auto file = OpenFile(Path("f"), IoBackend::kUring, &effective);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(effective, IoBackend::kPread);
+}
+
+TEST_F(IoBackendTest, EnvOverrideWins) {
+  OverrideIoUringAvailabilityForTest(true);
+  ::setenv("MICRONN_IO_BACKEND", "pread", 1);
+  EXPECT_EQ(ResolveIoBackend(IoBackend::kUring), IoBackend::kPread);
+  EXPECT_EQ(ResolveIoBackend(IoBackend::kAuto), IoBackend::kPread);
+  ::unsetenv("MICRONN_IO_BACKEND");
+}
+
+TEST_F(IoBackendTest, PagerReportsEffectiveBackend) {
+  OverrideIoUringAvailabilityForTest(false);
+  PagerOptions opts;
+  opts.io_backend = IoBackend::kUring;
+  auto pager = Pager::Open(Path("db"), opts).value();
+  EXPECT_EQ(pager->io_backend(), IoBackend::kPread);
+}
+
+// ---------------------------------------------------------------------------
+// ReadBatch correctness (both backends)
+// ---------------------------------------------------------------------------
+
+void FillFile(FileHandle* file, size_t n_blocks) {
+  std::string block(512, '\0');
+  for (size_t b = 0; b < n_blocks; ++b) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      block[i] = static_cast<char>((b * 31 + i) & 0xff);
+    }
+    ASSERT_TRUE(file->WriteAt(b * block.size(), block.data(), block.size())
+                    .ok());
+  }
+}
+
+void CheckBatchAgainstReadAt(FileHandle* file, size_t n_blocks) {
+  Rng rng(1234);
+  for (int round = 0; round < 8; ++round) {
+    const size_t n_ops = 1 + rng.Uniform(200);
+    std::vector<std::string> expect(n_ops);
+    std::vector<std::string> got(n_ops);
+    std::vector<ReadOp> ops(n_ops);
+    for (size_t i = 0; i < n_ops; ++i) {
+      const uint64_t off = rng.Uniform(n_blocks * 512 - 256);
+      const size_t len = 1 + rng.Uniform(256);
+      expect[i].resize(len);
+      ASSERT_TRUE(file->ReadAt(off, expect[i].data(), len).ok());
+      got[i].resize(len);
+      ops[i] = ReadOp{off, got[i].data(), len, Status::OK()};
+    }
+    ASSERT_TRUE(file->ReadBatch(ops.data(), ops.size()).ok());
+    for (size_t i = 0; i < n_ops; ++i) {
+      ASSERT_TRUE(ops[i].status.ok()) << ops[i].status.ToString();
+      EXPECT_EQ(got[i], expect[i]) << "op " << i << " round " << round;
+    }
+  }
+}
+
+TEST_F(IoBackendTest, PosixReadBatchMatchesReadAt) {
+  auto file = OpenFile(Path("f"), IoBackend::kPread).value();
+  FillFile(file.get(), 64);
+  CheckBatchAgainstReadAt(file.get(), 64);
+}
+
+TEST_F(IoBackendTest, UringReadBatchMatchesReadAt) {
+  if (!IoUringAvailable()) {
+    GTEST_SKIP() << "io_uring not available in this build/kernel";
+  }
+  IoBackend effective = IoBackend::kAuto;
+  auto file = OpenFile(Path("f"), IoBackend::kUring, &effective).value();
+  ASSERT_EQ(effective, IoBackend::kUring);
+  FillFile(file.get(), 64);
+  CheckBatchAgainstReadAt(file.get(), 64);
+}
+
+TEST_F(IoBackendTest, ReadBatchReportsPerOpFailures) {
+  for (const IoBackend backend : {IoBackend::kPread, IoBackend::kUring}) {
+    if (backend == IoBackend::kUring && !IoUringAvailable()) continue;
+    auto file = OpenFile(Path("f_" + std::string(IoBackendName(backend))),
+                         backend)
+                    .value();
+    ASSERT_TRUE(file->WriteAt(0, "0123456789", 10).ok());
+    char a[4], b[4];
+    ReadOp ops[2] = {
+        {2, a, 4, Status::OK()},
+        {1 << 20, b, 4, Status::OK()},  // far past EOF
+    };
+    ASSERT_TRUE(file->ReadBatch(ops, 2).ok());
+    EXPECT_TRUE(ops[0].status.ok());
+    EXPECT_EQ(std::string(a, 4), "2345");
+    EXPECT_FALSE(ops[1].status.ok()) << IoBackendName(backend);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pager::ReadPages / PrefetchPages
+// ---------------------------------------------------------------------------
+
+using PagerBatchTest = TempDir;
+
+TEST_F(PagerBatchTest, PrefetchThenDemandReadsHitCache) {
+  auto pager = Pager::Open(Path("db"), PagerOptions{}).value();
+  std::vector<PageId> pages;
+  {
+    auto txn = pager->BeginWrite().value();
+    for (int i = 0; i < 8; ++i) {
+      const PageId pid = pager->AllocatePage(txn.get()).value();
+      pager->GetMutablePage(txn.get(), pid).value()->WriteU32(0, 100 + i);
+      pages.push_back(pid);
+    }
+    ASSERT_TRUE(pager->CommitWrite(std::move(txn)).ok());
+  }
+  pager->DropCaches();
+  const uint64_t seq = pager->BeginSnapshot();
+  const IoStats::View before = pager->io_stats().Snapshot();
+  pager->PrefetchPages(pages, seq);
+  const IoStats::View mid = pager->io_stats().Snapshot() - before;
+  EXPECT_EQ(mid.pages_prefetched, pages.size());
+  EXPECT_GT(mid.batch_reads, 0u);
+  // Every demand read is now a cache hit, and the first hit per page
+  // counts as a prefetch hit.
+  for (size_t i = 0; i < pages.size(); ++i) {
+    EXPECT_EQ(pager->ReadPage(pages[i], seq).value()->ReadU32(0), 100 + i);
+  }
+  const IoStats::View after = pager->io_stats().Snapshot() - before;
+  EXPECT_EQ(after.prefetch_hits, pages.size());
+  EXPECT_EQ(after.pages_cache_hit, pages.size());
+  pager->EndSnapshot(seq);
+}
+
+TEST_F(PagerBatchTest, ReadPagesIsStrictAndIdempotent) {
+  auto pager = Pager::Open(Path("db"), PagerOptions{}).value();
+  std::vector<PageId> pages;
+  {
+    auto txn = pager->BeginWrite().value();
+    for (int i = 0; i < 4; ++i) {
+      pages.push_back(pager->AllocatePage(txn.get()).value());
+    }
+    ASSERT_TRUE(pager->CommitWrite(std::move(txn)).ok());
+  }
+  // Fold into the main file so the batch exercises the main-file arm too.
+  ASSERT_TRUE(pager->Checkpoint().ok());
+  pager->DropCaches();
+  const uint64_t seq = pager->BeginSnapshot();
+  ASSERT_TRUE(pager->ReadPages(pages, seq).ok());
+  // A second call finds everything resident: no new I/O.
+  const IoStats::View before = pager->io_stats().Snapshot();
+  ASSERT_TRUE(pager->ReadPages(pages, seq).ok());
+  const IoStats::View delta = pager->io_stats().Snapshot() - before;
+  EXPECT_EQ(delta.pages_read_main, 0u);
+  EXPECT_EQ(delta.pages_read_wal, 0u);
+  // A bogus page id is an error for the strict API...
+  std::vector<PageId> bogus = {static_cast<PageId>(1 << 20)};
+  EXPECT_FALSE(pager->ReadPages(bogus, seq).ok());
+  // ...and silently dropped by the best-effort one.
+  pager->PrefetchPages(bogus, seq);
+  pager->EndSnapshot(seq);
+}
+
+TEST_F(PagerBatchTest, FaultWrapperInterceptsPagerIo) {
+  // Fail the WAL commit append deterministically: the commit must error
+  // and the data must stay absent after reopening without faults.
+  FaultInjectionFile* wal_file = nullptr;
+  PagerOptions opts;
+  opts.file_wrapper = [&](std::unique_ptr<FileHandle> base,
+                          std::string_view role)
+      -> std::unique_ptr<FileHandle> {
+    if (role != "wal") return base;
+    FaultSchedule s;
+    // Write #1 is the fresh WAL's header; #2 is the first commit's frame
+    // write.
+    s.fail_write_at = 2;
+    auto wrapped =
+        std::make_unique<FaultInjectionFile>(std::move(base), s);
+    wal_file = wrapped.get();
+    return wrapped;
+  };
+  {
+    auto pager = Pager::Open(Path("db"), opts).value();
+    ASSERT_NE(wal_file, nullptr);
+    auto txn = pager->BeginWrite().value();
+    pager->AllocatePage(txn.get()).value();
+    EXPECT_FALSE(pager->CommitWrite(std::move(txn)).ok());
+    EXPECT_GE(wal_file->counters().writes, 1u);
+  }
+  auto pager = Pager::Open(Path("db"), PagerOptions{}).value();
+  EXPECT_EQ(pager->last_committed_seq(), 0u);
+  EXPECT_EQ(pager->page_count(), 1u);  // just the header page
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end cold-cache parity: backends x prefetch depths
+// ---------------------------------------------------------------------------
+
+class ColdCacheParityTest : public TempDir {
+ protected:
+  static constexpr uint32_t kDim = 16;
+  static constexpr size_t kRows = 800;
+  static constexpr size_t kQueries = 6;
+
+  DbOptions BaseOptions() const {
+    DbOptions o;
+    o.dim = kDim;
+    o.target_cluster_size = 64;
+    o.mqo_window_us = 0;  // direct execution: deterministic single queries
+    o.pager.cache_bytes = 4 << 20;
+    return o;
+  }
+
+  void BuildDataset(const std::string& path) {
+    auto db = DB::Open(path, BaseOptions()).value();
+    Rng rng(7);
+    std::vector<UpsertRequest> batch;
+    for (size_t i = 0; i < kRows; ++i) {
+      UpsertRequest r;
+      r.asset_id = "asset_" + std::to_string(i);
+      r.vector.resize(kDim);
+      for (auto& v : r.vector) v = rng.NextFloat();
+      batch.push_back(std::move(r));
+    }
+    ASSERT_TRUE(db->Upsert(batch).ok());
+    ASSERT_TRUE(db->BuildIndex().ok());
+    ASSERT_TRUE(db->Close().ok());
+  }
+
+  std::vector<std::vector<float>> Queries() const {
+    Rng rng(99);
+    std::vector<std::vector<float>> qs(kQueries);
+    for (auto& q : qs) {
+      q.resize(kDim);
+      for (auto& v : q) v = rng.NextFloat();
+    }
+    return qs;
+  }
+
+  struct RunResult {
+    std::vector<uint64_t> ids;
+    std::vector<float> distances;
+    std::vector<uint64_t> counters;  // per-query rows/partitions scanned
+    IoStats::View io;
+  };
+
+  RunResult RunQueries(const std::string& path, IoBackend backend,
+                       uint32_t prefetch_depth) {
+    DbOptions o = BaseOptions();
+    o.pager.io_backend = backend;
+    o.prefetch_depth = prefetch_depth;
+    auto db = DB::Open(path, o).value();
+    db->DropCaches();
+    RunResult out;
+    const IoStats::View before = db->io_stats().Snapshot();
+    for (const auto& q : Queries()) {
+      // One plain ANN and one exact query per vector: both partition-scan
+      // shapes go through the prefetching drain loop.
+      for (const bool exact : {false, true}) {
+        SearchRequest req;
+        req.query = q;
+        req.k = 10;
+        req.exact = exact;
+        auto resp = db->Search(req).value();
+        for (const auto& item : resp.items) {
+          out.ids.push_back(item.vid);
+          out.distances.push_back(item.distance);
+        }
+        out.counters.push_back(resp.rows_scanned);
+        out.counters.push_back(resp.partitions_scanned);
+      }
+    }
+    out.io = db->io_stats().Snapshot() - before;
+    EXPECT_TRUE(db->Close().ok());
+    return out;
+  }
+};
+
+TEST_F(ColdCacheParityTest, BackendsAndDepthsAreBitIdentical) {
+  const std::string path = Path("db");
+  BuildDataset(path);
+
+  // The seed blocking path: pread backend, no read-ahead.
+  const RunResult baseline = RunQueries(path, IoBackend::kPread, 0);
+  ASSERT_FALSE(baseline.ids.empty());
+  EXPECT_EQ(baseline.io.pages_prefetched, 0u);
+  EXPECT_EQ(baseline.io.prefetch_hits, 0u);
+
+  struct Config {
+    IoBackend backend;
+    uint32_t depth;
+  };
+  const Config configs[] = {
+      {IoBackend::kPread, 2},
+      {IoBackend::kPread, 8},
+      {IoBackend::kUring, 0},
+      {IoBackend::kUring, 2},
+      {IoBackend::kUring, 8},
+  };
+  for (const Config& c : configs) {
+    SCOPED_TRACE(std::string(IoBackendName(c.backend)) + " depth " +
+                 std::to_string(c.depth));
+    const RunResult got = RunQueries(path, c.backend, c.depth);
+    EXPECT_EQ(got.ids, baseline.ids);
+    EXPECT_EQ(got.distances, baseline.distances);  // bit-identical floats
+    EXPECT_EQ(got.counters, baseline.counters);
+    if (c.depth > 0) {
+      EXPECT_GT(got.io.pages_prefetched, 0u);
+      EXPECT_GT(got.io.prefetch_hits, 0u);
+      EXPECT_GT(got.io.batch_reads, 0u);
+    } else {
+      EXPECT_EQ(got.io.pages_prefetched, 0u);
+      EXPECT_EQ(got.io.prefetch_hits, 0u);
+    }
+  }
+}
+
+TEST_F(ColdCacheParityTest, ForcedFallbackStillPrefetches) {
+  // With io_uring forced unavailable, a uring request must transparently
+  // run the batched path over pread — same results, same prefetch
+  // counters, just a different syscall pattern.
+  const std::string path = Path("db");
+  BuildDataset(path);
+  const RunResult baseline = RunQueries(path, IoBackend::kPread, 2);
+  OverrideIoUringAvailabilityForTest(false);
+  const RunResult fallback = RunQueries(path, IoBackend::kUring, 2);
+  OverrideIoUringAvailabilityForTest(std::nullopt);
+  EXPECT_EQ(fallback.ids, baseline.ids);
+  EXPECT_EQ(fallback.distances, baseline.distances);
+  EXPECT_GT(fallback.io.pages_prefetched, 0u);
+}
+
+}  // namespace
+}  // namespace micronn

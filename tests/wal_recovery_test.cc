@@ -7,15 +7,23 @@
 // into the main file, then batch B (100 rows) committed into the WAL only.
 // Recovery must keep batch A in all cases; batch B survives iff its commit
 // record is intact.
+// A second, fully in-process matrix drives the same invariants through
+// FaultInjectionFile (tests/support/): the WAL file handle itself fails a
+// scheduled write/sync/truncate, so the failure surfaces as a commit error
+// on the live engine — deterministic, no process kill, no copy timing.
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "storage/engine.h"
 #include "storage/key_encoding.h"
 #include "storage/wal.h"
+#include "support/fault_injection_file.h"
 
 namespace micronn {
 namespace {
@@ -89,6 +97,34 @@ class WalRecoveryTest : public ::testing::Test {
     return catalog_count;
   }
 
+  // Opens the engine with the WAL file wrapped in a FaultInjectionFile
+  // (no faults armed yet — tests read counters() and arm a schedule at
+  // exactly the operation under test). The wrapper pointer stays valid for
+  // the engine's lifetime; it is owned by the pager.
+  std::unique_ptr<StorageEngine> OpenWithWalFaults(bool sync_on_commit) {
+    PagerOptions opts;
+    opts.sync_on_commit = sync_on_commit;
+    opts.file_wrapper = [this](std::unique_ptr<FileHandle> base,
+                               std::string_view role)
+        -> std::unique_ptr<FileHandle> {
+      if (role != "wal") return base;
+      auto wrapped = std::make_unique<FaultInjectionFile>(std::move(base),
+                                                          FaultSchedule{});
+      wal_faults_ = wrapped.get();
+      return wrapped;
+    };
+    return StorageEngine::Open(path_, opts).value();
+  }
+
+  // Freezes the live files into `crash_`, overwriting any earlier freeze.
+  void FreezeCrashImage() {
+    std::filesystem::copy_file(
+        path_, crash_, std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::copy_file(
+        path_ + "-wal", crash_ + "-wal",
+        std::filesystem::copy_options::overwrite_existing);
+  }
+
   void CorruptWalByte(uint64_t offset) {
     std::fstream f(crash_ + "-wal",
                    std::ios::in | std::ios::out | std::ios::binary);
@@ -104,6 +140,7 @@ class WalRecoveryTest : public ::testing::Test {
   std::filesystem::path dir_;
   std::string path_;
   std::string crash_;
+  FaultInjectionFile* wal_faults_ = nullptr;
 };
 
 TEST_F(WalRecoveryTest, ReopenAfterKillBetweenCommitAndCheckpoint) {
@@ -254,6 +291,132 @@ TEST_F(WalRecoveryTest, KillAfterCheckpointNeedsNoWal) {
   ASSERT_TRUE(RemoveFileIfExists(crash_ + "-wal").ok());
 
   EXPECT_EQ(RecoveredRowCount(), 2 * kBatchRows);
+}
+
+// --- Injected-fault matrix (FaultInjectionFile, no process kill) -----------
+
+TEST_F(WalRecoveryTest, InjectedFrameWriteFaultFailsCommitAtomically) {
+  auto engine = OpenWithWalFaults(/*sync_on_commit=*/false);
+  ASSERT_TRUE(CommitBatch(engine.get(), 0).ok());
+  ASSERT_TRUE(engine->Checkpoint().ok());  // batch A -> main file
+
+  // Fail the very next WAL write: batch B's commit places all its frames
+  // with a single positional write, so this kills the commit before any
+  // frame is published.
+  FaultSchedule s;
+  s.fail_write_at = wal_faults_->counters().writes + 1;
+  wal_faults_->set_schedule(s);
+  EXPECT_FALSE(CommitBatch(engine.get(), kBatchRows).ok());
+
+  // A crash right now loses only the failed (never-acknowledged) commit.
+  FreezeCrashImage();
+  EXPECT_EQ(RecoveredRowCount(), kBatchRows);
+
+  // The live engine is not wedged: with the fault gone, the same batch
+  // commits cleanly and the next crash image carries it.
+  wal_faults_->set_schedule(FaultSchedule{});
+  EXPECT_TRUE(CommitBatch(engine.get(), kBatchRows).ok());
+  FreezeCrashImage();
+  EXPECT_EQ(RecoveredRowCount(), 2 * kBatchRows);
+}
+
+TEST_F(WalRecoveryTest, InjectedTornCommitWriteLeavesRecoverableTail) {
+  auto engine = OpenWithWalFaults(/*sync_on_commit=*/false);
+  ASSERT_TRUE(CommitBatch(engine.get(), 0).ok());
+  ASSERT_TRUE(engine->Checkpoint().ok());
+
+  // The commit write tears one-and-a-bit frames in, AND the best-effort
+  // rollback truncate fails too — the worst case: an orphaned torn tail
+  // really persists in the file (frame 1 of batch B is bit-perfect but
+  // carries no commit marker; frame 2 is garbage).
+  const FaultCounters before = wal_faults_->counters();
+  FaultSchedule s;
+  s.torn_write_at = before.writes + 1;
+  s.torn_write_bytes = Wal::kFrameSize + 100;
+  s.fail_truncate_at = before.truncates + 1;
+  wal_faults_->set_schedule(s);
+  EXPECT_FALSE(CommitBatch(engine.get(), kBatchRows).ok());
+
+  // Restart recovery refuses to stitch the markerless tail into history.
+  FreezeCrashImage();
+  EXPECT_EQ(RecoveredRowCount(), kBatchRows);
+
+  // On the live engine the orphan blocks further commits until the guard
+  // truncate succeeds; once the fault is gone the next commit retries it,
+  // overwrites the tail, and lands.
+  wal_faults_->set_schedule(FaultSchedule{});
+  EXPECT_TRUE(CommitBatch(engine.get(), kBatchRows).ok());
+  FreezeCrashImage();
+  EXPECT_EQ(RecoveredRowCount(), 2 * kBatchRows);
+}
+
+TEST_F(WalRecoveryTest, InjectedCommitFsyncFaultIsStickyButLosesNoData) {
+  auto engine = OpenWithWalFaults(/*sync_on_commit=*/true);
+  ASSERT_TRUE(CommitBatch(engine.get(), 0).ok());
+  ASSERT_TRUE(engine->Checkpoint().ok());
+
+  // Batch B's frames hit the file fine; the commit fsync fails, so the
+  // commit is reported failed (its durability is unknown).
+  FaultSchedule s;
+  s.fail_sync_at = wal_faults_->counters().syncs + 1;
+  wal_faults_->set_schedule(s);
+  EXPECT_FALSE(CommitBatch(engine.get(), kBatchRows).ok());
+  wal_faults_->set_schedule(FaultSchedule{});
+
+  // Deterministic resolution of the ambiguity here: the underlying write
+  // succeeded, so recovery finds a complete commit and replays it. Losing
+  // an *unacknowledged* batch would also have been legal; inventing data
+  // or tearing the batch would not.
+  FreezeCrashImage();
+  EXPECT_EQ(RecoveredRowCount(), 2 * kBatchRows);
+
+  // Post-failure fsync state is undefined, so the failure is sticky: even
+  // with the fault disarmed, this pager refuses to acknowledge further
+  // synced commits for its lifetime.
+  EXPECT_FALSE(CommitBatch(engine.get(), 2 * kBatchRows).ok());
+}
+
+TEST_F(WalRecoveryTest, InjectedEintrRestartsAreInvisible) {
+  // Every 2nd read on BOTH files is interrupted and restarted. The whole
+  // write → checkpoint → cold-read cycle must behave identically.
+  FaultSchedule s;
+  s.eintr_every = 2;
+  std::vector<FaultInjectionFile*> files;
+  PagerOptions opts;
+  opts.file_wrapper = [&files, &s](std::unique_ptr<FileHandle> base,
+                                   std::string_view)
+      -> std::unique_ptr<FileHandle> {
+    auto wrapped = std::make_unique<FaultInjectionFile>(std::move(base), s);
+    files.push_back(wrapped.get());
+    return wrapped;
+  };
+  auto engine = StorageEngine::Open(path_, opts).value();
+  ASSERT_TRUE(CommitBatch(engine.get(), 0).ok());
+  ASSERT_TRUE(engine->Checkpoint().ok());
+  ASSERT_TRUE(CommitBatch(engine.get(), kBatchRows).ok());
+  engine->DropCaches();
+
+  auto txn = engine->BeginRead().value();
+  auto t = txn->OpenTable("t");
+  ASSERT_TRUE(t.ok());
+  uint64_t scanned = 0;
+  BTreeCursor c = t->NewCursor();
+  ASSERT_TRUE(c.SeekToFirst().ok());
+  while (c.Valid()) {
+    std::string_view k = c.key();
+    uint64_t id = 0;
+    ASSERT_TRUE(key::ConsumeU64(&k, &id));
+    Result<std::string> v = c.value();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, "row" + std::to_string(id));
+    ++scanned;
+    ASSERT_TRUE(c.Next().ok());
+  }
+  EXPECT_EQ(scanned, 2 * kBatchRows);
+
+  uint64_t reads = 0;
+  for (const FaultInjectionFile* f : files) reads += f->counters().reads;
+  EXPECT_GT(reads, 0u);  // the schedule actually exercised restarts
 }
 
 }  // namespace
