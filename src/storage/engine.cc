@@ -150,6 +150,8 @@ void StorageEngine::Rollback(std::unique_ptr<WriteTransaction> txn) {
 
 Status StorageEngine::Checkpoint() { return pager_->Checkpoint(); }
 
+Status StorageEngine::SyncWal() { return pager_->SyncWal(); }
+
 void StorageEngine::DropCaches() { pager_->DropCaches(); }
 
 uint64_t StorageEngine::last_committed_seq() const {

@@ -34,7 +34,13 @@ class IoStats {
   std::atomic<uint64_t> pages_prefetched{0};  // pages read ahead into cache
   std::atomic<uint64_t> prefetch_hits{0};     // prefetched pages later used
   std::atomic<uint64_t> frames_written{0};    // WAL frames appended
+  // Write-path syscall accounting, mirroring read_syscalls: every
+  // frame-carrying WriteAt on the WAL counts once. With commit pipelining
+  // one write covers a whole group of commits, so wal_writes/commits is
+  // the bench_wal headline the same way read_syscalls is bench_io's.
+  std::atomic<uint64_t> wal_writes{0};
   std::atomic<uint64_t> wal_syncs{0};         // fdatasync calls on the WAL
+  std::atomic<uint64_t> wal_wraps{0};         // WAL wrap-around restarts
   std::atomic<uint64_t> checkpoint_pages{0};  // pages copied at checkpoint
   std::atomic<uint64_t> commits{0};
   std::atomic<uint64_t> rows_inserted{0};
@@ -56,7 +62,9 @@ class IoStats {
     uint64_t pages_prefetched = 0;
     uint64_t prefetch_hits = 0;
     uint64_t frames_written = 0;
+    uint64_t wal_writes = 0;
     uint64_t wal_syncs = 0;
+    uint64_t wal_wraps = 0;
     uint64_t checkpoint_pages = 0;
     uint64_t commits = 0;
     uint64_t rows_inserted = 0;
@@ -85,7 +93,9 @@ class IoStats {
       out.pages_prefetched = pages_prefetched - rhs.pages_prefetched;
       out.prefetch_hits = prefetch_hits - rhs.prefetch_hits;
       out.frames_written = frames_written - rhs.frames_written;
+      out.wal_writes = wal_writes - rhs.wal_writes;
       out.wal_syncs = wal_syncs - rhs.wal_syncs;
+      out.wal_wraps = wal_wraps - rhs.wal_wraps;
       out.checkpoint_pages = checkpoint_pages - rhs.checkpoint_pages;
       out.commits = commits - rhs.commits;
       out.rows_inserted = rows_inserted - rhs.rows_inserted;
@@ -111,7 +121,9 @@ class IoStats {
     v.pages_prefetched = pages_prefetched.load(std::memory_order_relaxed);
     v.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
     v.frames_written = frames_written.load(std::memory_order_relaxed);
+    v.wal_writes = wal_writes.load(std::memory_order_relaxed);
     v.wal_syncs = wal_syncs.load(std::memory_order_relaxed);
+    v.wal_wraps = wal_wraps.load(std::memory_order_relaxed);
     v.checkpoint_pages = checkpoint_pages.load(std::memory_order_relaxed);
     v.commits = commits.load(std::memory_order_relaxed);
     v.rows_inserted = rows_inserted.load(std::memory_order_relaxed);

@@ -139,7 +139,13 @@ Result<PagePtr> Pager::ReadCommitted(PageId id, uint64_t seq) {
   // *backfill* (main-file writes under live readers) because a page is
   // only folded while a frame for it at-or-below every registered
   // snapshot exists in the index — any concurrent reader resolves that
-  // frame and never touches the main-file copy being rewritten.
+  // frame and never touches the main-file copy being rewritten. Safe
+  // against *wrap-around* frame recycling (which, unlike the reset, does
+  // run under live readers) because the shared frame pin below covers the
+  // whole resolve -> read -> cache-insert sequence: a restart's exclusive
+  // pin waits us out, and we cannot insert a stale image under a frame
+  // number the next generation is about to reuse.
+  auto pin = wal_->PinFrames();
   uint64_t version = 0;
   if (auto frame = wal_->FindFrame(id, seq)) {
     version = *frame;
@@ -182,7 +188,10 @@ Status Pager::ReadPagesInternal(std::span<const PageId> ids, uint64_t seq,
   }
   // Same version resolution as ReadCommitted, vectorized: resolve each page
   // to its WAL frame (or the main file), drop the ones already resident,
-  // and issue the misses as one batch per source file.
+  // and issue the misses as one batch per source file. Pinned like
+  // ReadCommitted so a wrap-around restart cannot recycle a resolved
+  // frame number before the batch lands in the cache.
+  auto pin = wal_->PinFrames();
   std::vector<PageId> unique(ids.begin(), ids.end());
   std::sort(unique.begin(), unique.end());
   unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
@@ -404,13 +413,20 @@ Status Pager::CommitWrite(std::unique_ptr<WriteTxnState> txn) {
       // *not* issued here: with sync_on_commit the durability wait happens
       // after the writer slot is released (group commit below), so the
       // next committer can append while this one's fsync is in flight and
-      // one leader sync covers the whole batch. The frames become visible
-      // in two ordered steps: the WAL publishes its index (under its own
-      // lock), then the new horizon is published below; readers at older
-      // snapshots filter the new frames out by commit_seq either way.
+      // one leader sync covers the whole batch. With commit pipelining the
+      // *write* is deferred the same way — the frames are staged in memory
+      // and the group-commit leader lands every waiting commit with one
+      // contiguous WAL write before its shared fsync, amortizing write
+      // syscalls across the group exactly like fsyncs. The frames become
+      // visible in two ordered steps: the WAL publishes its index (under
+      // its own lock), then the new horizon is published below; readers at
+      // older snapshots filter the new frames out by commit_seq either way.
+      const bool staged = options_.commit_pipeline && options_.sync_on_commit;
       uint64_t first_frame = 0;
-      result = wal_->AppendCommit(frames, commit_seq, /*sync=*/false,
-                                  &first_frame);
+      result = wal_->AppendCommit(
+          frames, commit_seq,
+          staged ? Wal::AppendMode::kStaged : Wal::AppendMode::kWrite,
+          &first_frame);
       if (result.ok()) {
         committed = true;
         {
@@ -470,14 +486,17 @@ Status Pager::WaitForDurable(uint64_t commit_seq) {
     if (!commit_sync_in_flight_) break;
     commit_sync_cv_.wait(lock);
   }
-  // Leader: one fsync covers every commit fully appended by now. The
-  // coverage target is captured before unlocking — appends publish their
-  // sequence only after the frame write completes, so anything at-or-below
-  // it is on file before the fdatasync below starts.
+  // Leader: one flush + fsync covers every commit fully published by now.
+  // The coverage target is captured before unlocking; any commit at-or-
+  // below it was either written immediately (non-pipelined: publish
+  // follows the write) or staged before the capture — and the FlushStaged
+  // below drains everything staged so far in one contiguous write, so the
+  // fdatasync covers it either way.
   commit_sync_in_flight_ = true;
   const uint64_t covers = wal_->last_committed_seq();
   lock.unlock();
-  Status st = wal_->Sync();
+  Status st = wal_->FlushStaged();
+  if (st.ok()) st = wal_->Sync();
   lock.lock();
   commit_sync_in_flight_ = false;
   if (st.ok()) {
@@ -488,7 +507,10 @@ Status Pager::WaitForDurable(uint64_t commit_seq) {
     // Post-failure fsync state is undefined (the kernel may have dropped
     // the dirty pages); stop acknowledging synced commits for this
     // pager's lifetime instead of pretending a later fsync can make the
-    // earlier writes durable.
+    // earlier writes durable. A failed batched *flush* poisons the group
+    // identically — none of its commits (leader or follower) is ever
+    // acknowledged, which is exactly the per-submission failure isolation
+    // the pipelined path promises.
     commit_sync_failed_ = true;
   }
   commit_sync_cv_.notify_all();
@@ -552,7 +574,15 @@ void Pager::MaybeCheckpointAfterCommit() {
     horizon = idle ? last_committed_seq_ : *active_readers_.begin();
   }
   if (!idle && wal_->FramesThrough(horizon) <= wal_->backfill_watermark()) {
-    return;
+    // Nothing new to fold below the pinned horizon — but when the log is
+    // already fully folded, that is exactly the rolling-pin steady state
+    // where only a wrap-around can reclaim the file, so fall through and
+    // let the checkpoint take its wrap branch.
+    const uint64_t count = wal_->frame_count();
+    if (!(options_.wal_wraparound && count > 0 &&
+          wal_->backfill_watermark() == count)) {
+      return;
+    }
   }
   Status st = Checkpoint();
   if (!st.ok() && !st.IsBusy()) {
@@ -595,6 +625,20 @@ Status Pager::CheckpointImpl(bool block_for_readers) {
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(options_.wal_backpressure_wait_ms);
+  // Land any staged (pipelined) commits first: the backfill watermark only
+  // describes on-file frames, and with the writer excluded nothing new can
+  // be staged for the rest of this checkpoint. A failed flush is a failed
+  // WAL write with commits already published — same sticky rule as a
+  // failed group fsync.
+  {
+    Status flush = wal_->FlushStaged();
+    if (!flush.ok()) {
+      std::lock_guard<std::mutex> lock(commit_sync_mutex_);
+      commit_sync_failed_ = true;
+      commit_sync_cv_.notify_all();
+      return flush;
+    }
+  }
   for (;;) {
     if (wal_->frame_count() == 0) {
       return Status::OK();
@@ -667,6 +711,41 @@ Status Pager::CheckpointImpl(bool block_for_readers) {
           }
           return Status::OK();
         }
+        if (options_.wal_wraparound && wal_->frame_count() > 0 &&
+            wal_->backfill_watermark() == wal_->frame_count()) {
+          // Fully folded but reader snapshots keep the registry occupied:
+          // the truncating reset above can never run (a rolling re-pin
+          // makes that state permanent), so wrap instead — begin a new
+          // frame generation at slot 1, overwriting the reclaimed prefix.
+          // WrapRestart's exclusive frame pin quiesces in-flight reads;
+          // holding mutex_ across it additionally keeps new readers from
+          // registering mid-restart (same once-per-generation stall as the
+          // reset). The cache invalidation MUST run inside the restart's
+          // exclusive section: after it, a reader may immediately resolve
+          // page P to "main file" (version 0) or to a new generation's
+          // frame f, and a leftover entry keyed (P, 0) with a pre-fold
+          // image — or (P, f) with the OLD generation's image — would be
+          // served as current.
+          const std::map<PageId, uint64_t> folded =
+              wal_->LatestFrames(last_committed_seq_);
+          Status wrap = wal_->WrapRestart([&] {
+            cache_.DropVersioned();
+            for (const auto& [pid, frame_no] : folded) {
+              (void)frame_no;
+              cache_.InvalidatePage(pid);
+            }
+          });
+          if (!wrap.ok()) {
+            // Header write/fsync failure: the old generation is intact and
+            // live, but WAL fsync state is now unknowable — same sticky
+            // rule as every other failed WAL sync.
+            std::lock_guard<std::mutex> sync_lock(commit_sync_mutex_);
+            commit_sync_failed_ = true;
+            commit_sync_cv_.notify_all();
+            return wrap;
+          }
+          return Status::OK();
+        }
         if (!block_for_readers) {
           return Status::OK();  // partial backfill; watermark records it
         }
@@ -695,6 +774,37 @@ Status Pager::CheckpointImpl(bool block_for_readers) {
       }
     }
   }
+}
+
+Status Pager::SyncWal() {
+  // Durability barrier: same protocol as the group-commit leader, minus
+  // the "already covered" fast path — the caller wants *everything
+  // published so far* durable, not one particular commit.
+  std::unique_lock<std::mutex> lock(commit_sync_mutex_);
+  while (commit_sync_in_flight_) {
+    commit_sync_cv_.wait(lock);
+  }
+  if (commit_sync_failed_) {
+    return Status::IOError(
+        "WAL fsync previously failed; durability unknown until the "
+        "database is reopened");
+  }
+  commit_sync_in_flight_ = true;
+  const uint64_t covers = wal_->last_committed_seq();
+  lock.unlock();
+  Status st = wal_->FlushStaged();
+  if (st.ok()) st = wal_->Sync();
+  lock.lock();
+  commit_sync_in_flight_ = false;
+  if (st.ok()) {
+    if (covers > wal_durable_seq_) {
+      wal_durable_seq_ = covers;
+    }
+  } else {
+    commit_sync_failed_ = true;
+  }
+  commit_sync_cv_.notify_all();
+  return st;
 }
 
 void Pager::DropCaches() { cache_.Clear(); }

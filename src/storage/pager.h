@@ -107,6 +107,27 @@ struct PagerOptions {
   /// the syscall pattern of batched reads (Pager::ReadPages) differs.
   IoBackend io_backend = IoBackend::kAuto;
 
+  /// Pipeline commit appends through the group-commit leader (default
+  /// true; only takes effect with sync_on_commit). Committers stage their
+  /// serialized frames in memory and publish immediately; the leader lands
+  /// every staged commit with ONE contiguous WAL write before the shared
+  /// fdatasync, so both write syscalls and fsyncs amortize across the
+  /// group. Durability guarantees are identical — no commit is
+  /// acknowledged before its frames are written AND synced; a failed
+  /// batched write fails the whole group's acknowledgement exactly like a
+  /// failed group fsync (sticky until reopen). Off-switch for bisection.
+  bool commit_pipeline = true;
+
+  /// Reclaim the WAL by wrapping to slot 1 when it is fully folded but
+  /// reader snapshots keep the registry occupied (default true). Without
+  /// it, a workload that always holds some snapshot (e.g. rolling
+  /// re-pins) never satisfies the "no readers" precondition of the
+  /// truncating reset and the WAL grows without bound; with it, WAL size
+  /// is O(frames since the last full fold). Uses WAL format v3 frame
+  /// epochs (see docs/DURABILITY.md); v2 files upgrade transparently.
+  /// Off-switch for bisection.
+  bool wal_wraparound = true;
+
   /// Test hook: wraps each file handle the pager opens (role is "db" or
   /// "wal") — the seam the fault-injection harness installs through
   /// (tests/support/fault_injection_file.h). Default empty: handles are
@@ -245,6 +266,13 @@ class Pager {
   /// every frame is folded and no reader is registered.
   Status Checkpoint();
 
+  /// Durability barrier without a checkpoint: flushes staged (pipelined)
+  /// WAL frames and fsyncs the log, so every commit acknowledged so far —
+  /// and every unsynced commit published so far — is crash-durable on
+  /// return. Respects the group-commit gate (a concurrent leader's sync
+  /// may satisfy it) and the sticky failed-sync rule.
+  Status SyncWal();
+
   /// Drops the page cache (cold-start simulation for benchmarks).
   void DropCaches();
 
@@ -257,6 +285,8 @@ class Pager {
   uint64_t wal_backfill_watermark() const {
     return wal_->backfill_watermark();
   }
+  /// Wrap-around generation of the WAL (0 until the first wrap).
+  uint32_t wal_epoch() const { return wal_->epoch(); }
   IoStats& io_stats() { return stats_; }
   const PagerOptions& options() const { return options_; }
   /// Backend the main file actually uses (kPread when uring fell back).

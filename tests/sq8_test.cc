@@ -251,10 +251,13 @@ class Sq8DbTest : public ::testing::Test {
               << "missing sidecar row, partition " << partition << " vid "
               << vid;
           const uint8_t* codes = DecodeSq8Row(*sq8_row, dim).value();
-          QuantizeSq8(
-              reinterpret_cast<const float*>(row.vector_blob.data()),
-              it->second.min.data(), it->second.scale.data(), dim,
-              expect.data());
+          // The blob sits at an arbitrary offset inside the row encoding;
+          // copy it out so the float loads are aligned.
+          std::vector<float> vec(dim);
+          std::memcpy(vec.data(), row.vector_blob.data(),
+                      dim * sizeof(float));
+          QuantizeSq8(vec.data(), it->second.min.data(),
+                      it->second.scale.data(), dim, expect.data());
           EXPECT_EQ(0, std::memcmp(codes, expect.data(), dim))
               << "stale codes, partition " << partition << " vid " << vid;
           ++quantized_rows;

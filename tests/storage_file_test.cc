@@ -510,7 +510,11 @@ TEST_F(PagerTest, CheckpointFoldsWalIntoMainFile) {
 }
 
 TEST_F(PagerTest, CheckpointBackfillsUnderActiveReader) {
-  auto pager = Pager::Open(Path("db"), PagerOptions{}).value();
+  // Wrap-around off: the classic contract — a live reader limits a full
+  // fold to "folded, not reset".
+  PagerOptions opts;
+  opts.wal_wraparound = false;
+  auto pager = Pager::Open(Path("db"), opts).value();
   {
     auto txn = pager->BeginWrite().value();
     pager->AllocatePage(txn.get()).value();
@@ -530,6 +534,37 @@ TEST_F(PagerTest, CheckpointBackfillsUnderActiveReader) {
   EXPECT_TRUE(pager->Checkpoint().ok());
   EXPECT_EQ(pager->wal_frame_count(), 0u);
   EXPECT_EQ(pager->wal_backfill_watermark(), 0u);
+}
+
+TEST_F(PagerTest, CheckpointWrapsUnderActiveReader) {
+  // Wrap-around on (the default): once the fold is complete, a live
+  // reader no longer pins the log — a new frame generation begins at
+  // slot 1 and the reader keeps reading through the folded main file.
+  auto pager = Pager::Open(Path("db"), PagerOptions{}).value();
+  PageId pid;
+  {
+    auto txn = pager->BeginWrite().value();
+    pid = pager->AllocatePage(txn.get()).value();
+    pager->GetMutablePage(txn.get(), pid).value()->WriteU32(8, 4242);
+    ASSERT_TRUE(pager->CommitWrite(std::move(txn)).ok());
+  }
+  const uint64_t seq = pager->BeginSnapshot();
+  ASSERT_GT(pager->wal_frame_count(), 0u);
+  EXPECT_TRUE(pager->Checkpoint().ok());
+  EXPECT_EQ(pager->wal_frame_count(), 0u);
+  EXPECT_EQ(pager->wal_backfill_watermark(), 0u);
+  EXPECT_EQ(pager->wal_epoch(), 1u);
+  EXPECT_EQ(pager->ReadPage(pid, seq).value()->ReadU32(8), 4242u);
+  pager->EndSnapshot(seq);
+  // Commits after the wrap reuse the reclaimed slots (same file region).
+  {
+    auto txn = pager->BeginWrite().value();
+    pager->GetMutablePage(txn.get(), pid).value()->WriteU32(8, 4343);
+    ASSERT_TRUE(pager->CommitWrite(std::move(txn)).ok());
+  }
+  const uint64_t seq2 = pager->BeginSnapshot();
+  EXPECT_EQ(pager->ReadPage(pid, seq2).value()->ReadU32(8), 4343u);
+  pager->EndSnapshot(seq2);
 }
 
 TEST_F(PagerTest, ColdStartAfterDropCachesStillReads) {

@@ -3,9 +3,12 @@
 // in-memory model.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "common/rng.h"
@@ -323,6 +326,144 @@ TEST_P(FaultScheduleSweepTest, AcknowledgedCommitsSurviveAnySchedule) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultScheduleSweepTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Pipelined-commit property sweep: randomized multi-threaded committers
+// race through the group-commit pipeline (staged appends + leader batch
+// write + shared fsync) while the WAL fails a seed-derived write/sync
+// schedule. Invariants under ANY schedule and interleaving:
+//   - per-submission failure isolation: a fault failing the leader's
+//     batched write (or the shared fsync) must not acknowledge ANY member
+//     of that group — every commit reported ok must survive the crash
+//     image, with no exception for followers;
+//   - atomicity: every transaction recovers all-or-nothing.
+// A start gate releases all committers at once so the schedule lands in a
+// genuinely concurrent group even on a single-core CI runner.
+class PipelinedCommitSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelinedCommitSweepTest, FaultedGroupAcksNoMember) {
+  const uint64_t seed = GetParam();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("micronn_pipesweep_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(seed));
+  std::filesystem::create_directories(dir);
+  const std::string path = dir / "db";
+  const std::string crash = dir / "crash";
+
+  Rng rng(seed * 1099511628211ULL + 7);
+  FaultInjectionFile* wal_file = nullptr;
+  PagerOptions opts;
+  opts.sync_on_commit = true;
+  opts.commit_pipeline = true;
+  opts.file_wrapper = [&wal_file](std::unique_ptr<FileHandle> base,
+                                  std::string_view role)
+      -> std::unique_ptr<FileHandle> {
+    if (role != "wal") return base;
+    auto wrapped =
+        std::make_unique<FaultInjectionFile>(std::move(base), FaultSchedule{});
+    wal_file = wrapped.get();
+    return wrapped;
+  };
+  auto engine = StorageEngine::Open(path, opts).value();
+  ASSERT_NE(wal_file, nullptr);
+  {
+    auto txn = engine->BeginWrite().value();
+    txn->OpenOrCreateTable("t").value();
+    ASSERT_TRUE(engine->Commit(std::move(txn)).ok());
+  }
+
+  // Arm one seed-derived WAL fault aimed into the sweep (write-path only:
+  // the sweep probes commit acknowledgement, not read errors). Offsets
+  // start from the current counters so setup I/O never absorbs it.
+  {
+    const FaultCounters c = wal_file->counters();
+    FaultSchedule s;
+    switch (rng.Uniform(3)) {
+      case 0:
+        s.fail_write_at = c.writes + 1 + rng.Uniform(20);
+        break;
+      case 1:
+        s.torn_write_at = c.writes + 1 + rng.Uniform(20);
+        s.torn_write_bytes = rng.Uniform(3 * Wal::kFrameSize);
+        if (rng.Uniform(2) == 0) s.fail_truncate_at = c.truncates + 1;
+        break;
+      case 2:
+        s.fail_sync_at = c.syncs + 1 + rng.Uniform(12);
+        break;
+    }
+    wal_file->set_schedule(s);
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 6;
+  std::array<std::array<bool, kTxnsPerThread>, kThreads> acked{};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng trng(seed * 7919 + t);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        const uint64_t id = static_cast<uint64_t>(t) * 100 + i;
+        auto txn = engine->BeginWrite();
+        if (!txn.ok()) continue;
+        Result<BTree> tree = (*txn)->OpenTable("t");
+        if (!tree.ok()) {
+          engine->Rollback(std::move(*txn));
+          continue;
+        }
+        bool built = true;
+        const int rows = 1 + static_cast<int>(trng.Uniform(12));
+        for (int r = 0; r < rows && built; ++r) {
+          built = tree->Put(key::U64(id * 1000 + r),
+                            "txn" + std::to_string(id)).ok();
+        }
+        if (built) {
+          built = tree->Put(key::U64(900000 + id), "committed").ok();
+        }
+        if (!built) {
+          engine->Rollback(std::move(*txn));
+          continue;
+        }
+        acked[t][i] = engine->Commit(std::move(*txn)).ok();
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+
+  // Freeze the files while the engine is still open (closing would run a
+  // checkpoint and change what a crash would have found).
+  std::filesystem::copy_file(path, crash);
+  std::filesystem::copy_file(path + "-wal", crash + "-wal");
+
+  auto recovered = StorageEngine::Open(crash).value();
+  auto txn = recovered->BeginRead().value();
+  Result<BTree> tree = txn->OpenTable("t");
+  ASSERT_TRUE(tree.ok());
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kTxnsPerThread; ++i) {
+      const uint64_t id = static_cast<uint64_t>(t) * 100 + i;
+      const bool marker =
+          tree->Get(key::U64(900000 + id)).value().has_value();
+      const bool first_row =
+          tree->Get(key::U64(id * 1000)).value().has_value();
+      if (acked[t][i]) {
+        EXPECT_TRUE(marker) << "seed=" << seed << ": acknowledged commit ("
+                            << t << "," << i << ") lost by recovery";
+      }
+      EXPECT_EQ(marker, first_row)
+          << "seed=" << seed << ": commit (" << t << "," << i
+          << ") recovered torn";
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinedCommitSweepTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
 using FreelistTest = PropertyDir;
