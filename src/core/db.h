@@ -23,6 +23,7 @@
 #include "ivf/centroid_set.h"
 #include "ivf/maintenance.h"
 #include "numerics/topk.h"
+#include "query/executor.h"
 #include "query/scheduler.h"
 #include "query/stats.h"
 #include "storage/engine.h"
@@ -143,6 +144,10 @@ class DB {
   std::unique_ptr<StorageEngine> engine_;
   ThreadPool pool_;
   QueryScheduler scheduler_;
+  /// Adaptive read-ahead depth (DbOptions::adaptive_prefetch): one
+  /// controller per DB so the learned depth persists across query groups.
+  /// Null when the option is off. Created in Open.
+  std::unique_ptr<PrefetchController> prefetch_controller_;
 
   // Serializes all writes, including multi-transaction maintenance.
   std::mutex write_mutex_;

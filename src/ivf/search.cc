@@ -391,8 +391,14 @@ Result<std::vector<Neighbor>> SearchByVids(BTree vectors, BTree vidmap,
   std::sort(rows.begin(), rows.end());
   const size_t n_rows = rows.size();
   // VectorKey preserves (partition, vid) order, so the vectors-table run
-  // below is sorted too — batch its leaves ahead of the Get() loop.
-  if (prefetch != nullptr && prefetch->pager != nullptr && !rows.empty()) {
+  // below is sorted too — batch its leaves ahead of the Get() loop. In
+  // async mode the slices pipeline their own chunks instead (submit the
+  // next chunk's leaves, score the current one, reap), so the global
+  // submit-and-wait batch is skipped.
+  const bool use_async =
+      prefetch != nullptr && prefetch->pager != nullptr && prefetch->async;
+  if (prefetch != nullptr && prefetch->pager != nullptr && !use_async &&
+      !rows.empty()) {
     std::vector<std::string> keys;
     keys.reserve(rows.size());
     for (const auto& [partition, vid] : rows) {
@@ -412,6 +418,29 @@ Result<std::vector<Neighbor>> SearchByVids(BTree vectors, BTree vidmap,
   std::vector<uint64_t> scored(n_tasks, 0);
   std::vector<Status> statuses(n_tasks);
 
+  // Async pipelining granularity: enough rows per chunk that one leaf
+  // batch covers a meaningful stretch of the sorted key run, small enough
+  // that the first chunk's stall stays short.
+  constexpr size_t kAsyncChunkRows = 2 * kScanBlockRows;
+
+  // Submits the leaf pages behind rows [clo, chi) and returns the
+  // in-flight handle (null when nothing was submitted — the demand reads
+  // below cover everything regardless).
+  auto submit_chunk = [&](size_t clo,
+                          size_t chi) -> std::unique_ptr<AsyncPrefetch> {
+    if (clo >= chi) return nullptr;
+    std::vector<std::string> keys;
+    keys.reserve(chi - clo);
+    for (size_t r = clo; r < chi; ++r) {
+      keys.push_back(VectorKey(rows[r].first, rows[r].second));
+    }
+    std::vector<PageId> pages;
+    if (!vectors.CollectLeafPages(keys, &pages).ok() || pages.empty()) {
+      return nullptr;
+    }
+    return prefetch->pager->PrefetchPagesAsync(pages, prefetch->snapshot_seq);
+  };
+
   auto score_slice = [&](size_t t, size_t lo, size_t hi) -> Status {
     AlignedFloatBuffer block(kScanBlockRows * dim);
     std::vector<uint64_t> block_vids(kScanBlockRows);
@@ -430,19 +459,36 @@ Result<std::vector<Neighbor>> SearchByVids(BTree vectors, BTree vidmap,
       scored[t] += fill;
       fill = 0;
     };
-    for (size_t i = lo; i < hi; ++i) {
-      const auto [partition, vid] = rows[i];
-      MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> row,
-                               vectors.Get(VectorKey(partition, vid)));
-      if (!row.has_value()) {
-        return Status::Corruption("vidmap points at missing vector row");
+    // The submit/score/reap pipeline: while chunk c's rows are scored,
+    // chunk c+1's leaf reads are in flight. `inflight` covers the chunk
+    // about to be scored; Finish() lands its pages in the cache (or, on
+    // any I/O hiccup, leaves the misses for the demand Gets below, which
+    // produce identical results). The unique_ptr reaps on early error
+    // return too, so no submitted read outlives the caller's snapshot.
+    std::unique_ptr<AsyncPrefetch> inflight;
+    if (use_async) {
+      inflight = submit_chunk(lo, std::min(lo + kAsyncChunkRows, hi));
+    }
+    for (size_t clo = lo; clo < hi; clo += kAsyncChunkRows) {
+      const size_t chi = std::min(clo + kAsyncChunkRows, hi);
+      if (use_async) {
+        if (inflight != nullptr) inflight->Finish();
+        inflight = submit_chunk(chi, std::min(chi + kAsyncChunkRows, hi));
       }
-      VectorRow vr;
-      MICRONN_RETURN_IF_ERROR(DecodeVectorRow(*row, dim, &vr));
-      block_vids[fill] = vid;
-      std::memcpy(block.data() + fill * dim, vr.vector_blob.data(),
-                  dim * sizeof(float));
-      if (++fill == kScanBlockRows) flush();
+      for (size_t i = clo; i < chi; ++i) {
+        const auto [partition, vid] = rows[i];
+        MICRONN_ASSIGN_OR_RETURN(std::optional<std::string> row,
+                                 vectors.Get(VectorKey(partition, vid)));
+        if (!row.has_value()) {
+          return Status::Corruption("vidmap points at missing vector row");
+        }
+        VectorRow vr;
+        MICRONN_RETURN_IF_ERROR(DecodeVectorRow(*row, dim, &vr));
+        block_vids[fill] = vid;
+        std::memcpy(block.data() + fill * dim, vr.vector_blob.data(),
+                    dim * sizeof(float));
+        if (++fill == kScanBlockRows) flush();
+      }
     }
     flush();
     return Status::OK();

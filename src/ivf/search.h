@@ -120,10 +120,15 @@ Result<std::vector<Neighbor>> ExactSearch(BTree vectors, Metric metric,
 /// to SearchByVids, each point-read stage first enumerates the leaf pages
 /// its sorted key run will touch (BTree::CollectLeafPages) and issues them
 /// as one best-effort Pager::PrefetchPages batch, so the per-key Get()
-/// loop hits cache instead of paying one blocking pread per leaf.
+/// loop hits cache instead of paying one blocking pread per leaf. With
+/// `async` set, stage 2 pipelines instead: each slice submits the next
+/// chunk's leaves (Pager::PrefetchPagesAsync), scores the current chunk,
+/// then reaps — the leaf reads overlap the distance kernel. Results are
+/// bit-identical in every mode.
 struct PrefetchContext {
   Pager* pager = nullptr;
   uint64_t snapshot_seq = 0;
+  bool async = false;
 };
 
 /// Brute-force top-k over an explicit list of row ids (the pre-filtering

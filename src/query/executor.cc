@@ -36,11 +36,45 @@ uint32_t HeapK(const PhysicalPlan& plan) {
 
 }  // namespace
 
+void PrefetchController::Observe(uint64_t prefetched, uint64_t hits,
+                                 uint64_t evictions) {
+  constexpr uint32_t kProbeInterval = 4;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (prefetched == 0) {
+    // Nothing read ahead: either the cache already held everything (leave
+    // the depth alone) or the depth sits at 0 — probe back at 1 every few
+    // groups so one bad stretch does not lock read-ahead off forever.
+    if (depth_ == 0 && ++idle_groups_ >= kProbeInterval) {
+      idle_groups_ = 0;
+      depth_ = std::min<uint32_t>(1, max_);
+    }
+    return;
+  }
+  idle_groups_ = 0;
+  if (evictions > prefetched || hits * 2 < prefetched) {
+    // Read-ahead churned the cache or mostly went unused: back off.
+    if (depth_ > 0) --depth_;
+  } else if (hits * 4 >= prefetched * 3 && evictions <= prefetched / 4) {
+    // Converting well with headroom: lean in.
+    depth_ = std::min(depth_ + 1, max_);
+  }
+}
+
 Result<std::vector<PlanResult>> QueryExecutor::Execute(
     const std::vector<PhysicalPlan>& plans, BatchCounters* group) {
   const size_t n = plans.size();
   std::vector<PlanResult> results(n);
   if (n == 0) return results;
+
+  // Adaptive read-ahead: the controller's depth overrides the static knob
+  // for this group, and the group's IoStats delta feeds back at the end.
+  const uint32_t prefetch_depth = ctx_.prefetch_controller != nullptr
+                                      ? ctx_.prefetch_controller->depth()
+                                      : ctx_.prefetch_depth;
+  IoStats::View io_before;
+  if (ctx_.prefetch_controller != nullptr && ctx_.pager != nullptr) {
+    io_before = ctx_.pager->io_stats().Snapshot();
+  }
 
   // Split the group by strategy: partition-scanning plans share scans;
   // pre-filter plans score their own candidate sets.
@@ -277,10 +311,23 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
   // issued as one best-effort batched read each, so their scans start
   // warm. The claim cursor only moves forward, so each partition is
   // prefetched at most once across all workers.
-  const bool prefetch_on =
-      ctx_.pager != nullptr && ctx_.prefetch_depth > 0;
-  const PrefetchContext pctx{ctx_.pager, ctx_.snapshot_seq};
+  //
+  // With async_prefetch the batch is *submitted* (PrefetchPagesAsync)
+  // instead of performed: the handle parks in the claimed-ahead item's
+  // slot and the worker that later claims that item reaps it right before
+  // scanning, so on the uring backend the reads proceed in the kernel
+  // while the intervening partitions are scored.
+  const bool prefetch_on = ctx_.pager != nullptr && prefetch_depth > 0;
+  const bool async_on = prefetch_on && ctx_.async_prefetch;
+  const PrefetchContext pctx{ctx_.pager, ctx_.snapshot_seq, async_on};
   const PrefetchContext* prefetch_ctx = prefetch_on ? &pctx : nullptr;
+  std::unique_ptr<std::atomic<AsyncPrefetch*>[]> async_slots;
+  if (async_on) {
+    async_slots.reset(new std::atomic<AsyncPrefetch*>[work.size()]);
+    for (size_t i = 0; i < work.size(); ++i) {
+      async_slots[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
   std::atomic<size_t> prefetch_cursor{0};
   auto prefetch_one = [&](size_t work_i) {
     const PartitionWork& pw = work[work_i];
@@ -307,7 +354,14 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
                                 &pages)
           .ok();
     }
-    if (!pages.empty()) {
+    if (pages.empty()) return;
+    if (async_on) {
+      std::unique_ptr<AsyncPrefetch> h =
+          ctx_.pager->PrefetchPagesAsync(pages, ctx_.snapshot_seq);
+      if (h != nullptr) {
+        async_slots[work_i].store(h.release(), std::memory_order_release);
+      }
+    } else {
       ctx_.pager->PrefetchPages(pages, ctx_.snapshot_seq);
     }
   };
@@ -320,21 +374,33 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
       const size_t i = next_work.fetch_add(1);
       if (i >= work.size()) break;
       if (prefetch_on) {
-        // Claim-ahead: advance the shared cursor through (i, i + depth],
-        // skipping anything already claimed for processing or prefetched
-        // by another worker.
+        // Claim-ahead: advance the shared cursor through [i, i + depth],
+        // skipping anything already claimed by another worker. Covering
+        // the *current* item matters for the items a worker reaches
+        // before any claim-ahead got there (the first item of each
+        // drain, and racy claims under many workers): one batched leaf
+        // read replaces a cold scan's page-by-page demand reads.
         const size_t target =
             std::min(work.size(),
-                     i + 1 + static_cast<size_t>(ctx_.prefetch_depth));
+                     i + 1 + static_cast<size_t>(prefetch_depth));
         size_t cur = prefetch_cursor.load(std::memory_order_relaxed);
         for (;;) {
-          const size_t next = std::max(cur, i + 1);
+          const size_t next = std::max(cur, i);
           if (next >= target) break;
           if (prefetch_cursor.compare_exchange_weak(
                   cur, next + 1, std::memory_order_relaxed)) {
             prefetch_one(next);
             cur = next + 1;
           }
+        }
+      }
+      if (async_on) {
+        // Reap the read-ahead covering this partition (submitted when an
+        // earlier item was claimed) so its pages are installed before the
+        // scan; the I/O itself ran while the intervening items scored.
+        if (AsyncPrefetch* h =
+                async_slots[i].exchange(nullptr, std::memory_order_acquire)) {
+          std::unique_ptr<AsyncPrefetch>(h)->Finish();
         }
       }
       Status st = process(w, i);
@@ -355,6 +421,17 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
     ctx_.pool->HelpWait(&wg);
   } else {
     drain(pool_threads);
+  }
+  if (async_on) {
+    // Finish any claimed-ahead submissions nobody reaped (error bail-out,
+    // or a slot filled after its item was already scanned) while the
+    // caller's snapshot is still registered.
+    for (size_t i = 0; i < work.size(); ++i) {
+      if (AsyncPrefetch* h =
+              async_slots[i].exchange(nullptr, std::memory_order_acquire)) {
+        std::unique_ptr<AsyncPrefetch>(h)->Finish();
+      }
+    }
   }
   for (const WorkerState& ws : workers) {
     MICRONN_RETURN_IF_ERROR(ws.status);
@@ -437,6 +514,12 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
     for (const size_t idx : pre_plans) {
       group->rows_scanned += results[idx].counters.rows_scanned;
     }
+  }
+
+  if (ctx_.prefetch_controller != nullptr && ctx_.pager != nullptr) {
+    const IoStats::View d = ctx_.pager->io_stats().Snapshot() - io_before;
+    ctx_.prefetch_controller->Observe(d.pages_prefetched, d.prefetch_hits,
+                                      d.cache_evictions);
   }
   return results;
 }

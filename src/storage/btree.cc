@@ -403,20 +403,29 @@ Result<PageId> BTree::DescendToLeaf(std::string_view key,
   }
 }
 
+// Height probe: the tree has uniform leaf depth (root splits grow
+// downward), so one descent fixes the level at which children are leaves.
+// The descent reads a single leaf; the collect recursions read none.
+Result<size_t> BTree::LeafLevel(std::string_view probe_key) {
+  const int cached = leaf_level_->load(std::memory_order_relaxed);
+  if (cached >= 0) return static_cast<size_t>(cached);
+  std::vector<PathEntry> path;
+  MICRONN_RETURN_IF_ERROR(DescendToLeaf(probe_key, &path).status());
+  leaf_level_->store(static_cast<int>(path.size()),
+                     std::memory_order_relaxed);
+  return path.size();
+}
+
 Status BTree::CollectLeafPages(std::span<const std::string> sorted_keys,
                                std::vector<PageId>* out) {
   if (sorted_keys.empty()) return Status::OK();
-  // Height probe: the tree has uniform leaf depth (root splits grow
-  // downward), so one descent fixes the level at which children are
-  // leaves. This reads a single leaf; the recursion below reads none.
-  std::vector<PathEntry> path;
-  MICRONN_ASSIGN_OR_RETURN(PageId first_leaf,
-                           DescendToLeaf(sorted_keys.front(), &path));
-  if (path.empty()) {  // the root is the only leaf
-    out->push_back(first_leaf);
+  MICRONN_ASSIGN_OR_RETURN(const size_t leaf_level,
+                           LeafLevel(sorted_keys.front()));
+  if (leaf_level == 0) {  // the root is the only leaf
+    out->push_back(root_);
     return Status::OK();
   }
-  return CollectFromNode(root_, 0, path.size(), sorted_keys, out);
+  return CollectFromNode(root_, 0, leaf_level, sorted_keys, out);
 }
 
 Status BTree::CollectFromNode(PageId page, size_t level, size_t leaf_level,
@@ -468,13 +477,12 @@ Status BTree::CollectLeafPagesInRange(std::string_view lo, std::string_view hi,
                                       size_t max_pages,
                                       std::vector<PageId>* out) {
   if (max_pages == 0 || out->size() >= max_pages) return Status::OK();
-  std::vector<PathEntry> path;
-  MICRONN_ASSIGN_OR_RETURN(PageId first_leaf, DescendToLeaf(lo, &path));
-  if (path.empty()) {
-    out->push_back(first_leaf);
+  MICRONN_ASSIGN_OR_RETURN(const size_t leaf_level, LeafLevel(lo));
+  if (leaf_level == 0) {
+    out->push_back(root_);
     return Status::OK();
   }
-  return CollectRangeFromNode(root_, 0, path.size(), lo, hi, max_pages, out);
+  return CollectRangeFromNode(root_, 0, leaf_level, lo, hi, max_pages, out);
 }
 
 Status BTree::CollectRangeFromNode(PageId page, size_t level,
@@ -610,6 +618,7 @@ Status BTree::InsertWithSplit(const std::vector<PathEntry>& path,
     const std::string root_cell = MakeInteriorCell(sep, left);
     TryInsertCell(rootp, 0, root_cell);  // cannot fail on an empty node
     rootp->WriteU32(kOffRightChild, right);
+    leaf_level_->store(-1, std::memory_order_relaxed);  // tree grew
     return Status::OK();
   }
 
@@ -683,6 +692,7 @@ Status BTree::RemoveChildRef(const std::vector<PathEntry>& path,
       // Node holds nothing at all now.
       if (entry.page == root_) {
         InitNode(p, PageType::kBTreeLeaf);
+        leaf_level_->store(-1, std::memory_order_relaxed);  // tree shrank
         return Status::OK();
       }
       MICRONN_RETURN_IF_ERROR(view_->Free(entry.page));
@@ -758,6 +768,7 @@ Status BTree::Clear() {
   }
   MICRONN_ASSIGN_OR_RETURN(Page * mp, view_->Mutable(root_));
   InitNode(mp, PageType::kBTreeLeaf);
+  leaf_level_->store(-1, std::memory_order_relaxed);  // tree shrank
   return Status::OK();
 }
 

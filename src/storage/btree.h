@@ -21,7 +21,9 @@
 #ifndef MICRONN_STORAGE_BTREE_H_
 #define MICRONN_STORAGE_BTREE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -48,7 +50,10 @@ class BTree {
   /// Allocates and initializes an empty tree; returns its root page.
   static Result<PageId> Create(PageView* view);
 
-  BTree(PageView* view, PageId root) : view_(view), root_(root) {}
+  BTree(PageView* view, PageId root)
+      : view_(view),
+        root_(root),
+        leaf_level_(std::make_shared<std::atomic<int>>(-1)) {}
 
   /// Inserts or replaces `key` -> `value`.
   Status Put(std::string_view key, std::string_view value);
@@ -122,8 +127,20 @@ class BTree {
   Status CheckNode(PageId page, std::string_view upper_bound, bool has_bound,
                    std::string* max_key_out);
 
+  // Uniform leaf depth (0 = the root is the only leaf), probing with a
+  // descent to the leaf owning `probe_key` on the first call. The collect
+  // paths run once per partition/chunk, and on a cold cache each probe is
+  // a demand page read — caching turns ~n probes into one.
+  Result<size_t> LeafLevel(std::string_view probe_key);
+
   PageView* view_;
   PageId root_;
+  // Shared across copies of this handle (collectors take BTree by value);
+  // reset whenever an operation through this handle family changes the
+  // tree height (root split, root collapse, Clear). Handles opened by
+  // other transactions have their own cache, consistent with their own
+  // snapshot. -1 = unknown.
+  std::shared_ptr<std::atomic<int>> leaf_level_;
 };
 
 /// Forward iterator over a BTree. Holds page references; valid as long as

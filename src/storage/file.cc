@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -18,6 +19,35 @@ std::string ErrnoMessage(const std::string& op, const std::string& path) {
 Status FileHandle::ReadBatch(ReadOp* ops, size_t n) {
   for (size_t i = 0; i < n; ++i) {
     ops[i].status = ReadAt(ops[i].offset, ops[i].buf, ops[i].len);
+  }
+  return Status::OK();
+}
+
+Status FileHandle::SubmitRead(ReadOp* ops, size_t n, IoTicket* ticket) {
+  // Emulated async: park the batch on the ticket; the internal completion
+  // queue "fills" at reap time, when ReapCompletions performs the reads
+  // through the virtual ReadBatch. Routing through the virtual keeps
+  // decorators (fault injection, bench latency shims) on the path, so
+  // their faults fire at reap time exactly like a real completion error.
+  ticket->ops = ops;
+  ticket->count = n;
+  ticket->completed.store(0, std::memory_order_relaxed);
+  ticket->submitted = 0;
+  return Status::OK();
+}
+
+Status FileHandle::ReapCompletions(IoTicket* ticket, bool wait) {
+  (void)wait;  // no background progress to poll; drain everything now
+  if (ticket->done()) return Status::OK();
+  const Status st = ReadBatch(ticket->ops, ticket->count);
+  ticket->submitted = ticket->count;
+  ticket->completed.store(ticket->count, std::memory_order_release);
+  return st;
+}
+
+Status FileHandle::WriteBatch(WriteOp* ops, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    ops[i].status = WriteAt(ops[i].offset, ops[i].buf, ops[i].len);
   }
   return Status::OK();
 }
@@ -66,6 +96,7 @@ Status PosixFile::WriteAt(uint64_t offset, const void* buf, size_t n) {
   while (done < n) {
     const ssize_t w = ::pwrite(fd_, src + done, n - done,
                                static_cast<off_t>(offset + done));
+    CountWriteSyscall();
     if (w < 0) {
       if (errno == EINTR) continue;
       return Status::IOError(ErrnoMessage("pwrite", path_));
@@ -74,6 +105,62 @@ Status PosixFile::WriteAt(uint64_t offset, const void* buf, size_t n) {
   }
   if (offset + n > size()) {
     size_.store(offset + n, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+Status PosixFile::WriteBatch(WriteOp* ops, size_t n) {
+  // IOV_MAX is 1024 everywhere we run; stay well under it so a run never
+  // fails the vectored call outright.
+  constexpr size_t kMaxRun = 256;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i + 1;
+    uint64_t end = ops[i].offset + ops[i].len;
+    while (j < n && j - i < kMaxRun && ops[j].offset == end) {
+      end += ops[j].len;
+      ++j;
+    }
+    const Status st = WriteRun(ops + i, j - i);
+    for (size_t k = i; k < j; ++k) ops[k].status = st;
+    i = j;
+  }
+  return Status::OK();
+}
+
+Status PosixFile::WriteRun(WriteOp* ops, size_t n) {
+  if (n == 1) return WriteAt(ops[0].offset, ops[0].buf, ops[0].len);
+  struct iovec iov[256];
+  uint64_t total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    iov[k].iov_base = const_cast<void*>(ops[k].buf);
+    iov[k].iov_len = ops[k].len;
+    total += ops[k].len;
+  }
+  uint64_t offset = ops[0].offset;
+  size_t idx = 0;  // first iovec with unwritten bytes
+  while (idx < n) {
+    const ssize_t w = ::pwritev(fd_, iov + idx, static_cast<int>(n - idx),
+                                static_cast<off_t>(offset));
+    CountWriteSyscall();
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("pwritev", path_));
+    }
+    offset += static_cast<uint64_t>(w);
+    size_t done = static_cast<size_t>(w);
+    while (idx < n && done >= iov[idx].iov_len) {
+      done -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < n && done > 0) {
+      iov[idx].iov_base = static_cast<uint8_t*>(iov[idx].iov_base) + done;
+      iov[idx].iov_len -= done;
+    }
+  }
+  const uint64_t run_end = ops[0].offset + total;
+  if (run_end > size()) {
+    size_.store(run_end, std::memory_order_release);
   }
   return Status::OK();
 }

@@ -33,6 +33,40 @@ struct ReadOp {
   Status status;
 };
 
+/// One positional write of a batch. Mirrors ReadOp: `status` receives the
+/// per-op outcome from WriteBatch; the return value is transport-level.
+struct WriteOp {
+  uint64_t offset = 0;
+  const void* buf = nullptr;
+  size_t len = 0;
+  Status status;
+};
+
+/// Handle to an in-flight SubmitRead batch. The ticket, the ops array it
+/// points at, and every op buffer must stay alive and address-stable until
+/// done() — the backend keeps raw pointers to all three. A ticket belongs
+/// to the file it was submitted on and must be reaped there. One thread
+/// drives a given ticket at a time; distinct tickets on the same file may
+/// be driven from distinct threads (on the uring backend a reap harvests
+/// whatever completions arrive, including other tickets' — hence the
+/// atomic completion count).
+struct IoTicket {
+  /// True once every op has a final status. The driving thread may call
+  /// this without holding the backend's lock; completions published by
+  /// other threads' reaps are made visible by the release increment.
+  bool done() const {
+    return completed.load(std::memory_order_acquire) >= count;
+  }
+
+  ReadOp* ops = nullptr;
+  size_t count = 0;
+  /// Ops with a final status (set at reap time).
+  std::atomic<size_t> completed{0};
+  /// Ops handed to the kernel so far (uring backend; the emulated backend
+  /// leaves this at 0 until the reap performs the whole batch).
+  size_t submitted = 0;
+};
+
 /// A random-access file handle. Reads are safe from multiple threads
 /// concurrently; writes are serialized by callers (the storage engine has
 /// a single writer).
@@ -51,8 +85,36 @@ class FileHandle {
   /// ReadAt; backends override it with real batch submission.
   virtual Status ReadBatch(ReadOp* ops, size_t n);
 
+  /// Starts `n` positional reads without waiting for them. On the uring
+  /// backend the ops are pushed onto the ring immediately (as many as fit;
+  /// the rest follow during reaps) so the device works while the caller
+  /// computes. The base implementation emulates with an internal
+  /// completion queue: nothing happens here, the whole batch is performed
+  /// at reap time via this->ReadBatch — same bytes, same per-op statuses,
+  /// no overlap. Either way EINTR/short-read fallback and per-op status
+  /// assignment happen at reap time, and results are bit-identical to a
+  /// blocking ReadBatch of the same ops. See IoTicket for lifetime rules.
+  virtual Status SubmitRead(ReadOp* ops, size_t n, IoTicket* ticket);
+
+  /// Drives `ticket` toward completion. With wait=true, blocks until
+  /// ticket->done(). With wait=false, harvests whatever completions have
+  /// already arrived without blocking (the emulated backend has no
+  /// background progress, so wait=false performs the batch right away —
+  /// its "completion queue" drains on first reap). Per-op statuses are
+  /// final once done(); the return value is transport-level, as with
+  /// ReadBatch. Safe to call on a done ticket (no-op).
+  virtual Status ReapCompletions(IoTicket* ticket, bool wait);
+
   /// Writes exactly `n` bytes at `offset`.
   virtual Status WriteAt(uint64_t offset, const void* buf, size_t n) = 0;
+
+  /// Issues `n` positional writes with per-op outcomes in ops[i].status,
+  /// mirroring ReadBatch. All writes are durably *submitted* on return
+  /// (blocking semantics — callers sequence Sync() after it, so there is
+  /// nothing to overlap with). The base implementation loops WriteAt;
+  /// PosixFile coalesces offset-adjacent ops into pwritev, the uring
+  /// backend batches them onto the ring.
+  virtual Status WriteBatch(WriteOp* ops, size_t n);
 
   /// Appends `n` bytes at the current logical end (tracked size).
   virtual Status Append(const void* buf, size_t n) = 0;
@@ -83,6 +145,12 @@ class FileHandle {
     }
   }
 
+  void CountWriteSyscall() {
+    if (stats_ != nullptr) {
+      stats_->write_syscalls.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   IoStats* stats_ = nullptr;
 };
 
@@ -96,6 +164,7 @@ class PosixFile : public FileHandle {
 
   Status ReadAt(uint64_t offset, void* buf, size_t n) override;
   Status WriteAt(uint64_t offset, const void* buf, size_t n) override;
+  Status WriteBatch(WriteOp* ops, size_t n) override;
   Status Append(const void* buf, size_t n) override;
   Status Sync() override;
   Status Truncate(uint64_t size) override;
@@ -113,6 +182,11 @@ class PosixFile : public FileHandle {
   int fd_;
   std::string path_;
   std::atomic<uint64_t> size_;
+
+ private:
+  // One pwritev over an offset-contiguous run of ops (all get the same
+  // status); partial writes resume mid-iovec, EINTR retries.
+  Status WriteRun(WriteOp* ops, size_t n);
 };
 
 /// Historical name for the default file implementation; call sites that

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <vector>
 
 // Build-time gate: the uring backend needs the kernel UAPI header. When it
 // is absent (or MICRONN_NO_IO_URING is defined), everything below compiles
@@ -131,12 +132,21 @@ struct Ring {
   }
 };
 
-/// FileHandle whose ReadBatch submits the whole batch to an io_uring ring
-/// with one io_uring_enter, instead of one pread per page. Everything
-/// else (single reads, all writes, sync, truncate) stays the inherited
-/// blocking implementation: the write path is WAL-append-ordered and
-/// gains nothing from ring submission, and a lone read is exactly one
-/// syscall either way.
+/// FileHandle that drives an io_uring ring. Batched reads submit with one
+/// io_uring_enter; SubmitRead/ReapCompletions decouple the two halves so
+/// the caller computes while the kernel reads (the blocking ReadBatch is
+/// now just submit + reap-wait over the same machinery). Batched writes
+/// (WriteBatch) ride the same ring. Lone reads/writes, sync and truncate
+/// stay the inherited blocking implementation — a single op is exactly
+/// one syscall either way.
+///
+/// Concurrency: a fixed slot table (one slot per ring entry) maps each
+/// in-flight SQE's user_data back to its op and owning ticket, so any
+/// number of tickets can be in flight at once and any reap harvests
+/// whatever completions have arrived, including other tickets'. All ring
+/// access is serialized by mutex_; op statuses and ticket completion
+/// counts are published under it (plus a release increment so owners can
+/// poll IoTicket::done() without the lock).
 class UringFile final : public PosixFile {
  public:
   static Result<std::unique_ptr<UringFile>> Open(const std::string& path) {
@@ -164,13 +174,77 @@ class UringFile final : public PosixFile {
   ~UringFile() override { ring_.Destroy(); }
 
   Status ReadBatch(ReadOp* ops, size_t n) override {
+    IoTicket ticket;
+    MICRONN_RETURN_IF_ERROR(SubmitRead(ops, n, &ticket));
+    return ReapCompletions(&ticket, /*wait=*/true);
+  }
+
+  Status SubmitRead(ReadOp* ops, size_t n, IoTicket* ticket) override {
+    ticket->ops = ops;
+    ticket->count = n;
+    ticket->completed.store(0, std::memory_order_relaxed);
+    ticket->submitted = 0;
+    if (n == 0) return Status::OK();
     std::lock_guard<std::mutex> lock(mutex_);
-    size_t next = 0;
-    while (next < n) {
-      const unsigned chunk =
-          static_cast<unsigned>(std::min<size_t>(ring_.entries, n - next));
-      MICRONN_RETURN_IF_ERROR(SubmitChunk(ops, next, chunk));
-      next += chunk;
+    // Free slots for earlier tickets' finished ops before claiming ours.
+    DrainCqLocked();
+    SubmitSomeLocked(ticket);
+    return Status::OK();
+  }
+
+  Status ReapCompletions(IoTicket* ticket, bool wait) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (;;) {
+      DrainCqLocked();
+      if (ticket->submitted < ticket->count) SubmitSomeLocked(ticket);
+      if (ticket->done() || !wait) return Status::OK();
+      // Wait for at least one more completion (possibly another
+      // ticket's; the drain at the top of the loop routes it). Zero
+      // syscalls when the overlap worked and the CQ already held ours.
+      const int r = SysIoUringEnter(ring_.fd, 0, 1, IORING_ENTER_GETEVENTS);
+      CountReadSyscall();
+      if (r < 0 && errno != EINTR && errno != EAGAIN) {
+        return Status::IOError("io_uring_enter failed for " + path_ + ": " +
+                               std::strerror(errno));
+      }
+    }
+  }
+
+  Status WriteBatch(WriteOp* ops, size_t n) override {
+    if (n == 0) return Status::OK();
+    std::lock_guard<std::mutex> lock(mutex_);
+    WriteState ws;
+    size_t next = 0;  // next op to push onto the ring
+    while (ws.completed < n) {
+      DrainCqLocked();
+      if (next < n) PushWritesLocked(ops, n, &next, &ws);
+      if (ws.completed >= n) break;
+      if (next >= n || free_slots_.empty()) {
+        // Wait for the whole outstanding wave, not just one completion:
+        // the writes have no ordering dependencies, and waking per-CQE
+        // costs up to one syscall per op when the kernel completes them
+        // one at a time.
+        const unsigned outstanding =
+            static_cast<unsigned>(next - ws.completed);
+        const int r = SysIoUringEnter(ring_.fd, 0, std::max(1u, outstanding),
+                                      IORING_ENTER_GETEVENTS);
+        CountWriteSyscall();
+        if (r < 0 && errno != EINTR && errno != EAGAIN) {
+          // Broken ring with writes in the kernel: abort. Callers treat a
+          // transport error as "nothing below this is durable" (the
+          // checkpoint re-folds after recovery), which covers whatever
+          // subset the kernel still lands.
+          return Status::IOError("io_uring_enter failed for " + path_ +
+                                 ": " + std::strerror(errno));
+        }
+      }
+    }
+    uint64_t end_max = 0;
+    for (size_t i = 0; i < n; ++i) {
+      end_max = std::max(end_max, ops[i].offset + ops[i].len);
+    }
+    if (end_max > size()) {
+      size_.store(end_max, std::memory_order_release);
     }
     return Status::OK();
   }
@@ -178,48 +252,49 @@ class UringFile final : public PosixFile {
  private:
   static constexpr unsigned kRingEntries = 128;
 
+  // Completion counter for one WriteBatch call (the write-side analogue
+  // of an IoTicket; never leaves the call, so a plain count suffices).
+  struct WriteState {
+    size_t completed = 0;
+  };
+
+  // One in-flight SQE. Exactly one of `read`/`write` is set.
+  struct Slot {
+    ReadOp* read = nullptr;
+    WriteOp* write = nullptr;
+    IoTicket* ticket = nullptr;
+    WriteState* wstate = nullptr;
+  };
+
   UringFile(int fd, std::string path, uint64_t size, Ring ring)
       : PosixFile(fd, std::move(path), size), ring_(ring) {
     // The Ring was moved by value; make sure only this copy destroys it.
+    slots_.resize(ring_.entries);
+    free_slots_.reserve(ring_.entries);
+    for (unsigned s = ring_.entries; s > 0; --s) {
+      free_slots_.push_back(s - 1);
+    }
   }
 
-  // Submits ops[base, base+chunk) and drains all their completions. The
-  // ring is empty on entry (every chunk waits for full completion), so
-  // chunk <= ring_.entries SQEs always fit.
-  Status SubmitChunk(ReadOp* ops, size_t base, unsigned chunk) {
-    const unsigned tail = *ring_.sq_tail;  // sole submitter (mutex held)
-    for (unsigned i = 0; i < chunk; ++i) {
-      const unsigned idx = (tail + i) & *ring_.sq_mask;
-      struct io_uring_sqe* sqe = &ring_.sqes[idx];
-      std::memset(sqe, 0, sizeof(*sqe));
-      sqe->opcode = IORING_OP_READ;
-      sqe->fd = fd_;
-      sqe->addr = reinterpret_cast<uint64_t>(ops[base + i].buf);
-      sqe->len = static_cast<uint32_t>(ops[base + i].len);
-      sqe->off = ops[base + i].offset;
-      sqe->user_data = base + i;
-      ring_.sq_array[idx] = idx;
-    }
-    __atomic_store_n(ring_.sq_tail, tail + chunk, __ATOMIC_RELEASE);
+  void FreeSlotLocked(uint32_t s) {
+    slots_[s] = Slot{};
+    free_slots_.push_back(s);
+  }
 
-    unsigned submitted = 0;
-    unsigned completed = 0;
-    while (submitted < chunk || completed < chunk) {
-      const int r = SysIoUringEnter(ring_.fd, chunk - submitted,
-                                    chunk - completed, IORING_ENTER_GETEVENTS);
-      CountReadSyscall();
-      if (r < 0) {
-        if (errno == EINTR) continue;
-        return Status::IOError("io_uring_enter failed for " + path_ + ": " +
-                               std::strerror(errno));
-      }
-      submitted += static_cast<unsigned>(r);
-      unsigned head = *ring_.cq_head;  // sole consumer (mutex held)
-      const unsigned cq_tail = __atomic_load_n(ring_.cq_tail, __ATOMIC_ACQUIRE);
-      while (head != cq_tail) {
-        const struct io_uring_cqe* cqe = &ring_.cqes[head & *ring_.cq_mask];
-        ReadOp& op = ops[cqe->user_data];
-        const int32_t res = cqe->res;
+  // Drains every completion currently in the CQ (no syscall), routing
+  // each to its op via the slot table. Short/interrupted reads and
+  // writes fall back to the blocking path here — i.e. at reap time.
+  void DrainCqLocked() {
+    unsigned head = *ring_.cq_head;  // sole consumer (mutex held)
+    const unsigned cq_tail = __atomic_load_n(ring_.cq_tail, __ATOMIC_ACQUIRE);
+    while (head != cq_tail) {
+      const struct io_uring_cqe* cqe = &ring_.cqes[head & *ring_.cq_mask];
+      const uint32_t s = static_cast<uint32_t>(cqe->user_data);
+      const Slot slot = slots_[s];
+      const int32_t res = cqe->res;
+      FreeSlotLocked(s);
+      if (slot.read != nullptr) {
+        ReadOp& op = *slot.read;
         if (res == static_cast<int32_t>(op.len)) {
           op.status = Status::OK();
         } else if (res > 0 || res == -EINTR || res == -EAGAIN) {
@@ -235,16 +310,150 @@ class UringFile final : public PosixFile {
           op.status = Status::IOError("io_uring read failed for " + path_ +
                                       ": " + std::strerror(-res));
         }
-        ++head;
-        ++completed;
+        slot.ticket->completed.fetch_add(1, std::memory_order_release);
+      } else {
+        WriteOp& op = *slot.write;
+        if (res == static_cast<int32_t>(op.len)) {
+          op.status = Status::OK();
+        } else if (res >= 0 || res == -EINTR || res == -EAGAIN) {
+          // Short or interrupted write: positional writes are idempotent,
+          // rewrite the whole op through the blocking path.
+          op.status = PosixFile::WriteAt(op.offset, op.buf, op.len);
+        } else {
+          op.status = Status::IOError("io_uring write failed for " + path_ +
+                                      ": " + std::strerror(-res));
+        }
+        slot.wstate->completed++;
       }
-      __atomic_store_n(ring_.cq_head, head, __ATOMIC_RELEASE);
+      ++head;
     }
-    return Status::OK();
+    __atomic_store_n(ring_.cq_head, head, __ATOMIC_RELEASE);
   }
 
-  std::mutex mutex_;  // one batch in flight per file
+  // Submits as many SQEs as were appended, looping on EINTR/EAGAIN/EBUSY
+  // (draining the CQ in between — EBUSY means completion backpressure).
+  // Returns how many the kernel accepted; a hard failure simply stops
+  // early and the caller falls back to blocking I/O for the rest.
+  unsigned EnterSubmitLocked(unsigned appended, bool is_write) {
+    unsigned consumed = 0;
+    int spins = 0;
+    while (consumed < appended) {
+      const int r = SysIoUringEnter(ring_.fd, appended - consumed, 0, 0);
+      if (is_write) {
+        CountWriteSyscall();
+      } else {
+        CountReadSyscall();
+      }
+      if (r > 0) {
+        consumed += static_cast<unsigned>(r);
+        continue;
+      }
+      if (r < 0 && (errno == EINTR || errno == EAGAIN || errno == EBUSY)) {
+        DrainCqLocked();
+        if (++spins < 64) continue;
+      }
+      break;  // hard failure (or pathological livelock): caller falls back
+    }
+    return consumed;
+  }
+
+  // Pushes as many of `ticket`'s unsubmitted read ops as free slots allow
+  // and submits them. Ops the kernel refuses ("failed submission
+  // mid-group") complete immediately via the blocking fallback, so every
+  // pushed op ends with a final per-op status one way or the other.
+  void SubmitSomeLocked(IoTicket* ticket) {
+    while (ticket->submitted < ticket->count && !free_slots_.empty()) {
+      const unsigned tail = *ring_.sq_tail;  // sole submitter (mutex held)
+      uint32_t batch[kRingEntries];
+      unsigned k = 0;
+      while (ticket->submitted < ticket->count && !free_slots_.empty() &&
+             k < ring_.entries) {
+        const uint32_t s = free_slots_.back();
+        free_slots_.pop_back();
+        ReadOp* op = &ticket->ops[ticket->submitted];
+        slots_[s] = Slot{op, nullptr, ticket, nullptr};
+        const unsigned idx = (tail + k) & *ring_.sq_mask;
+        struct io_uring_sqe* sqe = &ring_.sqes[idx];
+        std::memset(sqe, 0, sizeof(*sqe));
+        sqe->opcode = IORING_OP_READ;
+        sqe->fd = fd_;
+        sqe->addr = reinterpret_cast<uint64_t>(op->buf);
+        sqe->len = static_cast<uint32_t>(op->len);
+        sqe->off = op->offset;
+        sqe->user_data = s;
+        ring_.sq_array[idx] = idx;
+        batch[k++] = s;
+        ++ticket->submitted;
+      }
+      if (k == 0) return;
+      __atomic_store_n(ring_.sq_tail, tail + k, __ATOMIC_RELEASE);
+      const unsigned consumed = EnterSubmitLocked(k, /*is_write=*/false);
+      if (consumed < k) {
+        // Rewind the SQEs the kernel never took (safe: sole submitter,
+        // and the kernel only reads the SQ during enter) and finish
+        // their ops with blocking reads.
+        __atomic_store_n(ring_.sq_tail, tail + consumed, __ATOMIC_RELEASE);
+        for (unsigned i = consumed; i < k; ++i) {
+          const Slot slot = slots_[batch[i]];
+          FreeSlotLocked(batch[i]);
+          slot.read->status =
+              PosixFile::ReadAt(slot.read->offset, slot.read->buf,
+                                slot.read->len);
+          ticket->completed.fetch_add(1, std::memory_order_release);
+        }
+        return;
+      }
+    }
+  }
+
+  // Write-side twin of SubmitSomeLocked, pushing ops[*next, n) for the
+  // WriteBatch in progress.
+  void PushWritesLocked(WriteOp* ops, size_t n, size_t* next,
+                        WriteState* ws) {
+    while (*next < n && !free_slots_.empty()) {
+      const unsigned tail = *ring_.sq_tail;  // sole submitter (mutex held)
+      uint32_t batch[kRingEntries];
+      unsigned k = 0;
+      while (*next < n && !free_slots_.empty() && k < ring_.entries) {
+        const uint32_t s = free_slots_.back();
+        free_slots_.pop_back();
+        WriteOp* op = &ops[*next];
+        slots_[s] = Slot{nullptr, op, nullptr, ws};
+        const unsigned idx = (tail + k) & *ring_.sq_mask;
+        struct io_uring_sqe* sqe = &ring_.sqes[idx];
+        std::memset(sqe, 0, sizeof(*sqe));
+        sqe->opcode = IORING_OP_WRITE;
+        sqe->fd = fd_;
+        sqe->addr = reinterpret_cast<uint64_t>(op->buf);
+        sqe->len = static_cast<uint32_t>(op->len);
+        sqe->off = op->offset;
+        sqe->user_data = s;
+        ring_.sq_array[idx] = idx;
+        batch[k++] = s;
+        ++*next;
+      }
+      if (k == 0) return;
+      __atomic_store_n(ring_.sq_tail, tail + k, __ATOMIC_RELEASE);
+      const unsigned consumed = EnterSubmitLocked(k, /*is_write=*/true);
+      if (consumed < k) {
+        __atomic_store_n(ring_.sq_tail, tail + consumed, __ATOMIC_RELEASE);
+        for (unsigned i = consumed; i < k; ++i) {
+          const Slot slot = slots_[batch[i]];
+          FreeSlotLocked(batch[i]);
+          slot.write->status =
+              PosixFile::WriteAt(slot.write->offset, slot.write->buf,
+                                 slot.write->len);
+          ws->completed++;
+        }
+        return;
+      }
+    }
+  }
+
+  std::mutex mutex_;  // serializes all ring access
   Ring ring_;
+  std::vector<Slot> slots_;          // user_data -> in-flight op
+  std::vector<uint32_t> free_slots_;
 };
 
 bool ProbeIoUring() {

@@ -30,9 +30,20 @@ class IoStats {
   // backend, an io_uring_enter() on the uring backend (which covers a
   // whole batch, hence the reduction the batch path buys).
   std::atomic<uint64_t> read_syscalls{0};
+  // Write-path twin of read_syscalls: every blocking write submission —
+  // a pwrite()/pwritev() call, or an io_uring_enter() covering a write
+  // batch. The vectored checkpoint backfill is the consumer this metric
+  // exists for (pages folded per write syscall).
+  std::atomic<uint64_t> write_syscalls{0};
   std::atomic<uint64_t> batch_reads{0};       // Pager-level batched reads
   std::atomic<uint64_t> pages_prefetched{0};  // pages read ahead into cache
   std::atomic<uint64_t> prefetch_hits{0};     // prefetched pages later used
+  // LRU entries dropped by the page cache to stay inside its budget
+  // (aggregate + per shard below). prefetch_hits vs cache_evictions is
+  // the signal the adaptive prefetch-depth controller steers by: heavy
+  // eviction with poor hit conversion means read-ahead is flushing the
+  // cache faster than the scans consume it.
+  std::atomic<uint64_t> cache_evictions{0};
   std::atomic<uint64_t> frames_written{0};    // WAL frames appended
   // Write-path syscall accounting, mirroring read_syscalls: every
   // frame-carrying WriteAt on the WAL counts once. With commit pipelining
@@ -51,6 +62,7 @@ class IoStats {
   // uses these to verify shard spread and tune PagerOptions::cache_shards.
   std::array<std::atomic<uint64_t>, kMaxCacheShards> cache_shard_hits{};
   std::array<std::atomic<uint64_t>, kMaxCacheShards> cache_shard_misses{};
+  std::array<std::atomic<uint64_t>, kMaxCacheShards> cache_shard_evictions{};
 
   /// Plain-value copy of the counters.
   struct View {
@@ -58,9 +70,11 @@ class IoStats {
     uint64_t pages_read_wal = 0;
     uint64_t pages_cache_hit = 0;
     uint64_t read_syscalls = 0;
+    uint64_t write_syscalls = 0;
     uint64_t batch_reads = 0;
     uint64_t pages_prefetched = 0;
     uint64_t prefetch_hits = 0;
+    uint64_t cache_evictions = 0;
     uint64_t frames_written = 0;
     uint64_t wal_writes = 0;
     uint64_t wal_syncs = 0;
@@ -72,6 +86,7 @@ class IoStats {
     uint64_t rows_deleted = 0;
     std::array<uint64_t, kMaxCacheShards> cache_shard_hits{};
     std::array<uint64_t, kMaxCacheShards> cache_shard_misses{};
+    std::array<uint64_t, kMaxCacheShards> cache_shard_evictions{};
 
     /// Total logical row changes (the Fig. 10d metric).
     uint64_t RowChanges() const {
@@ -89,9 +104,11 @@ class IoStats {
       out.pages_read_wal = pages_read_wal - rhs.pages_read_wal;
       out.pages_cache_hit = pages_cache_hit - rhs.pages_cache_hit;
       out.read_syscalls = read_syscalls - rhs.read_syscalls;
+      out.write_syscalls = write_syscalls - rhs.write_syscalls;
       out.batch_reads = batch_reads - rhs.batch_reads;
       out.pages_prefetched = pages_prefetched - rhs.pages_prefetched;
       out.prefetch_hits = prefetch_hits - rhs.prefetch_hits;
+      out.cache_evictions = cache_evictions - rhs.cache_evictions;
       out.frames_written = frames_written - rhs.frames_written;
       out.wal_writes = wal_writes - rhs.wal_writes;
       out.wal_syncs = wal_syncs - rhs.wal_syncs;
@@ -106,6 +123,8 @@ class IoStats {
             cache_shard_hits[s] - rhs.cache_shard_hits[s];
         out.cache_shard_misses[s] =
             cache_shard_misses[s] - rhs.cache_shard_misses[s];
+        out.cache_shard_evictions[s] =
+            cache_shard_evictions[s] - rhs.cache_shard_evictions[s];
       }
       return out;
     }
@@ -117,9 +136,11 @@ class IoStats {
     v.pages_read_wal = pages_read_wal.load(std::memory_order_relaxed);
     v.pages_cache_hit = pages_cache_hit.load(std::memory_order_relaxed);
     v.read_syscalls = read_syscalls.load(std::memory_order_relaxed);
+    v.write_syscalls = write_syscalls.load(std::memory_order_relaxed);
     v.batch_reads = batch_reads.load(std::memory_order_relaxed);
     v.pages_prefetched = pages_prefetched.load(std::memory_order_relaxed);
     v.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
+    v.cache_evictions = cache_evictions.load(std::memory_order_relaxed);
     v.frames_written = frames_written.load(std::memory_order_relaxed);
     v.wal_writes = wal_writes.load(std::memory_order_relaxed);
     v.wal_syncs = wal_syncs.load(std::memory_order_relaxed);
@@ -134,6 +155,8 @@ class IoStats {
           cache_shard_hits[s].load(std::memory_order_relaxed);
       v.cache_shard_misses[s] =
           cache_shard_misses[s].load(std::memory_order_relaxed);
+      v.cache_shard_evictions[s] =
+          cache_shard_evictions[s].load(std::memory_order_relaxed);
     }
     return v;
   }

@@ -75,7 +75,8 @@ bool PageCache::Contains(PageId page, uint64_t version) const {
 
 PagePtr PageCache::Put(PageId page, uint64_t version, PagePtr data) {
   if (budget_bytes() == 0) return data;
-  Shard& shard = ShardFor(page);
+  const size_t idx = ShardIndex(page);
+  Shard& shard = shards_[idx];
   std::lock_guard<std::mutex> lock(shard.mutex);
   const Key key{page, version};
   auto it = shard.map.find(key);
@@ -88,7 +89,7 @@ PagePtr PageCache::Put(PageId page, uint64_t version, PagePtr data) {
   shard.map[key] = shard.lru.begin();
   shard.bytes += PageCache::kEntryBytes;
   MemoryTracker::Global().Allocate(MemoryCategory::kPageCache, PageCache::kEntryBytes);
-  EvictIfNeededLocked(shard);
+  EvictIfNeededLocked(idx, shard);
   return result;
 }
 
@@ -123,7 +124,7 @@ void PageCache::PutBatch(std::span<Insert> inserts, bool prefetched) {
       MemoryTracker::Global().Allocate(MemoryCategory::kPageCache,
                                        PageCache::kEntryBytes);
     }
-    EvictIfNeededLocked(shard);
+    EvictIfNeededLocked(s, shard);
   }
 }
 
@@ -178,7 +179,7 @@ void PageCache::set_budget_bytes(size_t budget) {
   for (size_t s = 0; s < shard_count_; ++s) {
     Shard& shard = shards_[s];
     std::lock_guard<std::mutex> lock(shard.mutex);
-    EvictIfNeededLocked(shard);
+    EvictIfNeededLocked(s, shard);
   }
 }
 
@@ -202,14 +203,21 @@ size_t PageCache::entry_count() const {
   return total;
 }
 
-void PageCache::EvictIfNeededLocked(Shard& shard) {
+void PageCache::EvictIfNeededLocked(size_t shard_idx, Shard& shard) {
   const size_t shard_budget = ShardBudget();
+  uint64_t evicted = 0;
   while (shard.bytes > shard_budget && !shard.lru.empty()) {
     const Entry& victim = shard.lru.back();
     shard.map.erase(victim.key);
     shard.lru.pop_back();
     shard.bytes -= PageCache::kEntryBytes;
     MemoryTracker::Global().Release(MemoryCategory::kPageCache, PageCache::kEntryBytes);
+    ++evicted;
+  }
+  if (evicted > 0 && stats_ != nullptr) {
+    stats_->cache_evictions.fetch_add(evicted, std::memory_order_relaxed);
+    stats_->cache_shard_evictions[shard_idx].fetch_add(
+        evicted, std::memory_order_relaxed);
   }
 }
 

@@ -154,7 +154,7 @@ class PageCache {
     if (total == 0) return 0;
     return std::max(total / shard_count_, kEntryBytes);
   }
-  void EvictIfNeededLocked(Shard& shard);
+  void EvictIfNeededLocked(size_t shard_idx, Shard& shard);
 
   std::atomic<size_t> budget_;
   size_t shard_count_;  // power of two in [1, kMaxShards]

@@ -180,6 +180,126 @@ void Pager::PrefetchPages(std::span<const PageId> ids, uint64_t snapshot_seq) {
   ReadPagesInternal(ids, snapshot_seq, /*best_effort=*/true).ok();
 }
 
+std::unique_ptr<AsyncPrefetch> Pager::PrefetchPagesAsync(
+    std::span<const PageId> ids, uint64_t snapshot_seq) {
+  if (ids.empty() || cache_.budget_bytes() == 0) return nullptr;
+  std::vector<PageId> unique(ids.begin(), ids.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  std::unique_ptr<AsyncPrefetch> handle(new AsyncPrefetch);
+  std::vector<PageCache::Insert> wal_inserts;
+  {
+    // Resolve under a frame pin, like ReadPagesInternal. WAL-frame misses
+    // are read here, synchronously, while the pin is held: a frame read
+    // must not outlive the pin (wrap-around recycles frame numbers), and
+    // WAL frames are the recently-written minority. Main-file misses are
+    // only *submitted* under the pin; their reads may complete after it
+    // drops, which is safe as long as the caller's snapshot stays
+    // registered — the checkpoint folds only frames at-or-below the
+    // oldest registered snapshot, so a page resolved to version 0 here
+    // cannot acquire a foldable frame (any new frame's commit seq exceeds
+    // the snapshot) and its main-file bytes cannot be rewritten while the
+    // read is in flight.
+    auto pin = wal_->PinFrames();
+    struct WalMiss {
+      PageId id;
+      uint64_t version;
+      std::shared_ptr<Page> page;
+    };
+    std::vector<WalMiss> wal_misses;
+    const uint64_t file_size = db_file_->size();
+    for (PageId id : unique) {
+      uint64_t version = 0;
+      if (auto frame = wal_->FindFrame(id, snapshot_seq)) {
+        version = *frame;
+      }
+      if (cache_.Contains(id, version)) continue;
+      if (version == 0) {
+        const uint64_t off = static_cast<uint64_t>(id) * kPageSize;
+        if (off + kPageSize > file_size) continue;  // stale hint
+        handle->pages_.push_back({id, std::make_shared<Page>()});
+      } else {
+        wal_misses.push_back({id, version, std::make_shared<Page>()});
+      }
+    }
+
+    if (!wal_misses.empty()) {
+      std::vector<std::pair<uint64_t, Page*>> ops;
+      ops.reserve(wal_misses.size());
+      for (WalMiss& m : wal_misses) {
+        ops.emplace_back(m.version, m.page.get());
+      }
+      std::vector<Status> per_op;
+      stats_.batch_reads.fetch_add(1, std::memory_order_relaxed);
+      if (wal_->ReadFrameBatch(ops, &per_op).ok()) {
+        for (size_t i = 0; i < wal_misses.size(); ++i) {
+          if (!per_op[i].ok()) continue;
+          wal_inserts.push_back({wal_misses[i].id, wal_misses[i].version,
+                                 std::move(wal_misses[i].page)});
+        }
+      }
+    }
+
+    if (!handle->pages_.empty()) {
+      handle->ops_.reserve(handle->pages_.size());
+      for (AsyncPrefetch::PendingPage& p : handle->pages_) {
+        handle->ops_.push_back({static_cast<uint64_t>(p.id) * kPageSize,
+                                p.page->bytes(), kPageSize, Status::OK()});
+      }
+      stats_.batch_reads.fetch_add(1, std::memory_order_relaxed);
+      if (db_file_
+              ->SubmitRead(handle->ops_.data(), handle->ops_.size(),
+                           &handle->ticket_)
+              .ok()) {
+        handle->pager_ = this;
+      } else {
+        handle->pages_.clear();  // transport failure: nothing in flight
+        handle->ops_.clear();
+      }
+    }
+  }
+
+  if (!wal_inserts.empty()) {
+    stats_.pages_prefetched.fetch_add(wal_inserts.size(),
+                                      std::memory_order_relaxed);
+    cache_.PutBatch(wal_inserts, /*prefetched=*/true);
+  }
+  if (handle->pager_ == nullptr) return nullptr;  // nothing in flight
+  return handle;
+}
+
+void AsyncPrefetch::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (pager_ == nullptr) return;
+  // Reap every completion. A transport error here is retried a few times,
+  // then the buffers are deliberately leaked: the kernel may still write
+  // into them, so freeing would be worse. (Practically unreachable — an
+  // io_uring_enter failure after a successful ring setup does not happen
+  // outside fault injection, and injected faults surface as per-op
+  // statuses, not transport errors.)
+  for (int attempt = 0; attempt < 3 && !ticket_.done(); ++attempt) {
+    pager_->db_file_->ReapCompletions(&ticket_, /*wait=*/true).ok();
+  }
+  if (!ticket_.done()) {
+    new std::vector<PendingPage>(std::move(pages_));  // deliberate leak
+    return;
+  }
+  std::vector<PageCache::Insert> inserts;
+  inserts.reserve(pages_.size());
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    if (!ops_[i].status.ok()) continue;  // best-effort: skip failed pages
+    pager_->stats_.pages_read_main.fetch_add(1, std::memory_order_relaxed);
+    inserts.push_back({pages_[i].id, 0, std::move(pages_[i].page)});
+  }
+  if (!inserts.empty()) {
+    pager_->stats_.pages_prefetched.fetch_add(inserts.size(),
+                                              std::memory_order_relaxed);
+    pager_->cache_.PutBatch(inserts, /*prefetched=*/true);
+  }
+}
+
 Status Pager::ReadPagesInternal(std::span<const PageId> ids, uint64_t seq,
                                 bool best_effort) {
   if (ids.empty()) return Status::OK();
@@ -674,14 +794,47 @@ Status Pager::CheckpointImpl(bool block_for_readers) {
         return wal_sync;
       }
       PublishDurable(synced_through);
+      // Batched fold, the write-side twin of ReadPagesInternal: read the
+      // folded frames through the batched WAL read path and land them as
+      // coalesced vectored writes. The map iterates in ascending page id,
+      // so main-file offsets ascend and adjacent pages coalesce into one
+      // pwritev (or one ring submission). The ordering above/below is
+      // unchanged: WAL fsync first, then these writes — WriteBatch is
+      // blocking, every completion is reaped before it returns — then the
+      // db fsync, and only then the watermark that records the fold.
       const std::map<PageId, uint64_t> latest = wal_->LatestFrames(horizon);
-      Page buf;
+      std::vector<std::pair<PageId, uint64_t>> fold;
+      fold.reserve(latest.size());
       for (const auto& [pid, frame_no] : latest) {
         if (frame_no <= watermark) continue;  // folded by an earlier pass
-        MICRONN_RETURN_IF_ERROR(wal_->ReadFrame(frame_no, &buf));
-        MICRONN_RETURN_IF_ERROR(db_file_->WriteAt(
-            static_cast<uint64_t>(pid) * kPageSize, buf.bytes(), kPageSize));
-        stats_.checkpoint_pages.fetch_add(1, std::memory_order_relaxed);
+        fold.emplace_back(pid, frame_no);
+      }
+      constexpr size_t kFoldBatch = 128;
+      std::vector<Page> bufs(std::min(fold.size(), kFoldBatch));
+      for (size_t base = 0; base < fold.size(); base += kFoldBatch) {
+        const size_t n = std::min(kFoldBatch, fold.size() - base);
+        std::vector<std::pair<uint64_t, Page*>> reads;
+        reads.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          reads.emplace_back(fold[base + i].second, &bufs[i]);
+        }
+        std::vector<Status> per_read;
+        MICRONN_RETURN_IF_ERROR(wal_->ReadFrameBatch(reads, &per_read));
+        for (const Status& st : per_read) {
+          MICRONN_RETURN_IF_ERROR(st);
+        }
+        std::vector<WriteOp> writes(n);
+        for (size_t i = 0; i < n; ++i) {
+          writes[i].offset =
+              static_cast<uint64_t>(fold[base + i].first) * kPageSize;
+          writes[i].buf = bufs[i].bytes();
+          writes[i].len = kPageSize;
+        }
+        MICRONN_RETURN_IF_ERROR(db_file_->WriteBatch(writes.data(), n));
+        for (const WriteOp& w : writes) {
+          MICRONN_RETURN_IF_ERROR(w.status);
+        }
+        stats_.checkpoint_pages.fetch_add(n, std::memory_order_relaxed);
       }
       MICRONN_RETURN_IF_ERROR(db_file_->Sync());
       MICRONN_RETURN_IF_ERROR(wal_->AdvanceBackfillWatermark(target, horizon));

@@ -36,6 +36,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -192,6 +193,46 @@ class PageView {
   virtual bool writable() const = 0;
 };
 
+/// An in-flight asynchronous read-ahead, returned by
+/// Pager::PrefetchPagesAsync. The main-file reads it covers were already
+/// submitted to the backend when the handle was created; Finish() reaps
+/// the completions and installs the pages that arrived into the page
+/// cache (best-effort, like PrefetchPages). The destructor finishes if
+/// the caller did not. May be finished on a different thread than the one
+/// that submitted, but only one thread drives a given handle.
+///
+/// The snapshot the pages were resolved under must stay registered until
+/// Finish() returns: that is what keeps the checkpoint backfill from
+/// rewriting a version-0 page while its read is in flight (the fold only
+/// touches frames at-or-below the oldest registered snapshot). The handle
+/// must also not outlive the Pager.
+class AsyncPrefetch {
+ public:
+  ~AsyncPrefetch() { Finish(); }
+  AsyncPrefetch(const AsyncPrefetch&) = delete;
+  AsyncPrefetch& operator=(const AsyncPrefetch&) = delete;
+
+  /// Blocks until every submitted read completed, then installs the
+  /// successful pages. Idempotent; per-page failures are dropped exactly
+  /// like PrefetchPages (the demand read will surface them).
+  void Finish();
+
+ private:
+  friend class Pager;
+  AsyncPrefetch() = default;
+
+  struct PendingPage {
+    PageId id;
+    std::shared_ptr<Page> page;
+  };
+
+  Pager* pager_ = nullptr;
+  std::vector<PendingPage> pages_;
+  std::vector<ReadOp> ops_;
+  IoTicket ticket_;
+  bool finished_ = false;
+};
+
 /// The page manager. Thread-safe for concurrent readers plus one writer.
 class Pager {
  public:
@@ -229,6 +270,21 @@ class Pager {
   /// IoStats::pages_prefetched / prefetch_hits track read-ahead efficacy,
   /// and a zero-budget cache makes it a no-op.
   void PrefetchPages(std::span<const PageId> ids, uint64_t snapshot_seq);
+
+  /// Asynchronous PrefetchPages: resolves the ids, serves WAL-frame
+  /// misses immediately (synchronously, under the frame pin — frame
+  /// reads must not outlive the pin, and the WAL is the fast minority),
+  /// submits the main-file misses to the backend without waiting, and
+  /// returns a handle whose Finish() reaps the completions and installs
+  /// the pages. On the uring backend the reads proceed in the kernel
+  /// while the caller scores the previous partition; the emulated pread
+  /// backend performs them at Finish() (bit-identical results, no
+  /// overlap). Returns nullptr when there is nothing to read ahead
+  /// (cache-resident, zero cache budget, empty ids) — callers treat
+  /// nullptr as an already-finished handle. The caller's snapshot must
+  /// stay registered until Finish() returns (see AsyncPrefetch).
+  std::unique_ptr<AsyncPrefetch> PrefetchPagesAsync(
+      std::span<const PageId> ids, uint64_t snapshot_seq);
 
   // --- Writer ---
 
@@ -293,6 +349,8 @@ class Pager {
   IoBackend io_backend() const { return io_backend_; }
 
  private:
+  friend class AsyncPrefetch;  // Finish() installs into cache_/stats_
+
   Pager(std::string path, const PagerOptions& options)
       : options_(options),
         path_(std::move(path)),

@@ -404,8 +404,13 @@ Status Wal::FlushStaged() {
     if (io.ok()) dirty_tail_.store(false, std::memory_order_relaxed);
   }
   if (io.ok()) {
-    io = file_->WriteAt(FrameOffset(base + 1), flushing_buf_.data(),
-                        flushing_buf_.size());
+    // One contiguous positional write, routed through the batched write
+    // path so the uring backend lands it via the ring (and a retry after
+    // a torn flush exercises the same code as the first attempt).
+    WriteOp op{FrameOffset(base + 1), flushing_buf_.data(),
+               flushing_buf_.size(), Status::OK()};
+    io = file_->WriteBatch(&op, 1);
+    if (io.ok()) io = op.status;
     if (io.ok() && stats_ != nullptr) {
       stats_->wal_writes.fetch_add(1, std::memory_order_relaxed);
     }
