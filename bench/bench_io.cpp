@@ -127,10 +127,11 @@ struct Cell {
 Cell RunConfig(const std::string& path, const DatasetSpec& spec,
                const Dataset& ds, IoBackend backend, uint32_t depth,
                size_t n_queries, bool async = false, bool sim = false,
-               bool cold_each = false) {
+               bool cold_each = false, bool checksums = true) {
   DbOptions options = DefaultBenchOptions();
   options.pager.cache_bytes = 4ull << 20;  // Small-device profile
   options.pager.io_backend = backend;
+  options.pager.checksum_pages = checksums;
   options.prefetch_depth = depth;
   options.async_prefetch = async;
   if (sim) {
@@ -311,6 +312,23 @@ int main() {
               uring ? "uring" : "pread", overlap_speedup,
               static_cast<long long>(kSimLatency.count()));
 
+  // Checksum arm: page verification on vs off, same cold-cache sim cell
+  // as the overlap gate so the on/off ratio measures the crc against a
+  // realistic cold read stream and stays runner-stable (both cells run
+  // under the same simulated device latency). CI gates the tax at <= 5%.
+  std::printf("\n  -- checksum arm (page verification on vs off) --\n");
+  const IoBackend best_backend = uring ? IoBackend::kUring : IoBackend::kPread;
+  Cell sum_on = RunConfig(path, spec, ds, best_backend, 32, n_sim_queries,
+                          /*async=*/uring, /*sim=*/true, /*cold_each=*/true,
+                          /*checksums=*/true);
+  print_cell(sum_on);
+  Cell sum_off = RunConfig(path, spec, ds, best_backend, 32, n_sim_queries,
+                           /*async=*/uring, /*sim=*/true, /*cold_each=*/true,
+                           /*checksums=*/false);
+  print_cell(sum_off);
+  std::printf("checksums: verified cold-cache qps is %.1f%% of unverified\n",
+              sum_off.qps > 0 ? 100.0 * sum_on.qps / sum_off.qps : 0.0);
+
   // Checkpoint arm: vectored backfill syscall accounting. Fresh writes,
   // one checkpoint, count pages folded per write syscall.
   IoStats::View ckpt;
@@ -404,6 +422,12 @@ int main() {
             sim_sync != nullptr ? sim_sync->io.read_syscalls : 0),
         static_cast<unsigned long long>(
             sim_async != nullptr ? sim_async->io.read_syscalls : 0));
+    std::fprintf(
+        f,
+        "  \"checksum\": {\"qps_on\": %.2f, \"qps_off\": %.2f, "
+        "\"qps_ratio\": %.4f},\n",
+        sum_on.qps, sum_off.qps,
+        sum_off.qps > 0 ? sum_on.qps / sum_off.qps : 0.0);
     std::fprintf(
         f,
         "  \"checkpoint\": {\"pages\": %llu, \"write_syscalls\": %llu, "

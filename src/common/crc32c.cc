@@ -1,0 +1,187 @@
+// CRC32C kernels. The hardware function carries a GCC `target` attribute
+// so this translation unit compiles without global -msse4.2 flags; the
+// dispatcher only calls it after verifying CPU support (the same idiom
+// as numerics/distance_simd.cc).
+//
+// The hardware path interleaves THREE crc32q dependency chains: the
+// instruction has 3-cycle latency but 1-cycle throughput, so a single
+// chain runs at 8/3 bytes per cycle while three independent chains
+// saturate the port at ~8. The streams are merged with a precomputed
+// "advance the register through kBlock zero bytes" linear map — CRC is
+// linear over GF(2), so crc(A||B) = ShiftK(crc_seeded(A)) ^ crc_zero(B).
+#include "common/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+#include <nmmintrin.h>
+
+namespace micronn {
+namespace {
+
+// Slice-by-8 tables: table[k][b] advances a CRC whose k-th-from-last
+// pending byte is b, letting the software loop fold 8 bytes per
+// iteration with eight independent lookups instead of an 8-long chain.
+struct Tables {
+  uint32_t t[8][256];
+};
+
+constexpr Tables MakeTables() {
+  Tables tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);  // reflected poly
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables.t[0][i];
+    for (int k = 1; k < 8; ++k) {
+      crc = tables.t[0][crc & 0xFFu] ^ (crc >> 8);
+      tables.t[k][i] = crc;
+    }
+  }
+  return tables;
+}
+
+constexpr Tables kTables = MakeTables();
+
+uint32_t ExtendSoftware(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    chunk ^= crc;  // little-endian: low 4 bytes absorb the running crc
+    crc = kTables.t[7][chunk & 0xFFu] ^ kTables.t[6][(chunk >> 8) & 0xFFu] ^
+          kTables.t[5][(chunk >> 16) & 0xFFu] ^
+          kTables.t[4][(chunk >> 24) & 0xFFu] ^
+          kTables.t[3][(chunk >> 32) & 0xFFu] ^
+          kTables.t[2][(chunk >> 40) & 0xFFu] ^
+          kTables.t[1][(chunk >> 48) & 0xFFu] ^
+          kTables.t[0][(chunk >> 56) & 0xFFu];
+    p += 8;
+    n -= 8;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTables.t[0][(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// --- Zero-block shift map for the 3-way merge -------------------------
+//
+// Per 3-way pass each stream digests kBlock bytes. 3*1360 = 4080 leaves
+// a 16-byte tail on the 4 KiB page this checksum exists for.
+constexpr size_t kBlock = 1360;
+
+// The register update for one zero byte, r -> t0[r & 0xFF] ^ (r >> 8),
+// is GF(2)-linear; represent it as a 32x32 bit-matrix (one uint32 column
+// per input bit) and raise it to the kBlock-th power by squaring.
+using Mat = std::array<uint32_t, 32>;
+
+constexpr uint32_t MatVec(const Mat& m, uint32_t v) {
+  uint32_t r = 0;
+  for (int i = 0; i < 32; ++i) {
+    if ((v >> i) & 1u) r ^= m[i];
+  }
+  return r;
+}
+
+constexpr Mat MatMul(const Mat& a, const Mat& b) {
+  Mat out{};
+  for (int i = 0; i < 32; ++i) out[i] = MatVec(a, b[i]);
+  return out;
+}
+
+constexpr Mat MatPow(Mat m, size_t e) {
+  Mat r{};
+  for (int i = 0; i < 32; ++i) r[i] = 1u << i;  // identity
+  while (e > 0) {
+    if (e & 1) r = MatMul(m, r);
+    m = MatMul(m, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+// Table form of the map (4 lookups instead of 32 matrix columns).
+struct ShiftTable {
+  uint32_t z[4][256];
+};
+
+constexpr ShiftTable MakeShift(size_t zero_bytes) {
+  Mat one_byte{};
+  for (int i = 0; i < 32; ++i) {
+    const uint32_t v = 1u << i;
+    one_byte[i] = kTables.t[0][v & 0xFFu] ^ (v >> 8);
+  }
+  const Mat m = MatPow(one_byte, zero_bytes);
+  ShiftTable table{};
+  for (int k = 0; k < 4; ++k) {
+    for (uint32_t b = 0; b < 256; ++b) {
+      table.z[k][b] = MatVec(m, b << (8 * k));
+    }
+  }
+  return table;
+}
+
+constexpr ShiftTable kShiftBlock = MakeShift(kBlock);
+
+inline uint32_t ShiftBlock(uint32_t r) {
+  return kShiftBlock.z[0][r & 0xFFu] ^ kShiftBlock.z[1][(r >> 8) & 0xFFu] ^
+         kShiftBlock.z[2][(r >> 16) & 0xFFu] ^ kShiftBlock.z[3][r >> 24];
+}
+
+__attribute__((target("sse4.2"))) uint32_t ExtendHardware(uint32_t crc,
+                                                          const void* data,
+                                                          size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t r = ~crc;
+  while (n >= 3 * kBlock) {
+    uint64_t a = r;  // stream A continues the running register
+    uint64_t b = 0;
+    uint64_t c = 0;
+    const uint8_t* pb = p + kBlock;
+    const uint8_t* pc = p + 2 * kBlock;
+    for (size_t i = 0; i < kBlock; i += 8) {
+      uint64_t xa, xb, xc;
+      std::memcpy(&xa, p + i, 8);
+      std::memcpy(&xb, pb + i, 8);
+      std::memcpy(&xc, pc + i, 8);
+      a = _mm_crc32_u64(a, xa);
+      b = _mm_crc32_u64(b, xb);
+      c = _mm_crc32_u64(c, xc);
+    }
+    // crc(r, A||B||C) = Shift2K(crc(r, A)) ^ ShiftK(crc(0, B)) ^ crc(0, C)
+    r = ShiftBlock(ShiftBlock(static_cast<uint32_t>(a)) ^
+                   static_cast<uint32_t>(b)) ^
+        static_cast<uint32_t>(c);
+    p += 3 * kBlock;
+    n -= 3 * kBlock;
+  }
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    r = static_cast<uint32_t>(_mm_crc32_u64(r, chunk));
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    r = _mm_crc32_u8(r, *p);
+    ++p;
+    --n;
+  }
+  return ~r;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  static const auto impl =
+      __builtin_cpu_supports("sse4.2") ? &ExtendHardware : &ExtendSoftware;
+  return impl(crc, data, n);
+}
+
+}  // namespace micronn

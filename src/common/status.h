@@ -28,6 +28,7 @@ enum class StatusCode : uint8_t {
   kAborted = 8,       // transaction rolled back
   kResourceExhausted = 9,
   kInternal = 10,
+  kUnavailable = 11,  // transient I/O condition; retrying may succeed
 };
 
 /// Human-readable name of a StatusCode ("OK", "IOError", ...).
@@ -71,6 +72,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -86,6 +90,10 @@ class Status {
   bool IsInvalidArgument() const {
     return code() == StatusCode::kInvalidArgument;
   }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

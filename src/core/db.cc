@@ -696,6 +696,8 @@ void DB::ExecuteQueryGroup(const std::vector<QueryGroupEntry*>& group) {
     ex.rerank_budget = plan.quantized ? plan.rerank_k : 0;
     ex.rerank_candidates = result.rerank_candidates;
     ex.rows_reranked = result.rows_reranked;
+    ex.partitions_quarantined = result.partitions_quarantined;
+    ex.rows_quarantined = result.counters.rows_quarantined;
     ex.shared_scan = result.shared_scan;
     ex.group_size = group_size;
     ex.group_partitions_scanned = counters.partitions_scanned;

@@ -85,6 +85,15 @@ class DB {
   /// Rebuilds per-column histograms for the hybrid optimizer.
   Status AnalyzeStats();
 
+  /// Offline integrity pass: checkpoints, then walks every page of the
+  /// database file verifying its checksum, backfilling missing sidecar
+  /// entries and repairing corrupt pages from still-indexed WAL frames
+  /// where possible. When the walk covers every page cleanly, a legacy
+  /// (pre-checksum) database is upgraded to the checksummed format and
+  /// strict verification turns on. Serialized with writes like Maintain;
+  /// concurrent readers keep serving throughout.
+  Result<ScrubReport> Scrub();
+
   // --- Introspection ---
 
   Result<IndexStats> GetIndexStats();

@@ -796,6 +796,13 @@ Status DB::AnalyzeStats() {
   return AnalyzeStatsLocked();
 }
 
+Result<ScrubReport> DB::Scrub() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  ScrubReport report;
+  MICRONN_RETURN_IF_ERROR(engine_->pager()->Scrub(&report));
+  return report;
+}
+
 Status DB::AnalyzeStatsLocked() {
   struct ColumnSample {
     ValueType type;

@@ -160,6 +160,15 @@ struct DbOptions {
   ///     for production budgets); pin it to measure shard-contention
   ///     effects under many concurrent readers (bench_concurrency). Per
   ///     shard hit/miss counters surface through IoStats.
+  ///   - checksum_pages (true): CRC32C verification of every main-file
+  ///     page against the <db>-sum sidecar; mismatches surface as
+  ///     Corruption, never as wrong rows.
+  ///   - io_retry_budget (3) / io_retry_backoff_us (100): bounded
+  ///     exponential-backoff retry of transient I/O errors; permanent
+  ///     errors and ENOSPC fail fast.
+  ///   - read_only_on_enospc (true): a full disk degrades the store to
+  ///     read-only (reads keep serving, writes fail fast) with automatic
+  ///     recovery once space returns.
   /// docs/ARCHITECTURE.md and docs/DURABILITY.md explain what each buys.
   PagerOptions pager;
 };

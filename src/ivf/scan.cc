@@ -27,8 +27,17 @@ Status ScanRows(BTreeCursor* cursor, const RowFilter& filter,
     uint64_t vid;
     MICRONN_RETURN_IF_ERROR(ParseVectorKey(cursor->key(), &partition, &vid));
     if (filter) {
-      MICRONN_ASSIGN_OR_RETURN(bool keep, filter(vid));
-      if (!keep) {
+      Result<bool> keep = filter(vid);
+      if (!keep.ok() && keep.status().IsCorruption()) {
+        // Quarantine: a row whose attribute record fails its checksum is
+        // skipped (conservatively treated as not matching) instead of
+        // failing the scan — degraded but never silently wrong.
+        if (counters != nullptr) ++counters->rows_quarantined;
+        MICRONN_RETURN_IF_ERROR(cursor->Next());
+        continue;
+      }
+      MICRONN_RETURN_IF_ERROR(keep.status());
+      if (!*keep) {
         if (counters != nullptr) ++counters->rows_filtered;
         MICRONN_RETURN_IF_ERROR(cursor->Next());
         continue;

@@ -50,6 +50,10 @@ using Sq8BlockCallback = std::function<Status(const Sq8ScanBlock&)>;
 struct ScanCounters {
   uint64_t rows_scanned = 0;    // rows decoded (after filtering)
   uint64_t rows_filtered = 0;   // rows dropped by the filter
+  /// Rows skipped because their attribute record could not be read
+  /// (checksum failure on the attributes table — the row is quarantined
+  /// rather than failing the whole query; see docs/DURABILITY.md).
+  uint64_t rows_quarantined = 0;
 };
 
 /// Number of rows per decoded block.

@@ -59,7 +59,23 @@ Status PushBlockHetero(const uint64_t* vids, size_t count, const float* dist,
                        const SharedFilterEval* shared_eval, bool* verdicts) {
   if (shared_eval != nullptr) {
     for (size_t r = 0; r < count; ++r) {
-      MICRONN_RETURN_IF_ERROR((*shared_eval)(vids[r], verdicts));
+      Status eval = (*shared_eval)(vids[r], verdicts);
+      if (!eval.ok() && eval.IsCorruption()) {
+        // Quarantine: the row's attribute record failed its checksum.
+        // Skip it for every filtered target (conservatively: it does not
+        // match) instead of failing the whole group.
+        for (size_t i = 0; i < n_targets; ++i) {
+          HeapScanTarget& t = targets[i];
+          if (t.filter_slot < 0 && t.filter == nullptr) {
+            t.heap->Push(vids[r], dist[i * count + r]);
+            if (t.counters != nullptr) ++t.counters->rows_scanned;
+          } else if (t.counters != nullptr) {
+            ++t.counters->rows_quarantined;
+          }
+        }
+        continue;
+      }
+      MICRONN_RETURN_IF_ERROR(eval);
       for (size_t i = 0; i < n_targets; ++i) {
         HeapScanTarget& t = targets[i];
         bool keep = true;
@@ -68,7 +84,13 @@ Status PushBlockHetero(const uint64_t* vids, size_t count, const float* dist,
         } else if (t.filter != nullptr && *t.filter) {
           // Filtered target without a verdict slot: fall back to its own
           // row filter (the search.h contract).
-          MICRONN_ASSIGN_OR_RETURN(keep, (*t.filter)(vids[r]));
+          Result<bool> r_keep = (*t.filter)(vids[r]);
+          if (!r_keep.ok() && r_keep.status().IsCorruption()) {
+            if (t.counters != nullptr) ++t.counters->rows_quarantined;
+            continue;
+          }
+          MICRONN_RETURN_IF_ERROR(r_keep.status());
+          keep = *r_keep;
         }
         if (!keep) {
           if (t.counters != nullptr) ++t.counters->rows_filtered;
@@ -93,8 +115,14 @@ Status PushBlockHetero(const uint64_t* vids, size_t count, const float* dist,
       continue;
     }
     for (size_t r = 0; r < count; ++r) {
-      MICRONN_ASSIGN_OR_RETURN(bool keep, (*filter)(vids[r]));
-      if (keep) {
+      Result<bool> keep = (*filter)(vids[r]);
+      if (!keep.ok() && keep.status().IsCorruption()) {
+        // Quarantined row: corrupt attribute record, skip instead of fail.
+        if (counters != nullptr) ++counters->rows_quarantined;
+        continue;
+      }
+      MICRONN_RETURN_IF_ERROR(keep.status());
+      if (*keep) {
         heap->Push(vids[r], row[r]);
         if (counters != nullptr) ++counters->rows_scanned;
       } else if (counters != nullptr) {
@@ -113,11 +141,13 @@ void FoldSharedCounters(const ScanCounters& sc, HeapScanTarget* targets,
     if (targets[i].counters != nullptr) {
       targets[i].counters->rows_scanned += sc.rows_scanned;
       targets[i].counters->rows_filtered += sc.rows_filtered;
+      targets[i].counters->rows_quarantined += sc.rows_quarantined;
     }
   }
   if (scan_counters != nullptr) {
     scan_counters->rows_scanned += sc.rows_scanned;
     scan_counters->rows_filtered += sc.rows_filtered;
+    scan_counters->rows_quarantined += sc.rows_quarantined;
   }
 }
 

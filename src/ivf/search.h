@@ -31,6 +31,9 @@ struct SearchCounters {
   uint64_t partitions_scanned = 0;
   uint64_t rows_scanned = 0;
   uint64_t rows_filtered = 0;
+  /// Rows skipped because their attribute record was corrupt (quarantined
+  /// instead of failing the query); mirrors ScanCounters::rows_quarantined.
+  uint64_t rows_quarantined = 0;
 };
 
 /// Shared attribute-filter evaluation for a heterogeneous-filter fan-in:

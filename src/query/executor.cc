@@ -6,6 +6,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/logging.h"
 #include "ivf/schema.h"
 #include "query/predicate.h"
 #include "query/value.h"
@@ -170,12 +171,24 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
         wanted |= plans[idx].quantized;
       }
       if (!wanted) continue;
-      MICRONN_ASSIGN_OR_RETURN(
-          std::optional<Sq8PartitionParams> params,
-          GetSq8Params(&*ctx_.sq8params, work[i].partition, ctx_.dim));
-      if (!params.has_value()) continue;
+      Result<std::optional<Sq8PartitionParams>> params =
+          GetSq8Params(&*ctx_.sq8params, work[i].partition, ctx_.dim);
+      if (!params.ok() && params.status().IsCorruption()) {
+        // Quarantine: a corrupt params row disables the quantized
+        // representation for this partition; its quantized plans fall
+        // back to the full-precision float scan (params stays null).
+        MICRONN_LOG(kWarn) << "quarantining SQ8 params of partition "
+                           << work[i].partition << ": "
+                           << params.status().ToString();
+        for (const size_t idx : work[i].plan_idx) {
+          if (plans[idx].quantized) ++results[idx].partitions_quarantined;
+        }
+        continue;
+      }
+      MICRONN_RETURN_IF_ERROR(params.status());
+      if (!params->has_value()) continue;
       work_params[i] =
-          std::make_unique<Sq8PartitionParams>(std::move(*params));
+          std::make_unique<Sq8PartitionParams>(std::move(**params));
     }
   }
 
@@ -192,6 +205,7 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
     std::unordered_map<size_t, TopKHeap> heaps;
     std::unordered_map<size_t, ScanCounters> counters;
     std::unordered_map<size_t, uint64_t> quantized_partitions;
+    std::unordered_map<size_t, uint64_t> quarantined_partitions;
     ScanCounters physical;  // rows decoded once per shared scan
     // Physical partition scans: a partition whose fan-in splits by
     // representation is scanned once per representation and counts twice,
@@ -285,14 +299,30 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
     }
     if (!quant_idx.empty()) {
       SubScan s = build_subscan(quant_idx, ws);
-      MICRONN_RETURN_IF_ERROR(ScanPartitionSq8IntoHeaps(
+      Status qs = ScanPartitionSq8IntoHeaps(
           *ctx_.sq8, pw.partition, ctx_.metric, ctx_.dim,
           params->min.data(), params->scale.data(), s.targets.data(),
           s.targets.size(), &ws.physical, s.eval ? &s.eval : nullptr,
-          s.n_slots));
-      ++ws.physical_scans;
-      for (const size_t idx : quant_idx) {
-        ++ws.quantized_partitions[idx];
+          s.n_slots);
+      if (!qs.ok() && qs.IsCorruption()) {
+        // Quarantine: a corrupt SQ8 sidecar page fails this partition's
+        // quantized scan. Rows decoded before the corruption came from
+        // verified pages (genuine rows, approximate distances) and stay
+        // in the heaps; the float re-scan below covers the full partition
+        // so no candidate is lost, and the mandatory full-precision
+        // rerank re-scores every survivor exactly.
+        MICRONN_LOG(kWarn) << "quarantining SQ8 sidecar of partition "
+                           << pw.partition << ": " << qs.ToString();
+        for (const size_t idx : quant_idx) {
+          ++ws.quarantined_partitions[idx];
+          float_idx.push_back(idx);
+        }
+      } else {
+        MICRONN_RETURN_IF_ERROR(qs);
+        ++ws.physical_scans;
+        for (const size_t idx : quant_idx) {
+          ++ws.quantized_partitions[idx];
+        }
       }
     }
     if (!float_idx.empty()) {
@@ -451,9 +481,13 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
       for (const auto& [idx, sc] : ws.counters) {
         results[idx].counters.rows_scanned += sc.rows_scanned;
         results[idx].counters.rows_filtered += sc.rows_filtered;
+        results[idx].counters.rows_quarantined += sc.rows_quarantined;
       }
       for (const auto& [idx, count] : ws.quantized_partitions) {
         results[idx].partitions_quantized += count;
+      }
+      for (const auto& [idx, count] : ws.quarantined_partitions) {
+        results[idx].partitions_quarantined += count;
       }
     }
     for (const size_t idx : scan_plans) {
@@ -470,16 +504,20 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
     const PhysicalPlan& plan = plans[idx];
     if (!plan.quantized) continue;
     PlanResult& r = results[idx];
-    if (r.partitions_quantized == 0) {
+    // A quarantined partition also forces the rerank: its float re-scan
+    // may have duplicated rows the partial quantized scan already pushed,
+    // and the vid-deduped exact re-score below removes them.
+    if (r.partitions_quantized == 0 && r.partitions_quarantined == 0) {
       if (r.neighbors.size() > plan.k) r.neighbors.resize(plan.k);
       continue;
     }
-    r.quantized = true;
+    r.quantized = r.partitions_quantized > 0;
     r.rerank_candidates = r.neighbors.size();
     std::vector<uint64_t> vids;
     vids.reserve(r.neighbors.size());
     for (const Neighbor& nb : r.neighbors) vids.push_back(nb.id);
     std::sort(vids.begin(), vids.end());
+    vids.erase(std::unique(vids.begin(), vids.end()), vids.end());
     SearchCounters rerank_counters;
     MICRONN_ASSIGN_OR_RETURN(
         r.neighbors,

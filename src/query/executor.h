@@ -126,6 +126,12 @@ struct PlanResult {
   uint64_t partitions_quantized = 0;
   uint64_t rerank_candidates = 0;
   uint64_t rows_reranked = 0;
+  /// Probed partitions whose quantized representation was quarantined
+  /// (corrupt SQ8 params row or sidecar page): the partition was served
+  /// by the full-precision float scan instead, so results stay correct
+  /// at a latency cost. Rows quarantined by corrupt attribute records
+  /// are counted in `counters.rows_quarantined`.
+  uint64_t partitions_quarantined = 0;
 };
 
 class QueryExecutor {

@@ -31,6 +31,14 @@ std::string QueryExplain::ToString() const {
         static_cast<unsigned long long>(rows_reranked));
     out.append(buf, len > 0 ? static_cast<size_t>(len) : 0);
   }
+  if (partitions_quarantined > 0 || rows_quarantined > 0) {
+    len = std::snprintf(
+        buf, sizeof(buf),
+        " quarantined[partitions=%llu rows=%llu]",
+        static_cast<unsigned long long>(partitions_quarantined),
+        static_cast<unsigned long long>(rows_quarantined));
+    out.append(buf, len > 0 ? static_cast<size_t>(len) : 0);
+  }
   if (optimized) {
     len = std::snprintf(buf, sizeof(buf), " est[filter=%.4f ivf=%.4f]",
                         decision.filter_selectivity, decision.ivf_selectivity);

@@ -52,6 +52,18 @@ struct QueryExplain {
   /// Rows re-read at full precision by the rerank op.
   uint64_t rows_reranked = 0;
 
+  /// Degraded-mode markers (docs/DURABILITY.md "Integrity & degraded
+  /// modes"). Probed partitions whose quantized SQ8 representation failed
+  /// checksum verification and was served by the full-precision float
+  /// scan instead — results stay exact, latency pays for it.
+  uint64_t partitions_quarantined = 0;
+  /// Rows skipped because their attribute record was corrupt: the row is
+  /// conservatively treated as not matching the filter instead of failing
+  /// the query. Nonzero means the result set may be missing rows whose
+  /// attributes could not be verified — degraded, but never silently
+  /// wrong.
+  uint64_t rows_quarantined = 0;
+
   /// True when this query's partition scans were shared with other
   /// queries of the same batch.
   bool shared_scan = false;

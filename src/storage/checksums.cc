@@ -1,0 +1,198 @@
+#include "storage/checksums.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+#include "common/logging.h"
+
+namespace micronn {
+
+namespace {
+
+// Binds a slot to its page id so a flipped sidecar byte surfaces as an
+// invalid slot instead of silently re-keying (or absenting) a checksum.
+uint32_t SlotGuard(PageId id, uint32_t crc) {
+  char buf[8];
+  EncodeFixed32(buf, id);
+  EncodeFixed32(buf + 4, crc);
+  const uint32_t g = Crc32c(buf, 8);
+  return g == 0 ? 1u : g;
+}
+
+uint64_t PackSlot(uint32_t crc, uint32_t guard) {
+  return static_cast<uint64_t>(crc) | (static_cast<uint64_t>(guard) << 32);
+}
+
+uint64_t SlotOffset(PageId id) {
+  return PageChecksumFile::kHeaderSize +
+         static_cast<uint64_t>(id) * PageChecksumFile::kSlotSize;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PageChecksumFile>> PageChecksumFile::Open(
+    std::unique_ptr<FileHandle> file) {
+  std::unique_ptr<PageChecksumFile> sums(
+      new PageChecksumFile(std::move(file)));
+  const uint64_t size = sums->file_->size();
+  bool fresh = (size == 0);
+  if (!fresh) {
+    char header[kHeaderSize];
+    if (size < kHeaderSize) {
+      fresh = true;  // torn mid-header-write; nothing recoverable
+      sums->recreated_ = true;
+    } else {
+      MICRONN_RETURN_IF_ERROR(sums->file_->ReadAt(0, header, kHeaderSize));
+      if (DecodeFixed64(header) != kMagic ||
+          DecodeFixed32(header + 8) != kFormatVersion ||
+          DecodeFixed32(header + 12) != kPageSize) {
+        // A damaged sidecar never blocks opening the database: recreate
+        // it empty (all slots absent) and let checkpoint folds / Scrub
+        // re-cover the pages. The pager demotes strict verification until
+        // that happens — see recreated().
+        MICRONN_LOG(kWarn) << "page-checksum sidecar " << sums->file_->path()
+                           << " has a bad header; recreating (page "
+                              "verification lazy until the next scrub)";
+        fresh = true;
+        sums->recreated_ = true;
+      }
+    }
+  }
+  if (fresh) {
+    MICRONN_RETURN_IF_ERROR(sums->file_->Truncate(0));
+    MICRONN_RETURN_IF_ERROR(sums->WriteFreshHeader());
+  } else {
+    MICRONN_RETURN_IF_ERROR(sums->LoadSlots());
+  }
+  return sums;
+}
+
+PageChecksumFile::~PageChecksumFile() {
+  for (auto& slot : chunks_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+Status PageChecksumFile::WriteFreshHeader() {
+  char header[kHeaderSize];
+  std::memset(header, 0, sizeof(header));
+  EncodeFixed64(header, kMagic);
+  EncodeFixed32(header + 8, kFormatVersion);
+  EncodeFixed32(header + 12, kPageSize);
+  return file_->WriteAt(0, header, kHeaderSize);
+}
+
+Status PageChecksumFile::LoadSlots() {
+  const uint64_t size = file_->size();
+  if (size <= kHeaderSize) return Status::OK();
+  // Whole-file load: 8 bytes per page (2 MiB per GiB of database), read
+  // once at open. A trailing partial slot (torn final write) is ignored.
+  const uint64_t payload = size - kHeaderSize;
+  const size_t n_slots = static_cast<size_t>(payload / kSlotSize);
+  std::vector<char> buf(n_slots * kSlotSize);
+  if (!buf.empty()) {
+    MICRONN_RETURN_IF_ERROR(file_->ReadAt(kHeaderSize, buf.data(), buf.size()));
+  }
+  for (size_t i = 0; i < n_slots; ++i) {
+    const uint64_t value = DecodeFixed64(buf.data() + i * kSlotSize);
+    if (value == 0) continue;
+    StoreSlot(static_cast<PageId>(i), value);
+    slot_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+PageChecksumFile::Chunk* PageChecksumFile::ChunkFor(PageId id, bool create) {
+  const size_t c = id / kSlotsPerChunk;
+  if (c >= kMaxChunks) return nullptr;
+  Chunk* chunk = chunks_[c].load(std::memory_order_acquire);
+  if (chunk == nullptr && create) {
+    // Single writer (pager writer slot / open-time exclusivity): no CAS
+    // race with another allocator, only the release/acquire pair with
+    // concurrent readers.
+    chunk = new Chunk();
+    chunks_[c].store(chunk, std::memory_order_release);
+  }
+  return chunk;
+}
+
+void PageChecksumFile::StoreSlot(PageId id, uint64_t value) {
+  Chunk* chunk = ChunkFor(id, /*create=*/true);
+  if (chunk == nullptr) return;  // beyond the addressable range
+  chunk->slots[id % kSlotsPerChunk].store(value, std::memory_order_release);
+}
+
+uint64_t PageChecksumFile::LoadSlot(PageId id) const {
+  const size_t c = id / kSlotsPerChunk;
+  if (c >= kMaxChunks) return 0;
+  const Chunk* chunk = chunks_[c].load(std::memory_order_acquire);
+  if (chunk == nullptr) return 0;
+  return chunk->slots[id % kSlotsPerChunk].load(std::memory_order_acquire);
+}
+
+PageChecksumFile::SlotState PageChecksumFile::Lookup(PageId id,
+                                                     uint32_t* crc) const {
+  const uint64_t value = LoadSlot(id);
+  if (value == 0) return SlotState::kAbsent;
+  const uint32_t stored_crc = static_cast<uint32_t>(value);
+  const uint32_t guard = static_cast<uint32_t>(value >> 32);
+  if (guard != SlotGuard(id, stored_crc)) return SlotState::kInvalid;
+  *crc = stored_crc;
+  return SlotState::kValid;
+}
+
+Status PageChecksumFile::VerifyPage(PageId id, const uint8_t* bytes,
+                                    bool strict_absent) const {
+  uint32_t expected = 0;
+  switch (Lookup(id, &expected)) {
+    case SlotState::kAbsent:
+      if (!strict_absent) return Status::OK();
+      return Status::Corruption("page " + std::to_string(id) +
+                                " has no checksum slot in a v4 database");
+    case SlotState::kInvalid:
+      return Status::Corruption("checksum slot for page " +
+                                std::to_string(id) + " is corrupt in " +
+                                file_->path());
+    case SlotState::kValid:
+      break;
+  }
+  const uint32_t actual = Crc32c(bytes, kPageSize);
+  if (actual != expected) {
+    return Status::Corruption("page " + std::to_string(id) +
+                              " checksum mismatch (stored " +
+                              std::to_string(expected) + ", computed " +
+                              std::to_string(actual) + ")");
+  }
+  return Status::OK();
+}
+
+Status PageChecksumFile::WriteSlots(
+    const std::vector<std::pair<PageId, const uint8_t*>>& pages) {
+  if (pages.empty()) return Status::OK();
+  std::vector<char> bufs(pages.size() * kSlotSize);
+  std::vector<WriteOp> writes(pages.size());
+  for (size_t i = 0; i < pages.size(); ++i) {
+    const PageId id = pages[i].first;
+    const uint32_t crc = Crc32c(pages[i].second, kPageSize);
+    const uint64_t value = PackSlot(crc, SlotGuard(id, crc));
+    if (LoadSlot(id) == 0) {
+      slot_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    StoreSlot(id, value);
+    char* dst = bufs.data() + i * kSlotSize;
+    EncodeFixed64(dst, value);
+    writes[i] = {SlotOffset(id), dst, kSlotSize, Status::OK()};
+  }
+  // Checkpoint folds pass ascending page ids, so adjacent slots coalesce
+  // into one pwritev run. A hole between runs (file grown past EOF by a
+  // later slot) reads back as zeros == absent, which is exactly right for
+  // the pages in between.
+  MICRONN_RETURN_IF_ERROR(file_->WriteBatch(writes.data(), writes.size()));
+  for (const WriteOp& w : writes) {
+    MICRONN_RETURN_IF_ERROR(w.status);
+  }
+  return Status::OK();
+}
+
+}  // namespace micronn

@@ -1,0 +1,119 @@
+// Sidecar page-checksum file: the integrity substrate of DB format v4.
+//
+// Main-file pages cannot carry an in-page checksum trailer — B+Tree cell
+// content packs downward from the page end and overflow pages use the
+// full tail — so checksums live in a sidecar file (`<db>-sum`): a 64-byte
+// header plus one 8-byte slot per page, indexed by page id.
+//
+// Slot layout (little-endian): [u32 crc32c of the page image][u32 guard],
+// where guard = g(page_id, crc) and is never 0. An all-zero slot means
+// "absent" (legacy page not yet covered); a non-zero slot whose guard
+// does not match is itself corrupt. The guard binds the slot to its page
+// id, so a bit flip inside the sidecar can never silently downgrade a
+// page to "unverified" — it surfaces as an invalid slot instead.
+//
+// Write protocol (single writer, enforced by the pager's writer slot):
+// slots are (re)written exactly when the main-file page image is written —
+// at fresh-database creation, during checkpoint backfill folds, and by
+// Scrub — and the sidecar is fsynced *before* the WAL backfill watermark
+// advances past the frames whose folds produced the slots. Reads of a
+// main-file page therefore always observe a slot at least as fresh as the
+// image (a reader only ever reaches the main-file copy of a page once its
+// last fold fully completed; see the ordering argument in pager.cc).
+//
+// All slots are mirrored in memory (two-level chunked atomic array, 8
+// bytes per page — 16 MiB of RAM for an 8 GiB database), so read-path
+// verification costs one CRC over the page and one atomic load, never an
+// extra I/O.
+#ifndef MICRONN_STORAGE_CHECKSUMS_H_
+#define MICRONN_STORAGE_CHECKSUMS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/file.h"
+#include "storage/page.h"
+
+namespace micronn {
+
+class PageChecksumFile {
+ public:
+  static constexpr uint64_t kMagic = 0x314D55534E4E4D55ULL;  // "UMNNSUM1"
+  static constexpr uint32_t kFormatVersion = 1;
+  static constexpr size_t kHeaderSize = 64;
+  static constexpr size_t kSlotSize = 8;
+
+  /// Opens (creating or, if the header is damaged, recreating) the
+  /// sidecar and loads every slot into memory. A recreated sidecar starts
+  /// with every slot absent — the caller (Pager) demotes verification to
+  /// lazy mode until Scrub re-covers the file; `recreated()` reports it.
+  static Result<std::unique_ptr<PageChecksumFile>> Open(
+      std::unique_ptr<FileHandle> file);
+
+  ~PageChecksumFile();
+  PageChecksumFile(const PageChecksumFile&) = delete;
+  PageChecksumFile& operator=(const PageChecksumFile&) = delete;
+
+  enum class SlotState : uint8_t { kAbsent, kValid, kInvalid };
+
+  /// Reads the slot for `id`. kValid stores the recorded CRC into `*crc`.
+  SlotState Lookup(PageId id, uint32_t* crc) const;
+
+  /// Verifies a kPageSize image against the slot. With `strict_absent`
+  /// (format v4), an absent slot is Corruption; without it (legacy
+  /// database mid-upgrade) absent passes. A present-but-mismatching or
+  /// invalid slot is always Corruption.
+  Status VerifyPage(PageId id, const uint8_t* bytes, bool strict_absent) const;
+
+  /// Computes and stages fresh slots for `pages` (id, image) in memory and
+  /// writes them to the sidecar in one coalesced batch. Caller must be the
+  /// single writer and must Sync() before publishing anything (a backfill
+  /// watermark, a fresh-database header) that assumes the slots are on
+  /// disk.
+  Status WriteSlots(
+      const std::vector<std::pair<PageId, const uint8_t*>>& pages);
+
+  Status Sync() { return file_->Sync(); }
+
+  /// True if Open had to recreate the file (bad header / torn sidecar).
+  bool recreated() const { return recreated_; }
+
+  /// Slots currently present (valid or invalid), for tests/reporting.
+  uint64_t slot_count() const {
+    return slot_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // 8192 slots (64 KiB) per chunk; 32768 chunk pointers cover 2^28 pages
+  // (a 1 TiB database) with a 256 KiB always-allocated pointer table.
+  static constexpr size_t kSlotsPerChunk = 1 << 13;
+  static constexpr size_t kMaxChunks = 1 << 15;
+  struct Chunk {
+    std::array<std::atomic<uint64_t>, kSlotsPerChunk> slots{};
+  };
+
+  explicit PageChecksumFile(std::unique_ptr<FileHandle> file)
+      : file_(std::move(file)) {}
+
+  Status WriteFreshHeader();
+  Status LoadSlots();
+  // Returns the chunk for `id`, allocating it if `create` (writer only).
+  Chunk* ChunkFor(PageId id, bool create);
+  void StoreSlot(PageId id, uint64_t value);
+  uint64_t LoadSlot(PageId id) const;
+
+  std::unique_ptr<FileHandle> file_;
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
+  std::atomic<uint64_t> slot_count_{0};
+  bool recreated_ = false;
+};
+
+}  // namespace micronn
+
+#endif  // MICRONN_STORAGE_CHECKSUMS_H_

@@ -6,7 +6,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 namespace micronn {
 
@@ -15,6 +18,25 @@ std::string ErrnoMessage(const std::string& op, const std::string& path) {
   return op + " failed for " + path + ": " + std::strerror(errno);
 }
 }  // namespace
+
+Status StatusFromIoErrno(int err, const std::string& op,
+                         const std::string& path) {
+  std::string msg = op + " failed for " + path + ": " + std::strerror(err);
+  switch (err) {
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return Status::ResourceExhausted(std::move(msg));
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+      return Status::Unavailable(std::move(msg));
+    default:
+      return Status::IOError(std::move(msg));
+  }
+}
 
 Status FileHandle::ReadBatch(ReadOp* ops, size_t n) {
   for (size_t i = 0; i < n; ++i) {
@@ -79,11 +101,14 @@ Status PosixFile::ReadAt(uint64_t offset, void* buf, size_t n) {
     CountReadSyscall();
     if (r < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError(ErrnoMessage("pread", path_));
+      return StatusFromIoErrno(errno, "pread", path_);
     }
     if (r == 0) {
-      return Status::IOError("short read at offset " + std::to_string(offset) +
-                             " in " + path_);
+      // A short read is transient in the taxonomy (a racing truncate or a
+      // file grown by an unsynced writer): Unavailable, so the retry loop
+      // gets a shot before the caller treats it as failure.
+      return Status::Unavailable("short read at offset " +
+                                 std::to_string(offset) + " in " + path_);
     }
     done += static_cast<size_t>(r);
   }
@@ -99,7 +124,7 @@ Status PosixFile::WriteAt(uint64_t offset, const void* buf, size_t n) {
     CountWriteSyscall();
     if (w < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError(ErrnoMessage("pwrite", path_));
+      return StatusFromIoErrno(errno, "pwrite", path_);
     }
     done += static_cast<size_t>(w);
   }
@@ -145,7 +170,7 @@ Status PosixFile::WriteRun(WriteOp* ops, size_t n) {
     CountWriteSyscall();
     if (w < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError(ErrnoMessage("pwritev", path_));
+      return StatusFromIoErrno(errno, "pwritev", path_);
     }
     offset += static_cast<uint64_t>(w);
     size_t done = static_cast<size_t>(w);
@@ -178,10 +203,106 @@ Status PosixFile::Sync() {
 
 Status PosixFile::Truncate(uint64_t size) {
   if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
-    return Status::IOError(ErrnoMessage("ftruncate", path_));
+    return StatusFromIoErrno(errno, "ftruncate", path_);
   }
   size_.store(size, std::memory_order_release);
   return Status::OK();
+}
+
+bool RetryingFile::BackoffForRetry(uint32_t attempt) {
+  if (attempt >= policy_.budget) return false;
+  const uint64_t us = static_cast<uint64_t>(policy_.backoff_us) << attempt;
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+  if (stats_ != nullptr) {
+    stats_->io_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+Status RetryingFile::ReadAt(uint64_t offset, void* buf, size_t n) {
+  Status st = inner_->ReadAt(offset, buf, n);
+  for (uint32_t a = 0; st.IsUnavailable() && BackoffForRetry(a); ++a) {
+    st = inner_->ReadAt(offset, buf, n);
+  }
+  return st;
+}
+
+void RetryingFile::RetryFailedReads(ReadOp* ops, size_t n) {
+  // Collect the transiently-failed subset and re-issue it as a (smaller)
+  // batch; repeat while the budget allows and ops keep failing that way.
+  std::vector<ReadOp*> failed;
+  for (size_t i = 0; i < n; ++i) {
+    if (ops[i].status.IsUnavailable()) failed.push_back(&ops[i]);
+  }
+  for (uint32_t a = 0; !failed.empty() && BackoffForRetry(a); ++a) {
+    std::vector<ReadOp> again(failed.size());
+    for (size_t i = 0; i < failed.size(); ++i) {
+      again[i].offset = failed[i]->offset;
+      again[i].buf = failed[i]->buf;
+      again[i].len = failed[i]->len;
+    }
+    (void)inner_->ReadBatch(again.data(), again.size());
+    std::vector<ReadOp*> still;
+    for (size_t i = 0; i < failed.size(); ++i) {
+      failed[i]->status = again[i].status;
+      if (again[i].status.IsUnavailable()) still.push_back(failed[i]);
+    }
+    failed.swap(still);
+  }
+}
+
+Status RetryingFile::ReadBatch(ReadOp* ops, size_t n) {
+  const Status st = inner_->ReadBatch(ops, n);
+  if (!st.ok()) return st;
+  RetryFailedReads(ops, n);
+  return st;
+}
+
+Status RetryingFile::SubmitRead(ReadOp* ops, size_t n, IoTicket* ticket) {
+  // Forward straight to the backend so real async submission (and its
+  // overlap) is preserved; transient failures are repaired at reap time.
+  return inner_->SubmitRead(ops, n, ticket);
+}
+
+Status RetryingFile::ReapCompletions(IoTicket* ticket, bool wait) {
+  const Status st = inner_->ReapCompletions(ticket, wait);
+  if (st.ok() && ticket->done()) {
+    RetryFailedReads(ticket->ops, ticket->count);
+  }
+  return st;
+}
+
+Status RetryingFile::WriteAt(uint64_t offset, const void* buf, size_t n) {
+  Status st = inner_->WriteAt(offset, buf, n);
+  for (uint32_t a = 0; st.IsUnavailable() && BackoffForRetry(a); ++a) {
+    st = inner_->WriteAt(offset, buf, n);
+  }
+  return st;
+}
+
+Status RetryingFile::WriteBatch(WriteOp* ops, size_t n) {
+  Status st = inner_->WriteBatch(ops, n);
+  if (!st.ok()) return st;
+  // Writes retry per-op, not as a re-batch: a WriteBatch is only issued
+  // by the single writer, so there is no concurrency to amortize, and
+  // per-op WriteAt keeps the coalescing logic out of the retry path.
+  for (size_t i = 0; i < n; ++i) {
+    for (uint32_t a = 0; ops[i].status.IsUnavailable() && BackoffForRetry(a);
+         ++a) {
+      ops[i].status = inner_->WriteAt(ops[i].offset, ops[i].buf, ops[i].len);
+    }
+  }
+  return st;
+}
+
+Status RetryingFile::Append(const void* buf, size_t n) {
+  Status st = inner_->Append(buf, n);
+  for (uint32_t a = 0; st.IsUnavailable() && BackoffForRetry(a); ++a) {
+    st = inner_->Append(buf, n);
+  }
+  return st;
 }
 
 Status RemoveFileIfExists(const std::string& path) {

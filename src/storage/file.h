@@ -23,6 +23,27 @@
 
 namespace micronn {
 
+/// Classifies an errno value from `op` on `path` into the I/O error
+/// taxonomy (docs/DURABILITY.md "Integrity & degraded modes"):
+///   - ENOSPC / EDQUOT  -> ResourceExhausted (out of space: not retryable
+///     at the file layer; the pager flips into read-only degraded mode)
+///   - EAGAIN / EWOULDBLOCK -> Unavailable (transient; retried by
+///     RetryingFile with bounded exponential backoff)
+///   - everything else  -> IOError (permanent: fail fast)
+/// EINTR never reaches this function — the syscall loops retry it inline.
+Status StatusFromIoErrno(int err, const std::string& op,
+                         const std::string& path);
+
+/// Bounded-retry policy for transient (Unavailable) I/O errors; wired
+/// from PagerOptions::{io_retry_budget, io_retry_backoff_us}.
+struct RetryPolicy {
+  /// Retries per operation after the initial attempt. 0 disables the
+  /// retry loop (Unavailable surfaces to the caller directly).
+  uint32_t budget = 3;
+  /// Sleep before the first retry; doubles on each further retry.
+  uint32_t backoff_us = 100;
+};
+
 /// One positional read of a batch. `status` receives the per-op outcome
 /// from ReadBatch so best-effort callers (the prefetcher) can skip failed
 /// ops while strict callers check every one.
@@ -192,6 +213,50 @@ class PosixFile : public FileHandle {
 /// Historical name for the default file implementation; call sites that
 /// don't care about backends keep using File::Open.
 using File = PosixFile;
+
+/// Decorator that absorbs transient (Unavailable) I/O errors with a
+/// bounded exponential-backoff retry loop. Sits outermost in the pager's
+/// file stack — above the backend and above any test fault wrapper, so
+/// injected transient faults are retried exactly like real ones. Only
+/// Unavailable is retried: ResourceExhausted (ENOSPC) and IOError are
+/// permanent and fail fast; Sync and Truncate are never retried (a failed
+/// fsync has undefined kernel state — the pager's sticky poisoning owns
+/// that, see DURABILITY.md rule 6). Each absorbed retry counts in
+/// IoStats::io_retries. SubmitRead/ReapCompletions forward to the inner
+/// handle (preserving real async overlap on io_uring) and re-issue
+/// transiently-failed ops at reap time, once the ticket is done.
+class RetryingFile : public FileHandle {
+ public:
+  RetryingFile(std::unique_ptr<FileHandle> inner, RetryPolicy policy)
+      : inner_(std::move(inner)), policy_(policy) {}
+
+  Status ReadAt(uint64_t offset, void* buf, size_t n) override;
+  Status ReadBatch(ReadOp* ops, size_t n) override;
+  Status SubmitRead(ReadOp* ops, size_t n, IoTicket* ticket) override;
+  Status ReapCompletions(IoTicket* ticket, bool wait) override;
+  Status WriteAt(uint64_t offset, const void* buf, size_t n) override;
+  Status WriteBatch(WriteOp* ops, size_t n) override;
+  Status Append(const void* buf, size_t n) override;
+  Status Sync() override { return inner_->Sync(); }
+  Status Truncate(uint64_t size) override { return inner_->Truncate(size); }
+  uint64_t size() const override { return inner_->size(); }
+  const std::string& path() const override { return inner_->path(); }
+  void set_io_stats(IoStats* stats) override {
+    stats_ = stats;
+    inner_->set_io_stats(stats);
+  }
+
+ private:
+  // Sleeps for the attempt's backoff slice and counts the retry;
+  // returns false once the budget is spent.
+  bool BackoffForRetry(uint32_t attempt);
+  // Re-issues ops whose status is Unavailable through inner_->ReadBatch,
+  // up to the budget. Used by both ReadBatch and reap-time repair.
+  void RetryFailedReads(ReadOp* ops, size_t n);
+
+  std::unique_ptr<FileHandle> inner_;
+  RetryPolicy policy_;
+};
 
 /// Deletes a file if it exists; OK if missing.
 Status RemoveFileIfExists(const std::string& path);

@@ -303,12 +303,13 @@ class UringFile final : public PosixFile {
           // PosixFile pread retry loop.
           op.status = PosixFile::ReadAt(op.offset, op.buf, op.len);
         } else if (res == 0) {
-          op.status = Status::IOError("short read at offset " +
-                                      std::to_string(op.offset) + " in " +
-                                      path_);
+          // Transient in the taxonomy, mirroring PosixFile::ReadAt: the
+          // retry decorator gets a shot before the caller sees failure.
+          op.status = Status::Unavailable("short read at offset " +
+                                          std::to_string(op.offset) + " in " +
+                                          path_);
         } else {
-          op.status = Status::IOError("io_uring read failed for " + path_ +
-                                      ": " + std::strerror(-res));
+          op.status = StatusFromIoErrno(-res, "io_uring read", path_);
         }
         slot.ticket->completed.fetch_add(1, std::memory_order_release);
       } else {
@@ -320,8 +321,7 @@ class UringFile final : public PosixFile {
           // rewrite the whole op through the blocking path.
           op.status = PosixFile::WriteAt(op.offset, op.buf, op.len);
         } else {
-          op.status = Status::IOError("io_uring write failed for " + path_ +
-                                      ": " + std::strerror(-res));
+          op.status = StatusFromIoErrno(-res, "io_uring write", path_);
         }
         slot.wstate->completed++;
       }

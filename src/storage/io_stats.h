@@ -57,6 +57,14 @@ class IoStats {
   std::atomic<uint64_t> rows_inserted{0};
   std::atomic<uint64_t> rows_updated{0};
   std::atomic<uint64_t> rows_deleted{0};
+  // Fault-domain counters (docs/DURABILITY.md "Integrity & degraded
+  // modes"): transient I/O errors absorbed by the bounded retry loop
+  // (RetryingFile), checksum mismatches detected on any read path, and
+  // demand reads that joined an in-flight async prefetch of the same page
+  // instead of issuing a duplicate read.
+  std::atomic<uint64_t> io_retries{0};
+  std::atomic<uint64_t> corruptions_detected{0};
+  std::atomic<uint64_t> read_joins{0};
   // Per-shard page-cache hits/misses (only the first
   // PageCache::shard_count() slots ever move): the readers-at-scale bench
   // uses these to verify shard spread and tune PagerOptions::cache_shards.
@@ -84,6 +92,9 @@ class IoStats {
     uint64_t rows_inserted = 0;
     uint64_t rows_updated = 0;
     uint64_t rows_deleted = 0;
+    uint64_t io_retries = 0;
+    uint64_t corruptions_detected = 0;
+    uint64_t read_joins = 0;
     std::array<uint64_t, kMaxCacheShards> cache_shard_hits{};
     std::array<uint64_t, kMaxCacheShards> cache_shard_misses{};
     std::array<uint64_t, kMaxCacheShards> cache_shard_evictions{};
@@ -118,6 +129,10 @@ class IoStats {
       out.rows_inserted = rows_inserted - rhs.rows_inserted;
       out.rows_updated = rows_updated - rhs.rows_updated;
       out.rows_deleted = rows_deleted - rhs.rows_deleted;
+      out.io_retries = io_retries - rhs.io_retries;
+      out.corruptions_detected =
+          corruptions_detected - rhs.corruptions_detected;
+      out.read_joins = read_joins - rhs.read_joins;
       for (size_t s = 0; s < kMaxCacheShards; ++s) {
         out.cache_shard_hits[s] =
             cache_shard_hits[s] - rhs.cache_shard_hits[s];
@@ -150,6 +165,10 @@ class IoStats {
     v.rows_inserted = rows_inserted.load(std::memory_order_relaxed);
     v.rows_updated = rows_updated.load(std::memory_order_relaxed);
     v.rows_deleted = rows_deleted.load(std::memory_order_relaxed);
+    v.io_retries = io_retries.load(std::memory_order_relaxed);
+    v.corruptions_detected =
+        corruptions_detected.load(std::memory_order_relaxed);
+    v.read_joins = read_joins.load(std::memory_order_relaxed);
     for (size_t s = 0; s < kMaxCacheShards; ++s) {
       v.cache_shard_hits[s] =
           cache_shard_hits[s].load(std::memory_order_relaxed);

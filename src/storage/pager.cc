@@ -2,10 +2,35 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 
+#include "common/crc32c.h"
 #include "common/logging.h"
 
 namespace micronn {
+
+// Shared state of one in-flight async read-ahead batch (see pager.h). The
+// ticket, the ReadOps it points at, and every page buffer live here so the
+// AsyncPrefetch handle and the pager's in-flight registry can co-own them:
+// whichever thread arrives first — the handle's Finish() or a demand read
+// joining one of the pages — drives the reap (Pager::DriveInflight), and
+// the other waits on `cv`.
+struct InflightBatch {
+  struct PendingPage {
+    PageId id;
+    std::shared_ptr<Page> page;
+  };
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;     // reaped, installed, and deregistered
+  bool driving = false;  // a thread is currently reaping
+  std::vector<PendingPage> pages;
+  std::vector<ReadOp> ops;
+  IoTicket ticket;
+  // Registry entries this batch owns (a racing batch that lost the
+  // try_emplace for a page does not own that page's entry).
+  std::vector<PageId> ids;
+};
 
 Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
                                            const PagerOptions& options) {
@@ -23,11 +48,18 @@ Pager::~Pager() {
 Status Pager::Initialize() {
   // Both files go through the selected I/O backend (and, in tests, the
   // fault-injection wrapper) so batched reads and injected faults cover
-  // the WAL exactly like the main file.
+  // the WAL exactly like the main file. The transient-retry decorator is
+  // outermost — above any fault wrapper — so injected EAGAIN/short-read
+  // faults exercise the same bounded-retry path real ones take.
+  const RetryPolicy retry{options_.io_retry_budget,
+                          options_.io_retry_backoff_us};
   MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<FileHandle> db_file,
                            OpenFile(path_, options_.io_backend, &io_backend_));
   if (options_.file_wrapper) {
     db_file = options_.file_wrapper(std::move(db_file), "db");
+  }
+  if (retry.budget > 0) {
+    db_file = std::make_unique<RetryingFile>(std::move(db_file), retry);
   }
   db_file->set_io_stats(&stats_);
   db_file_ = std::move(db_file);
@@ -37,15 +69,45 @@ Status Pager::Initialize() {
   if (options_.file_wrapper) {
     wal_file = options_.file_wrapper(std::move(wal_file), "wal");
   }
+  if (retry.budget > 0) {
+    wal_file = std::make_unique<RetryingFile>(std::move(wal_file), retry);
+  }
   MICRONN_ASSIGN_OR_RETURN(wal_, Wal::Open(std::move(wal_file), &stats_));
 
-  if (db_file_->size() == 0 && wal_->frame_count() == 0) {
+  const bool fresh_db = (db_file_->size() == 0 && wal_->frame_count() == 0);
+
+  // Page-checksum sidecar (<db>-sum). Plain blocking I/O: its accesses are
+  // one bulk load at open plus tiny slot writes on the (already syscall-
+  // bound) checkpoint path. A damaged sidecar never blocks the open; it is
+  // recreated empty and verification runs lazily until the next Scrub.
+  {
+    MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<File> sum_posix,
+                             File::Open(path_ + "-sum"));
+    std::unique_ptr<FileHandle> sum_file = std::move(sum_posix);
+    if (options_.file_wrapper) {
+      sum_file = options_.file_wrapper(std::move(sum_file), "sum");
+    }
+    if (retry.budget > 0) {
+      sum_file = std::make_unique<RetryingFile>(std::move(sum_file), retry);
+    }
+    sum_file->set_io_stats(&stats_);
+    if (fresh_db && sum_file->size() != 0) {
+      // Leftover sidecar of a deleted database: its slots describe pages
+      // that no longer exist. Start over.
+      MICRONN_RETURN_IF_ERROR(sum_file->Truncate(0));
+    }
+    MICRONN_ASSIGN_OR_RETURN(checksums_,
+                             PageChecksumFile::Open(std::move(sum_file)));
+  }
+
+  if (fresh_db) {
     // Fresh database: write the header page directly (no WAL needed; there
-    // is nothing to be atomic against).
+    // is nothing to be atomic against). Born at format v4 — every page,
+    // starting with this one, has a checksum slot.
     Page header;
     header.Zero();
     header.WriteU64(DbHeader::kOffMagic, DbHeader::kMagic);
-    header.WriteU32(DbHeader::kOffVersion, 1);
+    header.WriteU32(DbHeader::kOffVersion, DbHeader::kFormatWithPageChecksums);
     header.WriteU32(DbHeader::kOffPageSize, kPageSize);
     header.WriteU32(DbHeader::kOffPageCount, 1);
     header.WriteU32(DbHeader::kOffFreelistHead, kInvalidPage);
@@ -53,11 +115,15 @@ Status Pager::Initialize() {
     header.WriteU32(DbHeader::kOffCatalogRoot, kInvalidPage);
     header.WriteU64(DbHeader::kOffCommitSeq, 0);
     MICRONN_RETURN_IF_ERROR(db_file_->WriteAt(0, header.bytes(), kPageSize));
+    MICRONN_RETURN_IF_ERROR(checksums_->WriteSlots({{0, header.bytes()}}));
+    MICRONN_RETURN_IF_ERROR(checksums_->Sync());
     MICRONN_RETURN_IF_ERROR(db_file_->Sync());
   }
 
   // Establish the current commit horizon from the recovered WAL, then read
-  // the newest committed header to learn the page count.
+  // the newest committed header to learn the page count. (The header read
+  // below runs before strict_checksums_ is set, so a legacy database's
+  // uncovered header page passes; a covered header is verified.)
   last_committed_seq_ = wal_->last_committed_seq();
   MICRONN_ASSIGN_OR_RETURN(PagePtr header,
                            ReadCommitted(0, last_committed_seq_));
@@ -67,6 +133,21 @@ Status Pager::Initialize() {
   if (header->ReadU32(DbHeader::kOffPageSize) != kPageSize) {
     return Status::Corruption("page size mismatch in " + path_);
   }
+  const uint32_t version = header->ReadU32(DbHeader::kOffVersion);
+  header_version_.store(version, std::memory_order_release);
+  bool strict = version >= DbHeader::kFormatWithPageChecksums;
+  if (strict && (checksums_->recreated() ||
+                 (!fresh_db && checksums_->slot_count() == 0))) {
+    // A v4 database whose sidecar was damaged or deleted: open anyway,
+    // tolerate absent slots (there is nothing to verify against), and let
+    // the next Scrub re-cover the file and restore strictness.
+    MICRONN_LOG(kWarn) << "database " << path_ << " is format v" << version
+                       << " but its checksum sidecar is missing or damaged; "
+                          "page verification demoted to lazy until the next "
+                          "scrub";
+    strict = false;
+  }
+  strict_checksums_.store(strict, std::memory_order_release);
   // A crash can leave the main file *ahead* of the surviving WAL: a
   // partial checkpoint folds frames in, and recovery discards the log
   // when its backfilled prefix no longer survives intact. The header page
@@ -102,6 +183,52 @@ Status Pager::Close() {
   db_file_.reset();
   wal_.reset();
   cache_.Clear();
+  return Status::OK();
+}
+
+Status Pager::VerifyMainPage(PageId id, const uint8_t* bytes) {
+  if (!options_.checksum_pages || checksums_ == nullptr) return Status::OK();
+  Status st = checksums_->VerifyPage(
+      id, bytes, strict_checksums_.load(std::memory_order_acquire));
+  if (!st.ok()) {
+    stats_.corruptions_detected.fetch_add(1, std::memory_order_relaxed);
+    MICRONN_LOG(kWarn) << "page verification failed in " << path_ << ": "
+                       << st.ToString();
+  }
+  return st;
+}
+
+Status Pager::NoteWriteError(Status st) {
+  if (st.IsResourceExhausted() && options_.read_only_on_enospc &&
+      !degraded_.exchange(true, std::memory_order_acq_rel)) {
+    MICRONN_LOG(kWarn) << "out of disk space; " << path_
+                       << " entering read-only degraded mode: "
+                       << st.ToString();
+  }
+  return st;
+}
+
+Status Pager::ProbeDegraded() {
+  // Called with the writer slot held. In degraded mode, probe the
+  // filesystem for space — one page written past EOF, truncated straight
+  // back — so writes resume automatically once space returns and fail
+  // fast (ResourceExhausted, no partial work) while it has not.
+  if (!degraded_.load(std::memory_order_acquire)) return Status::OK();
+  const uint64_t end = db_file_->size();
+  std::vector<uint8_t> probe(kPageSize, 0);
+  Status st = db_file_->WriteAt(end, probe.data(), kPageSize);
+  Status restore = db_file_->Truncate(end);  // undo the probe either way
+  if (st.ok()) st = restore;
+  if (!st.ok()) {
+    return Status::ResourceExhausted(
+        "database is read-only (degraded after out-of-space); space probe "
+        "failed: " +
+        st.ToString());
+  }
+  degraded_.store(false, std::memory_order_release);
+  MICRONN_LOG(kInfo) << path_
+                     << ": disk space available again; leaving read-only "
+                        "degraded mode";
   return Status::OK();
 }
 
@@ -145,28 +272,91 @@ Result<PagePtr> Pager::ReadCommitted(PageId id, uint64_t seq) {
   // whole resolve -> read -> cache-insert sequence: a restart's exclusive
   // pin waits us out, and we cannot insert a stale image under a frame
   // number the next generation is about to reuse.
-  auto pin = wal_->PinFrames();
-  uint64_t version = 0;
-  if (auto frame = wal_->FindFrame(id, seq)) {
-    version = *frame;
-  }
-  // Hit/miss accounting (aggregate + per shard) happens inside the cache.
-  if (PagePtr cached = cache_.Get(id, version)) {
-    return cached;
-  }
-  auto page = std::make_shared<Page>();
-  if (version != 0) {
-    MICRONN_RETURN_IF_ERROR(wal_->ReadFrame(version, page.get()));
-  } else {
-    const uint64_t off = static_cast<uint64_t>(id) * kPageSize;
-    if (off + kPageSize > db_file_->size()) {
-      return Status::Corruption("page " + std::to_string(id) +
-                                " beyond end of main file");
+  for (;;) {
+    std::shared_ptr<InflightBatch> join;
+    std::shared_ptr<SingleFlight> flight_wait;
+    {
+      auto pin = wal_->PinFrames();
+      uint64_t version = 0;
+      if (auto frame = wal_->FindFrame(id, seq)) {
+        version = *frame;
+      }
+      // Hit/miss accounting (aggregate + per shard) happens inside the
+      // cache.
+      if (PagePtr cached = cache_.Get(id, version)) {
+        return cached;
+      }
+      auto page = std::make_shared<Page>();
+      if (version != 0) {
+        MICRONN_RETURN_IF_ERROR(wal_->ReadFrame(version, page.get(), &id));
+        return cache_.Put(id, version, std::move(page));
+      }
+      join = FindInflight(id);
+      if (join == nullptr) {
+        // Single-flight the lone read: if another demand miss on this
+        // page is already mid-pread, wait for its cache insert instead of
+        // duplicating the syscall.
+        std::shared_ptr<SingleFlight> flight;
+        {
+          std::lock_guard<std::mutex> lock(single_flight_mutex_);
+          auto [it, inserted] =
+              single_flight_.try_emplace(id, nullptr);
+          if (inserted) {
+            it->second = std::make_shared<SingleFlight>();
+            flight = it->second;
+          } else {
+            flight_wait = it->second;
+          }
+        }
+        if (flight != nullptr) {
+          // Leader: read, verify, install — then deregister and wake
+          // waiters, on success and failure alike. Install-before-
+          // deregister ordering is what lets a waiter trust the cache.
+          auto finish = [&](Status st) {
+            {
+              std::lock_guard<std::mutex> lock(single_flight_mutex_);
+              single_flight_.erase(id);
+            }
+            {
+              std::lock_guard<std::mutex> lock(flight->m);
+              flight->done = true;
+            }
+            flight->cv.notify_all();
+            return st;
+          };
+          const uint64_t off = static_cast<uint64_t>(id) * kPageSize;
+          if (off + kPageSize > db_file_->size()) {
+            return finish(Status::Corruption("page " + std::to_string(id) +
+                                             " beyond end of main file"));
+          }
+          Status st = db_file_->ReadAt(off, page->bytes(), kPageSize);
+          if (!st.ok()) return finish(std::move(st));
+          stats_.pages_read_main.fetch_add(1, std::memory_order_relaxed);
+          st = VerifyMainPage(id, page->bytes());
+          if (!st.ok()) return finish(std::move(st));
+          PagePtr result = cache_.Put(id, version, std::move(page));
+          finish(Status::OK()).ok();
+          return result;
+        }
+      }
     }
-    MICRONN_RETURN_IF_ERROR(db_file_->ReadAt(off, page->bytes(), kPageSize));
-    stats_.pages_read_main.fetch_add(1, std::memory_order_relaxed);
+    // The page is being read by someone else. Batch case: an in-flight
+    // async prefetch covers it — join that batch instead of issuing a
+    // duplicate read, driving its reap if nobody is (deadlock-free even
+    // when this thread submitted the batch itself). Single case: another
+    // demand read is mid-pread — wait for its install. Both waits happen
+    // outside the frame pin (a reap or a pread can block), then re-resolve
+    // from the top; the page is normally a cache hit now, and a
+    // failed/corrupt read falls through to a clean demand read (batch and
+    // single-flight both deregister before waking waiters).
+    stats_.read_joins.fetch_add(1, std::memory_order_relaxed);
+    if (join != nullptr) {
+      DriveInflight(join);
+    } else {
+      std::unique_lock<std::mutex> lock(flight_wait->m);
+      flight_wait->cv.wait(lock, [&] { return flight_wait->done; });
+    }
   }
-  return cache_.Put(id, version, std::move(page));
 }
 
 Status Pager::ReadPages(std::span<const PageId> ids, uint64_t snapshot_seq) {
@@ -188,6 +378,7 @@ std::unique_ptr<AsyncPrefetch> Pager::PrefetchPagesAsync(
   unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
 
   std::unique_ptr<AsyncPrefetch> handle(new AsyncPrefetch);
+  auto batch = std::make_shared<InflightBatch>();
   std::vector<PageCache::Insert> wal_inserts;
   {
     // Resolve under a frame pin, like ReadPagesInternal. WAL-frame misses
@@ -218,7 +409,8 @@ std::unique_ptr<AsyncPrefetch> Pager::PrefetchPagesAsync(
       if (version == 0) {
         const uint64_t off = static_cast<uint64_t>(id) * kPageSize;
         if (off + kPageSize > file_size) continue;  // stale hint
-        handle->pages_.push_back({id, std::make_shared<Page>()});
+        if (FindInflight(id) != nullptr) continue;  // already in flight
+        batch->pages.push_back({id, std::make_shared<Page>()});
       } else {
         wal_misses.push_back({id, version, std::make_shared<Page>()});
       }
@@ -226,13 +418,16 @@ std::unique_ptr<AsyncPrefetch> Pager::PrefetchPagesAsync(
 
     if (!wal_misses.empty()) {
       std::vector<std::pair<uint64_t, Page*>> ops;
+      std::vector<PageId> expect;
       ops.reserve(wal_misses.size());
+      expect.reserve(wal_misses.size());
       for (WalMiss& m : wal_misses) {
         ops.emplace_back(m.version, m.page.get());
+        expect.push_back(m.id);
       }
       std::vector<Status> per_op;
       stats_.batch_reads.fetch_add(1, std::memory_order_relaxed);
-      if (wal_->ReadFrameBatch(ops, &per_op).ok()) {
+      if (wal_->ReadFrameBatch(ops, &per_op, &expect).ok()) {
         for (size_t i = 0; i < wal_misses.size(); ++i) {
           if (!per_op[i].ok()) continue;
           wal_inserts.push_back({wal_misses[i].id, wal_misses[i].version,
@@ -241,21 +436,28 @@ std::unique_ptr<AsyncPrefetch> Pager::PrefetchPagesAsync(
       }
     }
 
-    if (!handle->pages_.empty()) {
-      handle->ops_.reserve(handle->pages_.size());
-      for (AsyncPrefetch::PendingPage& p : handle->pages_) {
-        handle->ops_.push_back({static_cast<uint64_t>(p.id) * kPageSize,
-                                p.page->bytes(), kPageSize, Status::OK()});
+    if (!batch->pages.empty()) {
+      batch->ops.reserve(batch->pages.size());
+      for (InflightBatch::PendingPage& p : batch->pages) {
+        batch->ops.push_back({static_cast<uint64_t>(p.id) * kPageSize,
+                              p.page->bytes(), kPageSize, Status::OK()});
       }
       stats_.batch_reads.fetch_add(1, std::memory_order_relaxed);
       if (db_file_
-              ->SubmitRead(handle->ops_.data(), handle->ops_.size(),
-                           &handle->ticket_)
+              ->SubmitRead(batch->ops.data(), batch->ops.size(),
+                           &batch->ticket)
               .ok()) {
         handle->pager_ = this;
-      } else {
-        handle->pages_.clear();  // transport failure: nothing in flight
-        handle->ops_.clear();
+        handle->batch_ = batch;
+        // Register the batch's pages so a demand read that misses on one
+        // of them joins this batch instead of duplicating the read. After
+        // the submit: a miss in between simply reads on its own, which is
+        // the old (correct) behavior.
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        for (const InflightBatch::PendingPage& p : batch->pages) {
+          auto [it, inserted] = inflight_.try_emplace(p.id, batch);
+          if (inserted) batch->ids.push_back(p.id);
+        }
       }
     }
   }
@@ -269,35 +471,76 @@ std::unique_ptr<AsyncPrefetch> Pager::PrefetchPagesAsync(
   return handle;
 }
 
+AsyncPrefetch::~AsyncPrefetch() { Finish(); }
+
 void AsyncPrefetch::Finish() {
-  if (finished_) return;
-  finished_ = true;
-  if (pager_ == nullptr) return;
+  if (pager_ == nullptr || batch_ == nullptr) return;
+  pager_->DriveInflight(batch_);
+  batch_.reset();  // idempotence: a second Finish is a no-op
+}
+
+std::shared_ptr<InflightBatch> Pager::FindInflight(PageId id) {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  auto it = inflight_.find(id);
+  return it != inflight_.end() ? it->second : nullptr;
+}
+
+void Pager::DriveInflight(const std::shared_ptr<InflightBatch>& b) {
+  {
+    std::unique_lock<std::mutex> lock(b->m);
+    if (b->done) return;
+    if (b->driving) {
+      b->cv.wait(lock, [&] { return b->done; });
+      return;
+    }
+    b->driving = true;
+  }
   // Reap every completion. A transport error here is retried a few times,
-  // then the buffers are deliberately leaked: the kernel may still write
-  // into them, so freeing would be worse. (Practically unreachable — an
-  // io_uring_enter failure after a successful ring setup does not happen
-  // outside fault injection, and injected faults surface as per-op
-  // statuses, not transport errors.)
-  for (int attempt = 0; attempt < 3 && !ticket_.done(); ++attempt) {
-    pager_->db_file_->ReapCompletions(&ticket_, /*wait=*/true).ok();
+  // then the whole batch is deliberately leaked: the kernel may still
+  // write into its buffers, so freeing would be worse. (Practically
+  // unreachable — an io_uring_enter failure after a successful ring setup
+  // does not happen outside fault injection, and injected faults surface
+  // as per-op statuses, not transport errors.)
+  for (int attempt = 0; attempt < 3 && !b->ticket.done(); ++attempt) {
+    db_file_->ReapCompletions(&b->ticket, /*wait=*/true).ok();
   }
-  if (!ticket_.done()) {
-    new std::vector<PendingPage>(std::move(pages_));  // deliberate leak
-    return;
+  if (b->ticket.done()) {
+    std::vector<PageCache::Insert> inserts;
+    inserts.reserve(b->pages.size());
+    for (size_t i = 0; i < b->pages.size(); ++i) {
+      if (!b->ops[i].status.ok()) continue;  // best-effort: skip failures
+      stats_.pages_read_main.fetch_add(1, std::memory_order_relaxed);
+      if (!VerifyMainPage(b->pages[i].id, b->pages[i].page->bytes()).ok()) {
+        continue;  // corrupt image: never installed; a demand read reports
+      }
+      inserts.push_back({b->pages[i].id, 0, std::move(b->pages[i].page)});
+    }
+    if (!inserts.empty()) {
+      stats_.pages_prefetched.fetch_add(inserts.size(),
+                                        std::memory_order_relaxed);
+      cache_.PutBatch(inserts, /*prefetched=*/true);
+    }
+  } else {
+    new std::shared_ptr<InflightBatch>(b);  // deliberate leak (see above)
   }
-  std::vector<PageCache::Insert> inserts;
-  inserts.reserve(pages_.size());
-  for (size_t i = 0; i < pages_.size(); ++i) {
-    if (!ops_[i].status.ok()) continue;  // best-effort: skip failed pages
-    pager_->stats_.pages_read_main.fetch_add(1, std::memory_order_relaxed);
-    inserts.push_back({pages_[i].id, 0, std::move(pages_[i].page)});
+  // Deregister before signalling: a woken joiner that misses the cache
+  // (its op failed) must fall through to a fresh demand read, not re-join
+  // this finished batch.
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    for (PageId id : b->ids) {
+      auto it = inflight_.find(id);
+      if (it != inflight_.end() && it->second.get() == b.get()) {
+        inflight_.erase(it);
+      }
+    }
   }
-  if (!inserts.empty()) {
-    pager_->stats_.pages_prefetched.fetch_add(inserts.size(),
-                                              std::memory_order_relaxed);
-    pager_->cache_.PutBatch(inserts, /*prefetched=*/true);
+  {
+    std::lock_guard<std::mutex> lock(b->m);
+    b->driving = false;
+    b->done = true;
   }
+  b->cv.notify_all();
 }
 
 Status Pager::ReadPagesInternal(std::span<const PageId> ids, uint64_t seq,
@@ -323,6 +566,7 @@ Status Pager::ReadPagesInternal(std::span<const PageId> ids, uint64_t seq,
   };
   std::vector<Miss> main_misses;
   std::vector<Miss> wal_misses;
+  std::vector<PageId> join_ids;  // in-flight async prefetch covers these
   const uint64_t file_size = db_file_->size();
   for (PageId id : unique) {
     uint64_t version = 0;
@@ -337,12 +581,21 @@ Status Pager::ReadPagesInternal(std::span<const PageId> ids, uint64_t seq,
         return Status::Corruption("page " + std::to_string(id) +
                                   " beyond end of main file");
       }
+      if (FindInflight(id) != nullptr) {
+        // An async prefetch already has this page in flight: never issue a
+        // duplicate read. Best-effort callers just skip it (the batch will
+        // install it); strict callers join it after the batch I/O below.
+        if (!best_effort) join_ids.push_back(id);
+        continue;
+      }
       main_misses.push_back({id, 0, std::make_shared<Page>()});
     } else {
       wal_misses.push_back({id, version, std::make_shared<Page>()});
     }
   }
-  if (main_misses.empty() && wal_misses.empty()) return Status::OK();
+  if (main_misses.empty() && wal_misses.empty() && join_ids.empty()) {
+    return Status::OK();
+  }
 
   std::vector<PageCache::Insert> inserts;
   inserts.reserve(main_misses.size() + wal_misses.size());
@@ -364,6 +617,12 @@ Status Pager::ReadPagesInternal(std::span<const PageId> ids, uint64_t seq,
           return reads[i].status;
         }
         stats_.pages_read_main.fetch_add(1, std::memory_order_relaxed);
+        Status verify =
+            VerifyMainPage(main_misses[i].id, main_misses[i].page->bytes());
+        if (!verify.ok()) {
+          if (best_effort) continue;
+          return verify;
+        }
         inserts.push_back({main_misses[i].id, 0,
                            std::move(main_misses[i].page)});
       }
@@ -372,13 +631,16 @@ Status Pager::ReadPagesInternal(std::span<const PageId> ids, uint64_t seq,
 
   if (!wal_misses.empty()) {
     std::vector<std::pair<uint64_t, Page*>> ops;
+    std::vector<PageId> expect;
     ops.reserve(wal_misses.size());
+    expect.reserve(wal_misses.size());
     for (Miss& m : wal_misses) {
       ops.emplace_back(m.version, m.page.get());
+      expect.push_back(m.id);
     }
     std::vector<Status> per_op;
     stats_.batch_reads.fetch_add(1, std::memory_order_relaxed);
-    Status st = wal_->ReadFrameBatch(ops, &per_op);
+    Status st = wal_->ReadFrameBatch(ops, &per_op, &expect);
     if (!st.ok() && !best_effort) return st;
     if (st.ok()) {
       for (size_t i = 0; i < wal_misses.size(); ++i) {
@@ -399,6 +661,15 @@ Status Pager::ReadPagesInternal(std::span<const PageId> ids, uint64_t seq,
     }
     cache_.PutBatch(inserts, /*prefetched=*/best_effort);
   }
+
+  // Strict callers must land every requested page: pages an async
+  // prefetch had in flight are joined now (ReadCommitted drives or waits
+  // on the batch, then re-resolves), after this call's own batch I/O so
+  // the join overlaps it.
+  for (PageId id : join_ids) {
+    MICRONN_ASSIGN_OR_RETURN(PagePtr page, ReadCommitted(id, seq));
+    (void)page;  // resident in the cache now
+  }
   return Status::OK();
 }
 
@@ -408,6 +679,14 @@ Result<std::unique_ptr<WriteTxnState>> Pager::BeginWrite() {
   writer_active_ = true;
   lock.unlock();
 
+  if (Status probe = ProbeDegraded(); !probe.ok()) {
+    {
+      std::lock_guard<std::mutex> l(writer_mutex_);
+      writer_active_ = false;
+    }
+    writer_cv_.notify_one();
+    return probe;
+  }
   auto txn = std::make_unique<WriteTxnState>();
   {
     std::lock_guard<std::mutex> l(mutex_);
@@ -424,6 +703,14 @@ Result<std::unique_ptr<WriteTxnState>> Pager::TryBeginWrite() {
       return Status::Busy("another write transaction is active");
     }
     writer_active_ = true;
+  }
+  if (Status probe = ProbeDegraded(); !probe.ok()) {
+    {
+      std::lock_guard<std::mutex> l(writer_mutex_);
+      writer_active_ = false;
+    }
+    writer_cv_.notify_one();
+    return probe;
   }
   auto txn = std::make_unique<WriteTxnState>();
   {
@@ -582,7 +869,14 @@ Status Pager::CommitWrite(std::unique_ptr<WriteTxnState> txn) {
   if (committed && result.ok()) {
     MaybeCheckpointAfterCommit();
   }
-  return result;
+  // An out-of-space commit failed cleanly: the non-pipelined WAL append
+  // truncates its torn tail before returning, so nothing was published
+  // and recovery cannot replay it. Flip into read-only degraded mode; the
+  // next BeginWrite probes for space and re-enables writes when it
+  // returns. (A *pipelined* flush failure is different — those commits
+  // were already published — and keeps the sticky fsync-poison rule; see
+  // WaitForDurable.)
+  return NoteWriteError(std::move(result));
 }
 
 Status Pager::WaitForDurable(uint64_t commit_seq) {
@@ -665,7 +959,7 @@ void Pager::MaybeCheckpointAfterCommit() {
     }
     Status st = Status::OK();
     if (wal_->frame_count() > options_.wal_backpressure_frames) {
-      st = CheckpointImpl(/*block_for_readers=*/true);
+      st = NoteWriteError(CheckpointImpl(/*block_for_readers=*/true));
     }
     {
       std::lock_guard<std::mutex> lock(writer_mutex_);
@@ -735,7 +1029,7 @@ Status Pager::Checkpoint() {
     writer_active_ = false;
   }
   writer_cv_.notify_one();
-  return st;
+  return NoteWriteError(std::move(st));
 }
 
 Status Pager::CheckpointImpl(bool block_for_readers) {
@@ -756,7 +1050,7 @@ Status Pager::CheckpointImpl(bool block_for_readers) {
       std::lock_guard<std::mutex> lock(commit_sync_mutex_);
       commit_sync_failed_ = true;
       commit_sync_cv_.notify_all();
-      return flush;
+      return NoteWriteError(std::move(flush));
     }
   }
   for (;;) {
@@ -814,12 +1108,16 @@ Status Pager::CheckpointImpl(bool block_for_readers) {
       for (size_t base = 0; base < fold.size(); base += kFoldBatch) {
         const size_t n = std::min(kFoldBatch, fold.size() - base);
         std::vector<std::pair<uint64_t, Page*>> reads;
+        std::vector<PageId> expect;
         reads.reserve(n);
+        expect.reserve(n);
         for (size_t i = 0; i < n; ++i) {
           reads.emplace_back(fold[base + i].second, &bufs[i]);
+          expect.push_back(fold[base + i].first);
         }
         std::vector<Status> per_read;
-        MICRONN_RETURN_IF_ERROR(wal_->ReadFrameBatch(reads, &per_read));
+        MICRONN_RETURN_IF_ERROR(wal_->ReadFrameBatch(reads, &per_read,
+                                                     &expect));
         for (const Status& st : per_read) {
           MICRONN_RETURN_IF_ERROR(st);
         }
@@ -830,13 +1128,30 @@ Status Pager::CheckpointImpl(bool block_for_readers) {
           writes[i].buf = bufs[i].bytes();
           writes[i].len = kPageSize;
         }
-        MICRONN_RETURN_IF_ERROR(db_file_->WriteBatch(writes.data(), n));
+        MICRONN_RETURN_IF_ERROR(
+            NoteWriteError(db_file_->WriteBatch(writes.data(), n)));
         for (const WriteOp& w : writes) {
-          MICRONN_RETURN_IF_ERROR(w.status);
+          MICRONN_RETURN_IF_ERROR(NoteWriteError(w.status));
         }
+        // Fresh checksum slots for every page this fold rewrote — the
+        // lazy-upgrade engine: folds progressively cover a legacy
+        // database, and Scrub backfills whatever they never touch.
+        std::vector<std::pair<PageId, const uint8_t*>> slots;
+        slots.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          slots.emplace_back(fold[base + i].first, bufs[i].bytes());
+        }
+        MICRONN_RETURN_IF_ERROR(NoteWriteError(checksums_->WriteSlots(slots)));
         stats_.checkpoint_pages.fetch_add(n, std::memory_order_relaxed);
       }
-      MICRONN_RETURN_IF_ERROR(db_file_->Sync());
+      MICRONN_RETURN_IF_ERROR(NoteWriteError(db_file_->Sync()));
+      // Sidecar slots must be durable BEFORE the watermark records the
+      // frames as folded: a reader only ever reaches a page's main-file
+      // copy once its last fold fully completed (frames stay indexed
+      // until Reset/WrapRestart, both excluded while this runs), so a
+      // synced slot is always at least as fresh as the image it covers —
+      // and a crash between the two merely re-folds, which is idempotent.
+      MICRONN_RETURN_IF_ERROR(NoteWriteError(checksums_->Sync()));
       MICRONN_RETURN_IF_ERROR(wal_->AdvanceBackfillWatermark(target, horizon));
     }
     {
@@ -957,7 +1272,152 @@ Status Pager::SyncWal() {
     commit_sync_failed_ = true;
   }
   commit_sync_cv_.notify_all();
-  return st;
+  return NoteWriteError(std::move(st));
+}
+
+Status Pager::Scrub(ScrubReport* report) {
+  *report = ScrubReport{};
+  const bool was_legacy = header_version_.load(std::memory_order_acquire) <
+                          DbHeader::kFormatWithPageChecksums;
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    if (writer_active_) {
+      return Status::Busy("writer active during scrub");
+    }
+    writer_active_ = true;
+  }
+  // Fold everything foldable first: the WAL's view of the world lands in
+  // the main file (rewriting — i.e. repairing — any page whose main-file
+  // copy went bad while a frame still holds it) and every folded page
+  // gets a fresh slot. The walk then verifies what remains.
+  Status st = CheckpointImpl(/*block_for_readers=*/false);
+  if (st.ok()) {
+    st = ScrubLocked(report);
+  }
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    writer_active_ = false;
+  }
+  writer_cv_.notify_one();
+  MICRONN_RETURN_IF_ERROR(NoteWriteError(std::move(st)));
+
+  // Every page covered and verified: flip a legacy header to format v4
+  // (a normal write transaction — crash-safe like any commit) and turn
+  // strict verification on. Also restores strictness for a v4 database
+  // whose recreated sidecar this scrub just re-covered.
+  const bool fully_covered =
+      report->unrepairable.empty() && report->pages_shadowed == 0;
+  if (!fully_covered) return Status::OK();
+  if (was_legacy) {
+    MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTxnState> txn, BeginWrite());
+    Result<Page*> header = GetMutablePage(txn.get(), 0);
+    if (!header.ok()) {
+      RollbackWrite(std::move(txn));
+      return header.status();
+    }
+    header.value()->WriteU32(DbHeader::kOffVersion,
+                             DbHeader::kFormatWithPageChecksums);
+    MICRONN_RETURN_IF_ERROR(CommitWrite(std::move(txn)));
+    header_version_.store(DbHeader::kFormatWithPageChecksums,
+                          std::memory_order_release);
+    report->upgraded_format = true;
+  }
+  if (options_.checksum_pages) {
+    strict_checksums_.store(true, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+Status Pager::ScrubLocked(ScrubReport* report) {
+  // Caller holds the writer slot: no fold can run concurrently, no commit
+  // can add frames, and rewriting a main-file page below is safe — every
+  // reader whose snapshot could observe it resolves the page's (still
+  // indexed) WAL frame instead, by the same horizon argument the
+  // checkpoint backfill relies on.
+  const uint64_t watermark = wal_->backfill_watermark();
+  uint64_t seq;
+  uint32_t pages;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seq = last_committed_seq_;
+    pages = page_count_;
+  }
+  const bool strict = strict_checksums_.load(std::memory_order_acquire);
+  Page buf;
+  for (PageId id = 0; id < pages; ++id) {
+    std::optional<uint64_t> frame;
+    {
+      auto pin = wal_->PinFrames();
+      if (auto f = wal_->FindFrame(id, seq)) frame = *f;
+    }
+    if (frame && *frame > watermark) {
+      // A newer, unfolded frame shadows the main-file copy (a live reader
+      // kept the checkpoint above partial): the WAL — checksummed on
+      // every read — is authoritative, and the stale main copy will be
+      // rewritten when the fold reaches it. Nothing to verify here.
+      ++report->pages_shadowed;
+      continue;
+    }
+    const uint64_t off = static_cast<uint64_t>(id) * kPageSize;
+    if (off + kPageSize > db_file_->size()) {
+      ++report->corruptions_found;
+      report->unrepairable.push_back(id);
+      continue;
+    }
+    MICRONN_RETURN_IF_ERROR(db_file_->ReadAt(off, buf.bytes(), kPageSize));
+    uint32_t crc = 0;
+    PageChecksumFile::SlotState state = checksums_->Lookup(id, &crc);
+    if (state == PageChecksumFile::SlotState::kValid &&
+        Crc32c(buf.bytes(), kPageSize) == crc) {
+      ++report->pages_scanned;
+      continue;
+    }
+    if (state == PageChecksumFile::SlotState::kAbsent && !strict) {
+      // Lazy upgrade: an uncovered legacy page (or a page lost with a
+      // recreated sidecar). Its content is the only truth there is;
+      // record its checksum so every future read is guarded.
+      MICRONN_RETURN_IF_ERROR(checksums_->WriteSlots({{id, buf.bytes()}}));
+      ++report->slots_backfilled;
+      ++report->pages_scanned;
+      continue;
+    }
+    // Mismatch, corrupt slot, or a missing slot in a strict database.
+    ++report->corruptions_found;
+    stats_.corruptions_detected.fetch_add(1, std::memory_order_relaxed);
+    // Repairable? Folded frames stay physically in the WAL (and indexed)
+    // until Reset/WrapRestart, so the page's newest frame — which passed
+    // frame verification when folded — may still hold a good copy.
+    bool repaired = false;
+    if (frame) {
+      Page good;
+      if (wal_->ReadFrame(*frame, &good, &id).ok()) {
+        Status w = db_file_->WriteAt(off, good.bytes(), kPageSize);
+        if (w.ok()) w = checksums_->WriteSlots({{id, good.bytes()}});
+        if (w.ok()) {
+          cache_.InvalidatePage(id);
+          repaired = true;
+        } else {
+          MICRONN_RETURN_IF_ERROR(NoteWriteError(std::move(w)));
+        }
+      }
+    }
+    if (repaired) {
+      ++report->pages_repaired;
+    } else {
+      report->unrepairable.push_back(id);
+    }
+  }
+  if (!report->unrepairable.empty()) {
+    MICRONN_LOG(kWarn) << "scrub of " << path_ << " found "
+                       << report->unrepairable.size()
+                       << " unrepairable page(s); the WAL no longer holds "
+                          "their content";
+  }
+  MICRONN_RETURN_IF_ERROR(NoteWriteError(checksums_->Sync()));
+  if (report->pages_repaired > 0) {
+    MICRONN_RETURN_IF_ERROR(NoteWriteError(db_file_->Sync()));
+  }
+  return Status::OK();
 }
 
 void Pager::DropCaches() { cache_.Clear(); }

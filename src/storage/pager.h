@@ -25,6 +25,7 @@
 #ifndef MICRONN_STORAGE_PAGER_H_
 #define MICRONN_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -40,6 +41,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/checksums.h"
 #include "storage/file.h"
 #include "storage/io_backend.h"
 #include "storage/io_stats.h"
@@ -129,8 +131,36 @@ struct PagerOptions {
   /// Off-switch for bisection.
   bool wal_wraparound = true;
 
-  /// Test hook: wraps each file handle the pager opens (role is "db" or
-  /// "wal") — the seam the fault-injection harness installs through
+  /// Verify the CRC32C of every page read from the main file against the
+  /// sidecar checksum file (default true; see docs/DURABILITY.md
+  /// "Integrity & degraded modes"). Turning it off only skips read-side
+  /// *verification* — checkpoint folds keep maintaining the sidecar either
+  /// way, so the knob can be toggled without leaving stale checksums
+  /// behind. A mismatch surfaces as Status::Corruption and counts in
+  /// IoStats::corruptions_detected; it is never served as page content.
+  bool checksum_pages = true;
+
+  /// Bounded retry of *transient* I/O errors (Unavailable: EAGAIN, short
+  /// reads) at the file layer, with exponential backoff: up to
+  /// `io_retry_budget` retries per operation (default 3; 0 disables),
+  /// starting at `io_retry_backoff_us` (default 100) and doubling each
+  /// attempt. Permanent errors (EIO, checksum mismatch) and ENOSPC are
+  /// never retried. Absorbed retries count in IoStats::io_retries.
+  uint32_t io_retry_budget = 3;
+  uint32_t io_retry_backoff_us = 100;
+
+  /// ENOSPC handling (default true): a commit, WAL flush, or checkpoint
+  /// that fails with ResourceExhausted flips the pager into a *read-only
+  /// degraded mode* — reads keep serving every committed snapshot, writes
+  /// fail fast with ResourceExhausted, and the next BeginWrite probes the
+  /// filesystem (one page written and truncated back at EOF) to
+  /// auto-recover once space returns. False preserves the old behavior:
+  /// every write keeps retrying against a full disk.
+  bool read_only_on_enospc = true;
+
+  /// Test hook: wraps each file handle the pager opens (role is "db",
+  /// "wal", or "sum" for the page-checksum sidecar) — the seam the
+  /// fault-injection harness installs through
   /// (tests/support/fault_injection_file.h). Default empty: handles are
   /// used as opened. Not for production use.
   std::function<std::unique_ptr<FileHandle>(std::unique_ptr<FileHandle>,
@@ -141,6 +171,12 @@ struct PagerOptions {
 /// Header page field offsets (page 0).
 struct DbHeader {
   static constexpr uint64_t kMagic = 0x314E4E4F5243494DULL;  // "MICRONN1"
+  /// Format version with mandatory page checksums: every main-file page
+  /// has a sidecar slot and an absent slot is Corruption. Databases at
+  /// older versions open normally, accumulate slots lazily (checkpoint
+  /// folds cover whatever they touch), and are flipped to v4 by Scrub
+  /// once every page is covered.
+  static constexpr uint32_t kFormatWithPageChecksums = 4;
   static constexpr size_t kOffMagic = 0;
   static constexpr size_t kOffVersion = 8;
   static constexpr size_t kOffPageSize = 12;
@@ -193,13 +229,22 @@ class PageView {
   virtual bool writable() const = 0;
 };
 
+/// Shared state of one in-flight async read-ahead batch: the pending
+/// pages, their ReadOps, and the backend ticket. Owned jointly by the
+/// AsyncPrefetch handle and the pager's in-flight registry so that either
+/// the handle's Finish() or a joining demand reader can drive the reap
+/// (Pager::DriveInflight). Defined in pager.cc.
+struct InflightBatch;
+
 /// An in-flight asynchronous read-ahead, returned by
 /// Pager::PrefetchPagesAsync. The main-file reads it covers were already
 /// submitted to the backend when the handle was created; Finish() reaps
-/// the completions and installs the pages that arrived into the page
-/// cache (best-effort, like PrefetchPages). The destructor finishes if
-/// the caller did not. May be finished on a different thread than the one
-/// that submitted, but only one thread drives a given handle.
+/// the completions, verifies checksums, and installs the pages that
+/// arrived into the page cache (best-effort, like PrefetchPages). The
+/// destructor finishes if the caller did not. A demand read that misses
+/// on one of the in-flight pages joins this batch (driving the reap if
+/// nobody is) instead of issuing a duplicate read, so Finish() may find
+/// the work already done.
 ///
 /// The snapshot the pages were resolved under must stay registered until
 /// Finish() returns: that is what keeps the checkpoint backfill from
@@ -208,7 +253,7 @@ class PageView {
 /// must also not outlive the Pager.
 class AsyncPrefetch {
  public:
-  ~AsyncPrefetch() { Finish(); }
+  ~AsyncPrefetch();
   AsyncPrefetch(const AsyncPrefetch&) = delete;
   AsyncPrefetch& operator=(const AsyncPrefetch&) = delete;
 
@@ -221,16 +266,21 @@ class AsyncPrefetch {
   friend class Pager;
   AsyncPrefetch() = default;
 
-  struct PendingPage {
-    PageId id;
-    std::shared_ptr<Page> page;
-  };
-
   Pager* pager_ = nullptr;
-  std::vector<PendingPage> pages_;
-  std::vector<ReadOp> ops_;
-  IoTicket ticket_;
-  bool finished_ = false;
+  std::shared_ptr<InflightBatch> batch_;
+};
+
+/// What Pager::Scrub found and fixed. `unrepairable` pages failed
+/// verification with no WAL frame still holding their content — real data
+/// loss, reported but not masked.
+struct ScrubReport {
+  uint64_t pages_scanned = 0;     // main-file pages verified
+  uint64_t pages_shadowed = 0;    // skipped: live WAL frame is authoritative
+  uint64_t slots_backfilled = 0;  // absent slots computed (lazy upgrade)
+  uint64_t corruptions_found = 0;
+  uint64_t pages_repaired = 0;    // corrupt pages re-folded from the WAL
+  bool upgraded_format = false;   // header flipped to v4 this scrub
+  std::vector<PageId> unrepairable;
 };
 
 /// The page manager. Thread-safe for concurrent readers plus one writer.
@@ -329,6 +379,16 @@ class Pager {
   /// may satisfy it) and the sticky failed-sync rule.
   Status SyncWal();
 
+  /// Walks every main-file page verifying its checksum: backfills absent
+  /// slots (the lazy v3->v4 upgrade), re-folds corrupt pages whose content
+  /// a live WAL frame still holds, reports the rest as unrepairable, and
+  /// flips the header to format v4 once every page is covered. Runs an
+  /// incremental checkpoint first so the WAL's view of the world lands;
+  /// pages still shadowed by an unfolded frame afterwards are skipped
+  /// (their authoritative, frame-checksummed copy is the WAL). Takes the
+  /// writer slot; Busy if a writer is active.
+  Status Scrub(ScrubReport* report);
+
   /// Drops the page cache (cold-start simulation for benchmarks).
   void DropCaches();
 
@@ -347,6 +407,18 @@ class Pager {
   const PagerOptions& options() const { return options_; }
   /// Backend the main file actually uses (kPread when uring fell back).
   IoBackend io_backend() const { return io_backend_; }
+  /// True while ENOSPC degraded read-only mode is active (cleared by the
+  /// space probe of the next BeginWrite once the filesystem has room).
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  /// Persisted format version of the database header (>= 4 means page
+  /// checksums are mandatory; see DbHeader::kFormatWithPageChecksums).
+  uint32_t format_version() const {
+    return header_version_.load(std::memory_order_acquire);
+  }
+  /// Sidecar checksum slots currently present (tests/observability).
+  uint64_t checksum_slot_count() const {
+    return checksums_ != nullptr ? checksums_->slot_count() : 0;
+  }
 
  private:
   friend class AsyncPrefetch;  // Finish() installs into cache_/stats_
@@ -361,6 +433,19 @@ class Pager {
   Status Initialize();
   // Reads a committed page image as of `seq`, bypassing txn dirty state.
   Result<PagePtr> ReadCommitted(PageId id, uint64_t seq);
+  // CRC32C verification of a main-file page image against the sidecar
+  // slot (no-op with checksum_pages off). Counts mismatches in
+  // IoStats::corruptions_detected and returns Corruption.
+  Status VerifyMainPage(PageId id, const uint8_t* bytes);
+  // Flips the pager into read-only degraded mode when `st` is
+  // ResourceExhausted (and the knob allows); returns `st` unchanged.
+  Status NoteWriteError(Status st);
+  // With the writer slot held: in degraded mode, probes the filesystem
+  // for free space (one page written past EOF, truncated back) and clears
+  // the flag on success; ResourceExhausted while space is still missing.
+  Status ProbeDegraded();
+  // Scrub's verification walk; caller holds the writer slot.
+  Status ScrubLocked(ScrubReport* report);
   // Shared body of ReadPages/PrefetchPages; `best_effort` skips failed
   // pages instead of failing and flags inserts as prefetched.
   Status ReadPagesInternal(std::span<const PageId> ids, uint64_t seq,
@@ -383,9 +468,51 @@ class Pager {
   std::string path_;
   std::unique_ptr<FileHandle> db_file_;
   std::unique_ptr<Wal> wal_;
+  std::unique_ptr<PageChecksumFile> checksums_;
   IoBackend io_backend_ = IoBackend::kPread;  // effective, set at open
   PageCache cache_;
   IoStats stats_;
+
+  // Persisted header format version. >= kFormatWithPageChecksums makes an
+  // absent checksum slot Corruption; older versions tolerate absent slots
+  // while the lazy upgrade fills them in. Scrub flips it, hence atomic
+  // (readers consult it on every main-file read). A recreated (damaged)
+  // sidecar demotes strictness the same way until the next scrub.
+  std::atomic<uint32_t> header_version_{0};
+  std::atomic<bool> strict_checksums_{false};
+
+  // ENOSPC degraded read-only mode (read_only_on_enospc).
+  std::atomic<bool> degraded_{false};
+
+  // In-flight async-prefetch registry: main-file pages whose SubmitRead
+  // has not been reaped yet. A demand read that misses on one of these
+  // *joins* the batch — it drives the reap itself if nobody is, or waits
+  // for the driver — instead of issuing a duplicate read; a second
+  // prefetch skips them entirely. Joiner-driven reaping is what makes the
+  // join deadlock-free: the thread that submitted the prefetch may itself
+  // demand-read one of its pages (rerank point reads cross partitions)
+  // before calling Finish.
+  std::shared_ptr<InflightBatch> FindInflight(PageId id);
+  // Reaps, verifies, and installs `b` exactly once (whoever arrives first
+  // drives; everyone else waits), then deregisters its pages. Idempotent.
+  void DriveInflight(const std::shared_ptr<InflightBatch>& b);
+  std::mutex inflight_mutex_;
+  std::unordered_map<PageId, std::shared_ptr<InflightBatch>> inflight_;
+
+  // Single-flight registry for lone demand reads, the demand-vs-demand
+  // twin of the batch join above: concurrent demand misses on the same
+  // main-file page (hot B+Tree inner pages under a cold cache) would each
+  // issue their own pread — the first reader registers here, later ones
+  // wait and re-resolve from the cache. A failed leader deregisters
+  // before signalling, so a woken waiter that still misses becomes the
+  // next leader and reads (and reports) on its own.
+  struct SingleFlight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  std::mutex single_flight_mutex_;
+  std::unordered_map<PageId, std::shared_ptr<SingleFlight>> single_flight_;
 
   // Guards the reader registry and the published commit horizon
   // (last_committed_seq_, page_count_). On the read and commit paths it is

@@ -63,6 +63,28 @@ uint64_t FrameOffset(uint64_t frame_no) {
   return Wal::kHeaderSize + (frame_no - 1) * Wal::kFrameSize;
 }
 
+// Runtime verification of a full frame image read from the file: the same
+// magic + checksum test recovery applies, plus an optional page-id match
+// so a misdirected read (right bytes, wrong slot) cannot serve page A as
+// page B. No epoch check: a reader holding a frame pin can never observe
+// a frame of another generation (WrapRestart takes the exclusive side).
+Status VerifyFrameImage(const uint8_t* frame, uint64_t frame_no,
+                        const PageId* expect_page) {
+  FrameHeader h;
+  std::memcpy(&h, frame, sizeof(h));
+  if (h.magic != Wal::kFrameMagic ||
+      h.checksum != FrameChecksum(h, frame + Wal::kFrameHeaderSize)) {
+    return Status::Corruption("WAL frame " + std::to_string(frame_no) +
+                              " failed checksum verification");
+  }
+  if (expect_page != nullptr && h.page_id != *expect_page) {
+    return Status::Corruption("WAL frame " + std::to_string(frame_no) +
+                              " holds page " + std::to_string(h.page_id) +
+                              ", expected page " + std::to_string(*expect_page));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
@@ -478,7 +500,8 @@ bool Wal::ReadStagedFrame(uint64_t frame_no, Page* out) const {
   return true;
 }
 
-Status Wal::ReadFrame(uint64_t frame_no, Page* out) const {
+Status Wal::ReadFrame(uint64_t frame_no, Page* out,
+                      const PageId* expect_page) const {
   if (frame_no == 0 ||
       frame_no > frame_count_.load(std::memory_order_acquire)) {
     return Status::Corruption("WAL frame " + std::to_string(frame_no) +
@@ -488,7 +511,9 @@ Status Wal::ReadFrame(uint64_t frame_no, Page* out) const {
   // a positional pread of an immutable, already-flushed frame. The
   // flushed cursor only ever advances within a generation, so a stale-low
   // read of it merely sends us through the staged check, which falls
-  // through to the pread when the flush already landed the frame.
+  // through to the pread when the flush already landed the frame. Staged
+  // copies were serialized by this process and never left memory, so only
+  // the on-file path needs verification.
   if (frame_no > flushed_frames_.load(std::memory_order_acquire)) {
     if (ReadStagedFrame(frame_no, out)) {
       if (stats_ != nullptr) {
@@ -497,17 +522,30 @@ Status Wal::ReadFrame(uint64_t frame_no, Page* out) const {
       return Status::OK();
     }
   }
-  const uint64_t off = FrameOffset(frame_no) + kFrameHeaderSize;
-  MICRONN_RETURN_IF_ERROR(file_->ReadAt(off, out->bytes(), kPageSize));
+  // Full-frame read (header travels with the payload, still one pread) so
+  // the same magic + checksum test recovery applies gates every runtime
+  // frame read: a torn or bit-flipped frame surfaces as Corruption, never
+  // as page content.
+  uint8_t frame[kFrameSize];
+  MICRONN_RETURN_IF_ERROR(
+      file_->ReadAt(FrameOffset(frame_no), frame, kFrameSize));
+  Status verify = VerifyFrameImage(frame, frame_no, expect_page);
+  if (!verify.ok()) {
+    if (stats_ != nullptr) {
+      stats_->corruptions_detected.fetch_add(1, std::memory_order_relaxed);
+    }
+    return verify;
+  }
+  std::memcpy(out->bytes(), frame + kFrameHeaderSize, kPageSize);
   if (stats_ != nullptr) {
     stats_->pages_read_wal.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
 }
 
-Status Wal::ReadFrameBatch(
-    const std::vector<std::pair<uint64_t, Page*>>& ops,
-    std::vector<Status>* per_op) const {
+Status Wal::ReadFrameBatch(const std::vector<std::pair<uint64_t, Page*>>& ops,
+                           std::vector<Status>* per_op,
+                           const std::vector<PageId>* expect_pages) const {
   per_op->assign(ops.size(), Status::OK());
   const uint64_t count = frame_count_.load(std::memory_order_acquire);
   const uint64_t flushed = flushed_frames_.load(std::memory_order_acquire);
@@ -528,28 +566,55 @@ Status Wal::ReadFrameBatch(
       ++staged_served;
       continue;
     }
-    ReadOp op;
-    op.offset = FrameOffset(frame_no) + kFrameHeaderSize;
-    op.buf = ops[i].second->bytes();
-    op.len = kPageSize;
-    reads.push_back(op);
     read_idx.push_back(i);
   }
-  if (reads.empty()) {
+  if (read_idx.empty()) {
     if (stats_ != nullptr && staged_served > 0) {
       stats_->pages_read_wal.fetch_add(staged_served,
                                        std::memory_order_relaxed);
     }
     return Status::OK();
   }
+  // On-file frames are read whole (header + payload, one op each — the
+  // 32-byte header rides along) into a scratch arena and verified like
+  // ReadFrame before a byte reaches the caller's pages.
+  std::vector<uint8_t> arena(read_idx.size() * kFrameSize);
+  reads.resize(read_idx.size());
+  for (size_t k = 0; k < read_idx.size(); ++k) {
+    reads[k].offset = FrameOffset(ops[read_idx[k]].first);
+    reads[k].buf = arena.data() + k * kFrameSize;
+    reads[k].len = kFrameSize;
+    reads[k].status = Status::OK();
+  }
   MICRONN_RETURN_IF_ERROR(file_->ReadBatch(reads.data(), reads.size()));
   uint64_t ok_frames = staged_served;
-  for (size_t i = 0; i < reads.size(); ++i) {
-    (*per_op)[read_idx[i]] = reads[i].status;
-    if (reads[i].status.ok()) ++ok_frames;
+  uint64_t corrupt_frames = 0;
+  for (size_t k = 0; k < reads.size(); ++k) {
+    const size_t i = read_idx[k];
+    Status st = reads[k].status;
+    if (st.ok()) {
+      const uint8_t* frame = arena.data() + k * kFrameSize;
+      const PageId* expect =
+          expect_pages != nullptr ? &(*expect_pages)[i] : nullptr;
+      st = VerifyFrameImage(frame, ops[i].first, expect);
+      if (st.ok()) {
+        std::memcpy(ops[i].second->bytes(), frame + kFrameHeaderSize,
+                    kPageSize);
+        ++ok_frames;
+      } else {
+        ++corrupt_frames;
+      }
+    }
+    (*per_op)[i] = std::move(st);
   }
-  if (stats_ != nullptr && ok_frames > 0) {
-    stats_->pages_read_wal.fetch_add(ok_frames, std::memory_order_relaxed);
+  if (stats_ != nullptr) {
+    if (ok_frames > 0) {
+      stats_->pages_read_wal.fetch_add(ok_frames, std::memory_order_relaxed);
+    }
+    if (corrupt_frames > 0) {
+      stats_->corruptions_detected.fetch_add(corrupt_frames,
+                                             std::memory_order_relaxed);
+    }
   }
   return Status::OK();
 }

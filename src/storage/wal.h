@@ -162,20 +162,29 @@ class Wal {
   std::optional<uint64_t> FindFrame(PageId page, uint64_t snapshot_seq) const;
 
   /// Reads the page image of 1-based frame `frame_no` — a positional pread
-  /// for flushed frames, a buffer copy for staged ones. Callers that can
+  /// for flushed frames, a buffer copy for staged ones. On-file frames are
+  /// read whole and verified (magic + checksum, the same test recovery
+  /// applies) before any byte is copied out; a torn or flipped frame is
+  /// Status::Corruption, counted in IoStats::corruptions_detected. A
+  /// non-null `expect_page` additionally requires the frame header's page
+  /// id to match (guards against misdirected reads). Callers that can
   /// race a wrap-around restart (any registered reader snapshot) must hold
   /// PinFrames() across their resolve (FindFrame) AND this read, so the
   /// resolved frame number cannot be recycled in between; the writer and
   /// the checkpointer (who themselves perform restarts) need no pin.
-  Status ReadFrame(uint64_t frame_no, Page* out) const;
+  Status ReadFrame(uint64_t frame_no, Page* out,
+                   const PageId* expect_page = nullptr) const;
 
   /// One batched frame read of a Pager::ReadPages miss set. ops[i].second
   /// receives the page image of 1-based frame ops[i].first; per-frame
-  /// outcomes land in (*per_op)[i] (sized by this call). The return value
+  /// outcomes land in (*per_op)[i] (sized by this call). Every on-file
+  /// frame is verified like ReadFrame; `expect_pages` (if non-null, sized
+  /// like `ops`) pins each frame to its expected page id. The return value
   /// reports transport-level failure only, so a best-effort prefetch can
   /// keep the frames that did arrive. Same pinning contract as ReadFrame.
   Status ReadFrameBatch(const std::vector<std::pair<uint64_t, Page*>>& ops,
-                        std::vector<Status>* per_op) const;
+                        std::vector<Status>* per_op,
+                        const std::vector<PageId>* expect_pages = nullptr) const;
 
   /// Shared pin on the frame address space: while held, no frame number
   /// can be recycled (Reset and WrapRestart take the exclusive side).

@@ -53,6 +53,28 @@ struct FaultSchedule {
   uint64_t fail_sync_at = 0;
   /// Fail the Nth Truncate with IOError.
   uint64_t fail_truncate_at = 0;
+
+  // --- Integrity / degraded-mode fault modes ---
+
+  /// The Nth ReadAt succeeds but XORs `corrupt_read_xor` into the byte at
+  /// index `corrupt_read_byte % len` of the returned buffer — a bit-flip
+  /// between the platter and the page cache. Checksummed readers must
+  /// surface Corruption, never the flipped data.
+  uint64_t corrupt_read_at = 0;
+  size_t corrupt_read_byte = 0;
+  uint8_t corrupt_read_xor = 0xFF;
+  /// From the Nth write-side op onward (WriteAt and Append share the
+  /// count), every write-side op fails with ResourceExhausted — a full
+  /// disk stays full until space is freed (set_schedule with 0).
+  uint64_t enospc_after = 0;
+  /// From the Nth ReadAt onward every read fails with IOError — dying
+  /// media. Permanent per the taxonomy: retries must NOT mask it.
+  uint64_t sticky_eio_read_at = 0;
+  /// The Nth ReadAt — and the next `transient_read_failures - 1` attempts
+  /// after it — fail with Unavailable, then reads succeed again. The
+  /// retry layer must absorb these within its budget.
+  uint64_t transient_read_at = 0;
+  uint64_t transient_read_failures = 1;
 };
 
 /// Operation counts observed so far (for assertions and for deriving the
@@ -72,6 +94,7 @@ class FaultInjectionFile final : public FileHandle {
 
   Status ReadAt(uint64_t offset, void* buf, size_t n) override {
     bool interrupted = false;
+    bool corrupt = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++counters_.reads;
@@ -81,13 +104,31 @@ class FaultInjectionFile final : public FileHandle {
       if (counters_.reads == schedule_.short_read_at) {
         return Status::IOError("injected short read in " + base_->path());
       }
+      if (schedule_.sticky_eio_read_at > 0 &&
+          counters_.reads >= schedule_.sticky_eio_read_at) {
+        return Status::IOError("injected sticky EIO in " + base_->path());
+      }
+      if (schedule_.transient_read_at > 0 &&
+          counters_.reads >= schedule_.transient_read_at &&
+          counters_.reads <
+              schedule_.transient_read_at + schedule_.transient_read_failures) {
+        return Status::Unavailable("injected transient read fault in " +
+                                   base_->path());
+      }
       interrupted = schedule_.eintr_every > 0 &&
                     counters_.reads % schedule_.eintr_every == 0;
+      corrupt = counters_.reads == schedule_.corrupt_read_at;
     }
     if (interrupted) {
       base_->ReadAt(offset, buf, n).ok();  // interrupted attempt, restarted
     }
-    return base_->ReadAt(offset, buf, n);
+    Status st = base_->ReadAt(offset, buf, n);
+    if (corrupt && st.ok() && n > 0) {
+      // Bit-flip between the platter and the caller's buffer.
+      static_cast<uint8_t*>(buf)[schedule_.corrupt_read_byte % n] ^=
+          schedule_.corrupt_read_xor;
+    }
+    return st;
   }
 
   // Each batched op consumes one read slot, so a schedule derived from a
@@ -108,6 +149,11 @@ class FaultInjectionFile final : public FileHandle {
       ++counters_.writes;
       if (counters_.writes == schedule_.fail_write_at) {
         return Status::IOError("injected write fault in " + base_->path());
+      }
+      if (schedule_.enospc_after > 0 &&
+          counters_.writes + counters_.appends >= schedule_.enospc_after) {
+        return Status::ResourceExhausted("injected ENOSPC in " +
+                                         base_->path());
       }
       torn = counters_.writes == schedule_.torn_write_at;
       torn_bytes = schedule_.torn_write_bytes;
@@ -130,6 +176,11 @@ class FaultInjectionFile final : public FileHandle {
       ++counters_.appends;
       if (counters_.appends == schedule_.fail_append_at) {
         return Status::IOError("injected append fault in " + base_->path());
+      }
+      if (schedule_.enospc_after > 0 &&
+          counters_.writes + counters_.appends >= schedule_.enospc_after) {
+        return Status::ResourceExhausted("injected ENOSPC in " +
+                                         base_->path());
       }
       torn = counters_.appends == schedule_.torn_append_at;
       torn_bytes = schedule_.torn_append_bytes;
