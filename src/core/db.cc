@@ -698,6 +698,12 @@ void DB::ExecuteQueryGroup(const std::vector<QueryGroupEntry*>& group) {
     ex.rows_reranked = result.rows_reranked;
     ex.partitions_quarantined = result.partitions_quarantined;
     ex.rows_quarantined = result.counters.rows_quarantined;
+    // Remember what this query quarantined so Health() can name it and
+    // the background healer knows there is something to re-verify.
+    for (const uint32_t partition : result.quarantined_partition_ids) {
+      quarantine_.NoteSq8Partition(partition);
+    }
+    quarantine_.NoteAttributeRows(result.counters.rows_quarantined);
     ex.shared_scan = result.shared_scan;
     ex.group_size = group_size;
     ex.group_partitions_scanned = counters.partitions_scanned;
@@ -732,6 +738,42 @@ void DB::DropCaches() {
   centroid_cache_.reset();
   stats_cache_.reset();
   stats_cache_version_ = ~0ull;
+}
+
+HealthReport DB::Health() {
+  Pager* pager = engine_->pager();
+  HealthReport h;
+  h.read_only = pager->degraded();
+  h.read_only_cause = pager->degraded_cause();
+  h.read_only_for_ms = pager->degraded_for_ms();
+  h.strict_checksums = pager->strict_checksums();
+  h.format_version = pager->format_version();
+  h.quarantined_sq8_partitions = quarantine_.Sq8Partitions();
+  h.quarantined_attribute_rows = quarantine_.attribute_rows();
+  const ScrubState scrub = pager->scrub_state();
+  h.scrub_active = scrub.active;
+  h.scrub_next_page = scrub.next_page;
+  h.scrub_pages_verified = scrub.pages_verified;
+  h.scrub_passes_completed = scrub.passes_completed;
+  h.scrub_pages_repaired = scrub.last_report.pages_repaired;
+  h.scrub_unrepairable = scrub.last_report.unrepairable.size();
+  const IoStats::View io = engine_->io_stats().Snapshot();
+  h.corruptions_detected = io.corruptions_detected;
+  h.io_retries = io.io_retries;
+  h.wal_wraps = io.wal_wraps;
+  h.enospc_probes = io.enospc_probes;
+  // Verdict: most severe condition wins. Lenient checksums only count as
+  // degraded on a v4 database (damaged sidecar awaiting re-cover); a
+  // legacy database mid-upgrade is in its normal state.
+  if (h.read_only) {
+    h.verdict = HealthVerdict::kReadOnly;
+  } else if (!h.quarantined_sq8_partitions.empty() ||
+             h.scrub_unrepairable > 0 ||
+             (options_.pager.checksum_pages && !h.strict_checksums &&
+              h.format_version >= DbHeader::kFormatWithPageChecksums)) {
+    h.verdict = HealthVerdict::kDegradedServing;
+  }
+  return h;
 }
 
 }  // namespace micronn

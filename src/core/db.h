@@ -19,6 +19,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "core/health.h"
 #include "core/options.h"
 #include "ivf/centroid_set.h"
 #include "ivf/maintenance.h"
@@ -94,6 +95,17 @@ class DB {
   /// concurrent readers keep serving throughout.
   Result<ScrubReport> Scrub();
 
+  /// One bounded batch of the incremental scrub: verifies at most
+  /// `max_pages` pages under the pager's writer slot and returns whether
+  /// that completed a pass over the whole file (see Pager::ScrubStep).
+  /// On a pass that re-verified every page cleanly, the quarantine
+  /// registry is cleared — queries return to quantized plans on their
+  /// own. Unlike Scrub() this does not take the DB write mutex: the
+  /// writer slot is the real serialization point, and a step overlapping
+  /// a commit simply returns Busy (callers retry). The background
+  /// HealthMonitor drives this under its I/O token bucket.
+  Result<bool> ScrubStep(uint32_t max_pages);
+
   // --- Introspection ---
 
   Result<IndexStats> GetIndexStats();
@@ -106,8 +118,16 @@ class DB {
   StorageEngine* engine() { return engine_.get(); }
   const DbOptions& options() const { return options_; }
   IoStats& io_stats() { return engine_->io_stats(); }
+  /// Copyable point-in-time counter snapshot — what benchmarks and tests
+  /// should diff instead of reaching into pager internals.
+  IoStats::View io_stats_snapshot() { return engine_->io_stats().Snapshot(); }
   /// Admission-scheduler counters (groups run, submissions coalesced).
   const SchedulerStats& scheduler_stats() const { return scheduler_.stats(); }
+  /// Point-in-time health snapshot: degraded/read-only mode, checksum
+  /// strictness, quarantined partitions, scrub progress, integrity
+  /// counters, and the overall verdict. Cheap enough to poll per request
+  /// (atomic loads plus two small mutexed copies; no I/O).
+  HealthReport Health();
 
  private:
   DB(DbOptions options, std::unique_ptr<StorageEngine> engine)
@@ -160,6 +180,11 @@ class DB {
 
   // Serializes all writes, including multi-transaction maintenance.
   std::mutex write_mutex_;
+
+  // Partitions whose SQ8 representation a query quarantined; fed by
+  // ExecuteQueryGroup, cleared by a clean scrub pass, surfaced by
+  // Health(). Observational — reopening re-detects from disk.
+  QuarantineRegistry quarantine_;
 
   std::mutex cache_mutex_;
   std::shared_ptr<const CentroidSet> centroid_cache_;

@@ -800,7 +800,23 @@ Result<ScrubReport> DB::Scrub() {
   std::lock_guard<std::mutex> lock(write_mutex_);
   ScrubReport report;
   MICRONN_RETURN_IF_ERROR(engine_->pager()->Scrub(&report));
+  // A pass that re-verified (or repaired) every page means the quantized
+  // representations are trustworthy again: lift the quarantine so the
+  // planner returns to SQ8 scans.
+  if (report.unrepairable.empty()) {
+    quarantine_.ClearVerified();
+  }
   return report;
+}
+
+Result<bool> DB::ScrubStep(uint32_t max_pages) {
+  bool done = false;
+  MICRONN_RETURN_IF_ERROR(engine_->pager()->ScrubStep(max_pages, &done));
+  if (done &&
+      engine_->pager()->scrub_state().last_report.unrepairable.empty()) {
+    quarantine_.ClearVerified();
+  }
+  return done;
 }
 
 Status DB::AnalyzeStatsLocked() {

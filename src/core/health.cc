@@ -1,0 +1,97 @@
+#include "core/health.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace micronn {
+
+const char* HealthVerdictName(HealthVerdict v) {
+  switch (v) {
+    case HealthVerdict::kHealthy:
+      return "healthy";
+    case HealthVerdict::kDegradedServing:
+      return "degraded_serving";
+    case HealthVerdict::kReadOnly:
+      return "read_only";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, const char* key, uint64_t value,
+               bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64 "%s", key, value,
+                comma ? "," : "");
+  *out += buf;
+}
+
+void AppendBool(std::string* out, const char* key, bool value) {
+  *out += '"';
+  *out += key;
+  *out += value ? "\":true," : "\":false,";
+}
+
+}  // namespace
+
+std::string HealthReport::ToJson() const {
+  std::string out = "{";
+  out += "\"verdict\":";
+  AppendJsonString(&out, VerdictName());
+  out += ',';
+  AppendBool(&out, "read_only", read_only);
+  out += "\"read_only_cause\":";
+  AppendJsonString(&out, read_only_cause);
+  out += ',';
+  AppendU64(&out, "read_only_for_ms", read_only_for_ms);
+  AppendBool(&out, "strict_checksums", strict_checksums);
+  AppendU64(&out, "format_version", format_version);
+  out += "\"quarantined_sq8_partitions\":[";
+  for (size_t i = 0; i < quarantined_sq8_partitions.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(quarantined_sq8_partitions[i]);
+  }
+  out += "],";
+  AppendU64(&out, "quarantined_attribute_rows", quarantined_attribute_rows);
+  AppendBool(&out, "scrub_active", scrub_active);
+  AppendU64(&out, "scrub_next_page", scrub_next_page);
+  AppendU64(&out, "scrub_pages_verified", scrub_pages_verified);
+  AppendU64(&out, "scrub_passes_completed", scrub_passes_completed);
+  AppendU64(&out, "scrub_pages_repaired", scrub_pages_repaired);
+  AppendU64(&out, "scrub_unrepairable", scrub_unrepairable);
+  AppendU64(&out, "corruptions_detected", corruptions_detected);
+  AppendU64(&out, "io_retries", io_retries);
+  AppendU64(&out, "wal_wraps", wal_wraps);
+  AppendU64(&out, "enospc_probes", enospc_probes, /*comma=*/false);
+  out += '}';
+  return out;
+}
+
+}  // namespace micronn

@@ -70,6 +70,101 @@ class BackgroundMaintainer {
   std::thread thread_;
 };
 
+/// Background self-healing service thread (the auto-recovery half of the
+/// health subsystem; see docs/DURABILITY.md "Health & self-healing").
+/// Polls DB::Health() and
+///   - drives budgeted incremental scrub passes (DB::ScrubStep) when
+///     corruption or quarantine has been observed, pacing the verification
+///     reads with a token bucket so repair runs *beside* traffic instead
+///     of instead of it, and
+///   - re-probes ENOSPC read-only mode via Pager::TryRecoverDegraded()
+///     (the pager's exponential probe backoff keeps that cheap), so a
+///     write-idle database leaves degraded mode without waiting for the
+///     next write.
+/// A clean pass clears the quarantine registry (DB::ScrubStep), returning
+/// queries to quantized plans with no operator action. Host applications
+/// that prefer explicit control simply never start one and call
+/// DB::Scrub() themselves.
+class HealthMonitor {
+ public:
+  struct Options {
+    /// How often to poll DB::Health().
+    std::chrono::milliseconds interval{250};
+    /// Pages verified per ScrubStep — the writer-slot hold is bounded by
+    /// one such batch; commits interleave between batches.
+    uint32_t scrub_batch_pages = 256;
+    /// Token-bucket refill rate for scrub verification reads (default
+    /// 8 MiB/s, roughly background-priority on phone-class flash).
+    /// 0 disables throttling.
+    uint64_t scrub_io_budget_bytes_per_sec = 8ull << 20;
+    /// Schedule scrub passes automatically on observed corruption or
+    /// quarantine ("health_scrub_auto"). Off leaves scrubbing to explicit
+    /// DB::Scrub() calls; the ENOSPC re-probe still runs.
+    bool scrub_auto = true;
+    /// Also run one full verification pass when the monitor starts, even
+    /// with no symptom observed. Reads are WAL-first, so damage to folded
+    /// main-file pages is invisible to queries until the frame index is
+    /// gone — a cold-start coverage pass is the only way to find (and
+    /// repair, while the WAL still holds the pristine frames) such latent
+    /// corruption. Costs one budgeted read of the whole file.
+    bool scrub_verify_on_start = false;
+  };
+
+  /// Starts the service thread immediately. `db` must outlive this object.
+  HealthMonitor(DB* db, const Options& options);
+  ~HealthMonitor();
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Stops the thread (idempotent; also run by the destructor).
+  void Stop();
+
+  /// Wakes the thread for an immediate health check.
+  void TriggerNow();
+
+  /// Scrub batches this monitor drove.
+  uint64_t scrub_steps() const {
+    return scrub_steps_.load(std::memory_order_relaxed);
+  }
+  /// Whole-file scrub passes this monitor completed.
+  uint64_t passes_completed() const {
+    return passes_completed_.load(std::memory_order_relaxed);
+  }
+  /// ENOSPC degraded-mode exits this monitor's probing achieved.
+  uint64_t enospc_recoveries() const {
+    return enospc_recoveries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  // Whether the observed state calls for (more) scrubbing. Event-driven:
+  // beyond finishing an in-flight pass, triggers only when the corruption
+  // counter moved past the post-pass baseline (or a degraded-serving
+  // state predates any pass), so unrepairable damage does not send the
+  // monitor into a permanent rescrub loop.
+  bool ScrubWanted(const HealthReport& h) const;
+  // Blocks (stop-aware) until the token bucket holds `bytes`; returns
+  // false when stopping. Unbudgeted = immediate true.
+  bool WaitForBudget(uint64_t bytes);
+
+  DB* db_;
+  Options options_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool poke_ = false;
+  std::atomic<uint64_t> scrub_steps_{0};
+  std::atomic<uint64_t> passes_completed_{0};
+  std::atomic<uint64_t> enospc_recoveries_{0};
+  // Loop-thread-only state: corruption counter at the end of the last
+  // completed pass, and the token bucket.
+  uint64_t scrubbed_corruptions_ = 0;
+  double tokens_ = 0;
+  std::chrono::steady_clock::time_point last_refill_{};
+  std::thread thread_;
+};
+
 }  // namespace micronn
 
 #endif  // MICRONN_CORE_MAINTAINER_H_

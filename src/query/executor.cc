@@ -181,7 +181,11 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
                            << work[i].partition << ": "
                            << params.status().ToString();
         for (const size_t idx : work[i].plan_idx) {
-          if (plans[idx].quantized) ++results[idx].partitions_quarantined;
+          if (plans[idx].quantized) {
+            ++results[idx].partitions_quarantined;
+            results[idx].quarantined_partition_ids.push_back(
+                work[i].partition);
+          }
         }
         continue;
       }
@@ -205,7 +209,9 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
     std::unordered_map<size_t, TopKHeap> heaps;
     std::unordered_map<size_t, ScanCounters> counters;
     std::unordered_map<size_t, uint64_t> quantized_partitions;
-    std::unordered_map<size_t, uint64_t> quarantined_partitions;
+    // Quarantine events per plan, carrying the partition id (the merge
+    // derives the count and the id list from the same vector).
+    std::unordered_map<size_t, std::vector<uint32_t>> quarantined_partitions;
     ScanCounters physical;  // rows decoded once per shared scan
     // Physical partition scans: a partition whose fan-in splits by
     // representation is scanned once per representation and counts twice,
@@ -314,7 +320,7 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
         MICRONN_LOG(kWarn) << "quarantining SQ8 sidecar of partition "
                            << pw.partition << ": " << qs.ToString();
         for (const size_t idx : quant_idx) {
-          ++ws.quarantined_partitions[idx];
+          ws.quarantined_partitions[idx].push_back(pw.partition);
           float_idx.push_back(idx);
         }
       } else {
@@ -486,8 +492,11 @@ Result<std::vector<PlanResult>> QueryExecutor::Execute(
       for (const auto& [idx, count] : ws.quantized_partitions) {
         results[idx].partitions_quantized += count;
       }
-      for (const auto& [idx, count] : ws.quarantined_partitions) {
-        results[idx].partitions_quarantined += count;
+      for (const auto& [idx, ids] : ws.quarantined_partitions) {
+        results[idx].partitions_quarantined += ids.size();
+        results[idx].quarantined_partition_ids.insert(
+            results[idx].quarantined_partition_ids.end(), ids.begin(),
+            ids.end());
       }
     }
     for (const size_t idx : scan_plans) {

@@ -132,6 +132,11 @@ struct PlanResult {
   /// at a latency cost. Rows quarantined by corrupt attribute records
   /// are counted in `counters.rows_quarantined`.
   uint64_t partitions_quarantined = 0;
+  /// The quarantined partitions' ids (one entry per quarantine event, so
+  /// a partition probed by several plans can repeat) — what DB threads
+  /// into its QuarantineRegistry so DB::Health() can name the partitions
+  /// the background healer needs to re-verify.
+  std::vector<uint32_t> quarantined_partition_ids;
 };
 
 class QueryExecutor {

@@ -65,6 +65,11 @@ class IoStats {
   std::atomic<uint64_t> io_retries{0};
   std::atomic<uint64_t> corruptions_detected{0};
   std::atomic<uint64_t> read_joins{0};
+  // Filesystem space probes issued while in ENOSPC degraded mode (each is
+  // one write-past-EOF + truncate pair). The exponential probe backoff
+  // exists to keep this flat while the disk stays full; the rate-limit
+  // test asserts exactly that.
+  std::atomic<uint64_t> enospc_probes{0};
   // Per-shard page-cache hits/misses (only the first
   // PageCache::shard_count() slots ever move): the readers-at-scale bench
   // uses these to verify shard spread and tune PagerOptions::cache_shards.
@@ -95,6 +100,7 @@ class IoStats {
     uint64_t io_retries = 0;
     uint64_t corruptions_detected = 0;
     uint64_t read_joins = 0;
+    uint64_t enospc_probes = 0;
     std::array<uint64_t, kMaxCacheShards> cache_shard_hits{};
     std::array<uint64_t, kMaxCacheShards> cache_shard_misses{};
     std::array<uint64_t, kMaxCacheShards> cache_shard_evictions{};
@@ -133,6 +139,7 @@ class IoStats {
       out.corruptions_detected =
           corruptions_detected - rhs.corruptions_detected;
       out.read_joins = read_joins - rhs.read_joins;
+      out.enospc_probes = enospc_probes - rhs.enospc_probes;
       for (size_t s = 0; s < kMaxCacheShards; ++s) {
         out.cache_shard_hits[s] =
             cache_shard_hits[s] - rhs.cache_shard_hits[s];
@@ -169,6 +176,7 @@ class IoStats {
     v.corruptions_detected =
         corruptions_detected.load(std::memory_order_relaxed);
     v.read_joins = read_joins.load(std::memory_order_relaxed);
+    v.enospc_probes = enospc_probes.load(std::memory_order_relaxed);
     for (size_t s = 0; s < kMaxCacheShards; ++s) {
       v.cache_shard_hits[s] =
           cache_shard_hits[s].load(std::memory_order_relaxed);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <limits>
 
 #include "common/crc32c.h"
 #include "common/logging.h"
@@ -201,6 +202,11 @@ Status Pager::VerifyMainPage(PageId id, const uint8_t* bytes) {
 Status Pager::NoteWriteError(Status st) {
   if (st.IsResourceExhausted() && options_.read_only_on_enospc &&
       !degraded_.exchange(true, std::memory_order_acq_rel)) {
+    {
+      std::lock_guard<std::mutex> lock(degraded_info_mutex_);
+      degraded_cause_ = st.ToString();
+      degraded_since_ = std::chrono::steady_clock::now();
+    }
     MICRONN_LOG(kWarn) << "out of disk space; " << path_
                        << " entering read-only degraded mode: "
                        << st.ToString();
@@ -212,24 +218,83 @@ Status Pager::ProbeDegraded() {
   // Called with the writer slot held. In degraded mode, probe the
   // filesystem for space — one page written past EOF, truncated straight
   // back — so writes resume automatically once space returns and fail
-  // fast (ResourceExhausted, no partial work) while it has not.
+  // fast (ResourceExhausted, no partial work) while it has not. After a
+  // failed probe the next attempts inside the (exponentially growing)
+  // backoff window skip the syscalls entirely: a full disk should not
+  // turn every rejected write into two extra filesystem operations.
   if (!degraded_.load(std::memory_order_acquire)) return Status::OK();
+  const auto now = std::chrono::steady_clock::now();
+  if (enospc_probe_backoff_ms_ > 0 && now < enospc_next_probe_) {
+    return Status::ResourceExhausted(
+        "database is read-only (degraded after out-of-space); space probe "
+        "backed off");
+  }
+  stats_.enospc_probes.fetch_add(1, std::memory_order_relaxed);
   const uint64_t end = db_file_->size();
   std::vector<uint8_t> probe(kPageSize, 0);
   Status st = db_file_->WriteAt(end, probe.data(), kPageSize);
   Status restore = db_file_->Truncate(end);  // undo the probe either way
   if (st.ok()) st = restore;
   if (!st.ok()) {
+    if (options_.enospc_probe_backoff_ms > 0) {
+      enospc_probe_backoff_ms_ =
+          enospc_probe_backoff_ms_ == 0
+              ? options_.enospc_probe_backoff_ms
+              : static_cast<uint32_t>(std::min<uint64_t>(
+                    2ull * enospc_probe_backoff_ms_,
+                    std::max(options_.enospc_probe_max_backoff_ms,
+                             options_.enospc_probe_backoff_ms)));
+      enospc_next_probe_ =
+          now + std::chrono::milliseconds(enospc_probe_backoff_ms_);
+    }
     return Status::ResourceExhausted(
         "database is read-only (degraded after out-of-space); space probe "
         "failed: " +
         st.ToString());
   }
+  enospc_probe_backoff_ms_ = 0;
   degraded_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(degraded_info_mutex_);
+    degraded_cause_.clear();
+    degraded_since_ = {};
+  }
   MICRONN_LOG(kInfo) << path_
                      << ": disk space available again; leaving read-only "
                         "degraded mode";
   return Status::OK();
+}
+
+std::string Pager::degraded_cause() const {
+  std::lock_guard<std::mutex> lock(degraded_info_mutex_);
+  return degraded_cause_;
+}
+
+uint64_t Pager::degraded_for_ms() const {
+  std::lock_guard<std::mutex> lock(degraded_info_mutex_);
+  if (degraded_since_ == std::chrono::steady_clock::time_point{}) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - degraded_since_)
+          .count());
+}
+
+Status Pager::TryRecoverDegraded() {
+  if (!degraded_.load(std::memory_order_acquire)) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    if (writer_active_) {
+      return Status::Busy("writer active during degraded-recovery probe");
+    }
+    writer_active_ = true;
+  }
+  Status st = ProbeDegraded();
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    writer_active_ = false;
+  }
+  writer_cv_.notify_one();
+  return st;
 }
 
 uint64_t Pager::BeginSnapshot() {
@@ -1276,9 +1341,32 @@ Status Pager::SyncWal() {
 }
 
 Status Pager::Scrub(ScrubReport* report) {
+  // One call, whole file: drive the incremental machinery with an
+  // unbounded batch. If a background pass is mid-file this finishes it
+  // (the cursor is shared), so the returned report may cover work an
+  // earlier ScrubStep already did.
   *report = ScrubReport{};
-  const bool was_legacy = header_version_.load(std::memory_order_acquire) <
-                          DbHeader::kFormatWithPageChecksums;
+  bool done = false;
+  while (!done) {
+    MICRONN_RETURN_IF_ERROR(
+        ScrubStep(std::numeric_limits<uint32_t>::max(), &done));
+  }
+  std::lock_guard<std::mutex> lock(scrub_mutex_);
+  *report = scrub_.last_report;
+  return Status::OK();
+}
+
+ScrubState Pager::scrub_state() const {
+  std::lock_guard<std::mutex> lock(scrub_mutex_);
+  return scrub_;
+}
+
+Status Pager::ScrubStep(uint32_t max_pages, bool* done) {
+  if (done != nullptr) *done = false;
+  if (max_pages == 0) {
+    return Status::InvalidArgument("scrub step of zero pages");
+  }
+  std::lock_guard<std::mutex> scrub_lock(scrub_mutex_);
   {
     std::lock_guard<std::mutex> lock(writer_mutex_);
     if (writer_active_) {
@@ -1286,29 +1374,58 @@ Status Pager::Scrub(ScrubReport* report) {
     }
     writer_active_ = true;
   }
-  // Fold everything foldable first: the WAL's view of the world lands in
-  // the main file (rewriting — i.e. repairing — any page whose main-file
-  // copy went bad while a frame still holds it) and every folded page
-  // gets a fresh slot. The walk then verifies what remains.
-  Status st = CheckpointImpl(/*block_for_readers=*/false);
+  Status st = Status::OK();
+  if (!scrub_.active) {
+    // Pass start. Fold everything foldable first: the WAL's view of the
+    // world lands in the main file (rewriting — i.e. repairing — any page
+    // whose main-file copy went bad while a frame still holds it) and
+    // every folded page gets a fresh slot. The walk then verifies what
+    // remains.
+    scrub_.active = true;
+    scrub_.next_page = 0;
+    scrub_.pages_verified = 0;
+    scrub_.bytes_verified = 0;
+    scrub_.in_progress = ScrubReport{};
+    scrub_was_legacy_ = header_version_.load(std::memory_order_acquire) <
+                        DbHeader::kFormatWithPageChecksums;
+    st = CheckpointImpl(/*block_for_readers=*/false);
+  }
+  uint32_t walked = 0;
+  bool pass_done = false;
   if (st.ok()) {
-    st = ScrubLocked(report);
+    st = ScrubStepLocked(max_pages, &walked, &pass_done);
   }
   {
     std::lock_guard<std::mutex> lock(writer_mutex_);
     writer_active_ = false;
   }
   writer_cv_.notify_one();
+  if (walked > 0 || pass_done) {
+    ++scrub_.steps;
+    scrub_.max_step_pages = std::max(scrub_.max_step_pages, walked);
+  }
   MICRONN_RETURN_IF_ERROR(NoteWriteError(std::move(st)));
+  if (!pass_done) return Status::OK();
 
+  scrub_.active = false;
+  scrub_.last_report = scrub_.in_progress;
+  ++scrub_.passes_completed;
+  if (done != nullptr) *done = true;
+  ScrubReport* report = &scrub_.last_report;
+  if (!report->unrepairable.empty()) {
+    MICRONN_LOG(kWarn) << "scrub of " << path_ << " found "
+                       << report->unrepairable.size()
+                       << " unrepairable page(s); the WAL no longer holds "
+                          "their content";
+  }
   // Every page covered and verified: flip a legacy header to format v4
   // (a normal write transaction — crash-safe like any commit) and turn
   // strict verification on. Also restores strictness for a v4 database
-  // whose recreated sidecar this scrub just re-covered.
+  // whose recreated sidecar this pass just re-covered.
   const bool fully_covered =
       report->unrepairable.empty() && report->pages_shadowed == 0;
   if (!fully_covered) return Status::OK();
-  if (was_legacy) {
+  if (scrub_was_legacy_) {
     MICRONN_ASSIGN_OR_RETURN(std::unique_ptr<WriteTxnState> txn, BeginWrite());
     Result<Page*> header = GetMutablePage(txn.get(), 0);
     if (!header.ok()) {
@@ -1328,12 +1445,17 @@ Status Pager::Scrub(ScrubReport* report) {
   return Status::OK();
 }
 
-Status Pager::ScrubLocked(ScrubReport* report) {
+Status Pager::ScrubStepLocked(uint32_t max_pages, uint32_t* walked,
+                              bool* pass_done) {
   // Caller holds the writer slot: no fold can run concurrently, no commit
   // can add frames, and rewriting a main-file page below is safe — every
   // reader whose snapshot could observe it resolves the page's (still
   // indexed) WAL frame instead, by the same horizon argument the
-  // checkpoint backfill relies on.
+  // checkpoint backfill relies on. The horizon inputs (watermark, seq,
+  // page count) are re-read per step because commits between steps move
+  // all three; pages appended mid-pass are verified when the cursor
+  // reaches them.
+  ScrubReport* report = &scrub_.in_progress;
   const uint64_t watermark = wal_->backfill_watermark();
   uint64_t seq;
   uint32_t pages;
@@ -1343,8 +1465,12 @@ Status Pager::ScrubLocked(ScrubReport* report) {
     pages = page_count_;
   }
   const bool strict = strict_checksums_.load(std::memory_order_acquire);
+  const uint64_t backfilled_before = report->slots_backfilled;
+  const uint64_t repaired_before = report->pages_repaired;
   Page buf;
-  for (PageId id = 0; id < pages; ++id) {
+  const PageId first = scrub_.next_page;
+  PageId id = first;
+  for (; id < pages && id - first < max_pages; ++id) {
     std::optional<uint64_t> frame;
     {
       auto pin = wal_->PinFrames();
@@ -1365,6 +1491,7 @@ Status Pager::ScrubLocked(ScrubReport* report) {
       continue;
     }
     MICRONN_RETURN_IF_ERROR(db_file_->ReadAt(off, buf.bytes(), kPageSize));
+    scrub_.bytes_verified += kPageSize;
     uint32_t crc = 0;
     PageChecksumFile::SlotState state = checksums_->Lookup(id, &crc);
     if (state == PageChecksumFile::SlotState::kValid &&
@@ -1407,14 +1534,18 @@ Status Pager::ScrubLocked(ScrubReport* report) {
       report->unrepairable.push_back(id);
     }
   }
-  if (!report->unrepairable.empty()) {
-    MICRONN_LOG(kWarn) << "scrub of " << path_ << " found "
-                       << report->unrepairable.size()
-                       << " unrepairable page(s); the WAL no longer holds "
-                          "their content";
+  *walked = static_cast<uint32_t>(id - first);
+  scrub_.next_page = id;
+  scrub_.pages_verified += *walked;
+  *pass_done = (id >= pages);
+  // Per-step durability, before the writer slot is released: the sidecar
+  // must never lag the page images it guards, and repaired images must
+  // land before the pass can report them fixed.
+  if (report->slots_backfilled != backfilled_before ||
+      report->pages_repaired != repaired_before) {
+    MICRONN_RETURN_IF_ERROR(NoteWriteError(checksums_->Sync()));
   }
-  MICRONN_RETURN_IF_ERROR(NoteWriteError(checksums_->Sync()));
-  if (report->pages_repaired > 0) {
+  if (report->pages_repaired != repaired_before) {
     MICRONN_RETURN_IF_ERROR(NoteWriteError(db_file_->Sync()));
   }
   return Status::OK();

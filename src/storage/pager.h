@@ -26,6 +26,7 @@
 #define MICRONN_STORAGE_PAGER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -158,6 +159,18 @@ struct PagerOptions {
   /// every write keeps retrying against a full disk.
   bool read_only_on_enospc = true;
 
+  /// Exponential backoff of the degraded-mode space probe. After a probe
+  /// fails (disk still full), the next BeginWrite within the backoff
+  /// window fails fast with ResourceExhausted and *no* filesystem
+  /// syscalls; the window starts at `enospc_probe_backoff_ms` (default
+  /// 10 ms) and doubles per failed probe up to
+  /// `enospc_probe_max_backoff_ms` (default 5000 ms). A successful probe
+  /// resets it. 0 initial backoff disables the rate limit (probe on
+  /// every BeginWrite — the pre-backoff behavior). Probes issued count
+  /// in IoStats::enospc_probes.
+  uint32_t enospc_probe_backoff_ms = 10;
+  uint32_t enospc_probe_max_backoff_ms = 5000;
+
   /// Test hook: wraps each file handle the pager opens (role is "db",
   /// "wal", or "sum" for the page-checksum sidecar) — the seam the
   /// fault-injection harness installs through
@@ -283,6 +296,27 @@ struct ScrubReport {
   std::vector<PageId> unrepairable;
 };
 
+/// Resumable cursor of the incremental scrub (Pager::ScrubStep). A *pass*
+/// walks every main-file page once, in steps of at most `max_pages` pages
+/// each; the writer slot is held only within a step, so commits interleave
+/// between steps. `in_progress` accumulates the active pass's report;
+/// `last_report` is the report of the most recently *completed* pass
+/// (what Pager::Scrub returns). Snapshot with Pager::scrub_state().
+struct ScrubState {
+  bool active = false;          // a pass is underway (cursor mid-file)
+  PageId next_page = 0;         // first page the next step will visit
+  uint64_t pages_verified = 0;  // pages walked this pass (incl. shadowed)
+  uint64_t bytes_verified = 0;  // main-file bytes read and checksummed
+  uint64_t steps = 0;           // lifetime ScrubStep calls that progressed
+  uint64_t passes_completed = 0;
+  /// Largest number of pages any single step walked while holding the
+  /// writer slot — the bound the scrub-under-traffic test asserts against
+  /// its scrub_batch_pages budget.
+  uint32_t max_step_pages = 0;
+  ScrubReport in_progress;
+  ScrubReport last_report;
+};
+
 /// The page manager. Thread-safe for concurrent readers plus one writer.
 class Pager {
  public:
@@ -386,8 +420,34 @@ class Pager {
   /// incremental checkpoint first so the WAL's view of the world lands;
   /// pages still shadowed by an unfolded frame afterwards are skipped
   /// (their authoritative, frame-checksummed copy is the WAL). Takes the
-  /// writer slot; Busy if a writer is active.
+  /// writer slot; Busy if a writer is active. Implemented as a loop over
+  /// ScrubStep with an unbounded batch, so it shares the resumable cursor:
+  /// if an incremental pass is mid-file, this call finishes that pass.
   Status Scrub(ScrubReport* report);
+
+  /// One bounded batch of the incremental scrub: verifies at most
+  /// `max_pages` pages, then releases the writer slot so commits and
+  /// searches interleave (the I/O *rate* budget is the caller's job —
+  /// HealthMonitor runs a token bucket over scrub_state().bytes_verified).
+  /// The first step of a pass runs the incremental checkpoint, exactly
+  /// like the monolithic Scrub. When the cursor reaches the end of the
+  /// file the pass completes: `*done` is set, last_report is published,
+  /// and the v3->v4 format flip plus strictness restore run if the pass
+  /// covered every page cleanly. Busy (with no cursor movement) if a
+  /// writer is active; any error leaves the cursor where it was, so the
+  /// pass resumes at the next call.
+  Status ScrubStep(uint32_t max_pages, bool* done);
+
+  /// Copy of the incremental-scrub cursor and counters.
+  ScrubState scrub_state() const;
+
+  /// Probes the filesystem once (respecting the exponential probe
+  /// backoff) when in ENOSPC degraded mode, clearing the mode if space
+  /// returned — the hook the background health monitor uses to recover a
+  /// write-idle database. OK when not degraded or once recovered;
+  /// ResourceExhausted while space is still missing (or the probe is
+  /// backed off); Busy if a writer is active.
+  Status TryRecoverDegraded();
 
   /// Drops the page cache (cold-start simulation for benchmarks).
   void DropCaches();
@@ -410,6 +470,18 @@ class Pager {
   /// True while ENOSPC degraded read-only mode is active (cleared by the
   /// space probe of the next BeginWrite once the filesystem has room).
   bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  /// Human-readable cause of the current degraded mode (empty when not
+  /// degraded): the stringified error of the write that flipped it.
+  std::string degraded_cause() const;
+  /// Milliseconds (monotonic clock) since degraded mode was entered; 0
+  /// when not degraded.
+  uint64_t degraded_for_ms() const;
+  /// True when an absent checksum slot is treated as Corruption (format
+  /// v4 with an intact sidecar); false while the lazy upgrade or a
+  /// recreated sidecar leaves coverage incomplete. Scrub restores it.
+  bool strict_checksums() const {
+    return strict_checksums_.load(std::memory_order_acquire);
+  }
   /// Persisted format version of the database header (>= 4 means page
   /// checksums are mandatory; see DbHeader::kFormatWithPageChecksums).
   uint32_t format_version() const {
@@ -444,8 +516,13 @@ class Pager {
   // for free space (one page written past EOF, truncated back) and clears
   // the flag on success; ResourceExhausted while space is still missing.
   Status ProbeDegraded();
-  // Scrub's verification walk; caller holds the writer slot.
-  Status ScrubLocked(ScrubReport* report);
+  // One bounded slice of the scrub's verification walk; caller holds the
+  // writer slot AND scrub_mutex_. Walks at most `max_pages` pages from
+  // scrub_.next_page, advancing the cursor and accumulating into
+  // scrub_.in_progress; `*walked` receives the pages visited this step
+  // and `*pass_done` whether the cursor reached the end of the file.
+  Status ScrubStepLocked(uint32_t max_pages, uint32_t* walked,
+                         bool* pass_done);
   // Shared body of ReadPages/PrefetchPages; `best_effort` skips failed
   // pages instead of failing and flags inserts as prefetched.
   Status ReadPagesInternal(std::span<const PageId> ids, uint64_t seq,
@@ -481,8 +558,23 @@ class Pager {
   std::atomic<uint32_t> header_version_{0};
   std::atomic<bool> strict_checksums_{false};
 
-  // ENOSPC degraded read-only mode (read_only_on_enospc).
+  // ENOSPC degraded read-only mode (read_only_on_enospc). Cause and
+  // entry time feed the health report; the probe backoff fields are only
+  // touched with the writer slot held (ProbeDegraded's precondition), so
+  // they need no lock of their own.
   std::atomic<bool> degraded_{false};
+  mutable std::mutex degraded_info_mutex_;
+  std::string degraded_cause_;
+  std::chrono::steady_clock::time_point degraded_since_{};
+  uint32_t enospc_probe_backoff_ms_ = 0;  // 0 until a probe fails
+  std::chrono::steady_clock::time_point enospc_next_probe_{};
+
+  // Incremental-scrub cursor. scrub_mutex_ serializes scrub drivers (an
+  // explicit Scrub vs. the background health monitor) and guards scrub_;
+  // each step additionally takes the writer slot for its walk.
+  mutable std::mutex scrub_mutex_;
+  ScrubState scrub_;
+  bool scrub_was_legacy_ = false;  // header was < v4 when the pass began
 
   // In-flight async-prefetch registry: main-file pages whose SubmitRead
   // has not been reaped yet. A demand read that misses on one of these

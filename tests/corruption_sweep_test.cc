@@ -7,15 +7,20 @@
 // asset id, wrong distance, row violating the filter) fails the sweep.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/db.h"
+#include "core/maintainer.h"
 #include "numerics/distance.h"
 
 namespace micronn {
@@ -25,6 +30,15 @@ struct GroundTruth {
   std::map<std::string, std::vector<float>> vectors;
   std::map<std::string, int64_t> years;
 };
+
+// Trial count of the randomized sweeps. MICRONN_SWEEP_TRIALS overrides
+// the default 12 — CI's nightly/soak legs crank it up without a rebuild.
+int SweepTrials() {
+  const char* env = std::getenv("MICRONN_SWEEP_TRIALS");
+  if (env == nullptr || *env == '\0') return 12;
+  const int n = std::atoi(env);
+  return n > 0 ? n : 12;
+}
 
 class CorruptionSweepTest : public ::testing::Test {
  protected:
@@ -193,17 +207,20 @@ TEST_F(CorruptionSweepTest, RandomByteFlipsNeverProduceWrongRows) {
 
   std::mt19937 rng(20260808);
   int detected_trials = 0;
-  constexpr int kTrials = 12;
+  const int kTrials = SweepTrials();
+  const int kSidecarTrials = std::max(2, kTrials / 6);
   for (int trial = 0; trial < kTrials; ++trial) {
     SCOPED_TRACE("trial " + std::to_string(trial));
     RestorePristine();
 
-    // Trials 0-9 corrupt the database file; 10-11 corrupt the checksum
-    // sidecar (a bad checksum over a good page must read as Corruption,
-    // and Scrub must not "repair" the good page into garbage).
+    // Most trials corrupt the database file; the last few corrupt the
+    // checksum sidecar (a bad checksum over a good page must read as
+    // Corruption, and Scrub must not "repair" the good page into
+    // garbage).
     std::string victim = path_;
     uint64_t limit = db_size;
-    if (trial >= 10 && std::filesystem::exists(path_ + "-sum")) {
+    if (trial >= kTrials - kSidecarTrials &&
+        std::filesystem::exists(path_ + "-sum")) {
       victim = path_ + "-sum";
       limit = std::filesystem::file_size(victim);
     }
@@ -252,6 +269,72 @@ TEST_F(CorruptionSweepTest, RandomByteFlipsNeverProduceWrongRows) {
   std::mt19937 verify_rng(1);
   EXPECT_EQ(RunQueryMix(db.get(), verify_rng), 0);
   EXPECT_TRUE(db->Close().ok());
+}
+
+// Short soak with the background healer running: random flips, then the
+// query mix runs while a HealthMonitor scrubs behind it. The bar is the
+// same — correct-or-explicit-Corruption, never silently wrong — plus the
+// healer must actually complete passes whenever corruption was observed.
+// CI's Release leg runs this with MICRONN_SWEEP_TRIALS raised.
+TEST_F(CorruptionSweepTest, BackgroundHealerSoakNeverProducesWrongRows) {
+  BuildPristine();
+  const uint64_t db_size = std::filesystem::file_size(path_);
+  ASSERT_GT(db_size, 0u);
+
+  std::mt19937 rng(20260809);
+  const int kTrials = std::max(3, SweepTrials() / 3);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SCOPED_TRACE("soak trial " + std::to_string(trial));
+    RestorePristine();
+    const int flips = 1 + static_cast<int>(rng() % 3);
+    for (int f = 0; f < flips; ++f) {
+      FlipByte(path_, rng() % db_size);
+    }
+
+    Result<std::unique_ptr<DB>> open = DB::Open(path_, Options());
+    if (!open.ok()) {
+      EXPECT_TRUE(AcceptableFailure(open.status()))
+          << open.status().ToString();
+      continue;
+    }
+    DB* db = open->get();
+    db->DropCaches();
+
+    HealthMonitor::Options mon;
+    mon.interval = std::chrono::milliseconds(3);
+    mon.scrub_batch_pages = 32;
+    mon.scrub_io_budget_bytes_per_sec = 0;  // unthrottled: keep CI short
+    // Cold-start coverage: this database was just reopened over damaged
+    // files, exactly the case where queries may never touch the bad page
+    // but a scheduled verification pass finds it.
+    mon.scrub_verify_on_start = true;
+    HealthMonitor monitor(db, mon);
+
+    // Traffic while the healer works. Each mix holds the usual bar.
+    bool observed = false;
+    for (int round = 0; round < 4; ++round) {
+      observed = RunQueryMix(db, rng) > 0 || observed;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    observed = observed || db->Health().corruptions_detected > 0;
+
+    if (observed) {
+      // The healer saw it too: wait for a completed pass, then the mix
+      // must still be correct (possibly Corruption where the damage was
+      // unrepairable, but never wrong rows).
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (monitor.passes_completed() == 0 &&
+             std::chrono::steady_clock::now() < deadline) {
+        monitor.TriggerNow();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      EXPECT_GE(monitor.passes_completed(), 1u);
+    }
+    RunQueryMix(db, rng);
+    monitor.Stop();
+    db->Close().ok();  // best-effort: the store may be corrupt
+  }
 }
 
 }  // namespace

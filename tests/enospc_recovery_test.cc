@@ -6,10 +6,12 @@
 // with exactly the acknowledged data.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/db.h"
 #include "storage/engine.h"
@@ -100,6 +102,10 @@ TEST_F(EnospcRecoveryTest, MidCommitRollsBackDegradesAndRecovers) {
   auto rig = std::make_shared<FaultRig>();
   PagerOptions options;
   options.file_wrapper = MakeWrapper(rig);
+  // This test frees space immediately after a *failed* probe and expects
+  // the very next write to recover; disable the probe backoff so that
+  // write actually probes (DegradedProbeIsRateLimited covers the limiter).
+  options.enospc_probe_backoff_ms = 0;
   auto engine = StorageEngine::Open(path_, options).value();
   ASSERT_TRUE(CommitRows(engine.get(), 0, 200).ok());
 
@@ -125,6 +131,49 @@ TEST_F(EnospcRecoveryTest, MidCommitRollsBackDegradesAndRecovers) {
   ASSERT_TRUE(CommitRows(engine.get(), 200, 100).ok());
   EXPECT_FALSE(engine->pager()->degraded());
   EXPECT_EQ(CountRows(engine.get()).value(), 300u);
+}
+
+// The space probe is rate-limited: while the disk stays full, repeated
+// write attempts fail fast out of an exponential backoff window instead
+// of issuing filesystem syscalls each time; a successful probe resets
+// the schedule so the next incident starts fresh.
+TEST_F(EnospcRecoveryTest, DegradedProbeIsRateLimited) {
+  auto rig = std::make_shared<FaultRig>();
+  PagerOptions options;
+  options.file_wrapper = MakeWrapper(rig);
+  options.enospc_probe_backoff_ms = 100;  // wide windows: the count stays low
+  options.enospc_probe_max_backoff_ms = 400;
+  auto engine = StorageEngine::Open(path_, options).value();
+  ASSERT_TRUE(CommitRows(engine.get(), 0, 100).ok());
+
+  rig->ArmEnospcEverywhere();
+  ASSERT_FALSE(CommitRows(engine.get(), 100, 10).ok());
+  ASSERT_TRUE(engine->pager()->degraded());
+
+  // Hammer writes while the disk stays full. Every attempt fails fast;
+  // only a handful actually probe (100/200/400ms windows), where an
+  // unlimited prober would have probed on all 25.
+  const uint64_t probes_before = engine->io_stats().Snapshot().enospc_probes;
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_FALSE(CommitRows(engine.get(), 100, 10).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const uint64_t probes =
+      engine->io_stats().Snapshot().enospc_probes - probes_before;
+  EXPECT_GE(probes, 1u);
+  EXPECT_LE(probes, 8u) << "probe backoff is not limiting syscalls";
+
+  // Space returns: recovery waits out at most one backoff window.
+  rig->FreeSpace();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (engine->pager()->degraded() &&
+         std::chrono::steady_clock::now() < deadline) {
+    CommitRows(engine.get(), 100, 10).ok();  // probes once the window opens
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(engine->pager()->degraded());
+  EXPECT_EQ(CountRows(engine.get()).value(), 110u);
 }
 
 TEST_F(EnospcRecoveryTest, MidCheckpointDegradesAndRecovers) {

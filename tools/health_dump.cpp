@@ -1,0 +1,43 @@
+// health_dump: open a MicroNN database and print DB::Health() as one JSON
+// object on stdout. CI uploads this next to bench artifacts; operators use
+// it to answer "why is this database slow / read-only" without a debugger.
+//
+//   health_dump <path> [--scrub]
+//
+// --scrub runs a full scrub pass first (repairing what the WAL still
+// covers) and reports the post-scrub state.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/db.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <db-path> [--scrub]\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  bool scrub = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scrub") == 0) scrub = true;
+  }
+  micronn::DbOptions options;  // dim resolves from the stored metadata
+  micronn::Result<std::unique_ptr<micronn::DB>> db =
+      micronn::DB::Open(path, options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open %s: %s\n", path.c_str(),
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  if (scrub) {
+    micronn::Result<micronn::ScrubReport> report = (*db)->Scrub();
+    if (!report.ok()) {
+      std::fprintf(stderr, "scrub: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("%s\n", (*db)->Health().ToJson().c_str());
+  return 0;
+}
